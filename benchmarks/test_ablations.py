@@ -1,0 +1,136 @@
+"""Ablation studies for the reproduction's design choices.
+
+Not paper figures, but the knobs the paper's design discussion turns:
+
+* **GM size** -- Section II-C fixes the GM at 2 KB; the sweep shows the
+  commit-refetch rate falling as the GM covers more in-flight loads.
+* **TSB's two fixes** -- Section V-B argues *both* the latency fix and the
+  access-time fix are needed; the ablation runs TSB with only one of them.
+* **Prefetch throttling margin** -- the DRAM low-priority backpressure that
+  keeps late prefetch queues from delaying merged demands.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import geomean
+from repro.core.tsb import TSBPrefetcher
+from repro.prefetchers import MODE_ON_COMMIT, make_prefetcher
+from repro.prefetchers.base import TrainingEvent
+from repro.sim.params import GhostMinionParams, baseline
+from repro.sim.system import System
+
+ABLATION_TRACES = ["619.lbm-2676B", "657.xz-2302B", "654.roms-1007B"]
+N_LOADS = 6000
+
+
+def _traces():
+    from repro.workloads.spec import spec_trace
+    return [spec_trace(name, n_loads=N_LOADS) for name in ABLATION_TRACES]
+
+
+def test_gm_size_sweep(benchmark, record):
+    """GhostMinion's 2 KB GM vs smaller/larger speculative caches."""
+    def sweep():
+        # The GM only loses lines under deep commit lag: use the
+        # DRAM-bound mcf drill-down trace alongside the stream pool.
+        from repro.workloads.spec import spec_trace
+        traces = _traces() + [spec_trace("605.mcf-1554B",
+                                         n_loads=N_LOADS)]
+        rows = []
+        for size_kb in (1, 2, 4, 8):
+            params = replace(baseline(), gm=GhostMinionParams(
+                size_kb=size_kb, ways=16 * size_kb))
+            speedups, loss_rates = [], []
+            for trace in traces:
+                base = System().run(trace)
+                secure = System(params=params, secure=True).run(trace)
+                speedups.append(secure.ipc / base.ipc)
+                had_entry = (secure.gm.commit_writes
+                             + secure.gm.gm_lost_before_commit)
+                loss_rates.append(
+                    secure.gm.gm_lost_before_commit / max(had_entry, 1))
+            rows.append((size_kb, geomean(speedups),
+                         sum(loss_rates) / len(loss_rates)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: GM size vs lines lost before commit", "=" * 50,
+             f"{'GM KB':>6s}{'speedup':>10s}{'loss rate':>12s}"]
+    for size_kb, speedup, loss in rows:
+        lines.append(f"{size_kb:6d}{speedup:10.3f}{loss:12.3f}")
+    record("ablation_gm_size", "\n".join(lines))
+
+    # A larger GM loses fewer lines before commit.
+    loss_by_size = {r[0]: r[2] for r in rows}
+    assert loss_by_size[8] <= loss_by_size[1]
+
+
+class _LatencyOnlyTSB(TSBPrefetcher):
+    """TSB with only the latency fix: learns with the true GM fetch
+    latency but against commit-time history (Section V-B's first half)."""
+
+    name = "tsb-latency-only"
+
+    def train(self, event: TrainingEvent):
+        return super().train(event._replace(access_cycle=event.cycle))
+
+
+def test_tsb_needs_both_fixes(benchmark, record):
+    """Section V-B: fixing only the learned latency is not enough; the
+    timeliness window must also be anchored at access time."""
+    def ablate():
+        traces = _traces()
+        rows = {}
+        for label, factory in (
+                ("naive on-commit", lambda: make_prefetcher("berti")),
+                ("latency fix only", _LatencyOnlyTSB),
+                ("full TSB", TSBPrefetcher)):
+            values = []
+            for trace in traces:
+                base = System().run(trace)
+                result = System(secure=True, prefetcher=factory(),
+                                train_mode=MODE_ON_COMMIT).run(trace)
+                values.append(result.ipc / base.ipc)
+            rows[label] = geomean(values)
+        return rows
+
+    rows = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    lines = ["Ablation: TSB's two fixes (Section V-B)", "=" * 46]
+    for label, value in rows.items():
+        lines.append(f"{label:20s} speedup={value:6.3f}")
+    record("ablation_tsb_fixes", "\n".join(lines))
+
+    assert rows["full TSB"] >= rows["naive on-commit"]
+    assert rows["full TSB"] >= rows["latency fix only"] - 0.01
+
+
+def test_prefetch_backpressure_margin(benchmark, record):
+    """The DRAM low-priority throttling margin: too tight starves the
+    prefetcher, too loose lets late prefetch queues delay demands."""
+    def sweep():
+        traces = _traces()
+        rows = []
+        for margin in (0, 150, 600, 10 ** 9):
+            params = replace(baseline(), dram=replace(
+                baseline().dram, prefetch_backlog_margin=margin))
+            values = []
+            for trace in traces:
+                base = System(params=params).run(trace)
+                result = System(params=params,
+                                prefetcher=make_prefetcher("berti")
+                                ).run(trace)
+                values.append(result.ipc / base.ipc)
+            rows.append((margin, geomean(values)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: prefetch backpressure margin", "=" * 44,
+             f"{'margin':>10s}{'berti speedup':>15s}"]
+    for margin, value in rows:
+        label = "unbounded" if margin >= 10 ** 9 else str(margin)
+        lines.append(f"{label:>10s}{value:15.3f}")
+    record("ablation_backpressure", "\n".join(lines))
+
+    by_margin = dict(rows)
+    # The default (150) must not be the worst choice.
+    assert by_margin[150] >= min(by_margin.values())

@@ -1,0 +1,43 @@
+"""Security bench: the prefetcher covert channel across defences.
+
+Not a paper figure, but the property the whole paper exists to provide:
+on-commit (secure) prefetching closes the transient-prefetch channel that
+on-access prefetching opens, at the performance cost the other benches
+quantify.
+"""
+
+from repro.core import TSBPrefetcher
+from repro.prefetchers import MODE_ON_ACCESS, MODE_ON_COMMIT
+from repro.security import run_prefetch_covert_channel
+
+SECRET = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1, 1]
+
+
+def test_covert_channel_matrix(benchmark, record):
+    def attack_matrix():
+        rows = {}
+        for label, kwargs in (
+                ("on-access / non-secure",
+                 dict(secure=False, train_mode=MODE_ON_ACCESS)),
+                ("on-access / GhostMinion",
+                 dict(secure=True, train_mode=MODE_ON_ACCESS)),
+                ("on-commit / GhostMinion",
+                 dict(secure=True, train_mode=MODE_ON_COMMIT)),
+                ("TSB / GhostMinion",
+                 dict(secure=True, train_mode=MODE_ON_COMMIT,
+                      prefetcher=TSBPrefetcher()))):
+            rows[label] = run_prefetch_covert_channel(SECRET, **kwargs)
+        return rows
+
+    rows = benchmark.pedantic(attack_matrix, rounds=1, iterations=1)
+    lines = ["Prefetcher covert channel (16 secret bits)",
+             "=" * 46]
+    for label, result in rows.items():
+        lines.append(f"{label:28s} {result.bits_correct:2d}/16 bits  "
+                     f"{'LEAKED' if result.leaked else 'closed'}")
+    record("security_channel", "\n".join(lines))
+
+    assert rows["on-access / non-secure"].leaked
+    assert rows["on-access / GhostMinion"].leaked
+    assert not rows["on-commit / GhostMinion"].leaked
+    assert not rows["TSB / GhostMinion"].leaked

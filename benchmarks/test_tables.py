@@ -1,0 +1,24 @@
+"""Tables I-III plus the contribution storage budget (Section I/IV/V)."""
+
+from repro.experiments import (contribution_storage_text, table1_text,
+                               table2_text, table3_rows, table3_text)
+
+
+def test_table1(benchmark, record):
+    text = benchmark.pedantic(table1_text, rounds=1, iterations=1)
+    record("table1", text)
+    assert "GhostMinion" in text
+
+
+def test_table2(benchmark, record):
+    text = benchmark.pedantic(table2_text, rounds=1, iterations=1)
+    record("table2", text)
+    assert "352-entry ROB" in text
+
+
+def test_table3(benchmark, record):
+    text = benchmark.pedantic(table3_text, rounds=1, iterations=1)
+    record("table3", text + "\n\n" + contribution_storage_text())
+    # Implemented storage stays within 2x of every Table III entry.
+    for name, paper_kb, impl_kb in table3_rows():
+        assert 0.3 * paper_kb <= impl_kb <= 2.0 * paper_kb, name

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Tutorial: plug a custom prefetcher into the secure-prefetching harness.
+
+Implements a tiny "last-delta" prefetcher (predict the previous per-IP
+delta repeats), registers it, and evaluates it in three regimes against
+Berti -- including a timely-secure version produced by the stock TS
+control loop, with zero extra code.
+"""
+
+from typing import List
+
+from repro.analysis import geomean
+from repro.core import make_timely
+from repro.prefetchers import make_prefetcher, register
+from repro.prefetchers.base import (FILL_L1D, PrefetchRequest, Prefetcher,
+                                    TrainingEvent)
+from repro.prefetchers.registry import PAPER_PREFETCHERS
+from repro.sim.system import System
+from repro.prefetchers import MODE_ON_COMMIT
+from repro.workloads import spec_trace
+
+
+class LastDeltaPrefetcher(Prefetcher):
+    """Predict that each IP repeats its most recent block delta."""
+
+    name = "last-delta"
+    train_level = 0
+
+    def __init__(self, entries: int = 256, degree: int = 2,
+                 distance: int = 1) -> None:
+        self.entries = entries
+        self.degree = degree
+        self.distance = distance          # the TS loop adapts this
+        self.base_distance = distance
+        self._last = [(-1, 0)] * entries  # (last block, last delta) per IP
+
+    def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
+        idx = event.ip % self.entries
+        last_block, last_delta = self._last[idx]
+        delta = event.block - last_block if last_block >= 0 else 0
+        self._last[idx] = (event.block, delta)
+        if delta == 0 or delta != last_delta:
+            return []                     # only repeat confirmed deltas
+        return [PrefetchRequest(event.block + delta * (self.distance + i),
+                                FILL_L1D)
+                for i in range(self.degree)]
+
+    def on_phase_change(self) -> None:
+        self.distance = self.base_distance
+
+    def storage_bits(self) -> int:
+        return self.entries * (48 + 13)
+
+
+def main() -> None:
+    register("last-delta", LastDeltaPrefetcher)
+
+    traces = [spec_trace(name, n_loads=5000) for name in
+              ("619.lbm-2676B", "657.xz-2302B", "654.roms-1007B")]
+    baselines = [System().run(t) for t in traces]
+
+    def mean_speedup(factory, **kwargs):
+        values = []
+        for trace, base in zip(traces, baselines):
+            result = System(prefetcher=factory(), **kwargs).run(trace)
+            values.append(result.ipc / base.ipc)
+        return geomean(values)
+
+    print(f"{'configuration':42s}{'speedup':>9s}")
+    rows = [
+        ("last-delta, on-access, non-secure",
+         lambda: make_prefetcher("last-delta"), {}),
+        ("last-delta, on-commit, GhostMinion",
+         lambda: make_prefetcher("last-delta"),
+         dict(secure=True, train_mode=MODE_ON_COMMIT)),
+        ("TS-last-delta + SUF, GhostMinion",
+         lambda: make_timely(make_prefetcher("last-delta"),
+                             interval_misses=128),
+         dict(secure=True, suf=True, train_mode=MODE_ON_COMMIT)),
+        ("berti, on-access, non-secure (reference)",
+         lambda: make_prefetcher("berti"), {}),
+    ]
+    for label, factory, kwargs in rows:
+        print(f"{label:42s}{mean_speedup(factory, **kwargs):9.3f}")
+
+    print("\nThe TS wrapper and SUF applied to a 15-line prefetcher --")
+    print("no harness changes needed (see docs/EXTENDING.md).")
+
+
+if __name__ == "__main__":
+    main()

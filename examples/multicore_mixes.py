@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""4-core heterogeneous mixes: where SUF and TSB matter most.
+
+Multi-core execution multiplies the secure system's commit traffic at the
+shared LLC and DRAM, so the paper's largest wins are the 4-core ones
+(Section VII-B).  This example runs a few seeded random mixes and reports
+weighted speedups for the Fig. 15 configurations.
+"""
+
+from repro import TSBPrefetcher, make_prefetcher
+from repro.analysis import geomean
+from repro.prefetchers import MODE_ON_COMMIT
+from repro.sim.multicore import alone_ipcs, run_mix
+from repro.workloads import generate_mixes, mix_name, workload_pool
+
+
+def main() -> None:
+    pool = workload_pool(5000, spec_count=6, gap_count=2)
+    mixes = generate_mixes(pool, n_mixes=4, cores=4)
+    alone_cache = {}
+
+    configs = [
+        ("non-secure, no prefetch", dict(), None),
+        ("GhostMinion, no prefetch", dict(secure=True), None),
+        ("GhostMinion + on-commit Berti",
+         dict(secure=True, train_mode=MODE_ON_COMMIT),
+         lambda: make_prefetcher("berti")),
+        ("GhostMinion + TSB + SUF",
+         dict(secure=True, suf=True, train_mode=MODE_ON_COMMIT),
+         TSBPrefetcher),
+    ]
+
+    print(f"{'mix':34s}" + "".join(f"{label[:18]:>20s}"
+                                   for label, _, _ in configs))
+    norms = {label: [] for label, _, _ in configs}
+    for mix in mixes:
+        alone = alone_ipcs(mix, cache=alone_cache)
+        row = f"{mix_name(mix):34s}"
+        base_ws = None
+        for label, kwargs, factory in configs:
+            result = run_mix(mix, prefetcher_factory=factory, **kwargs)
+            ws = result.weighted_speedup(alone)
+            if base_ws is None:
+                base_ws = ws
+            norm = ws / base_ws if base_ws else 0.0
+            norms[label].append(norm)
+            row += f"{norm:20.3f}"
+        print(row)
+
+    print("\ngeomean (normalized weighted speedup):")
+    for label, values in norms.items():
+        print(f"  {label:32s}{geomean(values):8.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: enables editable installs on environments without `wheel`.
+
+All metadata lives in pyproject.toml; this file only exists so
+``pip install -e .`` / ``python setup.py develop`` work with the vendored
+setuptools (which lacks native bdist_wheel support).
+"""
+from setuptools import setup
+
+setup()

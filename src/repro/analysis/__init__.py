@@ -1,0 +1,14 @@
+"""Metrics and report rendering for the paper's evaluation."""
+
+from .metrics import (amean, apki, apki_breakdown, geomean,
+                      load_miss_latency, mpki, mshr_full_fraction,
+                      prefetch_accuracy, prefetch_coverage, speedup,
+                      speedups, suf_accuracy, traffic, train_level_mpki)
+from .report import format_series, format_stacked, format_table
+
+__all__ = [
+    "amean", "apki", "apki_breakdown", "geomean", "load_miss_latency",
+    "mpki", "mshr_full_fraction", "prefetch_accuracy", "prefetch_coverage",
+    "speedup", "speedups", "suf_accuracy", "traffic", "train_level_mpki",
+    "format_series", "format_stacked", "format_table",
+]

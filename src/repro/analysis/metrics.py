@@ -1,0 +1,130 @@
+"""Metrics used throughout the paper's evaluation.
+
+Conventions follow Section VII: normalized values are combined with the
+geometric mean, raw values with the arithmetic mean; speedups are relative
+to the non-secure system without prefetching.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from ..sim.stats import CacheStats, REQ_COMMIT, REQ_LOAD, REQ_PREFETCH
+from ..sim.system import SimResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (used for normalized metrics, Section VII)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def amean(values: Iterable[float]) -> float:
+    """Arithmetic mean (used for raw metrics, Section VII)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def speedup(result: SimResult, baseline: SimResult) -> float:
+    """IPC ratio vs. the baseline run of the same trace."""
+    if baseline.ipc <= 0:
+        return 0.0
+    return result.ipc / baseline.ipc
+
+
+def speedups(results: Sequence[SimResult],
+             baselines: Sequence[SimResult]) -> List[float]:
+    """Pairwise speedups; callers typically geomean these."""
+    return [speedup(r, b) for r, b in zip(results, baselines)]
+
+
+def apki(result: SimResult, level: str = "l1d") -> float:
+    """Accesses per kilo instruction at one level (Fig. 3)."""
+    stats: CacheStats = getattr(result, level)
+    ki = result.kilo_instructions()
+    return stats.total_accesses() / ki if ki else 0.0
+
+
+def apki_breakdown(result: SimResult, level: str = "l1d"
+                   ) -> Dict[str, float]:
+    """The Fig. 3 / Fig. 5(b) traffic split: Load / Prefetch / Commit.
+
+    Commit lumps GhostMinion's on-commit writes, re-fetches, and the
+    writeback propagation they cause; Load includes demand stores.
+    """
+    stats: CacheStats = getattr(result, level)
+    ki = result.kilo_instructions()
+    if not ki:
+        return {"load": 0.0, "prefetch": 0.0, "commit": 0.0}
+    load = stats.accesses[REQ_LOAD] + stats.accesses["store"]
+    prefetch = stats.accesses[REQ_PREFETCH]
+    commit = stats.accesses[REQ_COMMIT] + stats.accesses["writeback"]
+    return {"load": load / ki, "prefetch": prefetch / ki,
+            "commit": commit / ki}
+
+
+def mpki(result: SimResult, level: str = "l1d") -> float:
+    """Demand misses per kilo instruction at one level."""
+    stats: CacheStats = getattr(result, level)
+    ki = result.kilo_instructions()
+    return stats.demand_misses() / ki if ki else 0.0
+
+
+def train_level_mpki(result: SimResult) -> float:
+    """MPKI at the level the prefetcher trains at (Fig. 6's y-axis)."""
+    return mpki(result, "l1d" if result.train_level == 0 else "l2")
+
+
+def load_miss_latency(result: SimResult, level: str = "l1d") -> float:
+    """Average demand-load miss latency in cycles (Fig. 4 / Fig. 5(c))."""
+    stats: CacheStats = getattr(result, level)
+    return stats.load_miss_latency_avg()
+
+
+def prefetch_accuracy(result: SimResult) -> float:
+    """Accuracy at the prefetcher's fill levels (Fig. 13).
+
+    Useful / (useful + useless) over prefetches with a resolved outcome,
+    aggregated across the levels the prefetcher fills into.
+    """
+    useful = (result.l1d.prefetches_useful + result.l2.prefetches_useful
+              + result.llc.prefetches_useful)
+    useless = (result.l1d.prefetches_useless + result.l2.prefetches_useless
+               + result.llc.prefetches_useless)
+    resolved = useful + useless
+    return useful / resolved if resolved else 0.0
+
+
+def prefetch_coverage(result: SimResult, baseline: SimResult) -> float:
+    """Fraction of the baseline's train-level misses removed (coverage)."""
+    base = train_level_mpki(baseline)
+    if base <= 0:
+        return 0.0
+    return max(0.0, 1.0 - train_level_mpki(result) / base)
+
+
+def traffic(result: SimResult, level: str = "l1d") -> int:
+    """Total accesses at one level (memory-hierarchy traffic)."""
+    stats: CacheStats = getattr(result, level)
+    return stats.total_accesses()
+
+
+def mshr_full_fraction(result: SimResult, level: str = "l1d") -> float:
+    """Fraction of cycles lost to a full MSHR at one level (Section III-A
+    proxy: cumulative full-wait cycles over run cycles)."""
+    stats: CacheStats = getattr(result, level)
+    if result.cycles <= 0:
+        return 0.0
+    return stats.mshr_full_wait_cycles / result.cycles
+
+
+def suf_accuracy(result: SimResult) -> float:
+    """Fraction of SUF filtering decisions that were correct."""
+    if result.gm is None:
+        return 1.0
+    return result.gm.suf_accuracy()

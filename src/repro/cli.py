@@ -1,0 +1,305 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``workloads``
+    List the available SPEC-like and GAP-like workloads.
+``run``
+    Simulate one workload under one configuration and print its metrics.
+``compare``
+    Run the paper's standard configurations side by side on one workload.
+``figure``
+    Regenerate one of the paper's figures (fig1, fig3, ..., fig15).
+``tables``
+    Print Tables I-III and the contribution storage budget.
+``attack``
+    Mount the prefetcher covert channel under a chosen defence.
+
+Examples
+--------
+::
+
+    python -m repro run 605.mcf-1554B --secure --suf --prefetcher tsb
+    python -m repro compare 619.lbm-2676B --loads 10000
+    python -m repro figure fig11 --scale tiny
+    python -m repro attack --secure --mode on-commit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.metrics import apki_breakdown, load_miss_latency, mpki
+from .experiments.runner import SCALES, ExperimentRunner
+from .prefetchers.base import MODE_ON_ACCESS, MODE_ON_COMMIT
+from .sim.system import System
+from .workloads.gap import GAP_KERNELS, gap_traces
+from .workloads.spec import SPEC_WORKLOADS, spec_trace
+from .workloads.trace import Trace
+
+
+def _build_trace(name: str, n_loads: int) -> Trace:
+    if name in SPEC_WORKLOADS:
+        return spec_trace(name, n_loads)
+    for trace in gap_traces(n_loads):
+        if trace.name.startswith(name):
+            return trace
+    raise SystemExit(
+        f"unknown workload {name!r}; run `python -m repro workloads`")
+
+
+def _make_system(args, runner: Optional[ExperimentRunner] = None) -> System:
+    if runner is None:
+        runner = ExperimentRunner(scale=SCALES["small"])
+    prefetcher = runner.build_prefetcher(args.prefetcher)
+    mode = MODE_ON_COMMIT if args.mode == "on-commit" else MODE_ON_ACCESS
+    return System(secure=args.secure, suf=args.suf,
+                  delay_mitigation=getattr(args, "delay", False),
+                  prefetcher=prefetcher, train_mode=mode)
+
+
+def cmd_workloads(args) -> int:
+    print("SPEC CPU2017-like workloads:")
+    for name in SPEC_WORKLOADS:
+        print(f"  {name}")
+    print("GAP-like kernels:")
+    for name in sorted(GAP_KERNELS):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    trace = _build_trace(args.workload, args.loads)
+    system = _make_system(args)
+    result = system.run(trace)
+    split = apki_breakdown(result)
+    print(f"configuration : {system.label}")
+    print(f"workload      : {trace.name} "
+          f"({result.committed} committed instructions)")
+    print(f"IPC           : {result.ipc:.3f}")
+    print(f"L1D MPKI      : {mpki(result):.1f}")
+    print(f"L1D miss lat. : {load_miss_latency(result):.1f} cycles")
+    print(f"L1D APKI      : load={split['load']:.1f} "
+          f"prefetch={split['prefetch']:.1f} commit={split['commit']:.1f}")
+    if result.gm is not None:
+        print(f"GM            : {result.gm.gm_hits} hits, "
+              f"{result.gm.commit_writes} commit writes, "
+              f"{result.gm.commit_refetches} re-fetches, "
+              f"{result.gm.commit_drops_suf} SUF drops "
+              f"(accuracy {100 * result.gm.suf_accuracy():.1f}%)")
+    if "delayed_loads" in result.extras:
+        print(f"delayed loads : {result.extras['delayed_loads']:.0f} "
+              f"(avg {result.extras['avg_delay_cycles']:.0f} cycles)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = _build_trace(args.workload, args.loads)
+    runner = ExperimentRunner(scale=SCALES["small"])
+    configs = [
+        ("non-secure, no prefetch", dict()),
+        ("GhostMinion, no prefetch", dict(secure=True)),
+        ("GhostMinion + on-commit berti",
+         dict(secure=True, prefetcher="berti", mode="on-commit")),
+        ("GhostMinion + TSB + SUF",
+         dict(secure=True, suf=True, prefetcher="tsb", mode="on-commit")),
+    ]
+    base_ipc = None
+    print(f"{'configuration':34s}{'IPC':>8s}{'speedup':>9s}"
+          f"{'L1D MPKI':>10s}")
+    for label, opts in configs:
+        ns = argparse.Namespace(
+            secure=opts.get("secure", False), suf=opts.get("suf", False),
+            prefetcher=opts.get("prefetcher", "none"),
+            mode=opts.get("mode", "on-access"))
+        result = _make_system(ns, runner).run(trace)
+        if base_ipc is None:
+            base_ipc = result.ipc
+        print(f"{label:34s}{result.ipc:8.3f}"
+              f"{result.ipc / base_ipc:9.3f}{mpki(result):10.1f}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from .experiments.figures import ALL_FIGURES
+    from .experiments.multicore_experiments import fig15
+    drivers = dict(ALL_FIGURES)
+    drivers["fig15"] = fig15
+    try:
+        driver = drivers[args.name]
+    except KeyError:
+        raise SystemExit(f"unknown figure {args.name!r}; "
+                         f"known: {sorted(drivers)}")
+    runner = ExperimentRunner(scale=SCALES[args.scale])
+    result = driver(runner)
+    print(result.text)
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .experiments.tables import (contribution_storage_text,
+                                     table1_text, table2_text, table3_text)
+    print(table1_text())
+    print()
+    print(table2_text())
+    print()
+    print(table3_text())
+    print()
+    print(contribution_storage_text())
+    return 0
+
+
+def cmd_multicore(args) -> int:
+    from .sim.multicore import alone_ipcs, run_mix
+    from .workloads.mixes import generate_mixes, mix_name, workload_pool
+    pool = workload_pool(args.loads, spec_count=6, gap_count=2)
+    mixes = generate_mixes(pool, n_mixes=args.mixes, cores=args.cores,
+                           seed=args.seed)
+    cache = {}
+    mode = MODE_ON_COMMIT if args.mode == "on-commit" else MODE_ON_ACCESS
+    runner = ExperimentRunner(scale=SCALES["small"])
+    factory = (lambda: runner.build_prefetcher(args.prefetcher)) \
+        if args.prefetcher != "none" else None
+    print(f"{'mix':40s}{'weighted speedup':>18s}")
+    total = []
+    for mix in mixes:
+        alone = alone_ipcs(mix, cache=cache)
+        result = run_mix(mix, cores=args.cores, secure=args.secure,
+                         suf=args.suf, train_mode=mode,
+                         prefetcher_factory=factory)
+        ws = result.weighted_speedup(alone)
+        total.append(ws)
+        print(f"{mix_name(mix):40s}{ws:18.3f}")
+    print(f"{'average':40s}{sum(total) / len(total):18.3f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Assemble benchmarks/results/*.txt into one markdown report."""
+    from pathlib import Path
+    results = Path(args.results_dir)
+    if not results.is_dir():
+        raise SystemExit(
+            f"{results}: no results directory -- run "
+            "`pytest benchmarks/ --benchmark-only` first")
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        raise SystemExit(f"{results}: empty -- run the benchmarks first")
+    lines = ["# Reproduced tables and figures", "",
+             "Generated from `benchmarks/results/` by "
+             "`python -m repro report`.", ""]
+    for path in files:
+        lines.append(f"## {path.stem}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    text = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(files)} sections)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from .security.attacks import run_prefetch_covert_channel
+    secret = [1, 0, 1, 1, 0, 0, 1, 0]
+    mode = MODE_ON_COMMIT if args.mode == "on-commit" else MODE_ON_ACCESS
+    runner = ExperimentRunner(scale=SCALES["small"])
+    prefetcher = runner.build_prefetcher(args.prefetcher) \
+        if args.prefetcher != "none" else None
+    result = run_prefetch_covert_channel(
+        secret, secure=args.secure, train_mode=mode, prefetcher=prefetcher)
+    bits = "".join("?" if b is None else str(b)
+                   for b in result.recovered_bits)
+    print(f"secret    : {''.join(map(str, secret))}")
+    print(f"recovered : {bits}")
+    print(f"verdict   : {'LEAKED' if result.leaked else 'channel closed'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Secure Prefetching for Secure "
+                    "Cache Systems' (MICRO 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list available workloads")
+
+    def add_config_flags(p, default_pf="none"):
+        p.add_argument("--secure", action="store_true",
+                       help="GhostMinion secure cache system")
+        p.add_argument("--suf", action="store_true",
+                       help="enable the secure update filter")
+        p.add_argument("--prefetcher", default=default_pf,
+                       help="none, ip-stride, ipcp, bingo, spp+ppf, berti, "
+                            "ts-<name>, or tsb")
+        p.add_argument("--mode", choices=["on-access", "on-commit"],
+                       default="on-access", help="prefetcher training mode")
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload")
+    run_p.add_argument("--loads", type=int, default=10000)
+    run_p.add_argument("--delay", action="store_true",
+                       help="delay-on-miss mitigation instead")
+    add_config_flags(run_p)
+
+    cmp_p = sub.add_parser("compare",
+                           help="standard configurations side by side")
+    cmp_p.add_argument("workload")
+    cmp_p.add_argument("--loads", type=int, default=10000)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("name", help="fig1, fig3, ..., fig15")
+    fig_p.add_argument("--scale", choices=sorted(SCALES),
+                       default="tiny")
+
+    sub.add_parser("tables", help="print Tables I-III")
+
+    atk_p = sub.add_parser("attack", help="mount the covert channel")
+    add_config_flags(atk_p, default_pf="ip-stride")
+
+    mc_p = sub.add_parser("multicore", help="run 4-core mixes")
+    mc_p.add_argument("--mixes", type=int, default=4)
+    mc_p.add_argument("--cores", type=int, default=4)
+    mc_p.add_argument("--loads", type=int, default=5000)
+    mc_p.add_argument("--seed", type=int, default=7)
+    add_config_flags(mc_p)
+
+    rep_p = sub.add_parser(
+        "report", help="assemble benchmark results into markdown")
+    rep_p.add_argument("--results-dir", default="benchmarks/results")
+    rep_p.add_argument("--output", default=None)
+
+    return parser
+
+
+COMMANDS = {
+    "workloads": cmd_workloads,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "figure": cmd_figure,
+    "tables": cmd_tables,
+    "attack": cmd_attack,
+    "multicore": cmd_multicore,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Demand-miss taxonomy for secure prefetching (Section III-B, Fig. 6).
+
+The paper introduces four categories of demand miss at the prefetcher's
+train level, evaluated by comparing the real (possibly on-commit) prefetcher
+against a *shadow* copy trained on-access:
+
+* **late prefetch** -- the miss merged with an in-flight prefetch MSHR entry
+  (the traditional late prefetch);
+* **commit-late prefetch** (new) -- no prefetch had been triggered when the
+  demand arrived, but the on-commit prefetcher *does* trigger it shortly
+  after (its trigger was still waiting to commit), and the shadow on-access
+  prefetcher had already triggered it: lateness caused purely by waiting for
+  commit;
+* **missed opportunity** -- the on-access shadow would have covered the
+  miss, but the on-commit prefetcher never predicts it (commit-order
+  training learned different patterns);
+* **uncovered** -- neither would have covered it.
+
+The shadow prefetcher trains on the access stream (including wrong-path
+loads, like any on-access prefetcher would) but issues nothing into the
+memory system -- its predictions are only logged.  Commit-late resolution is
+retrospective: a miss stays pending for ``window`` cycles to see whether the
+real prefetcher issues the block.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..prefetchers.base import Prefetcher, TrainingEvent
+
+CAT_UNCOVERED = "uncovered"
+CAT_MISSED_OPPORTUNITY = "missed_opportunity"
+CAT_LATE = "late"
+CAT_COMMIT_LATE = "commit_late"
+
+CATEGORIES = (CAT_UNCOVERED, CAT_MISSED_OPPORTUNITY, CAT_LATE,
+              CAT_COMMIT_LATE)
+
+
+class MissClassifier:
+    """Classifies train-level demand misses into the Fig. 6 categories."""
+
+    #: How many distinct predicted blocks each log remembers.
+    LOG_ENTRIES = 8192
+
+    def __init__(self, shadow: Optional[Prefetcher],
+                 window: int = 500, commit_mode: bool = True) -> None:
+        #: Shadow prefetcher trained on-access.  ``None`` when the real
+        #: prefetcher itself runs on-access (commit-late and missed
+        #: opportunity are impossible by construction).
+        self.shadow = shadow
+        #: Cycles a miss waits for a real prefetch before being resolved
+        #: (roughly the ROB drain time).
+        self.window = window
+        #: Whether the *real* prefetcher trains on-commit.  The commit-late
+        #: and missed-opportunity categories are defined relative to an
+        #: on-access shadow, so with on-access training everything not
+        #: late is simply uncovered (the paper's on-access bars in Fig. 6).
+        self.commit_mode = commit_mode
+        self.counts: Dict[str, int] = {cat: 0 for cat in CATEGORIES}
+
+        #: block -> cycle the shadow last predicted it.
+        self._shadow_log: "OrderedDict[int, int]" = OrderedDict()
+        #: block -> cycle the real prefetcher last issued it.
+        self._real_log: "OrderedDict[int, int]" = OrderedDict()
+        #: Misses awaiting retrospective commit-late resolution.
+        self._pending: Deque[Tuple[int, int, bool]] = deque()
+
+    # ------------------------------------------------------------------
+    # feeds
+    # ------------------------------------------------------------------
+
+    def on_access(self, event: TrainingEvent) -> None:
+        """Train the shadow on one access-stream event; log its requests."""
+        if self.shadow is None:
+            return
+        for request in self.shadow.train(event):
+            self._log(self._shadow_log, request.block, event.cycle)
+
+    def on_real_prefetch(self, block: int, cycle: int) -> None:
+        """The real prefetcher issued ``block`` at ``cycle``."""
+        self._log(self._real_log, block, cycle)
+
+    def _log(self, log: "OrderedDict[int, int]", block: int,
+             cycle: int) -> None:
+        log[block] = cycle
+        log.move_to_end(block)
+        if len(log) > self.LOG_ENTRIES:
+            log.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+
+    def classify_miss(self, block: int, cycle: int,
+                      merged_into_prefetch: bool) -> None:
+        """Record one train-level demand miss for classification."""
+        self.resolve(cycle)
+        if merged_into_prefetch:
+            self.counts[CAT_LATE] += 1
+            return
+        shadow_covered = self._shadow_log.get(block)
+        shadow_hit = shadow_covered is not None and shadow_covered <= cycle
+        if self.shadow is None or not self.commit_mode:
+            self.counts[CAT_UNCOVERED] += 1
+            return
+        self._pending.append((cycle, block, shadow_hit))
+
+    def resolve(self, now: int) -> None:
+        """Resolve pending misses whose observation window has passed."""
+        window = self.window
+        pending = self._pending
+        while pending and pending[0][0] + window < now:
+            cycle, block, shadow_hit = pending.popleft()
+            self._resolve_one(cycle, block, shadow_hit)
+
+    def finalize(self) -> None:
+        """Resolve everything at end of simulation."""
+        while self._pending:
+            cycle, block, shadow_hit = self._pending.popleft()
+            self._resolve_one(cycle, block, shadow_hit)
+
+    def _resolve_one(self, cycle: int, block: int,
+                     shadow_hit: bool) -> None:
+        real_cycle = self._real_log.get(block)
+        real_soon = real_cycle is not None \
+            and cycle < real_cycle <= cycle + self.window
+        if shadow_hit and real_soon:
+            self.counts[CAT_COMMIT_LATE] += 1
+        elif shadow_hit:
+            self.counts[CAT_MISSED_OPPORTUNITY] += 1
+        else:
+            self.counts[CAT_UNCOVERED] += 1
+
+    # ------------------------------------------------------------------
+
+    def total_misses(self) -> int:
+        return sum(self.counts.values())
+
+    def mpki(self, kilo_instructions: float) -> Dict[str, float]:
+        """Per-category misses per kilo instruction."""
+        if kilo_instructions <= 0:
+            return {cat: 0.0 for cat in CATEGORIES}
+        return {cat: count / kilo_instructions
+                for cat, count in self.counts.items()}

@@ -1,0 +1,241 @@
+"""Timely-secure (TS) variants of non-self-timing prefetchers (Section V-D).
+
+Moving a prefetcher to on-commit triggering costs timeliness.  For
+prefetchers that cannot re-time themselves the paper compensates with a
+*lateness-driven* control loop:
+
+* **lateness** = late prefetches / useful prefetches, monitored over fixed
+  intervals of demand misses (512 misses for L1 prefetchers -- the L1D's
+  line count -- and 4096 for L2 prefetchers, half the L2's);
+* if lateness exceeds the threshold (0.14; 0.05 for Bingo, whose late rate
+  is naturally lower) and **increased for two consecutive intervals**, the
+  prefetch *distance* is incremented (single-interval reactions proved
+  noisy);
+* a phase-change detector resets the distance to its base value when the
+  application's miss behaviour shifts abruptly.
+
+What "distance" means is per-prefetcher:
+
+* TS-stride / TS-IPCP -- the stride multiple at which prefetching starts;
+* TS-SPP+PPF -- the number of leading path deltas to *skip* (k in 2..5 per
+  the paper's empirical analysis) while SPP keeps learning every delta;
+* TS-Bingo -- a Tempo-inspired region lookahead: replay the predicted
+  footprint shifted ``lookahead`` regions ahead of the trigger.
+
+:class:`TimelyPrefetcher` wraps any baseline prefetcher with this loop.  The
+simulator feeds it per-demand feedback (miss? late? useful?) via
+:meth:`note_demand`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..prefetchers.base import PrefetchRequest, Prefetcher, TrainingEvent
+from ..prefetchers.bingo import BingoPrefetcher
+from ..prefetchers.ip_stride import IPStridePrefetcher
+from ..prefetchers.ipcp import IPCPPrefetcher
+from ..prefetchers.spp import SPPPrefetcher
+
+#: Paper-default lateness thresholds.
+LATENESS_THRESHOLD = 0.14
+BINGO_LATENESS_THRESHOLD = 0.05
+#: Paper-default monitoring intervals, in demand misses at the train level.
+L1_INTERVAL_MISSES = 512
+L2_INTERVAL_MISSES = 4096
+
+
+class PhaseChangeDetector:
+    """Detects abrupt shifts in miss behaviour (after [26]).
+
+    Compares consecutive intervals' miss-per-event ratios; a relative change
+    beyond ``sensitivity`` flags a phase change.
+    """
+
+    def __init__(self, sensitivity: float = 0.5) -> None:
+        self.sensitivity = sensitivity
+        self._events = 0
+        self._misses = 0
+        self._last_ratio: Optional[float] = None
+
+    def note(self, miss: bool) -> None:
+        self._events += 1
+        if miss:
+            self._misses += 1
+
+    def end_interval(self) -> bool:
+        """Close the interval; return True when a phase change is detected."""
+        if not self._events:
+            return False
+        ratio = self._misses / self._events
+        self._events = 0
+        self._misses = 0
+        last, self._last_ratio = self._last_ratio, ratio
+        if last is None or last == 0.0:
+            return False
+        return abs(ratio - last) / last > self.sensitivity
+
+
+class LatenessMonitor:
+    """Interval-based prefetch lateness tracking with 2-interval hysteresis."""
+
+    def __init__(self, interval_misses: int, threshold: float) -> None:
+        self.interval_misses = interval_misses
+        self.threshold = threshold
+        self._misses = 0
+        self._late = 0
+        self._useful = 0
+        self._triggers = 0
+        self._last_lateness: Optional[float] = None
+        self._rising_intervals = 0
+
+    def note_triggers(self, count: int) -> None:
+        """The prefetcher produced ``count`` requests this event."""
+        self._triggers += count
+
+    def note_demand(self, miss: bool, late: bool, useful: bool) -> bool:
+        """Record one demand's outcome; return True when the distance
+        should be incremented (interval boundary + 2 rising intervals)."""
+        if late:
+            self._late += 1
+        if useful:
+            self._useful += 1
+        if not miss:
+            return False
+        self._misses += 1
+        if self._misses < self.interval_misses:
+            return False
+        return self._end_interval()
+
+    def _end_interval(self) -> bool:
+        misses = self._misses
+        self._misses = 0
+        lateness = self._late / self._useful if self._useful else 0.0
+        # Fully-degenerate on-commit behaviour: the prefetcher triggers
+        # plenty of requests but none ever becomes useful -- every target
+        # was already demanded by trigger time (infinitely late).  Treat
+        # it as over-threshold so the distance grows until the targets
+        # outrun the demand front.
+        if not self._useful and self._triggers >= misses // 2:
+            lateness = 1.0
+        self._late = 0
+        self._useful = 0
+        self._triggers = 0
+        self._last_lateness = lateness
+        # Two consecutive over-threshold intervals are required before
+        # acting -- reacting to a single interval proved noisy (Section
+        # V-D).
+        if lateness > self.threshold:
+            self._rising_intervals += 1
+        else:
+            self._rising_intervals = 0
+        if self._rising_intervals >= 2:
+            self._rising_intervals = 0
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._misses = 0
+        self._late = 0
+        self._useful = 0
+        self._triggers = 0
+        self._last_lateness = None
+        self._rising_intervals = 0
+
+
+class TimelyPrefetcher(Prefetcher):
+    """Wrap a baseline prefetcher with the TS lateness control loop."""
+
+    #: Hard caps keeping the adapted distance sane.
+    MAX_DISTANCE = 8
+    MAX_SKIP = 5
+    MIN_SKIP = 0
+    MAX_LOOKAHEAD = 2
+
+    def __init__(self, inner: Prefetcher, *,
+                 interval_misses: Optional[int] = None,
+                 threshold: Optional[float] = None) -> None:
+        self.inner = inner
+        self.name = "ts-" + inner.name
+        self.train_level = inner.train_level
+        if threshold is None:
+            threshold = BINGO_LATENESS_THRESHOLD \
+                if isinstance(inner, BingoPrefetcher) else LATENESS_THRESHOLD
+        if interval_misses is None:
+            interval_misses = L1_INTERVAL_MISSES if inner.train_level == 0 \
+                else L2_INTERVAL_MISSES
+        self.monitor = LatenessMonitor(interval_misses, threshold)
+        self.phase_detector = PhaseChangeDetector()
+        #: TS-Bingo region lookahead (Tempo-style timing compensation).
+        self.lookahead = 0
+
+    # ------------------------------------------------------------------
+    # feedback from the simulator
+    # ------------------------------------------------------------------
+
+    def note_demand(self, miss: bool, late: bool, useful: bool) -> None:
+        """Per-demand outcome at the train level, fed by the simulator."""
+        self.phase_detector.note(miss)
+        if self.monitor.note_demand(miss, late, useful):
+            if self.phase_detector.end_interval():
+                self.on_phase_change()
+            else:
+                self._increase_distance()
+
+    def _increase_distance(self) -> None:
+        inner = self.inner
+        if isinstance(inner, (IPStridePrefetcher, IPCPPrefetcher)):
+            inner.distance = min(inner.distance + 1, self.MAX_DISTANCE)
+        elif isinstance(inner, SPPPrefetcher):
+            inner.skip_deltas = min(inner.skip_deltas + 1, self.MAX_SKIP)
+        elif isinstance(inner, BingoPrefetcher):
+            self.lookahead = min(self.lookahead + 1, self.MAX_LOOKAHEAD)
+
+    # ------------------------------------------------------------------
+    # prefetcher interface (delegated)
+    # ------------------------------------------------------------------
+
+    def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
+        requests = self.inner.train(event)
+        self.monitor.note_triggers(len(requests))
+        if self.lookahead and requests \
+                and isinstance(self.inner, BingoPrefetcher):
+            shift = self.lookahead * self.inner.region_blocks
+            requests = requests + [
+                PrefetchRequest(req.block + shift, req.fill_level)
+                for req in requests]
+        return requests
+
+    def on_fill(self, block: int, cycle: int, latency: int,
+                prefetched: bool) -> None:
+        self.inner.on_fill(block, cycle, latency, prefetched)
+
+    def on_phase_change(self) -> None:
+        self.inner.on_phase_change()
+        self.lookahead = 0
+        self.monitor.reset()
+
+    def flush(self) -> None:
+        self.inner.flush()
+        self.monitor.reset()
+        self.lookahead = 0
+
+    def storage_bits(self) -> int:
+        # Inner tables + interval counters (3 x 16b), lateness registers
+        # (2 x 16b), distance/skip register (4b), phase detector (2 x 16b).
+        return self.inner.storage_bits() + 3 * 16 + 2 * 16 + 4 + 2 * 16
+
+
+def make_timely(inner: Prefetcher, *,
+                interval_misses: Optional[int] = None,
+                threshold: Optional[float] = None) -> TimelyPrefetcher:
+    """Convenience factory: wrap ``inner`` in the TS control loop.
+
+    TS-SPP+PPF starts with the paper's empirically-found skip of k=2.
+    """
+    if isinstance(inner, SPPPrefetcher):
+        inner.skip_deltas = 2
+        inner.base_skip = 2
+    wrapper = TimelyPrefetcher(inner, interval_misses=interval_misses,
+                               threshold=threshold)
+    return wrapper

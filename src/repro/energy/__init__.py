@@ -1,0 +1,7 @@
+"""Dynamic-energy modelling of the memory hierarchy."""
+
+from .model import (EnergyBreakdown, EnergyParams, dynamic_energy,
+                    energy_per_kilo_instruction)
+
+__all__ = ["EnergyBreakdown", "EnergyParams", "dynamic_energy",
+           "energy_per_kilo_instruction"]

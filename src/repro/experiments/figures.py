@@ -1,0 +1,318 @@
+"""Single-core experiment drivers: one function per paper figure.
+
+Each ``figN`` function takes an :class:`~repro.experiments.runner.
+ExperimentRunner`, executes (or recalls) the simulations the paper's figure
+needs, and returns a :class:`FigureResult` whose ``rows`` hold the same
+series the figure plots and whose ``text`` renders them as a table.
+
+Figures 2, 7, 8, 9 of the paper are schematics (no data) and have no
+driver; Fig. 8's mechanism is exercised by ``tests/core/test_tsb.py``
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.metrics import (amean, apki_breakdown, geomean,
+                                load_miss_latency, prefetch_accuracy,
+                                speedup, suf_accuracy)
+from ..analysis.report import format_series, format_stacked, format_table
+from ..core.classification import CATEGORIES
+from ..energy.model import energy_per_kilo_instruction
+from ..prefetchers.registry import PAPER_PREFETCHERS
+from .runner import (BASELINE, Config, ExperimentRunner, nonsecure,
+                     on_access_secure, on_commit_secure, ts_config)
+
+#: The canonical mcf trace used by the paper's Fig. 5 drill-down.
+MCF_TRACE = "605.mcf-1554B"
+
+
+@dataclass
+class FigureResult:
+    """Data + rendered text for one reproduced figure."""
+
+    name: str
+    description: str
+    columns: List[str]
+    rows: Dict[str, List[float]] = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def _speedups(runner: ExperimentRunner, config: Config) -> List[float]:
+    """Per-trace speedups of ``config`` vs the non-secure no-prefetch
+    baseline."""
+    traces = runner.pool()
+    baselines = [runner.run(BASELINE, t) for t in traces]
+    results = [runner.run(config, t) for t in traces]
+    return [speedup(r, b) for r, b in zip(results, baselines)]
+
+
+def fig1(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 1: speedup of each prefetcher under three training regimes.
+
+    Bars per prefetcher: on-access on the non-secure system, on-access on
+    the secure system, on-commit on the secure system; the red line is the
+    secure system without prefetching.
+    """
+    columns = ["on-access/NS", "on-access/S", "on-commit/S"]
+    rows: Dict[str, List[float]] = {}
+    for name in PAPER_PREFETCHERS:
+        rows[name] = [
+            geomean(_speedups(runner, nonsecure(name))),
+            geomean(_speedups(runner, on_access_secure(name))),
+            geomean(_speedups(runner, on_commit_secure(name))),
+        ]
+    rows["no-pref (secure)"] = \
+        [geomean(_speedups(runner, Config(secure=True)))] * 3
+    text = format_table(
+        "Fig. 1: speedup vs non-secure system with no prefetching",
+        columns, rows)
+    return FigureResult("fig1", "prefetcher speedups across regimes",
+                        columns, rows, text)
+
+
+def fig3(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 3: average L1D APKI split into Load / Prefetch / Commit, for
+    the non-secure and secure systems with on-access prefetching."""
+    categories = ["load", "prefetch", "commit"]
+    bars: Dict[str, Dict[str, float]] = {}
+    for name in ("none",) + PAPER_PREFETCHERS:
+        for secure, tag in ((False, "NS"), (True, "S")):
+            config = Config(prefetcher=name, secure=secure)
+            results = runner.run_pool(config)
+            splits = [apki_breakdown(r) for r in results]
+            bars[f"{name}/{tag}"] = {
+                c: amean(s[c] for s in splits) for c in categories}
+    text = format_stacked("Fig. 3: average L1D accesses per kilo "
+                          "instruction (on-access prefetching)",
+                          categories, bars)
+    rows = {label: [split[c] for c in categories]
+            for label, split in bars.items()}
+    return FigureResult("fig3", "L1D APKI breakdown", categories, rows,
+                        text)
+
+
+def fig4(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 4: average L1D load miss latency with on-access prefetching."""
+    columns = ["on-access/NS", "on-access/S", "no-pref/NS", "no-pref/S"]
+    nopref_ns = amean(load_miss_latency(r)
+                      for r in runner.run_pool(BASELINE))
+    nopref_s = amean(load_miss_latency(r)
+                     for r in runner.run_pool(Config(secure=True)))
+    rows: Dict[str, List[float]] = {}
+    for name in PAPER_PREFETCHERS:
+        oa_ns = amean(load_miss_latency(r)
+                      for r in runner.run_pool(nonsecure(name)))
+        oa_s = amean(load_miss_latency(r)
+                     for r in runner.run_pool(on_access_secure(name)))
+        rows[name] = [oa_ns, oa_s, nopref_ns, nopref_s]
+    text = format_table("Fig. 4: average L1D load miss latency (cycles)",
+                        columns, rows, value_format="{:8.1f}")
+    return FigureResult("fig4", "L1D load miss latency", columns, rows,
+                        text)
+
+
+def fig5(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 5: the 605.mcf-1554B drill-down -- (a) speedup, (b) L1D
+    traffic split, (c) L1D load miss latency."""
+    trace = runner.trace(MCF_TRACE)
+    base = runner.run(BASELINE, trace)
+    columns = ["speedup/NS", "speedup/S", "latency/NS", "latency/S"]
+    rows: Dict[str, List[float]] = {}
+    stacked: Dict[str, Dict[str, float]] = {}
+    for name in ("none",) + PAPER_PREFETCHERS:
+        r_ns = runner.run(Config(prefetcher=name), trace)
+        r_s = runner.run(Config(prefetcher=name, secure=True), trace)
+        rows[name] = [speedup(r_ns, base), speedup(r_s, base),
+                      load_miss_latency(r_ns), load_miss_latency(r_s)]
+        stacked[f"{name}/NS"] = apki_breakdown(r_ns)
+        stacked[f"{name}/S"] = apki_breakdown(r_s)
+    text = (format_table(f"Fig. 5(a,c): {MCF_TRACE} speedup and L1D miss "
+                         "latency (on-access prefetching)", columns, rows)
+            + "\n\n"
+            + format_stacked(f"Fig. 5(b): {MCF_TRACE} L1D APKI",
+                             ["load", "prefetch", "commit"], stacked))
+    return FigureResult("fig5", "mcf drill-down", columns, rows, text)
+
+
+def fig6(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 6: train-level demand MPKI split into the four-mode taxonomy
+    (uncovered / missed opportunity / late / commit-late) for on-access vs
+    on-commit prefetching on the secure system."""
+    bars: Dict[str, Dict[str, float]] = {}
+    for name in PAPER_PREFETCHERS:
+        for mode_config, tag in (
+                (Config(prefetcher=name, secure=True, classify=True),
+                 "on-access"),
+                (on_commit_secure(name, classify=True), "on-commit")):
+            results = runner.run_pool(mode_config)
+            split: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+            for result in results:
+                ki = result.kilo_instructions()
+                if not ki or result.classification is None:
+                    continue
+                for cat in CATEGORIES:
+                    split[cat] += result.classification[cat] / ki
+            bars[f"{name}/{tag}"] = {
+                c: split[c] / max(len(results), 1) for c in CATEGORIES}
+    text = format_stacked(
+        "Fig. 6: average train-level demand MPKI by taxonomy",
+        list(CATEGORIES), bars)
+    rows = {label: [split[c] for c in CATEGORIES]
+            for label, split in bars.items()}
+    return FigureResult("fig6", "miss taxonomy", list(CATEGORIES), rows,
+                        text)
+
+
+def fig10(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 10: timely-secure (TS) versions vs naive on-commit."""
+    columns = ["on-commit/S", "TS/S"]
+    rows: Dict[str, List[float]] = {}
+    for name in PAPER_PREFETCHERS:
+        rows[name] = [
+            geomean(_speedups(runner, on_commit_secure(name))),
+            geomean(_speedups(runner, ts_config(name))),
+        ]
+    rows["no-pref (secure)"] = \
+        [geomean(_speedups(runner, Config(secure=True)))] * 2
+    text = format_table(
+        "Fig. 10: timely secure prefetchers vs naive on-commit "
+        "(speedup vs non-secure no-prefetch)", columns, rows)
+    return FigureResult("fig10", "TS variants", columns, rows, text)
+
+
+def fig11(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 11: effect of SUF -- on-access non-secure, on-commit secure,
+    and on-commit secure + SUF, per prefetcher (plus TSB rows)."""
+    columns = ["on-access/NS", "on-commit/S", "on-commit/S+SUF"]
+    rows: Dict[str, List[float]] = {}
+    for name in PAPER_PREFETCHERS:
+        rows[name] = [
+            geomean(_speedups(runner, nonsecure(name))),
+            geomean(_speedups(runner, on_commit_secure(name))),
+            geomean(_speedups(runner, on_commit_secure(name, suf=True))),
+        ]
+    rows["tsb"] = [
+        geomean(_speedups(runner, nonsecure("berti"))),
+        geomean(_speedups(runner, ts_config("berti"))),
+        geomean(_speedups(runner, ts_config("berti", suf=True))),
+    ]
+    rows["no-pref (secure)"] = \
+        [geomean(_speedups(runner, Config(secure=True)))] * 3
+    text = format_table("Fig. 11: speedup with the secure update filter",
+                        columns, rows)
+    return FigureResult("fig11", "SUF speedups", columns, rows, text)
+
+
+def fig12(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 12: per-trace speedup of on-commit Berti, TSB, and TSB+SUF
+    (SPEC-like and GAP-like suites)."""
+    series: Dict[str, Dict[str, float]] = {
+        "on-commit-berti": {}, "tsb": {}, "tsb+suf": {}}
+    configs = {
+        "on-commit-berti": on_commit_secure("berti"),
+        "tsb": ts_config("berti"),
+        "tsb+suf": ts_config("berti", suf=True),
+    }
+    for trace in runner.pool():
+        base = runner.run(BASELINE, trace)
+        for label, config in configs.items():
+            series[label][trace.name] = speedup(
+                runner.run(config, trace), base)
+    text = format_series(
+        "Fig. 12: per-trace speedup (vs non-secure, no prefetching)",
+        series)
+    rows = {label: list(values.values())
+            for label, values in series.items()}
+    result = FigureResult("fig12", "per-trace Berti/TSB/TSB+SUF",
+                          list(series), rows, text)
+    result.series = series
+    return result
+
+
+def fig13(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 13: average prefetch accuracy, baseline and TS versions."""
+    columns = ["on-access/NS", "on-commit/S", "on-commit/S+SUF"]
+    rows: Dict[str, List[float]] = {}
+    for name in PAPER_PREFETCHERS:
+        rows[name] = [
+            100 * amean(prefetch_accuracy(r)
+                        for r in runner.run_pool(nonsecure(name))),
+            100 * amean(prefetch_accuracy(r)
+                        for r in runner.run_pool(on_commit_secure(name))),
+            100 * amean(prefetch_accuracy(r) for r in runner.run_pool(
+                on_commit_secure(name, suf=True))),
+        ]
+        ts_name = "tsb" if name == "berti" else f"ts-{name}"
+        rows[ts_name] = [
+            float("nan"),
+            100 * amean(prefetch_accuracy(r)
+                        for r in runner.run_pool(ts_config(name))),
+            100 * amean(prefetch_accuracy(r)
+                        for r in runner.run_pool(ts_config(name,
+                                                           suf=True))),
+        ]
+    text = format_table("Fig. 13: average prefetch accuracy (%)",
+                        columns, rows, value_format="{:8.1f}")
+    return FigureResult("fig13", "prefetch accuracy", columns, rows, text)
+
+
+def fig14(runner: ExperimentRunner) -> FigureResult:
+    """Fig. 14: dynamic energy of the memory hierarchy, normalized to the
+    non-secure system without prefetching."""
+    columns = ["on-access/NS", "on-commit/S", "on-commit/S+SUF"]
+    base_energy = amean(energy_per_kilo_instruction(r)
+                        for r in runner.run_pool(BASELINE))
+    rows: Dict[str, List[float]] = {}
+
+    def normalized(config: Config) -> float:
+        value = amean(energy_per_kilo_instruction(r)
+                      for r in runner.run_pool(config))
+        return value / base_energy if base_energy else 0.0
+
+    for name in PAPER_PREFETCHERS:
+        rows[name] = [normalized(nonsecure(name)),
+                      normalized(on_commit_secure(name)),
+                      normalized(on_commit_secure(name, suf=True))]
+    rows["tsb"] = [normalized(nonsecure("berti")),
+                   normalized(ts_config("berti")),
+                   normalized(ts_config("berti", suf=True))]
+    rows["no-pref (secure)"] = [normalized(Config(secure=True))] * 3
+    text = format_table(
+        "Fig. 14: normalized dynamic energy (lower is better)",
+        columns, rows)
+    return FigureResult("fig14", "dynamic energy", columns, rows, text)
+
+
+def suf_statistics(runner: ExperimentRunner) -> FigureResult:
+    """Section VII-A prose numbers: SUF filter accuracy and traffic cut."""
+    config = ts_config("berti", suf=True)
+    columns = ["suf_accuracy_%", "l1d_apki", "l1d_apki_unfiltered"]
+    rows: Dict[str, List[float]] = {}
+    unfiltered = ts_config("berti")
+    for trace in runner.pool():
+        with_suf = runner.run(config, trace)
+        without = runner.run(unfiltered, trace)
+        rows[trace.name] = [
+            100 * suf_accuracy(with_suf),
+            with_suf.apki(with_suf.l1d),
+            without.apki(without.l1d),
+        ]
+    rows["average"] = [amean(v[i] for v in rows.values())
+                       for i in range(3)]
+    text = format_table("SUF accuracy and L1D traffic (TSB+SUF vs TSB)",
+                        columns, rows, value_format="{:8.1f}")
+    return FigureResult("suf_statistics", "SUF accuracy/traffic", columns,
+                        rows, text)
+
+
+ALL_FIGURES = {
+    "fig1": fig1, "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
+    "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
+    "fig14": fig14, "suf_statistics": suf_statistics,
+}

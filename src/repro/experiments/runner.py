@@ -1,0 +1,212 @@
+"""Shared experiment infrastructure.
+
+Every figure of the paper evaluates the same handful of configurations over
+the same workload pool, so :class:`ExperimentRunner` memoizes simulation
+results by ``(configuration, trace)`` -- generating Fig. 1 makes Figs. 3, 4,
+11, 13, and 14 nearly free.
+
+Scales: the paper simulates 200M-instruction SimPoints; this reproduction
+defaults to a laptop-friendly scale selectable with the ``REPRO_SCALE``
+environment variable (``small`` / ``medium`` / ``large``) or explicitly per
+runner.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.timely import make_timely
+from ..core.tsb import TSBPrefetcher
+from ..prefetchers.base import (MODE_ON_ACCESS, MODE_ON_COMMIT, Prefetcher)
+from ..prefetchers.registry import make_prefetcher
+from ..sim.params import SystemParams, baseline
+from ..sim.system import SimResult, System
+from ..workloads.mixes import generate_mixes, workload_pool
+from ..workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big the experiments run."""
+
+    name: str
+    n_loads: int
+    spec_count: int   # 0 = the full SPEC-like pool
+    gap_count: int    # 0 = the full GAP-like pool
+    mixes: int
+    warmup: float = 0.2
+
+    @property
+    def ts_interval_l1(self) -> int:
+        """Lateness-monitor interval scaled to the trace length (the paper
+        uses 512 L1D misses over 200M instructions)."""
+        return max(64, min(512, self.n_loads // 64))
+
+    @property
+    def ts_interval_l2(self) -> int:
+        return 4 * self.ts_interval_l1
+
+
+SCALES: Dict[str, Scale] = {
+    "tiny": Scale("tiny", 3000, 4, 2, 4),
+    "small": Scale("small", 8000, 8, 4, 12),
+    "medium": Scale("medium", 20000, 0, 0, 24),
+    "large": Scale("large", 50000, 0, 0, 60),
+}
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE={name!r}; known scales: {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Config:
+    """One evaluated system configuration.
+
+    ``prefetcher`` accepts registry names plus ``"ts-<name>"`` for the
+    timely-secure variants (Section V-D) and ``"tsb"`` for Timely Secure
+    Berti.  ``classify`` attaches the Fig. 6 miss classifier with an
+    on-access shadow copy of the prefetcher.
+    """
+
+    prefetcher: str = "none"
+    secure: bool = False
+    suf: bool = False
+    mode: str = MODE_ON_ACCESS
+    classify: bool = False
+
+    def label(self) -> str:
+        parts = [self.prefetcher,
+                 "OC" if self.mode == MODE_ON_COMMIT else "OA",
+                 "S" if self.secure else "NS"]
+        if self.suf:
+            parts.append("SUF")
+        return "/".join(parts)
+
+
+#: The canonical configurations the figures reference.
+BASELINE = Config()
+
+
+def nonsecure(prefetcher: str) -> Config:
+    return Config(prefetcher=prefetcher)
+
+
+def on_access_secure(prefetcher: str) -> Config:
+    return Config(prefetcher=prefetcher, secure=True, mode=MODE_ON_ACCESS)
+
+
+def on_commit_secure(prefetcher: str, suf: bool = False,
+                     classify: bool = False) -> Config:
+    return Config(prefetcher=prefetcher, secure=True, suf=suf,
+                  mode=MODE_ON_COMMIT, classify=classify)
+
+
+def ts_config(prefetcher: str, suf: bool = False) -> Config:
+    """The timely-secure variant of a baseline prefetcher."""
+    name = "tsb" if prefetcher == "berti" else f"ts-{prefetcher}"
+    return Config(prefetcher=name, secure=True, suf=suf,
+                  mode=MODE_ON_COMMIT)
+
+
+class ExperimentRunner:
+    """Builds traces, runs configurations, memoizes results."""
+
+    def __init__(self, scale: Optional[Scale] = None,
+                 params: Optional[SystemParams] = None) -> None:
+        self.scale = scale if scale is not None else current_scale()
+        self.params = params if params is not None else baseline()
+        self._pool: Optional[List[Trace]] = None
+        self._results: Dict[Tuple[Config, str], SimResult] = {}
+
+    # ------------------------------------------------------------------
+    # workloads
+    # ------------------------------------------------------------------
+
+    def pool(self) -> List[Trace]:
+        """The combined SPEC-like + GAP-like single-core pool."""
+        if self._pool is None:
+            self._pool = workload_pool(
+                self.scale.n_loads, spec_count=self.scale.spec_count,
+                gap_count=self.scale.gap_count)
+        return self._pool
+
+    def spec_pool(self) -> List[Trace]:
+        return [t for t in self.pool() if t.suite == "spec"]
+
+    def gap_pool(self) -> List[Trace]:
+        return [t for t in self.pool() if t.suite == "gap"]
+
+    def trace(self, name: str) -> Trace:
+        for candidate in self.pool():
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"trace {name!r} not in the pool at scale "
+                       f"{self.scale.name!r}")
+
+    def mixes(self, cores: int = 4) -> List[List[Trace]]:
+        return generate_mixes(self.pool(), self.scale.mixes, cores=cores)
+
+    # ------------------------------------------------------------------
+    # prefetcher construction
+    # ------------------------------------------------------------------
+
+    def build_prefetcher(self, name: str) -> Optional[Prefetcher]:
+        """Instantiate any prefetcher spec (baseline, ts-*, tsb)."""
+        if name in (None, "none"):
+            return None
+        if name == "tsb":
+            return TSBPrefetcher()
+        if name.startswith("ts-"):
+            inner = make_prefetcher(name[3:])
+            interval = self.scale.ts_interval_l1 if inner.train_level == 0 \
+                else self.scale.ts_interval_l2
+            return make_timely(inner, interval_misses=interval)
+        return make_prefetcher(name)
+
+    def build_system(self, config: Config) -> System:
+        prefetcher = self.build_prefetcher(config.prefetcher)
+        shadow = None
+        if config.classify and prefetcher is not None:
+            shadow_name = config.prefetcher
+            if shadow_name.startswith("ts-"):
+                shadow_name = shadow_name[3:]
+            elif shadow_name == "tsb":
+                shadow_name = "berti"
+            shadow = make_prefetcher(shadow_name)
+        return System(params=self.params, secure=config.secure,
+                      suf=config.suf, prefetcher=prefetcher,
+                      train_mode=config.mode, shadow=shadow,
+                      classify=config.classify, label=config.label())
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, config: Config, trace: Trace) -> SimResult:
+        """Run (or recall) one configuration on one trace."""
+        key = (config, trace.name)
+        result = self._results.get(key)
+        if result is None:
+            system = self.build_system(config)
+            result = system.run(trace, warmup=self.scale.warmup)
+            self._results[key] = result
+        return result
+
+    def run_pool(self, config: Config,
+                 traces: Optional[List[Trace]] = None) -> List[SimResult]:
+        if traces is None:
+            traces = self.pool()
+        return [self.run(config, trace) for trace in traces]
+
+    def cached_runs(self) -> int:
+        return len(self._results)

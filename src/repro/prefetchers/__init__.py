@@ -1,0 +1,22 @@
+"""Data prefetchers evaluated in the paper (Table III)."""
+
+from .base import (FILL_L1D, FILL_L2, FILL_LLC, MODE_ON_ACCESS,
+                   MODE_ON_COMMIT, PrefetchRequest, Prefetcher,
+                   TrainingEvent)
+from .berti import BertiPrefetcher
+from .bingo import BingoPrefetcher
+from .ip_stride import IPStridePrefetcher
+from .ipcp import IPCPPrefetcher
+from .next_line import NextLinePrefetcher
+from .registry import (PAPER_PREFETCHERS, make_prefetcher, prefetcher_names,
+                       register)
+from .spp import PerceptronFilter, SPPPrefetcher
+
+__all__ = [
+    "FILL_L1D", "FILL_L2", "FILL_LLC", "MODE_ON_ACCESS", "MODE_ON_COMMIT",
+    "PrefetchRequest", "Prefetcher", "TrainingEvent",
+    "BertiPrefetcher", "BingoPrefetcher", "IPStridePrefetcher",
+    "IPCPPrefetcher", "NextLinePrefetcher", "SPPPrefetcher",
+    "PerceptronFilter",
+    "PAPER_PREFETCHERS", "make_prefetcher", "prefetcher_names", "register",
+]

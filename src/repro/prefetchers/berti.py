@@ -1,0 +1,181 @@
+"""Berti: an accurate local-delta data prefetcher (MICRO 2022).
+
+Berti is *self-timing*: it learns, per load IP, the deltas that would have
+produced a **timely** prefetch, by combining each fill's measured fetch
+latency with a per-IP history of recent accesses.  The best-covered deltas
+are prefetched into L1D (high coverage) or L2 (medium coverage).
+
+Training (Section V-A of the reproduced paper):
+
+1. *Measure fetch latency* -- the simulator passes the observed latency of
+   each demand fill in the :class:`~repro.prefetchers.base.TrainingEvent`.
+2. *Learn timely deltas* -- an earlier access at time ``t_j`` could have
+   triggered a timely prefetch for an access at time ``t`` with latency
+   ``L`` iff ``t_j + L <= t``; the timely deltas are
+   ``block - block_j`` over qualifying history entries.
+3. *Compute per-delta coverage* -- counters per (IP, delta), periodically
+   halved, give each delta's coverage ratio.
+
+**Timing-mode behaviour falls out of the event fields.**  With on-access
+training the event carries the true access time and fetch latency.  With
+naive on-commit training the event carries commit times and the misleading
+GM->L1D on-commit write latency, reproducing the paper's Fig. 8 failure
+(deltas timely at commit, late at access).  TSB feeds commit-time history
+but the *X-LQ-preserved* access time and GM fill latency, so the timeliness
+window is computed against the access stream (Section V-C).
+
+Configuration per Table III: 128-entry history table (16 IPs x 8 accesses),
+16-IP delta table with 16 deltas each (~2.55 KB).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Dict, List, Tuple
+
+from .base import (FILL_L1D, FILL_L2, PrefetchRequest, Prefetcher,
+                   TrainingEvent)
+
+
+class _DeltaTable:
+    """Per-IP delta coverage counters."""
+
+    __slots__ = ("counters", "observations")
+
+    def __init__(self) -> None:
+        self.counters: Dict[int, int] = {}
+        self.observations = 0
+
+    def observe(self, timely_deltas: List[int], max_deltas: int) -> None:
+        self.observations += 1
+        for delta in timely_deltas:
+            if delta in self.counters:
+                self.counters[delta] += 1
+            elif len(self.counters) < max_deltas:
+                self.counters[delta] = 1
+            else:
+                # Replace the weakest delta, decay-style.
+                weakest = min(self.counters, key=self.counters.get)
+                if self.counters[weakest] <= 1:
+                    del self.counters[weakest]
+                    self.counters[delta] = 1
+                else:
+                    self.counters[weakest] -= 1
+        if self.observations >= 16:
+            self.observations >>= 1
+            self.counters = {d: c >> 1 for d, c in self.counters.items()
+                             if c >> 1 > 0}
+
+    def best_deltas(self, l1_threshold: float,
+                    l2_threshold: float) -> List[Tuple[int, int]]:
+        """Return ``[(delta, fill_level)]`` above the coverage thresholds."""
+        if not self.observations:
+            return []
+        result = []
+        for delta, count in self.counters.items():
+            coverage = count / self.observations
+            if coverage >= l1_threshold:
+                result.append((delta, FILL_L1D))
+            elif coverage >= l2_threshold:
+                result.append((delta, FILL_L2))
+        result.sort(key=lambda item: -self.counters[item[0]])
+        return result
+
+
+class BertiPrefetcher(Prefetcher):
+    """Local-delta self-timing prefetcher."""
+
+    name = "berti"
+    train_level = 0
+
+    #: Coverage thresholds for orchestrating fills (MICRO'22: 0.65/0.35).
+    L1_COVERAGE = 0.65
+    L2_COVERAGE = 0.40
+    #: Minimum observations before a delta table is trusted (keeps noisy,
+    #: young tables from issuing garbage).
+    MIN_OBSERVATIONS = 8
+    #: Max distinct deltas tracked per IP (Table III: 16).
+    MAX_DELTAS = 16
+    #: History accesses kept per IP (128 total / 8 IPs).  Depth 16 lets the
+    #: search window reach far enough back to find deltas timely under
+    #: DRAM-scale fetch latencies.
+    HISTORY_PER_IP = 16
+    MAX_IPS = 8
+    #: Max prefetches issued per training event.
+    MAX_ISSUE = 4
+
+    def __init__(self) -> None:
+        self._history: "OrderedDict[int, Deque[Tuple[int, int]]]" = \
+            OrderedDict()
+        self._deltas: "OrderedDict[int, _DeltaTable]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
+        ip = event.ip
+        history = self._history.get(ip)
+        if history is None:
+            history = deque(maxlen=self.HISTORY_PER_IP)
+            self._history[ip] = history
+            if len(self._history) > self.MAX_IPS:
+                self._history.popitem(last=False)
+        else:
+            self._history.move_to_end(ip)
+
+        # Berti trains on misses and prefetched-line hits only (the
+        # accesses a prefetch could have covered); plain hits take no
+        # training action (Section V-C).
+        if not event.hit or event.prefetch_hit:
+            # 2. Learn timely deltas: entries whose prefetch, issued at
+            # their timestamp, would have completed by the time this access
+            # needed the data.  ``access_cycle - fetch_latency`` is the
+            # latest trigger time that still yields a timely prefetch.
+            window_end = event.access_cycle - event.fetch_latency
+            timely = [event.block - old_block
+                      for old_block, t_j in history
+                      if t_j <= window_end and old_block != event.block]
+            if timely:
+                table = self._delta_table(ip)
+                table.observe(timely, self.MAX_DELTAS)
+
+            # Record the access in the history (timestamped with the
+            # training stream's own clock: access order on-access, commit
+            # order on-commit).
+            history.append((event.block, event.cycle))
+
+        # Issue prefetches for the best-covered deltas.
+        table = self._deltas.get(ip)
+        if table is None or table.observations < self.MIN_OBSERVATIONS:
+            return []
+        requests = []
+        for delta, fill in table.best_deltas(self.L1_COVERAGE,
+                                             self.L2_COVERAGE):
+            target = event.block + delta
+            if target >= 0:
+                requests.append(PrefetchRequest(target, fill))
+            if len(requests) >= self.MAX_ISSUE:
+                break
+        return requests
+
+    def _delta_table(self, ip: int) -> _DeltaTable:
+        table = self._deltas.get(ip)
+        if table is None:
+            table = _DeltaTable()
+            self._deltas[ip] = table
+            if len(self._deltas) > self.MAX_IPS:
+                self._deltas.popitem(last=False)
+        else:
+            self._deltas.move_to_end(ip)
+        return table
+
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._history.clear()
+        self._deltas.clear()
+
+    def storage_bits(self) -> int:
+        history_bits = self.MAX_IPS * self.HISTORY_PER_IP * (42 + 16)
+        delta_bits = self.MAX_IPS * self.MAX_DELTAS * (13 + 4)
+        tag_bits = self.MAX_IPS * 2 * 12
+        return history_bits + delta_bits + tag_bits

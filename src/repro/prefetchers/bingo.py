@@ -1,0 +1,133 @@
+"""Bingo spatial data prefetcher (HPCA 2019).
+
+Bingo records the *footprint* of accesses inside a spatial region and
+replays it when the region is re-entered.  Footprints are stored in a
+pattern history table (PHT) under the long ``PC+Address`` event; lookups
+fall back to the shorter ``PC+Offset`` event when the long event misses --
+Bingo's signature contribution.
+
+Structures (Table III: 2 KB regions, 64-entry FT, 128-entry AT, 16K-entry
+PHT, ~124 KB):
+
+* **FT** (filter table): regions seen exactly once, remembering the trigger.
+* **AT** (accumulation table): active regions accumulating their footprint.
+* **PHT**: learned footprints, dual-indexed.
+
+Bingo trains at the L2 in this paper's configuration (prefetches fill L2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+from .base import FILL_L2, PrefetchRequest, Prefetcher, TrainingEvent
+
+
+class BingoPrefetcher(Prefetcher):
+    """Footprint-replay spatial prefetcher."""
+
+    name = "bingo"
+    train_level = 1
+
+    def __init__(self, region_kb: int = 2, ft_entries: int = 64,
+                 at_entries: int = 128, pht_entries: int = 16384,
+                 line_size: int = 64) -> None:
+        self.region_blocks = region_kb * 1024 // line_size
+        self.ft_entries = ft_entries
+        self.at_entries = at_entries
+        self.pht_entries = pht_entries
+
+        #: region -> (trigger_ip, trigger_offset)
+        self._ft: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        #: region -> (trigger_ip, trigger_offset, footprint bitmap)
+        self._at: "OrderedDict[int, Tuple[int, int, int]]" = OrderedDict()
+        #: long event (pc, region-relative address) -> footprint
+        self._pht_long: "OrderedDict[int, int]" = OrderedDict()
+        #: short event (pc, offset) -> footprint
+        self._pht_short: "OrderedDict[int, int]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # event keys
+    # ------------------------------------------------------------------
+
+    def _long_key(self, ip: int, block: int) -> int:
+        """PC+Address: the trigger PC and the full region-aligned address."""
+        return (ip << 20) ^ block
+
+    def _short_key(self, ip: int, offset: int) -> int:
+        """PC+Offset: the trigger PC and only the in-region offset."""
+        return (ip << 8) ^ offset
+
+    # ------------------------------------------------------------------
+
+    def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
+        region, offset = divmod(event.block, self.region_blocks)
+
+        at_entry = self._at.get(region)
+        if at_entry is not None:
+            ip0, off0, bitmap = at_entry
+            self._at[region] = (ip0, off0, bitmap | (1 << offset))
+            self._at.move_to_end(region)
+            return []
+
+        ft_entry = self._ft.pop(region, None)
+        if ft_entry is not None:
+            # Second access to the region: promote to the AT.
+            ip0, off0 = ft_entry
+            bitmap = (1 << off0) | (1 << offset)
+            self._at_insert(region, ip0, off0, bitmap)
+            return []
+
+        # First access (trigger): record in FT and predict from the PHT.
+        self._ft[region] = (event.ip, offset)
+        if len(self._ft) > self.ft_entries:
+            self._ft.popitem(last=False)
+        return self._predict(event.ip, event.block, region, offset)
+
+    def _at_insert(self, region: int, ip0: int, off0: int,
+                   bitmap: int) -> None:
+        self._at[region] = (ip0, off0, bitmap)
+        if len(self._at) > self.at_entries:
+            old_region, (old_ip, old_off, old_map) = \
+                self._at.popitem(last=False)
+            self._pht_store(old_ip, old_region, old_off, old_map)
+
+    def _pht_store(self, ip: int, region: int, offset: int,
+                   bitmap: int) -> None:
+        """Learn a completed region footprint under both event keys."""
+        base_block = region * self.region_blocks + offset
+        self._pht_long[self._long_key(ip, base_block)] = bitmap
+        if len(self._pht_long) > self.pht_entries:
+            self._pht_long.popitem(last=False)
+        self._pht_short[self._short_key(ip, offset)] = bitmap
+        if len(self._pht_short) > self.pht_entries:
+            self._pht_short.popitem(last=False)
+
+    def _predict(self, ip: int, block: int, region: int,
+                 offset: int) -> List[PrefetchRequest]:
+        bitmap = self._pht_long.get(self._long_key(ip, block))
+        if bitmap is None:
+            bitmap = self._pht_short.get(self._short_key(ip, offset))
+        if bitmap is None:
+            return []
+        base = region * self.region_blocks
+        requests = []
+        for i in range(self.region_blocks):
+            if i != offset and bitmap & (1 << i):
+                requests.append(PrefetchRequest(base + i, FILL_L2))
+        return requests
+
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._ft.clear()
+        self._at.clear()
+        self._pht_long.clear()
+        self._pht_short.clear()
+
+    def storage_bits(self) -> int:
+        ft_bits = self.ft_entries * (30 + 16 + 5)
+        at_bits = self.at_entries * (30 + 16 + 5 + self.region_blocks)
+        pht_bits = self.pht_entries * (16 + self.region_blocks)
+        return ft_bits + at_bits + pht_bits

@@ -1,0 +1,225 @@
+"""IPCP: Instruction-Pointer Classifier-based Prefetching (ISCA 2020).
+
+IPCP classifies each load IP into one of three classes and prefetches with a
+class-specific strategy:
+
+* **CS** (constant stride): the IP repeats a single stride -- prefetch
+  ``degree`` strides ahead, like IP-stride but per-class tuned;
+* **CPLX** (complex): strides vary but are predictable from a rolling delta
+  signature -- chain predictions through the CSPT (stride prediction table);
+* **GS** (global stream): the IP participates in a dense region scan tracked
+  by the RST (region stream table) -- prefetch next lines in the scan
+  direction with a deep degree.
+
+Table III configuration: 128-entry IP table, 8-entry RST, 128-entry CSPT
+(0.87 KB total).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import (FILL_L1D, FILL_L2, PrefetchRequest, Prefetcher,
+                   TrainingEvent)
+
+#: Blocks per 4 KB region tracked by the RST.
+REGION_BLOCKS = 64
+
+
+class _IPEntry:
+    __slots__ = ("tag", "last_block", "stride", "conf", "signature")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.last_block = -1
+        self.stride = 0
+        self.conf = 0
+        self.signature = 0
+
+
+class _CSPTEntry:
+    __slots__ = ("delta", "conf")
+
+    def __init__(self) -> None:
+        self.delta = 0
+        self.conf = 0
+
+
+class _RSTEntry:
+    __slots__ = ("region", "bitmap", "count", "direction", "dir_conf",
+                 "last_offset", "lru")
+
+    def __init__(self) -> None:
+        self.region = -1
+        self.bitmap = 0
+        self.count = 0
+        self.direction = 1
+        #: Consecutive same-direction accesses: a true stream keeps its
+        #: direction, a dense-but-random working set flips constantly.
+        self.dir_conf = 0
+        self.last_offset = 0
+        self.lru = 0
+
+
+class IPCPPrefetcher(Prefetcher):
+    """Bouquet-of-IPs classifier prefetcher."""
+
+    name = "ipcp"
+    train_level = 0
+
+    CONF_MAX = 3
+    CS_THRESHOLD = 2
+    CPLX_THRESHOLD = 2
+    #: Region density (touched blocks) before an IP is classed GS.
+    GS_DENSITY = 16
+    SIG_MASK = 0x7F
+
+    def __init__(self, ip_entries: int = 128, cspt_entries: int = 128,
+                 rst_entries: int = 8, degree: int = 3,
+                 gs_degree: int = 5, distance: int = 1) -> None:
+        self.ip_entries = ip_entries
+        self.cspt_entries = cspt_entries
+        self.degree = degree
+        self.gs_degree = gs_degree
+        self.distance = distance
+        self.base_distance = distance
+        self._ip_table = [_IPEntry() for _ in range(ip_entries)]
+        self._cspt = [_CSPTEntry() for _ in range(cspt_entries)]
+        self._rst = [_RSTEntry() for _ in range(rst_entries)]
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+
+    def _rst_update(self, block: int) -> "_RSTEntry":
+        """Track the access in the region stream table; return its entry."""
+        self._tick += 1
+        region, offset = divmod(block, REGION_BLOCKS)
+        victim = self._rst[0]
+        for entry in self._rst:
+            if entry.region == region:
+                bit = 1 << offset
+                if not entry.bitmap & bit:
+                    entry.bitmap |= bit
+                    entry.count += 1
+                direction = 1 if offset >= entry.last_offset else -1
+                if direction == entry.direction:
+                    entry.dir_conf = min(entry.dir_conf + 1, 3)
+                else:
+                    entry.dir_conf = 0
+                    entry.direction = direction
+                entry.last_offset = offset
+                entry.lru = self._tick
+                return entry
+            if entry.lru < victim.lru:
+                victim = entry
+        victim.region = region
+        victim.bitmap = 1 << offset
+        victim.count = 1
+        victim.direction = 1
+        victim.dir_conf = 0
+        victim.last_offset = offset
+        victim.lru = self._tick
+        return victim
+
+    # ------------------------------------------------------------------
+
+    def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
+        block = event.block
+        rst_entry = self._rst_update(block)
+
+        entry = self._ip_table[event.ip % self.ip_entries]
+        if entry.tag != event.ip:
+            entry.tag = event.ip
+            entry.last_block = block
+            entry.stride = 0
+            entry.conf = 0
+            entry.signature = 0
+            return []
+
+        delta = block - entry.last_block
+        entry.last_block = block
+        if delta == 0:
+            return []
+
+        # Constant-stride training.
+        if delta == entry.stride:
+            if entry.conf < self.CONF_MAX:
+                entry.conf += 1
+        else:
+            if entry.conf:
+                entry.conf -= 1
+            if not entry.conf:
+                entry.stride = delta
+
+        # Complex-stride training: learn signature -> delta.
+        cspt = self._cspt[entry.signature % self.cspt_entries]
+        if cspt.delta == delta:
+            if cspt.conf < self.CONF_MAX:
+                cspt.conf += 1
+        else:
+            if cspt.conf:
+                cspt.conf -= 1
+            if not cspt.conf:
+                cspt.delta = delta
+        entry.signature = ((entry.signature << 2) ^ (delta & 0x3F)) \
+            & self.SIG_MASK
+
+        # Classify and prefetch: CS beats GS beats CPLX (IPCP priority).
+        if entry.conf >= self.CS_THRESHOLD and entry.stride:
+            return self._prefetch_cs(block, entry.stride)
+        if rst_entry.count >= self.GS_DENSITY and rst_entry.dir_conf >= 2:
+            return self._prefetch_gs(block, rst_entry.direction)
+        return self._prefetch_cplx(block, entry.signature)
+
+    def _prefetch_cs(self, block: int,
+                     stride: int) -> List[PrefetchRequest]:
+        requests = []
+        for i in range(self.degree):
+            target = block + stride * (self.distance + i)
+            if target < 0:
+                continue
+            fill = FILL_L1D if i < self.degree - 1 else FILL_L2
+            requests.append(PrefetchRequest(target, fill))
+        return requests
+
+    def _prefetch_gs(self, block: int,
+                     direction: int) -> List[PrefetchRequest]:
+        requests = []
+        for i in range(self.gs_degree):
+            target = block + direction * (self.distance + i)
+            if target < 0:
+                continue
+            fill = FILL_L1D if i < 2 else FILL_L2
+            requests.append(PrefetchRequest(target, fill))
+        return requests
+
+    def _prefetch_cplx(self, block: int,
+                       signature: int) -> List[PrefetchRequest]:
+        requests = []
+        sig = signature
+        target = block
+        for depth in range(self.degree):
+            cspt = self._cspt[sig % self.cspt_entries]
+            if cspt.conf < self.CPLX_THRESHOLD or not cspt.delta:
+                break
+            target += cspt.delta
+            if target >= 0:
+                fill = FILL_L1D if depth == 0 else FILL_L2
+                requests.append(PrefetchRequest(target, fill))
+            sig = ((sig << 2) ^ (cspt.delta & 0x3F)) & self.SIG_MASK
+        return requests
+
+    # ------------------------------------------------------------------
+
+    def on_phase_change(self) -> None:
+        self.distance = self.base_distance
+
+    def flush(self) -> None:
+        self.__init__(self.ip_entries, self.cspt_entries, len(self._rst),
+                      self.degree, self.gs_degree, self.base_distance)
+
+    def storage_bits(self) -> int:
+        ip_bits = self.ip_entries * (10 + 48 + 12 + 2 + 7)
+        cspt_bits = self.cspt_entries * (12 + 2)
+        rst_bits = len(self._rst) * (36 + REGION_BLOCKS + 7 + 1 + 6)
+        return ip_bits + cspt_bits + rst_bits

@@ -1,0 +1,47 @@
+"""Next-line prefetcher: the simplest baseline.
+
+On every demand miss (or prefetched-line hit), fetch the next ``degree``
+sequential blocks.  It needs no tables at all, which makes it the natural
+floor for ablations: any prefetcher that cannot beat next-line on streams
+is not earning its storage.  Not part of the paper's Table III set; used by
+the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import (FILL_L1D, FILL_L2, PrefetchRequest, Prefetcher,
+                   TrainingEvent)
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Fetch the next ``degree`` lines on every miss."""
+
+    name = "next-line"
+    train_level = 0
+
+    def __init__(self, degree: int = 2, distance: int = 1) -> None:
+        self.degree = degree
+        self.distance = distance
+        self.base_distance = distance
+
+    def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
+        if event.hit and not event.prefetch_hit:
+            return []
+        requests = []
+        for i in range(self.degree):
+            target = event.block + self.distance + i
+            fill = FILL_L1D if i == 0 else FILL_L2
+            requests.append(PrefetchRequest(target, fill))
+        return requests
+
+    def on_phase_change(self) -> None:
+        self.distance = self.base_distance
+
+    def flush(self) -> None:
+        self.distance = self.base_distance
+
+    def storage_bits(self) -> int:
+        # A degree register and a distance register.
+        return 8

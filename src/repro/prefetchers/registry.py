@@ -1,0 +1,55 @@
+"""Factory registry for the evaluated prefetchers.
+
+The five baseline prefetchers of the paper (Table III) are registered here.
+Their timely-secure (TS) variants are composed by ``repro.core.timely`` and
+``repro.core.tsb`` (which this module deliberately does not import, to keep
+the dependency direction core -> prefetchers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import Prefetcher
+from .berti import BertiPrefetcher
+from .bingo import BingoPrefetcher
+from .ip_stride import IPStridePrefetcher
+from .ipcp import IPCPPrefetcher
+from .next_line import NextLinePrefetcher
+from .spp import SPPPrefetcher
+
+_FACTORIES: Dict[str, Callable[[], Prefetcher]] = {
+    "ip-stride": IPStridePrefetcher,
+    "ipcp": IPCPPrefetcher,
+    "bingo": BingoPrefetcher,
+    "spp+ppf": lambda: SPPPrefetcher(use_ppf=True),
+    "spp": lambda: SPPPrefetcher(use_ppf=False),
+    "berti": BertiPrefetcher,
+    "next-line": NextLinePrefetcher,
+}
+
+#: The evaluation order used throughout the paper's figures.
+PAPER_PREFETCHERS = ("ip-stride", "ipcp", "bingo", "spp+ppf", "berti")
+
+
+def prefetcher_names() -> List[str]:
+    """All registered baseline prefetcher names."""
+    return sorted(_FACTORIES)
+
+
+def make_prefetcher(name: Optional[str]) -> Optional[Prefetcher]:
+    """Instantiate a fresh prefetcher by name (``None`` -> no prefetcher)."""
+    if name is None or name == "none":
+        return None
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; known: {prefetcher_names()}"
+        ) from None
+    return factory()
+
+
+def register(name: str, factory: Callable[[], Prefetcher]) -> None:
+    """Register an additional prefetcher factory (used by extensions)."""
+    _FACTORIES[name] = factory

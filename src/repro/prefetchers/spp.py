@@ -1,0 +1,298 @@
+"""SPP (Signature Path Prefetcher) with the PPF perceptron filter (ISCA'19).
+
+SPP learns, per delta-history *signature*, the likely next deltas and walks
+the predicted path recursively with a multiplicative path confidence,
+prefetching as deep as confidence allows.  Cross-page walks are bridged by a
+small global history register (GHR).
+
+PPF (Perceptron-based Prefetch Filtering) interposes on every SPP proposal:
+a set of feature-indexed weight tables is summed and the proposal is issued,
+demoted to the LLC, or rejected.  Issued and rejected proposals are recorded
+(prefetch table / reject table) so later demand accesses can reinforce or
+punish the weights.
+
+Configuration follows Table III: 256-entry ST, 512-entry PT, 8-entry GHR,
+perceptron weight tables of 4096x4 / 2048x2 / 1024x2 / 128x1 entries,
+1024-entry prefetch and reject tables (~39.2 KB).
+
+SPP is an L2 prefetcher in this paper (train_level = 1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from .base import FILL_L2, FILL_LLC, PrefetchRequest, Prefetcher, \
+    TrainingEvent
+
+#: Blocks per 4 KB page.
+PAGE_BLOCKS = 64
+SIG_BITS = 12
+SIG_MASK = (1 << SIG_BITS) - 1
+
+
+def _sig_update(sig: int, delta: int) -> int:
+    """Fold a (signed, 7-bit) delta into the 12-bit signature."""
+    return ((sig << 3) ^ (delta & 0x7F)) & SIG_MASK
+
+
+class _STEntry:
+    """Signature-table entry: per-page delta history."""
+
+    __slots__ = ("signature", "last_offset")
+
+    def __init__(self, signature: int, last_offset: int) -> None:
+        self.signature = signature
+        self.last_offset = last_offset
+
+
+class _PTEntry:
+    """Pattern-table entry: up to 4 candidate deltas with counters."""
+
+    __slots__ = ("deltas", "counts", "c_sig")
+
+    def __init__(self) -> None:
+        self.deltas = [0, 0, 0, 0]
+        self.counts = [0, 0, 0, 0]
+        self.c_sig = 0
+
+    def update(self, delta: int) -> None:
+        self.c_sig += 1
+        if self.c_sig >= 16:
+            # Periodic halving keeps confidences adaptive.
+            self.c_sig >>= 1
+            self.counts = [c >> 1 for c in self.counts]
+        for i, d in enumerate(self.deltas):
+            if d == delta:
+                self.counts[i] += 1
+                return
+        slot = min(range(4), key=lambda i: self.counts[i])
+        self.deltas[slot] = delta
+        self.counts[slot] = 1
+
+    def best(self) -> Tuple[int, float]:
+        """Return ``(delta, confidence)`` of the strongest candidate."""
+        if not self.c_sig:
+            return 0, 0.0
+        slot = max(range(4), key=lambda i: self.counts[i])
+        return self.deltas[slot], self.counts[slot] / self.c_sig
+
+
+class PerceptronFilter:
+    """PPF: sums feature-indexed weights to accept/demote/reject proposals."""
+
+    #: (table size, feature name) per Table III.
+    FEATURES = (
+        (4096, "base_block"), (4096, "sig_delta"), (4096, "block_x_depth"),
+        (4096, "page_addr"),
+        (2048, "signature"), (2048, "offset_x_delta"),
+        (1024, "offset"), (1024, "depth_x_sig"),
+        (128, "depth"),
+    )
+    WEIGHT_MAX = 15
+    WEIGHT_MIN = -16
+    TAU_PREFETCH = 0
+    TAU_LLC = -8
+    #: Training saturation: stop updating once |sum| exceeds this.
+    THETA = 24
+
+    def __init__(self, record_entries: int = 1024) -> None:
+        self._weights = [[0] * size for size, _ in self.FEATURES]
+        self.record_entries = record_entries
+        #: block -> feature index vector, for issued prefetches.
+        self.prefetch_table: "OrderedDict[int, List[int]]" = OrderedDict()
+        #: block -> feature index vector, for rejected proposals.
+        self.reject_table: "OrderedDict[int, List[int]]" = OrderedDict()
+
+    def _indices(self, block: int, signature: int, delta: int,
+                 depth: int) -> List[int]:
+        page, offset = divmod(block, PAGE_BLOCKS)
+        raw = (
+            block, signature ^ (delta & 0x7F), block ^ (depth << 6), page,
+            signature, (offset << 7) ^ (delta & 0x7F),
+            offset, (depth << 8) ^ signature,
+            depth,
+        )
+        return [value % size
+                for value, (size, _) in zip(raw, self.FEATURES)]
+
+    def _sum(self, indices: List[int]) -> int:
+        return sum(table[idx]
+                   for table, idx in zip(self._weights, indices))
+
+    def decide(self, block: int, signature: int, delta: int,
+               depth: int) -> Optional[int]:
+        """Return a fill level for the proposal, or ``None`` to reject."""
+        indices = self._indices(block, signature, delta, depth)
+        total = self._sum(indices)
+        if total >= self.TAU_PREFETCH:
+            self._record(self.prefetch_table, block, indices)
+            return FILL_L2
+        if total >= self.TAU_LLC:
+            self._record(self.prefetch_table, block, indices)
+            return FILL_LLC
+        self._record(self.reject_table, block, indices)
+        return None
+
+    def _record(self, table: "OrderedDict[int, List[int]]", block: int,
+                indices: List[int]) -> None:
+        if block in table:
+            table.move_to_end(block)
+            table[block] = indices
+            return
+        table[block] = indices
+        if len(table) > self.record_entries:
+            old_block, old_indices = table.popitem(last=False)
+            if table is self.prefetch_table:
+                # Aged out without a demand touch: likely useless; punish.
+                self._adjust(old_indices, -1)
+
+    def observe_demand(self, block: int) -> None:
+        """A demand access arrived: reinforce past decisions about it."""
+        indices = self.prefetch_table.pop(block, None)
+        if indices is not None:
+            self._adjust(indices, +1)
+        indices = self.reject_table.pop(block, None)
+        if indices is not None:
+            # We rejected a prefetch that would have been useful.
+            self._adjust(indices, +1)
+
+    def _adjust(self, indices: List[int], direction: int) -> None:
+        # Perceptron training rule: stop updating once the sum is already
+        # confidently on the side we are pushing towards.
+        total = self._sum(indices)
+        if direction > 0 and total > self.THETA:
+            return
+        if direction < 0 and total < -self.THETA:
+            return
+        for table, idx in zip(self._weights, indices):
+            w = table[idx] + direction
+            table[idx] = max(self.WEIGHT_MIN, min(self.WEIGHT_MAX, w))
+
+    def storage_bits(self) -> int:
+        weight_bits = sum(size * 5 for size, _ in self.FEATURES)
+        record_bits = 2 * self.record_entries * (12 + 36)
+        return weight_bits + record_bits
+
+
+class SPPPrefetcher(Prefetcher):
+    """SPP with optional PPF filtering (``spp+ppf`` when enabled)."""
+
+    train_level = 1
+
+    #: Path-confidence floor below which the lookahead walk stops.
+    CONF_THRESHOLD = 0.25
+    MAX_DEPTH = 8
+
+    def __init__(self, st_entries: int = 256, pt_entries: int = 512,
+                 ghr_entries: int = 8, use_ppf: bool = True,
+                 skip_deltas: int = 0) -> None:
+        self.name = "spp+ppf" if use_ppf else "spp"
+        self.st_entries = st_entries
+        self.pt_entries = pt_entries
+        self.ghr_entries = ghr_entries
+        self.use_ppf = use_ppf
+        #: TS-SPP+PPF (Section V-D): skip the first ``skip_deltas`` steps of
+        #: the predicted path before prefetching, to regain timeliness lost
+        #: to on-commit triggering.
+        self.skip_deltas = skip_deltas
+        self.base_skip = skip_deltas
+
+        self._st: "OrderedDict[int, _STEntry]" = OrderedDict()
+        self._pt = [_PTEntry() for _ in range(pt_entries)]
+        #: (signature, confidence, delta) of walks that ran off a page end.
+        self._ghr: "OrderedDict[int, Tuple[int, float, int]]" = OrderedDict()
+        self.filter = PerceptronFilter() if use_ppf else None
+
+    # ------------------------------------------------------------------
+
+    def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
+        if self.filter is not None:
+            self.filter.observe_demand(event.block)
+
+        page, offset = divmod(event.block, PAGE_BLOCKS)
+        st_entry = self._st.get(page)
+        if st_entry is None:
+            signature = self._ghr_lookup(offset)
+            st_entry = _STEntry(signature, offset)
+            self._st[page] = st_entry
+            if len(self._st) > self.st_entries:
+                self._st.popitem(last=False)
+            if signature == 0:
+                return []
+        else:
+            self._st.move_to_end(page)
+            delta = offset - st_entry.last_offset
+            if delta == 0:
+                return []
+            self._pt[st_entry.signature % self.pt_entries].update(delta)
+            st_entry.signature = _sig_update(st_entry.signature, delta)
+            st_entry.last_offset = offset
+
+        return self._lookahead(page, offset, st_entry.signature)
+
+    def _ghr_lookup(self, offset: int) -> int:
+        """Bridge a cross-page walk: recover the signature for a new page."""
+        for key, (signature, _conf, delta) in list(self._ghr.items()):
+            expected = (key + delta) % PAGE_BLOCKS
+            if expected == offset:
+                del self._ghr[key]
+                return _sig_update(signature, delta)
+        return 0
+
+    def _lookahead(self, page: int, offset: int,
+                   signature: int) -> List[PrefetchRequest]:
+        requests: List[PrefetchRequest] = []
+        sig = signature
+        conf = 1.0
+        current = offset
+        for depth in range(self.MAX_DEPTH):
+            delta, dconf = self._pt[sig % self.pt_entries].best()
+            if not delta:
+                break
+            conf *= dconf
+            if conf < self.CONF_THRESHOLD:
+                break
+            current += delta
+            if not 0 <= current < PAGE_BLOCKS:
+                # Walk left the page: remember it in the GHR and stop.
+                self._ghr[current % PAGE_BLOCKS] = (sig, conf, delta)
+                if len(self._ghr) > self.ghr_entries:
+                    self._ghr.popitem(last=False)
+                break
+            sig = _sig_update(sig, delta)
+            if depth < self.skip_deltas:
+                continue
+            block = page * PAGE_BLOCKS + current
+            fill = self._filter_decision(block, sig, delta, depth, conf)
+            if fill is not None:
+                requests.append(PrefetchRequest(block, fill))
+        return requests
+
+    def _filter_decision(self, block: int, sig: int, delta: int, depth: int,
+                         conf: float) -> Optional[int]:
+        if self.filter is not None:
+            return self.filter.decide(block, sig, delta, depth)
+        return FILL_L2 if conf >= 0.5 else FILL_LLC
+
+    # ------------------------------------------------------------------
+
+    def on_phase_change(self) -> None:
+        self.skip_deltas = self.base_skip
+
+    def flush(self) -> None:
+        self._st.clear()
+        self._ghr.clear()
+        self._pt = [_PTEntry() for _ in range(self.pt_entries)]
+        if self.use_ppf:
+            self.filter = PerceptronFilter()
+
+    def storage_bits(self) -> int:
+        st_bits = self.st_entries * (16 + SIG_BITS + 6)
+        pt_bits = self.pt_entries * 4 * (7 + 4)
+        ghr_bits = self.ghr_entries * (SIG_BITS + 8 + 7 + 6)
+        total = st_bits + pt_bits + ghr_bits
+        if self.filter is not None:
+            total += self.filter.storage_bits()
+        return total

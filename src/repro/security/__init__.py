@@ -1,0 +1,11 @@
+"""Security validation: transient-execution attacks against the prefetcher."""
+
+from .attacks import (AttackResult, run_prefetch_covert_channel,
+                      transient_blocks_in_caches)
+from .channels import HIT_THRESHOLD, is_cached, probe_blocks, probe_latency
+
+__all__ = [
+    "AttackResult", "run_prefetch_covert_channel",
+    "transient_blocks_in_caches",
+    "HIT_THRESHOLD", "is_cached", "probe_blocks", "probe_latency",
+]

@@ -1,0 +1,29 @@
+"""Simulation substrate: core, caches, DRAM, GhostMinion, systems."""
+
+from .cache import (CacheLevel, LEVEL_DRAM, LEVEL_L1D, LEVEL_L2, LEVEL_LLC,
+                    LEVEL_NAMES, MemoryBackend)
+from .cpu import CoreModel
+from .delay import DelayOnMissPolicy, DelayStats
+from .dram import DRAMChannel
+from .ghostminion import GhostMinionCache
+from .hierarchy import LoadResult, MemoryHierarchy
+from .params import (CacheParams, CoreParams, DRAMParams, GhostMinionParams,
+                     SystemParams, baseline, validate)
+from .stats import (CacheStats, CoreStats, DRAMStats, GhostMinionStats,
+                    REQ_COMMIT, REQ_LOAD, REQ_PREFETCH, REQ_STORE,
+                    REQ_WRITEBACK, REQUEST_TYPES)
+from .system import SimResult, System
+from .tlb import TLBHierarchy, TLBParams, TLBStats
+
+__all__ = [
+    "CacheLevel", "LEVEL_DRAM", "LEVEL_L1D", "LEVEL_L2", "LEVEL_LLC",
+    "LEVEL_NAMES", "MemoryBackend", "CoreModel", "DRAMChannel",
+    "GhostMinionCache", "LoadResult", "MemoryHierarchy",
+    "CacheParams", "CoreParams", "DRAMParams", "GhostMinionParams",
+    "SystemParams", "baseline", "validate",
+    "CacheStats", "CoreStats", "DRAMStats", "GhostMinionStats",
+    "REQ_COMMIT", "REQ_LOAD", "REQ_PREFETCH", "REQ_STORE", "REQ_WRITEBACK",
+    "REQUEST_TYPES", "SimResult", "System",
+    "DelayOnMissPolicy", "DelayStats",
+    "TLBHierarchy", "TLBParams", "TLBStats",
+]

@@ -1,0 +1,498 @@
+"""Set-associative cache level with MSHRs, port contention, and a PQ.
+
+This is the workhorse substrate of the reproduction.  Each
+:class:`CacheLevel` models:
+
+* a set-associative array with LRU replacement;
+* a finite pool of MSHRs -- misses wait for a free MSHR, and the wait time is
+  the mechanism behind the MSHR-pressure results of Section III-A;
+* finite tag/port bandwidth (``ports`` accesses per cycle);
+* a prefetch queue (PQ) bounding in-flight prefetches, with drops when full;
+* in-flight fills: a block inserted with a future ``fill_time`` services
+  later requests only once the data has actually arrived (requests arriving
+  earlier merge, which is how classic *late prefetches* are detected).
+
+The model is functional rather than event-driven: ``access`` is called with
+the cycle at which the request arrives and returns the cycle at which data is
+available.  The simulator guarantees requests are generated in (near)
+non-decreasing time order, so next-free bookkeeping for ports, MSHRs, and the
+PQ models contention faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .params import CacheParams
+from .stats import (CacheStats, REQ_COMMIT, REQ_LOAD, REQ_PREFETCH,
+                    REQ_STORE, REQ_WRITEBACK)
+
+#: Hierarchy levels used for SUF hit-level encoding (Section IV).
+LEVEL_L1D = 0
+LEVEL_L2 = 1
+LEVEL_LLC = 2
+LEVEL_DRAM = 3
+
+LEVEL_NAMES = ("L1D", "L2", "LLC", "DRAM")
+
+
+class Line:
+    """One cache line's metadata."""
+
+    __slots__ = ("last_touch", "fill_time", "prefetched", "was_demand_hit",
+                 "dirty", "gm_propagate", "wbb", "latency", "rrpv")
+
+    def __init__(self, last_touch: int, fill_time: int, *,
+                 prefetched: bool = False, dirty: bool = False,
+                 gm_propagate: bool = False, wbb: bool = False,
+                 latency: int = 0) -> None:
+        self.last_touch = last_touch
+        self.fill_time = fill_time
+        self.prefetched = prefetched
+        #: Set once a demand access hits this line (prefetch usefulness).
+        self.was_demand_hit = False
+        self.dirty = dirty
+        #: Fetch latency of the fill that installed this line (Berti keeps
+        #: this alongside prefetched L1D lines; Section V-C).
+        self.latency = latency
+        #: SRRIP re-reference prediction value (unused under LRU).
+        self.rrpv = 2
+        #: GhostMinion: this line carries committed data that must be written
+        #: back (even when clean) to the next level upon eviction, so that
+        #: the non-speculative hierarchy eventually receives the data
+        #: (Fig. 2, flow 2a).  SUF clears this bit when the next level
+        #: already holds the line (Section IV).
+        self.gm_propagate = gm_propagate
+        #: The ``gm_propagate`` value for the line installed at the *next*
+        #: level by our writeback (the "L2 writeback bit" stored alongside
+        #: L1D lines in Fig. 7).
+        self.wbb = wbb
+
+
+class _MSHREntry:
+    """An outstanding miss (used for merging concurrent requests)."""
+
+    __slots__ = ("fill_time", "is_prefetch", "issue_time")
+
+    def __init__(self, fill_time: int, is_prefetch: bool,
+                 issue_time: int) -> None:
+        self.fill_time = fill_time
+        self.is_prefetch = is_prefetch
+        self.issue_time = issue_time
+
+
+class _PortBucket:
+    """Per-cycle port bandwidth accounting.
+
+    Unlike a next-free-slot pool, a bucket lets events be charged at their
+    *own* cycle even when the simulator processes them out of time order
+    (e.g. a writeback charged at a future fill time must not block a demand
+    arriving at an earlier cycle).
+    """
+
+    __slots__ = ("ports", "counts", "_acquires")
+
+    def __init__(self, ports: int) -> None:
+        self.ports = ports
+        self.counts: Dict[int, int] = {}
+        self._acquires = 0
+
+    def acquire(self, time: int) -> int:
+        """Charge one access at or after ``time``; return its start cycle."""
+        counts = self.counts
+        t = time
+        while counts.get(t, 0) >= self.ports:
+            t += 1
+        counts[t] = counts.get(t, 0) + 1
+        self._acquires += 1
+        if self._acquires >= 8192 and len(counts) > 65536:
+            self._acquires = 0
+            horizon = t - 100000
+            for key in [k for k in counts if k < horizon]:
+                del counts[key]
+        return t
+
+
+class _SlotPool:
+    """A pool of N resources tracked by next-free times.
+
+    Used for MSHRs and PQ entries.  ``acquire(t)`` returns the time at
+    which a slot is available (``>= t``) and marks it busy until
+    ``release``; occupancy can be sampled at any time.
+    """
+
+    __slots__ = ("times",)
+
+    def __init__(self, size: int) -> None:
+        self.times: List[int] = [0] * size
+
+    def earliest(self) -> Tuple[int, int]:
+        """Return ``(index, next_free_time)`` of the earliest-free slot."""
+        times = self.times
+        best = 0
+        best_t = times[0]
+        for i in range(1, len(times)):
+            if times[i] < best_t:
+                best_t = times[i]
+                best = i
+        return best, best_t
+
+    def occupancy(self, time: int) -> int:
+        """Number of slots busy at ``time``."""
+        return sum(1 for t in self.times if t > time)
+
+    def full(self, time: int) -> bool:
+        return all(t > time for t in self.times)
+
+
+class CacheLevel:
+    """One level of the cache hierarchy."""
+
+    def __init__(self, params: CacheParams, level: int,
+                 next_level: "MemoryBackend") -> None:
+        self.params = params
+        self.level = level
+        self.next = next_level
+        self.stats = CacheStats()
+
+        if params.replacement not in ("lru", "srrip", "random"):
+            raise ValueError(
+                f"unknown replacement policy {params.replacement!r}")
+        self._policy = params.replacement
+        self._victim_seed = 0x9E3779B9
+        self._set_mask = params.sets - 1
+        self.sets: List[Dict[int, Line]] = [dict() for _ in range(params.sets)]
+        self._ports = _PortBucket(params.ports)
+        self._mshrs = _SlotPool(params.mshrs)
+        self._pq = _SlotPool(params.pq_entries)
+        self._outstanding: Dict[int, _MSHREntry] = {}
+        self._pending_mshr_slot = 0
+
+    # ------------------------------------------------------------------
+    # basic array operations
+    # ------------------------------------------------------------------
+
+    def _set_of(self, block: int) -> Dict[int, Line]:
+        return self.sets[block & self._set_mask]
+
+    def lookup(self, block: int) -> Optional[Line]:
+        """Return the line for ``block`` without touching any state."""
+        return self._set_of(block).get(block)
+
+    def contains(self, block: int, time: Optional[int] = None) -> bool:
+        """True when ``block`` is present (and filled, if ``time`` given)."""
+        line = self.lookup(block)
+        if line is None:
+            return False
+        if time is not None and line.fill_time > time:
+            return False
+        return True
+
+    def state_signature(self) -> Tuple:
+        """A hashable snapshot of tags + replacement state + dirty bits.
+
+        Used by security tests to assert that speculative execution leaves
+        non-speculative cache state untouched (invisible speculation).
+        """
+        return tuple(
+            tuple(sorted((blk, ln.last_touch, ln.dirty)
+                         for blk, ln in set_.items()))
+            for set_ in self.sets)
+
+    # ------------------------------------------------------------------
+    # main access path
+    # ------------------------------------------------------------------
+
+    def access(self, block: int, time: int, rtype: str, *,
+               update: bool = True, fill: bool = True,
+               count_useful: bool = True) -> Tuple[int, int]:
+        """Service a request for ``block`` arriving at ``time``.
+
+        Returns ``(completion_time, served_level)`` where ``served_level`` is
+        the hierarchy level that provided the data (``LEVEL_L1D`` ..
+        ``LEVEL_DRAM``).
+
+        ``update=False`` models GhostMinion's speculative probe: hits do not
+        touch replacement state.  ``fill=False`` means a miss does not install
+        the line at this level (the data bypasses to the GM); the miss still
+        consumes an MSHR and port bandwidth, as GhostMinion's MSHRs do.
+        """
+        stats = self.stats
+        stats.accesses[rtype] += 1
+        start = self._port_acquire(time)
+        demand = rtype in (REQ_LOAD, REQ_STORE)
+
+        line = self._set_of(block).get(block)
+        if line is not None:
+            ready = start + self.params.latency
+            if line.fill_time <= ready:
+                # Plain hit.
+                stats.hits[rtype] += 1
+                if update:
+                    line.last_touch = time
+                    line.rrpv = 0
+                    if rtype == REQ_STORE:
+                        line.dirty = True
+                if demand and count_useful and line.prefetched \
+                        and not line.was_demand_hit:
+                    line.was_demand_hit = True
+                    stats.prefetches_useful += 1
+                return max(ready, line.fill_time), self.level
+            # Line is being filled: merge with the in-flight fill.
+            return self._merge(line.fill_time, line.prefetched, start,
+                               rtype, demand, count_useful, line)
+
+        entry = self._outstanding.get(block)
+        if entry is not None:
+            if entry.fill_time <= start:
+                # Stale entry from a bypassing (fill=False) miss; the data is
+                # no longer in flight here.
+                del self._outstanding[block]
+            else:
+                return self._merge(entry.fill_time, entry.is_prefetch, start,
+                                   rtype, demand, count_useful, None)
+
+        # True miss: allocate an MSHR and fetch from the next level.  The
+        # update/fill flags propagate down so a GhostMinion speculative walk
+        # leaves no state anywhere in the non-speculative hierarchy.
+        stats.misses[rtype] += 1
+        alloc = self._mshr_acquire(start)
+        send = alloc + self.params.latency
+        completion, served = self.next.access(
+            block, send, rtype, update=update, fill=fill,
+            count_useful=count_useful)
+        self._mshr_fill(block, completion, rtype == REQ_PREFETCH, start)
+
+        if fill:
+            self.insert(block, completion,
+                        prefetched=(rtype == REQ_PREFETCH),
+                        dirty=(rtype == REQ_STORE),
+                        latency=completion - time)
+            # The line itself now carries the in-flight state.
+            self._outstanding.pop(block, None)
+
+        if rtype == REQ_LOAD:
+            stats.load_miss_latency_sum += completion - time
+            stats.load_miss_latency_count += 1
+        return completion, served
+
+    def probe(self, block: int, time: int, rtype: str) -> bool:
+        """Tag probe without recursion, fills, or replacement update.
+
+        Models the L1D lookup performed in parallel with a GM access: it
+        consumes a port and is counted as an access, but a probe miss does
+        not start a fetch and is *not* counted as a demand miss (the GM
+        provided the data).
+        """
+        self.stats.accesses[rtype] += 1
+        self._port_acquire(time)
+        line = self._set_of(block).get(block)
+        hit = line is not None and line.fill_time <= time
+        if hit:
+            self.stats.hits[rtype] += 1
+        return hit
+
+    def _merge(self, fill_time: int, was_prefetch: bool, start: int,
+               rtype: str, demand: bool, count_useful: bool,
+               line: Optional[Line]) -> Tuple[int, int]:
+        """A request merges with an in-flight fill for the same block."""
+        stats = self.stats
+        stats.misses[rtype] += 1
+        stats.mshr_merges += 1
+        if demand and was_prefetch:
+            stats.demand_merged_into_prefetch += 1
+            if count_useful:
+                if line is not None and not line.was_demand_hit:
+                    line.was_demand_hit = True
+                    stats.prefetches_useful += 1
+                elif line is None:
+                    stats.prefetches_useful += 1
+        completion = max(fill_time, start + self.params.latency)
+        if rtype == REQ_LOAD:
+            stats.load_miss_latency_sum += completion - start
+            stats.load_miss_latency_count += 1
+        return completion, self.level
+
+    # ------------------------------------------------------------------
+    # fills, insertions, writebacks
+    # ------------------------------------------------------------------
+
+    def insert(self, block: int, time: int, *, prefetched: bool = False,
+               dirty: bool = False, gm_propagate: bool = False,
+               wbb: bool = False, latency: int = 0) -> None:
+        """Install ``block`` at this level, evicting the LRU victim."""
+        set_ = self._set_of(block)
+        existing = set_.get(block)
+        if existing is not None:
+            existing.last_touch = time
+            existing.dirty = existing.dirty or dirty
+            existing.gm_propagate = existing.gm_propagate or gm_propagate
+            existing.wbb = existing.wbb or wbb
+            return
+        if len(set_) >= self.params.ways:
+            self._evict(set_, time)
+        set_[block] = Line(time, time, prefetched=prefetched,
+                           dirty=dirty, gm_propagate=gm_propagate, wbb=wbb,
+                           latency=latency)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+
+    def _select_victim(self, set_: Dict[int, Line]) -> int:
+        if self._policy == "lru":
+            return min(set_, key=lambda b: set_[b].last_touch)
+        if self._policy == "srrip":
+            # Find a distant-re-reference line, aging the set as needed.
+            while True:
+                for block, line in set_.items():
+                    if line.rrpv >= 3:
+                        return block
+                for line in set_.values():
+                    line.rrpv += 1
+        # Deterministic pseudo-random (xorshift) pick.
+        seed = self._victim_seed
+        seed ^= (seed << 13) & 0xFFFFFFFF
+        seed ^= seed >> 17
+        seed ^= (seed << 5) & 0xFFFFFFFF
+        self._victim_seed = seed
+        keys = list(set_)
+        return keys[seed % len(keys)]
+
+    def _evict(self, set_: Dict[int, Line], time: int) -> None:
+        victim_block = self._select_victim(set_)
+        victim = set_.pop(victim_block)
+        self.stats.evictions += 1
+        if victim.prefetched and not victim.was_demand_hit:
+            self.stats.prefetches_useless += 1
+        if victim.dirty or victim.gm_propagate:
+            self.stats.writebacks_out += 1
+            self.next.receive_writeback(
+                victim_block, time, dirty=victim.dirty,
+                gm_propagate=victim.wbb)
+
+    def receive_writeback(self, block: int, time: int, *, dirty: bool,
+                          gm_propagate: bool = False,
+                          wbb: bool = False) -> None:
+        """Accept an eviction from the level above (no read recursion)."""
+        self.stats.accesses[REQ_WRITEBACK] += 1
+        self._port_acquire(time)
+        line = self._set_of(block).get(block)
+        if line is not None:
+            self.stats.hits[REQ_WRITEBACK] += 1
+            line.dirty = line.dirty or dirty
+            line.last_touch = time
+            line.gm_propagate = line.gm_propagate or gm_propagate
+            line.wbb = line.wbb or wbb
+            return
+        self.stats.misses[REQ_WRITEBACK] += 1
+        self.insert(block, time, dirty=dirty, gm_propagate=gm_propagate,
+                    wbb=wbb)
+
+    def commit_write(self, block: int, time: int, *, gm_propagate: bool,
+                     wbb: bool) -> None:
+        """Accept a GhostMinion on-commit write (GM -> this level).
+
+        Counted as a *commit request* in the traffic breakdown (Fig. 3).
+        """
+        self.stats.accesses[REQ_COMMIT] += 1
+        self._port_acquire(time)
+        line = self._set_of(block).get(block)
+        if line is not None:
+            self.stats.hits[REQ_COMMIT] += 1
+            line.last_touch = time
+            line.gm_propagate = line.gm_propagate or gm_propagate
+            line.wbb = line.wbb or wbb
+            return
+        self.insert(block, time, gm_propagate=gm_propagate, wbb=wbb)
+
+    # ------------------------------------------------------------------
+    # prefetch queue
+    # ------------------------------------------------------------------
+
+    def issue_prefetch(self, block: int, time: int, *,
+                       fill: bool = True) -> bool:
+        """Issue one prefetch request at this level.
+
+        Returns ``True`` when the request entered the memory system (counted
+        as issued), ``False`` when it was dropped (already present, in
+        flight, or PQ full).
+        """
+        if self.contains(block) or block in self._outstanding:
+            self.stats.prefetches_dropped += 1
+            return False
+        slot, free_at = self._pq.earliest()
+        if free_at > time:
+            self.stats.prefetches_dropped += 1
+            return False
+        # Hardware drops prefetches rather than letting them queue for an
+        # MSHR ahead of demand misses (the functional MSHR model would
+        # otherwise let a prefetch reserve a future slot).
+        if self._mshrs.full(time):
+            self.stats.prefetches_dropped += 1
+            return False
+        self.stats.prefetches_issued += 1
+        completion, _ = self.access(block, time, REQ_PREFETCH, fill=fill)
+        self._pq.times[slot] = completion
+        return True
+
+    # ------------------------------------------------------------------
+    # resource pools
+    # ------------------------------------------------------------------
+
+    def mshr_occupancy(self, time: int) -> int:
+        """MSHRs busy at ``time`` (prefetch orchestration reads this)."""
+        return self._mshrs.occupancy(time)
+
+    def _port_acquire(self, time: int) -> int:
+        return self._ports.acquire(time)
+
+    def _mshr_acquire(self, time: int) -> int:
+        stats = self.stats
+        slot, free_at = self._mshrs.earliest()
+        stats.mshr_occupancy_sum += self._mshrs.occupancy(time)
+        stats.mshr_occupancy_samples += 1
+        if free_at > time:
+            stats.mshr_full_events += 1
+            stats.mshr_full_wait_cycles += free_at - time
+            start = free_at
+        else:
+            start = time
+        # Reserve the slot; the true release time is set by ``_mshr_fill``.
+        self._mshrs.times[slot] = start + 1
+        self._pending_mshr_slot = slot
+        return start
+
+    def _mshr_fill(self, block: int, fill_time: int, is_prefetch: bool,
+                   issue_time: int) -> None:
+        self._mshrs.times[self._pending_mshr_slot] = fill_time
+        self._outstanding[block] = _MSHREntry(fill_time, is_prefetch,
+                                              issue_time)
+
+    # ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+class MemoryBackend:
+    """Terminal backend adapting :class:`~repro.sim.dram.DRAMChannel`.
+
+    Exposes the same ``access``/``receive_writeback`` duck type as
+    :class:`CacheLevel` so the hierarchy recursion terminates cleanly.
+    """
+
+    def __init__(self, dram) -> None:
+        self.dram = dram
+
+    def access(self, block: int, time: int, rtype: str, *,
+               update: bool = True, fill: bool = True,
+               count_useful: bool = True) -> Tuple[int, int]:
+        del update, fill, count_useful
+        demand = rtype in (REQ_LOAD, REQ_STORE)
+        return self.dram.access(block, time, demand=demand), LEVEL_DRAM
+
+    def receive_writeback(self, block: int, time: int, *, dirty: bool,
+                          gm_propagate: bool = False,
+                          wbb: bool = False) -> None:
+        del gm_propagate, wbb
+        if dirty:
+            self.dram.access(block, time, demand=False)

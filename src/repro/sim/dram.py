@@ -1,0 +1,117 @@
+"""Open-page DRAM channel model.
+
+Models the timing behaviour that matters to the paper's experiments:
+
+* per-bank row buffers with open-page policy (row hits pay tCAS only, row
+  misses pay tRP + tRCD + tCAS);
+* per-bank busy time (a bank serves one command sequence at a time);
+* a shared data bus with finite bandwidth (64-byte lines at 6400 MT/s);
+* a fixed controller queueing latency.
+
+The model is *functional*: ``access`` is called with the cycle at which the
+request reaches the controller and returns the cycle at which the line is
+delivered.  Requests are expected to arrive in roughly non-decreasing time
+order (the simulator processes core events in merged time order), which makes
+per-bank and bus next-free bookkeeping accurate enough to reproduce
+contention trends.  FR-FCFS is approximated by the open-page row-buffer
+policy itself: a burst of same-row requests arriving together all enjoy row
+hits.
+"""
+
+from __future__ import annotations
+
+from .params import DRAMParams
+from .stats import DRAMStats
+
+
+class DRAMChannel:
+    """One DRAM channel shared by all cores of a chip."""
+
+    def __init__(self, params: DRAMParams, line_size: int = 64) -> None:
+        self.params = params
+        self.stats = DRAMStats()
+        self._line_size = line_size
+        #: Row-buffer blocks per row.
+        self._blocks_per_row = max(1, params.row_buffer_bytes // line_size)
+        #: Open row per bank (-1 = closed / unknown).
+        self._open_row = [-1] * params.banks
+        #: Cycle at which each bank becomes free for *demand* requests.
+        self._bank_free = [0] * params.banks
+        #: Backlog horizon for low-priority (prefetch / commit-update /
+        #: writeback) requests per bank.  FR-FCFS controllers serve demands
+        #: first, so a prefetch backlog delays only other prefetches; both
+        #: classes share the banks' real busy time through ``_bank_free``.
+        self._bank_free_low = [0] * params.banks
+        #: Shared data bus, same two-priority split.
+        self._bus_free = 0
+        self._bus_free_low = 0
+        #: Furthest-scheduled low-priority completion (backpressure signal).
+        self._low_horizon = 0
+
+    def access(self, block: int, time: int, *, demand: bool = True) -> int:
+        """Serve one 64-byte line request; return the delivery cycle.
+
+        ``demand=False`` marks low-priority traffic (prefetches, commit-time
+        hierarchy updates, writebacks): it queues behind both classes but
+        never pushes demand requests back.
+        """
+        p = self.params
+        row = block // self._blocks_per_row
+        # Hashed bank indexing: plain ``row % banks`` maps GB-aligned arrays
+        # (whose rows differ only in high bits) onto one bank and serializes
+        # independent streams; real controllers XOR address bits for the
+        # same reason.  splitmix64 finalizer for good avalanche.
+        h = row & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 33
+        h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 33
+        bank = h % p.banks
+
+        start = max(time + p.controller_latency, self._bank_free[bank])
+        if not demand:
+            start = max(start, self._bank_free_low[bank])
+        if self._open_row[bank] == row:
+            ready = start + p.t_cas
+            self.stats.row_hits += 1
+        else:
+            ready = start + p.t_rp + p.t_rcd + p.t_cas
+            self._open_row[bank] = row
+            self.stats.row_misses += 1
+        self.stats.requests += 1
+
+        if demand:
+            # The bank is busy until its data hits the bus.
+            self._bank_free[bank] = ready
+            bus_start = max(ready, self._bus_free)
+            done = bus_start + p.bus_cycles_per_line
+            self._bus_free = done
+        else:
+            self._bank_free_low[bank] = ready
+            bus_start = max(ready, self._bus_free, self._bus_free_low)
+            done = bus_start + p.bus_cycles_per_line
+            self._bus_free_low = done
+        return done
+
+    def backlogged(self, time: int, margin: int = None) -> bool:
+        """True when the low-priority queue is deep enough that further
+        prefetches would arrive uselessly late (prefetch throttling).
+
+        The signal is the low-priority bus backlog *beyond* the demand bus
+        and current time -- queueing a prefetch inherited from demand
+        traffic does not count against prefetching.  Demands that merge
+        with an in-flight prefetch inherit its queueing delay, so bounding
+        this backlog also bounds the worst late-prefetch penalty a demand
+        can see.
+        """
+        p = self.params
+        if margin is None:
+            margin = p.prefetch_backlog_margin
+        # One uncontended row-miss service: a single in-flight prefetch is
+        # not backlog, however idle the channel is.
+        service = (p.controller_latency + p.t_rp + p.t_rcd + p.t_cas
+                   + p.bus_cycles_per_line)
+        reference = max(self._bus_free, time + service)
+        return self._bus_free_low - reference > margin
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

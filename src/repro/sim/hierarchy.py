@@ -1,0 +1,238 @@
+"""Memory-hierarchy assembly: L1D/L2/LLC/DRAM plus the GhostMinion paths.
+
+Two operating modes:
+
+* **non-secure** -- a conventional hierarchy: demand loads fill every level
+  on the return path, wrong-path (transient) loads pollute caches freely.
+* **secure (GhostMinion)** -- speculative loads probe the GM and L1D in
+  parallel; on a GM miss the hierarchy is walked *without* updating any
+  state, and the response fills only the GM.  On commit, the data moves
+  GM -> L1D (an *on-commit write*) or is *re-fetched* into the hierarchy if
+  the GM line was evicted, exactly the flows of Fig. 2.  The Secure Update
+  Filter (Section IV) optionally drops or truncates these commit-time
+  updates based on the 2-bit hit level recorded at access time.
+
+The CPU model calls :meth:`MemoryHierarchy.demand_load` at a load's access
+time and, in secure mode, :meth:`MemoryHierarchy.commit_load` at its commit
+time with the hit level the load recorded in its load-queue entry.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .cache import (CacheLevel, LEVEL_DRAM, LEVEL_L1D, LEVEL_L2, LEVEL_LLC,
+                    MemoryBackend)
+from .dram import DRAMChannel
+from .ghostminion import GhostMinionCache
+from .params import SystemParams
+from .stats import GhostMinionStats, REQ_COMMIT, REQ_LOAD, REQ_STORE
+
+
+class LoadResult(NamedTuple):
+    """Outcome of one demand load."""
+
+    completion: int
+    #: Level that provided the data (SUF hit level; GM hits report L1D/0).
+    hit_level: int
+    #: Whether the GM (not L1D) provided the data (secure mode only).
+    gm_hit: bool
+    #: Cycles from access to data availability (the *fetch latency* Berti
+    #: and TSB train on).
+    fetch_latency: int
+
+
+class MemoryHierarchy:
+    """L1D + L2 + LLC + DRAM, optionally fronted by a GhostMinion GM."""
+
+    def __init__(self, params: SystemParams, *, secure: bool = False,
+                 commit_filter=None, shared_llc: CacheLevel = None,
+                 shared_dram: DRAMChannel = None) -> None:
+        if commit_filter is not None and not secure:
+            raise ValueError("SUF only applies to a secure cache system")
+        self.params = params
+        self.secure = secure
+        #: Optional SUF decision function ``hit_level -> decision`` with
+        #: ``drop``/``gm_propagate``/``wbb`` fields (``repro.core.suf``).
+        #: Injected by the system so the substrate stays contribution-free.
+        self.commit_filter = commit_filter
+
+        self.dram = shared_dram if shared_dram is not None \
+            else DRAMChannel(params.dram)
+        backend = MemoryBackend(self.dram)
+        self.llc = shared_llc if shared_llc is not None \
+            else CacheLevel(params.llc, LEVEL_LLC, backend)
+        self.l2 = CacheLevel(params.l2, LEVEL_L2, self.llc)
+        self.l1d = CacheLevel(params.l1d, LEVEL_L1D, self.l2)
+
+        self.gm_stats = GhostMinionStats()
+        self.gm = GhostMinionCache(params.gm, self.gm_stats) if secure \
+            else None
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+
+    def demand_load(self, block: int, time: int, timestamp: int,
+                    *, wrong_path: bool = False) -> LoadResult:
+        """Execute one load's data access at its (speculative) access time."""
+        count_useful = not wrong_path
+        if not self.secure:
+            completion, served = self.l1d.access(
+                block, time, REQ_LOAD, count_useful=count_useful)
+            return LoadResult(completion, served, False, completion - time)
+        return self._speculative_load(block, time, timestamp, count_useful)
+
+    def _speculative_load(self, block: int, time: int, timestamp: int,
+                          count_useful: bool) -> LoadResult:
+        gm = self.gm
+        gm.apply_until(time)
+        gm_line = gm.lookup(block)
+        if gm_line is not None:
+            # GM hit (possibly still in flight).  The L1D is probed in
+            # parallel but provides nothing and updates nothing.  The GM
+            # array itself reads in 1 cycle, but load-to-use still goes
+            # through the normal load pipeline, so a GM hit is never faster
+            # than an L1D hit.
+            self.gm_stats.gm_hits += 1
+            self.l1d.probe(block, time, REQ_LOAD)
+            latency = max(gm.latency, self.params.l1d.latency)
+            completion = max(time + latency, gm_line.fill_time)
+            return LoadResult(completion, LEVEL_L1D, True, completion - time)
+
+        # GM miss: walk the hierarchy invisibly; fill only the GM.
+        self.gm_stats.gm_misses += 1
+        completion, served = self.l1d.access(
+            block, time, REQ_LOAD, update=False, fill=False,
+            count_useful=count_useful)
+        fetch_latency = completion - time
+        if served != LEVEL_L1D:
+            # L1D-provided data takes no GM entry: the L1D already holds the
+            # line, so commit will merely re-touch it (the redundant LRU
+            # update SUF filters).  Only data from L2/LLC/DRAM -- which the
+            # invisible walk did not install anywhere -- parks in the GM
+            # awaiting its on-commit write.
+            gm.fill(block, completion, timestamp, fetch_latency,
+                    transient=not count_useful)
+        return LoadResult(completion, served, False, fetch_latency)
+
+    def demand_store(self, block: int, time: int) -> int:
+        """Write one committed store into the L1D (at retire time)."""
+        completion, _ = self.l1d.access(block, time, REQ_STORE)
+        return completion
+
+    # ------------------------------------------------------------------
+    # commit path (secure mode)
+    # ------------------------------------------------------------------
+
+    def commit_load(self, block: int, time: int, hit_level: int) -> int:
+        """Perform GhostMinion's commit-time hierarchy update for a load.
+
+        ``hit_level`` is the 2-bit level recorded in the load-queue entry at
+        access time (Fig. 7, step 1).  With a SUF ``commit_filter``
+        installed, updates for L1D-provided data are dropped and writeback
+        propagation is truncated at the level below the provider (steps
+        2-4).
+
+        Returns the latency of the commit-time update -- the (misleading)
+        value a naive on-commit Berti observes as its "fetch latency"
+        (Section V-B).
+        """
+        if not self.secure:
+            return 0
+        stats = self.gm_stats
+        self.gm.apply_until(time)
+        gm_line = self.gm.take(block)
+
+        decision = self.commit_filter(hit_level) \
+            if self.commit_filter is not None else None
+        if decision is not None and decision.drop:
+            stats.commit_drops_suf += 1
+            if self.l1d.contains(block):
+                stats.suf_correct += 1
+            else:
+                stats.suf_mispredict += 1
+            return 0
+
+        if gm_line is not None:
+            # On-commit write: the line moves GM -> L1D.
+            stats.commit_writes += 1
+            if decision is not None:
+                gm_propagate, wbb = decision.gm_propagate, decision.wbb
+                self._record_suf_stop(block, hit_level)
+            else:
+                gm_propagate, wbb = True, True
+            self.l1d.commit_write(block, time, gm_propagate=gm_propagate,
+                                  wbb=wbb)
+            return self.params.gm.latency
+
+        # The GM line was evicted before commit (or, for L1D-provided
+        # data, never existed): re-fetch into the non-speculative
+        # hierarchy (Fig. 2, flow 2b).
+        stats.commit_refetches += 1
+        if hit_level > LEVEL_L1D:
+            stats.gm_lost_before_commit += 1
+        completion, _ = self.l1d.access(block, time, REQ_COMMIT)
+        return completion - time
+
+    def _record_suf_stop(self, block: int, hit_level: int) -> None:
+        """Account a truncated propagation decision and its correctness."""
+        stats = self.gm_stats
+        if hit_level == LEVEL_L2:
+            stats.wb_stopped_suf += 1
+            if self.l2.contains(block):
+                stats.suf_correct += 1
+            else:
+                stats.suf_mispredict += 1
+        elif hit_level == LEVEL_LLC:
+            stats.wb_stopped_suf += 1
+            if self.llc.contains(block):
+                stats.suf_correct += 1
+            else:
+                stats.suf_mispredict += 1
+
+    # ------------------------------------------------------------------
+    # prefetch path
+    # ------------------------------------------------------------------
+
+    def issue_prefetch(self, block: int, time: int, fill_level: int) -> bool:
+        """Issue a prefetch that fills down to ``fill_level`` (0/1/2).
+
+        L1D-destined prefetches are demoted to the L2 when the L1D MSHRs
+        are half occupied -- Berti's orchestration rule (Section V-A), which
+        keeps prefetch bursts from starving demand misses of MSHRs.  All
+        prefetching throttles when the DRAM channel's low-priority queue is
+        saturated (they would arrive uselessly late anyway).
+        """
+        if self.dram.backlogged(time):
+            if fill_level <= LEVEL_L1D:
+                self.l1d.stats.prefetches_dropped += 1
+            elif fill_level == LEVEL_L2:
+                self.l2.stats.prefetches_dropped += 1
+            else:
+                self.llc.stats.prefetches_dropped += 1
+            return False
+        if fill_level <= LEVEL_L1D:
+            if 2 * self.l1d.mshr_occupancy(time) >= self.params.l1d.mshrs:
+                fill_level = LEVEL_L2
+            else:
+                return self.l1d.issue_prefetch(block, time)
+        if fill_level == LEVEL_L2:
+            return self.l2.issue_prefetch(block, time)
+        return self.llc.issue_prefetch(block, time)
+
+    # ------------------------------------------------------------------
+
+    def flush_speculative(self) -> None:
+        """Drop all speculative state (domain switch)."""
+        if self.gm is not None:
+            self.gm.flush()
+
+    def levels(self):
+        return (self.l1d, self.l2, self.llc)
+
+    def reset_stats(self) -> None:
+        for level in self.levels():
+            level.reset_stats()
+        self.dram.reset_stats()
+        self.gm_stats.reset()

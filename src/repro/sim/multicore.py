@@ -1,0 +1,184 @@
+"""Multi-core simulation: private L1D/L2 per core, shared LLC and DRAM.
+
+The paper's 4-core experiments (Section VII-B, Fig. 15) run heterogeneous
+mixes with one LLC bank per core and one DRAM channel per four cores.  Here
+each core gets its own :class:`~repro.sim.system.System` (private L1D/L2,
+private GM in secure mode) in front of a shared LLC and shared DRAM channel.
+
+Cores are interleaved by *current time*: at each step the core whose next
+instruction dispatches earliest executes it, so requests reach the shared
+levels in global time order and contention between cores is modelled the
+same way as contention within a core.
+
+Weighted speedup follows the paper: ``WS = sum_i IPC_shared_i /
+IPC_alone_i``, with the alone-IPC measured on the same configuration but a
+private memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..workloads.trace import Trace
+from .cache import CacheLevel, LEVEL_LLC, MemoryBackend
+from .dram import DRAMChannel
+from .params import SystemParams, baseline
+from .system import SimResult, System
+
+
+@dataclass
+class MulticoreResult:
+    """Results of one multi-core mix run."""
+
+    per_core: List[SimResult]
+    mix_name: str
+
+    def ipc(self, core: int) -> float:
+        return self.per_core[core].ipc
+
+    def weighted_speedup(self, alone_ipcs: Sequence[float]) -> float:
+        """sum_i IPC_shared_i / IPC_alone_i over the mix's cores."""
+        total = 0.0
+        for result, alone in zip(self.per_core, alone_ipcs):
+            if alone > 0:
+                total += result.ipc / alone
+        return total
+
+
+class MulticoreSystem:
+    """N cores sharing an LLC and a DRAM channel.
+
+    ``system_factory`` builds one per-core :class:`System` given the shared
+    LLC and DRAM -- use it to select secure mode, prefetcher, SUF, etc.  A
+    fresh factory call is made per core so prefetcher state is private.
+    """
+
+    def __init__(self, cores: int = 4,
+                 params: Optional[SystemParams] = None,
+                 system_factory: Optional[Callable[..., System]] = None
+                 ) -> None:
+        if params is None:
+            params = baseline()
+        self.params = params
+        self.cores = cores
+
+        # One LLC bank per core in the paper; modelled as one shared cache
+        # with aggregated capacity and per-bank port/MSHR counts scaled.
+        llc_params = params.llc
+        shared_llc_params = type(llc_params)(
+            name="LLC", size_kb=llc_params.size_kb * cores,
+            ways=llc_params.ways, latency=llc_params.latency,
+            mshrs=llc_params.mshrs * cores,
+            ports=llc_params.ports * cores,
+            line_size=llc_params.line_size,
+            pq_entries=llc_params.pq_entries * cores)
+        self.dram = DRAMChannel(params.dram)
+        self.llc = CacheLevel(shared_llc_params, LEVEL_LLC,
+                              MemoryBackend(self.dram))
+
+        if system_factory is None:
+            system_factory = System
+        self.systems: List[System] = [
+            system_factory(params=params, shared_llc=self.llc,
+                           shared_dram=self.dram)
+            for _ in range(cores)]
+
+    def run(self, mix: Sequence[Trace], warmup: float = 0.2
+            ) -> MulticoreResult:
+        """Run one trace per core, interleaved in global time order."""
+        if len(mix) != self.cores:
+            raise ValueError(
+                f"mix has {len(mix)} traces for {self.cores} cores")
+        runners = [
+            _CoreRunner(system, trace, warmup)
+            for system, trace in zip(self.systems, mix)]
+        active = list(runners)
+        while active:
+            # Advance the core whose next instruction dispatches earliest.
+            runner = min(active, key=lambda r: r.current_time())
+            if not runner.step():
+                active.remove(runner)
+        results = [runner.finish() for runner in runners]
+        name = "+".join(trace.name for trace in mix)
+        return MulticoreResult(per_core=results, mix_name=name)
+
+
+class _CoreRunner:
+    """Drives one core's :meth:`System.stepper` in interleavable chunks."""
+
+    CHUNK = 32
+
+    def __init__(self, system: System, trace: Trace,
+                 warmup: float) -> None:
+        self.system = system
+        self.trace = trace
+        self._gen = system.stepper(trace, warmup, chunk=self.CHUNK)
+        self._done = False
+        self._result: Optional[SimResult] = None
+
+    def current_time(self) -> int:
+        return self.system.core.current_cycle
+
+    def step(self) -> bool:
+        """Execute a small chunk; False when the trace is exhausted."""
+        if self._done:
+            return False
+        try:
+            next(self._gen)
+            return True
+        except StopIteration:
+            self._done = True
+            return False
+
+    def finish(self) -> SimResult:
+        if self._result is None:
+            self._result = self.system.finalize(self.trace)
+        return self._result
+
+
+def run_mix(mix: Sequence[Trace], *, cores: int = 4,
+            params: Optional[SystemParams] = None,
+            warmup: float = 0.2,
+            **system_kwargs) -> MulticoreResult:
+    """Convenience wrapper: run one mix with a uniform per-core config.
+
+    ``system_kwargs`` accepts the same options as :class:`System`
+    (``secure``, ``suf``, ``train_mode``, ...).  ``prefetcher_factory``
+    (callable) builds a private prefetcher per core.
+    """
+    prefetcher_factory = system_kwargs.pop("prefetcher_factory", None)
+
+    def factory(**kw):
+        pf = prefetcher_factory() if prefetcher_factory else None
+        return System(prefetcher=pf, **system_kwargs, **kw)
+
+    mc = MulticoreSystem(cores=cores, params=params, system_factory=factory)
+    return mc.run(mix, warmup=warmup)
+
+
+def alone_ipcs(mix: Sequence[Trace], *,
+               params: Optional[SystemParams] = None,
+               warmup: float = 0.2, cache: Optional[Dict] = None,
+               **system_kwargs) -> List[float]:
+    """Per-trace IPC on a private memory system (for weighted speedup).
+
+    ``cache`` (a dict) memoizes alone runs across mixes keyed by
+    (trace name, config label) since mixes repeat traces.
+    """
+    prefetcher_factory = system_kwargs.pop("prefetcher_factory", None)
+    ipcs = []
+    for trace in mix:
+        key = None
+        if cache is not None:
+            key = (trace.name, tuple(sorted(system_kwargs.items())))
+            if key in cache:
+                ipcs.append(cache[key])
+                continue
+        pf = prefetcher_factory() if prefetcher_factory else None
+        system = System(params=params, prefetcher=pf, **system_kwargs)
+        ipc = system.run(trace, warmup=warmup).ipc
+        if cache is not None:
+            cache[key] = ipc
+        ipcs.append(ipc)
+    return ipcs

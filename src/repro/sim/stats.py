@@ -1,0 +1,192 @@
+"""Statistics containers for the simulator.
+
+Plain attribute-based counter objects (no dict lookups in hot paths).  Each
+cache level owns a :class:`CacheStats`; the core owns a :class:`CoreStats`.
+Per-kilo-instruction metrics are computed by ``repro.analysis.metrics`` from
+these raw counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Request types seen by a cache level.
+REQ_LOAD = "load"          # demand load from the core (or lower level miss)
+REQ_STORE = "store"        # store/writeback from the core
+REQ_PREFETCH = "prefetch"  # prefetcher-generated request
+REQ_COMMIT = "commit"      # GhostMinion commit-time update (write or re-fetch)
+REQ_WRITEBACK = "writeback"  # eviction traffic from a lower level
+
+REQUEST_TYPES = (REQ_LOAD, REQ_STORE, REQ_PREFETCH, REQ_COMMIT, REQ_WRITEBACK)
+
+
+@dataclass
+class CacheStats:
+    """Raw event counts for one cache level."""
+
+    accesses: Dict[str, int] = field(
+        default_factory=lambda: {t: 0 for t in REQUEST_TYPES})
+    hits: Dict[str, int] = field(
+        default_factory=lambda: {t: 0 for t in REQUEST_TYPES})
+    misses: Dict[str, int] = field(
+        default_factory=lambda: {t: 0 for t in REQUEST_TYPES})
+
+    #: Demand misses that merged into an in-flight *prefetch* MSHR entry
+    #: (the classic "late prefetch").
+    demand_merged_into_prefetch: int = 0
+    #: Demand misses that merged into any in-flight MSHR entry.
+    mshr_merges: int = 0
+    #: Total cycles requests spent waiting because every MSHR was busy.
+    mshr_full_wait_cycles: int = 0
+    #: Number of requests that had to wait for a free MSHR.
+    mshr_full_events: int = 0
+    #: Sum of MSHR occupancy sampled at each allocation (for mean occupancy).
+    mshr_occupancy_sum: int = 0
+    mshr_occupancy_samples: int = 0
+
+    #: Demand-load miss latency (allocation to fill), cycles.
+    load_miss_latency_sum: int = 0
+    load_miss_latency_count: int = 0
+
+    evictions: int = 0
+    writebacks_out: int = 0
+
+    #: Prefetch bookkeeping at this level.
+    prefetches_issued: int = 0
+    prefetches_dropped: int = 0      # PQ full or duplicate-in-cache
+    prefetch_fills: int = 0
+    prefetches_useful: int = 0       # filled block later hit by a demand
+    prefetches_useless: int = 0      # filled block evicted without demand hit
+
+    def total_accesses(self) -> int:
+        return sum(self.accesses.values())
+
+    def demand_accesses(self) -> int:
+        return self.accesses[REQ_LOAD] + self.accesses[REQ_STORE]
+
+    def demand_misses(self) -> int:
+        return self.misses[REQ_LOAD] + self.misses[REQ_STORE]
+
+    def load_miss_latency_avg(self) -> float:
+        if not self.load_miss_latency_count:
+            return 0.0
+        return self.load_miss_latency_sum / self.load_miss_latency_count
+
+    def mshr_occupancy_avg(self) -> float:
+        if not self.mshr_occupancy_samples:
+            return 0.0
+        return self.mshr_occupancy_sum / self.mshr_occupancy_samples
+
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches that were useful.
+
+        Only prefetches with a resolved outcome (useful or useless) are
+        counted, so in-flight prefetches at the end of simulation do not
+        bias the metric.
+        """
+        resolved = self.prefetches_useful + self.prefetches_useless
+        if not resolved:
+            return 0.0
+        return self.prefetches_useful / resolved
+
+    def reset(self) -> None:
+        """Zero all counters (used at the end of warm-up)."""
+        for table in (self.accesses, self.hits, self.misses):
+            for key in table:
+                table[key] = 0
+        self.demand_merged_into_prefetch = 0
+        self.mshr_merges = 0
+        self.mshr_full_wait_cycles = 0
+        self.mshr_full_events = 0
+        self.mshr_occupancy_sum = 0
+        self.mshr_occupancy_samples = 0
+        self.load_miss_latency_sum = 0
+        self.load_miss_latency_count = 0
+        self.evictions = 0
+        self.writebacks_out = 0
+        self.prefetches_issued = 0
+        self.prefetches_dropped = 0
+        self.prefetch_fills = 0
+        self.prefetches_useful = 0
+        self.prefetches_useless = 0
+
+
+@dataclass
+class CoreStats:
+    """Per-core execution statistics."""
+
+    committed_instructions: int = 0
+    committed_loads: int = 0
+    committed_stores: int = 0
+    cycles: int = 0
+    wrong_path_loads: int = 0
+    branch_mispredicts: int = 0
+
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.committed_instructions / self.cycles
+
+    def reset(self) -> None:
+        self.committed_instructions = 0
+        self.committed_loads = 0
+        self.committed_stores = 0
+        self.cycles = 0
+        self.wrong_path_loads = 0
+        self.branch_mispredicts = 0
+
+
+@dataclass
+class GhostMinionStats:
+    """GhostMinion-specific event counts."""
+
+    gm_fills: int = 0
+    gm_hits: int = 0
+    gm_misses: int = 0
+    commit_writes: int = 0       # GM hit at commit -> on-commit write to L1D
+    commit_refetches: int = 0    # GM miss at commit -> re-fetch into hierarchy
+    #: Re-fetches for loads that *had* a GM entry (hit level > L1D) but
+    #: lost it to eviction before commit -- the GM-capacity-sensitive part.
+    gm_lost_before_commit: int = 0
+    commit_drops_suf: int = 0    # commit updates filtered out by SUF
+    wb_stopped_suf: int = 0      # writeback propagation stopped by a SUF bit
+    suf_correct: int = 0         # SUF filtered and the line was still cached
+    suf_mispredict: int = 0      # SUF filtered but the line had been evicted
+
+    def suf_accuracy(self) -> float:
+        decided = self.suf_correct + self.suf_mispredict
+        if not decided:
+            return 1.0
+        return self.suf_correct / decided
+
+    def reset(self) -> None:
+        self.gm_fills = 0
+        self.gm_hits = 0
+        self.gm_misses = 0
+        self.commit_writes = 0
+        self.commit_refetches = 0
+        self.gm_lost_before_commit = 0
+        self.commit_drops_suf = 0
+        self.wb_stopped_suf = 0
+        self.suf_correct = 0
+        self.suf_mispredict = 0
+
+
+@dataclass
+class DRAMStats:
+    """DRAM channel statistics."""
+
+    requests: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def row_hit_rate(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.row_hits / self.requests
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.row_hits = 0
+        self.row_misses = 0

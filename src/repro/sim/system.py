@@ -1,0 +1,484 @@
+"""Single-core system: core + hierarchy + prefetcher + contribution glue.
+
+:class:`System` wires the Table II core model, a (secure or non-secure)
+memory hierarchy, one data prefetcher in a chosen training mode, and the
+paper's mechanisms (SUF hit-level queue, TSB's X-LQ, the Fig. 6 miss
+classifier).  :meth:`System.run` replays a trace and returns a
+:class:`SimResult` with every statistic the paper's figures need.
+
+Event ordering: the loop processes instructions in program order.  Demand
+accesses happen at dispatch time and commit actions are queued by retire
+time; both streams are monotone, so draining the commit queue up to each new
+dispatch time yields a globally time-ordered event sequence -- cache, GM,
+MSHR, and DRAM contention are therefore seen in the right order by both the
+speculative and the commit paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.classification import MissClassifier
+from ..core.suf import HitLevelQueue, suf_decide
+from ..core.xlq import XLQ
+from ..prefetchers.base import (MODE_ON_ACCESS, MODE_ON_COMMIT, Prefetcher,
+                                TrainingEvent)
+from ..workloads.trace import (BLOCK_SHIFT, FLAG_BRANCH, FLAG_LOAD,
+                               FLAG_MISPREDICT, FLAG_STORE, FLAG_WRONG_PATH,
+                               Trace)
+from .cpu import CoreModel
+from .delay import DelayOnMissPolicy
+from .hierarchy import MemoryHierarchy
+from .params import SystemParams, baseline
+from .stats import (CacheStats, CoreStats, DRAMStats, GhostMinionStats)
+from .tlb import TLBHierarchy, TLBStats
+
+
+@dataclass
+class SimResult:
+    """Everything measured by one simulation run."""
+
+    label: str
+    trace_name: str
+    committed: int
+    cycles: int
+    ipc: float
+    core: CoreStats
+    l1d: CacheStats
+    l2: CacheStats
+    llc: CacheStats
+    gm: Optional[GhostMinionStats]
+    dram: DRAMStats
+    tlb: Optional[TLBStats]
+    classification: Optional[Dict[str, int]]
+    prefetcher_name: str
+    train_level: int
+    train_mode: str
+    secure: bool
+    suf: bool
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def kilo_instructions(self) -> float:
+        return self.committed / 1000.0
+
+    def apki(self, level_stats: CacheStats) -> float:
+        ki = self.kilo_instructions()
+        return level_stats.total_accesses() / ki if ki else 0.0
+
+    def mpki(self, level_stats: CacheStats) -> float:
+        ki = self.kilo_instructions()
+        return level_stats.demand_misses() / ki if ki else 0.0
+
+
+class System:
+    """One core and its memory system, in one of the paper's configurations.
+
+    Parameters
+    ----------
+    params:
+        Hardware configuration (defaults to Table II).
+    secure:
+        Use the GhostMinion secure cache system.
+    suf:
+        Enable the Secure Update Filter (requires ``secure``).
+    prefetcher:
+        A :class:`Prefetcher` instance, or ``None``.  TSB instances (with a
+        ``requires_xlq`` attribute) automatically get X-LQ-sourced training
+        events.
+    train_mode:
+        ``"on-access"`` or ``"on-commit"``.
+    shadow:
+        Optional on-access shadow prefetcher enabling the Fig. 6 miss
+        taxonomy.  Pass a *fresh* instance of the same prefetcher type.
+    classify:
+        Collect the miss taxonomy even without a shadow (late/uncovered
+        only).
+    """
+
+    def __init__(self, params: Optional[SystemParams] = None, *,
+                 secure: bool = False, suf: bool = False,
+                 delay_mitigation: bool = False,
+                 prefetcher: Optional[Prefetcher] = None,
+                 train_mode: str = MODE_ON_ACCESS,
+                 shadow: Optional[Prefetcher] = None,
+                 classify: bool = False,
+                 shared_llc=None, shared_dram=None,
+                 label: Optional[str] = None) -> None:
+        if params is None:
+            params = baseline()
+        if train_mode not in (MODE_ON_ACCESS, MODE_ON_COMMIT):
+            raise ValueError(f"unknown train mode {train_mode!r}")
+        if suf and not secure:
+            raise ValueError("SUF requires the secure cache system")
+        if delay_mitigation and secure:
+            raise ValueError("pick one mitigation: GhostMinion (secure) "
+                             "or delay-on-miss (delay_mitigation)")
+        self.params = params
+        self.secure = secure
+        self.suf = suf
+        self.delay_policy = DelayOnMissPolicy() if delay_mitigation \
+            else None
+        self.prefetcher = prefetcher
+        self.train_mode = train_mode
+
+        self.hierarchy = MemoryHierarchy(
+            params, secure=secure,
+            commit_filter=suf_decide if suf else None,
+            shared_llc=shared_llc, shared_dram=shared_dram)
+        self.core = CoreModel(params.core)
+        self.core_stats = CoreStats()
+        self.tlb = TLBHierarchy(params.tlb)
+
+        #: SUF's LQ-side hit-level storage (step 1 of Fig. 7).
+        self.hit_levels = HitLevelQueue(params.core.lq_entries,
+                                        params.l1d.blocks) if suf else None
+        #: TSB's X-LQ: instantiated when the prefetcher asks for it.
+        self.use_xlq = bool(getattr(prefetcher, "requires_xlq", False))
+        self.xlq: Optional[XLQ] = getattr(prefetcher, "xlq", None) \
+            if self.use_xlq else None
+        if self.use_xlq and self.xlq is None:
+            self.xlq = XLQ(params.core.lq_entries)
+
+        self.classifier = MissClassifier(
+            shadow, commit_mode=(train_mode == MODE_ON_COMMIT)) \
+            if (shadow is not None or classify) and prefetcher is not None \
+            else None
+        #: TS wrappers expose ``note_demand`` for lateness feedback.
+        self._ts_feedback = hasattr(prefetcher, "note_demand")
+
+        self.label = label if label is not None else self._default_label()
+
+        #: Queued commit actions: (retire_time, is_load, payload).
+        self._commit_q: Deque[Tuple] = deque()
+        self._pending_redirect = 0
+        self._seq = 0
+        self._warmup_cycle = 0
+
+    def _default_label(self) -> str:
+        pf = self.prefetcher.name if self.prefetcher else "no-pref"
+        if self.secure:
+            system = "secure"
+        elif self.delay_policy is not None:
+            system = "delay"
+        else:
+            system = "non-secure"
+        parts = [pf, self.train_mode, system]
+        if self.suf:
+            parts.append("suf")
+        return "/".join(parts)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace, warmup: float = 0.2) -> SimResult:
+        """Replay ``trace``; measure everything after the warm-up fraction.
+
+        ``warmup`` is the fraction of committed instructions used to warm
+        caches and predictor tables before statistics are reset.
+        """
+        for _ in self.stepper(trace, warmup, chunk=0):
+            pass
+        return self.finalize(trace)
+
+    def stepper(self, trace: Trace, warmup: float = 0.2,
+                chunk: int = 32):
+        """Incrementally replay ``trace``, yielding every ``chunk``
+        committed-path instructions (``chunk=0`` never yields).
+
+        The multi-core driver interleaves several systems' steppers by
+        time; :meth:`finalize` must be called after exhaustion.
+        """
+        warmup_target = int(trace.committed_count * warmup)
+        warmed = warmup_target == 0
+        committed = 0
+        since_yield = 0
+
+        core = self.core
+        stats = self.core_stats
+        issue_latency = self.params.core.load_issue_latency
+        alu_latency = self.params.core.alu_latency
+        penalty = self.params.core.mispredict_penalty
+
+        for ip, vaddr, flags in trace.records:
+            self._seq += 1
+            wrong = flags & FLAG_WRONG_PATH
+            if not wrong and self._pending_redirect:
+                core.redirect(self._pending_redirect)
+                self._pending_redirect = 0
+            t_disp = core.dispatch(bool(wrong))
+            if self._commit_q and self._commit_q[0][0] <= t_disp:
+                self._drain_commits(t_disp)
+
+            if flags & FLAG_LOAD:
+                self._execute_load(ip, vaddr >> BLOCK_SHIFT,
+                                   t_disp + issue_latency, t_disp, wrong)
+                if wrong:
+                    stats.wrong_path_loads += 1
+                    continue
+                stats.committed_loads += 1
+            elif flags & FLAG_STORE:
+                if wrong:
+                    continue
+                t_ret = core.retire(t_disp + alu_latency, t_disp)
+                self._commit_q.append((t_ret, False, vaddr >> BLOCK_SHIFT))
+                stats.committed_stores += 1
+            else:
+                if wrong:
+                    continue
+                completion = t_disp + alu_latency
+                if flags & FLAG_BRANCH:
+                    if self.delay_policy is not None:
+                        completion = self.delay_policy.note_branch(
+                            completion)
+                    if flags & FLAG_MISPREDICT:
+                        self._pending_redirect = completion + penalty
+                        stats.branch_mispredicts += 1
+                core.retire(completion, t_disp)
+
+            committed += 1
+            stats.committed_instructions += 1
+            if not warmed and committed >= warmup_target:
+                warmed = True
+                self._reset_measurement()
+            if chunk:
+                since_yield += 1
+                if since_yield >= chunk:
+                    since_yield = 0
+                    yield
+
+    def finalize(self, trace: Trace) -> SimResult:
+        """Complete the run started by :meth:`stepper`; return results."""
+        self._drain_commits(None)
+        if self.classifier is not None:
+            self.classifier.finalize()
+        self.core_stats.cycles = max(
+            self.core.final_retire - self._warmup_cycle, 1)
+        return self._build_result(trace)
+
+    # ------------------------------------------------------------------
+    # loads
+    # ------------------------------------------------------------------
+
+    def _execute_load(self, ip: int, block: int, issue_time: int,
+                      dispatch_time: int, wrong: bool) -> None:
+        hierarchy = self.hierarchy
+        core = self.core
+        l1_stats = hierarchy.l1d.stats
+        l2_stats = hierarchy.l2.stats
+
+        issue_time = core.lq_allocate(issue_time)
+        # Address translation precedes the data-cache access; TLB misses
+        # push the access later.
+        issue_time += self.tlb.translate_block(block)
+        if self.delay_policy is not None:
+            l1d_hit = hierarchy.l1d.contains(block, issue_time)
+            if wrong and not l1d_hit:
+                # Delay-on-miss: a wrong-path miss never clears the branch
+                # horizon, so its request is never sent -- squashed.
+                core.lq_complete(issue_time + 1)
+                return
+            issue_time = self.delay_policy.issue_time(issue_time, l1d_hit)
+        merged1_pre = l1_stats.demand_merged_into_prefetch
+        useful1_pre = l1_stats.prefetches_useful
+        merged2_pre = l2_stats.demand_merged_into_prefetch
+        useful2_pre = l2_stats.prefetches_useful
+
+        result = hierarchy.demand_load(block, issue_time, self._seq,
+                                       wrong_path=bool(wrong))
+        slot = core.lq_complete(result.completion)
+
+        late_l1 = l1_stats.demand_merged_into_prefetch > merged1_pre
+        useful_l1 = l1_stats.prefetches_useful > useful1_pre
+        late_l2 = l2_stats.demand_merged_into_prefetch > merged2_pre
+        useful_l2 = l2_stats.prefetches_useful > useful2_pre
+        miss_l1 = result.hit_level >= 1
+        miss_l2 = result.hit_level >= 2
+
+        if self.hit_levels is not None and not wrong:
+            self.hit_levels.record(slot, result.hit_level)
+        if self.xlq is not None and not wrong:
+            if miss_l1 and not result.gm_hit:
+                self.xlq.record_miss(slot, issue_time)
+                self.xlq.record_fill(slot, result.fetch_latency)
+            elif useful_l1:
+                line = hierarchy.l1d.lookup(block)
+                line_latency = line.latency if line is not None \
+                    else result.fetch_latency
+                self.xlq.record_prefetch_hit(slot, issue_time, line_latency)
+
+        prefetcher = self.prefetcher
+        if prefetcher is not None:
+            event = TrainingEvent(
+                ip=ip, block=block, hit=result.hit_level == 0,
+                cycle=issue_time, access_cycle=issue_time,
+                fetch_latency=result.fetch_latency,
+                hit_level=result.hit_level,
+                prefetch_hit=useful_l1 if prefetcher.train_level == 0
+                else useful_l2)
+
+            classifier = self.classifier
+            if classifier is not None:
+                # A late prefetch may be merged at either level (L1-fill
+                # requests are demoted to the L2 under MSHR pressure).
+                late_any = late_l1 or late_l2
+                if prefetcher.train_level == 0 or miss_l1:
+                    classifier.on_access(event)
+                if prefetcher.train_level == 0 and miss_l1:
+                    classifier.classify_miss(block, issue_time, late_any)
+                elif prefetcher.train_level == 1 and miss_l2:
+                    classifier.classify_miss(block, issue_time, late_any)
+
+            if self.train_mode == MODE_ON_ACCESS:
+                if prefetcher.train_level == 0 or miss_l1:
+                    self._issue(prefetcher.train(event), issue_time)
+                if self._ts_feedback and not wrong:
+                    if prefetcher.train_level == 0:
+                        prefetcher.note_demand(miss_l1, late_l1, useful_l1)
+                    else:
+                        prefetcher.note_demand(miss_l2, late_l2, useful_l2)
+
+        if wrong:
+            return
+        if self.delay_policy is not None:
+            self.delay_policy.note_load_completion(result.completion)
+
+        meta = (miss_l1, miss_l2, late_l1, late_l2, useful_l1, useful_l2)
+        t_ret = core.retire(result.completion, dispatch_time)
+        self._commit_q.append(
+            (t_ret, True,
+             (ip, block, result.hit_level, issue_time,
+              result.fetch_latency, slot, meta)))
+
+    # ------------------------------------------------------------------
+    # commit stage
+    # ------------------------------------------------------------------
+
+    def _drain_commits(self, until: Optional[int]) -> None:
+        queue = self._commit_q
+        hierarchy = self.hierarchy
+        while queue and (until is None or queue[0][0] <= until):
+            t_ret, is_load, payload = queue.popleft()
+            if not is_load:
+                hierarchy.demand_store(payload, t_ret)
+                continue
+            ip, block, hit_level, issue_time, fetch_latency, slot, meta = \
+                payload
+            recorded_level = self.hit_levels.read(slot) \
+                if self.hit_levels is not None else hit_level
+            update_latency = hierarchy.commit_load(block, t_ret,
+                                                   recorded_level)
+            prefetcher = self.prefetcher
+            if prefetcher is None or self.train_mode != MODE_ON_COMMIT:
+                continue
+
+            (miss_l1, miss_l2, late_l1, late_l2,
+             useful_l1, useful_l2) = meta
+
+            event = self._commit_event(
+                ip, block, hit_level, t_ret, update_latency, slot,
+                useful_l1 if prefetcher.train_level == 0 else useful_l2)
+            if event is not None:
+                if prefetcher.train_level == 0 or hit_level >= 1:
+                    self._issue(prefetcher.train(event), t_ret)
+            if self._ts_feedback:
+                if prefetcher.train_level == 0:
+                    prefetcher.note_demand(miss_l1, late_l1, useful_l1)
+                else:
+                    prefetcher.note_demand(miss_l2, late_l2, useful_l2)
+
+    def _commit_event(self, ip: int, block: int, hit_level: int,
+                      commit_time: int, update_latency: int, slot: int,
+                      prefetch_hit: bool) -> Optional[TrainingEvent]:
+        """Build the training event the commit-stage prefetcher sees.
+
+        Naive on-commit training observes commit-ordered timestamps and the
+        on-commit update latency (the misleading value of Section V-B).
+        With the X-LQ (TSB), the preserved access time and GM fetch latency
+        are used instead.
+        """
+        if self.use_xlq:
+            entry = self.xlq.read(slot, commit_time)
+            if entry is None:
+                # Regular L1D hit: no training action (Section V-C).
+                return None
+            return TrainingEvent(
+                ip=ip, block=block, hit=hit_level == 0, cycle=commit_time,
+                access_cycle=entry.access_cycle,
+                fetch_latency=entry.fetch_latency, hit_level=hit_level,
+                prefetch_hit=entry.prefetch_hit)
+        return TrainingEvent(
+            ip=ip, block=block, hit=hit_level == 0, cycle=commit_time,
+            access_cycle=commit_time,
+            fetch_latency=max(update_latency, 1), hit_level=hit_level,
+            prefetch_hit=prefetch_hit)
+
+    def _issue(self, requests, time: int) -> None:
+        hierarchy = self.hierarchy
+        classifier = self.classifier
+        for request in requests:
+            if classifier is not None:
+                # Log the *trigger*, issued or not: the Fig. 6 commit-late
+                # definition asks when the prefetcher triggered the line,
+                # even if the request was redundant by then.
+                classifier.on_real_prefetch(request.block, time)
+            hierarchy.issue_prefetch(request.block, time,
+                                     request.fill_level)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+
+    def _reset_measurement(self) -> None:
+        self.hierarchy.reset_stats()
+        self.core_stats.reset()
+        self.tlb.reset_stats()
+        if self.delay_policy is not None:
+            self.delay_policy.reset_stats()
+        if self.classifier is not None:
+            self.classifier.resolve(self.core.final_retire)
+            for category in self.classifier.counts:
+                self.classifier.counts[category] = 0
+        self._warmup_cycle = self.core.final_retire
+
+    def _build_result(self, trace: Trace) -> SimResult:
+        stats = self.core_stats
+        hierarchy = self.hierarchy
+        classification = dict(self.classifier.counts) \
+            if self.classifier is not None else None
+        prefetcher = self.prefetcher
+        extras: Dict[str, float] = {}
+        if prefetcher is not None:
+            extras["prefetcher_storage_kb"] = prefetcher.storage_kb()
+        if self.hit_levels is not None:
+            extras["suf_storage_kb"] = self.hit_levels.storage_bits() \
+                / 8 / 1024
+        if self.delay_policy is not None:
+            extras["delayed_loads"] = self.delay_policy.stats.delayed_loads
+            extras["avg_delay_cycles"] = \
+                self.delay_policy.stats.average_delay()
+        if hierarchy.gm is not None:
+            extras["gm_ordering_drops"] = hierarchy.gm.ordering_drops
+        return SimResult(
+            label=self.label,
+            trace_name=trace.name,
+            committed=stats.committed_instructions,
+            cycles=stats.cycles,
+            ipc=stats.ipc(),
+            core=stats,
+            l1d=hierarchy.l1d.stats,
+            l2=hierarchy.l2.stats,
+            llc=hierarchy.llc.stats,
+            gm=hierarchy.gm_stats if self.secure else None,
+            dram=hierarchy.dram.stats,
+            tlb=self.tlb.stats,
+            classification=classification,
+            prefetcher_name=prefetcher.name if prefetcher else "none",
+            train_level=prefetcher.train_level if prefetcher else 0,
+            train_mode=self.train_mode,
+            secure=self.secure,
+            suf=self.suf,
+            extras=extras,
+        )

@@ -1,0 +1,153 @@
+"""TLB hierarchy: L1 dTLB backed by a shared STLB (Table II).
+
+Table II's translation parameters:
+
+* L1 dTLB: 64 entries, 4-way, 1 cycle;
+* STLB: 1536 entries, 12-way, 8 cycles;
+* misses in both walk the page table (modelled as a fixed-latency walk --
+  the radix-walk accesses mostly hit the caches' page-table working set).
+
+Translation happens before the data-cache access, so TLB misses lengthen a
+load's effective issue latency.  Like real hardware (and unlike the data
+caches under GhostMinion), TLB fills are *not* hidden from speculation:
+wrong-path loads may install translations.  GhostMinion's paper scopes TLB
+side channels out of its threat model (they are mitigated by orthogonal
+techniques); we keep the same scope and model the TLB purely for timing
+fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: 4 KB pages.
+PAGE_SHIFT = 12
+
+
+@dataclass(frozen=True)
+class TLBLevelParams:
+    """One TLB level."""
+
+    name: str
+    entries: int
+    ways: int
+    latency: int
+
+    @property
+    def sets(self) -> int:
+        return self.entries // self.ways
+
+
+@dataclass(frozen=True)
+class TLBParams:
+    """The Table II translation hierarchy."""
+
+    dtlb: TLBLevelParams = field(default_factory=lambda: TLBLevelParams(
+        name="dTLB", entries=64, ways=4, latency=1))
+    stlb: TLBLevelParams = field(default_factory=lambda: TLBLevelParams(
+        name="STLB", entries=1536, ways=12, latency=8))
+    #: Page-table walk latency on an STLB miss (cycles).  Walks mostly hit
+    #: the cache hierarchy's page-table entries, so this sits between an
+    #: L2 and an LLC round trip.
+    walk_latency: int = 60
+    #: dTLB hits are folded into the load pipeline (no extra cycles).
+    enabled: bool = True
+
+
+@dataclass
+class TLBStats:
+    """Translation statistics."""
+
+    dtlb_accesses: int = 0
+    dtlb_misses: int = 0
+    stlb_misses: int = 0
+
+    def dtlb_miss_rate(self) -> float:
+        if not self.dtlb_accesses:
+            return 0.0
+        return self.dtlb_misses / self.dtlb_accesses
+
+    def reset(self) -> None:
+        self.dtlb_accesses = 0
+        self.dtlb_misses = 0
+        self.stlb_misses = 0
+
+
+class _TLBLevel:
+    """A set-associative translation cache (LRU)."""
+
+    __slots__ = ("params", "_sets", "_set_mask", "_tick")
+
+    def __init__(self, params: TLBLevelParams) -> None:
+        self.params = params
+        self._sets: List[Dict[int, int]] = [
+            dict() for _ in range(params.sets)]
+        self._set_mask = params.sets - 1
+        self._tick = 0
+
+    def lookup(self, page: int) -> bool:
+        """Touch-and-test; returns hit."""
+        self._tick += 1
+        set_ = self._sets[page & self._set_mask]
+        if page in set_:
+            set_[page] = self._tick
+            return True
+        return False
+
+    def fill(self, page: int) -> None:
+        set_ = self._sets[page & self._set_mask]
+        if page in set_:
+            return
+        if len(set_) >= self.params.ways:
+            victim = min(set_, key=set_.get)
+            del set_[victim]
+        self._tick += 1
+        set_[page] = self._tick
+
+    def flush(self) -> None:
+        for set_ in self._sets:
+            set_.clear()
+
+
+class TLBHierarchy:
+    """dTLB -> STLB -> page walk."""
+
+    def __init__(self, params: Optional[TLBParams] = None) -> None:
+        self.params = params if params is not None else TLBParams()
+        self.stats = TLBStats()
+        self._dtlb = _TLBLevel(self.params.dtlb)
+        self._stlb = _TLBLevel(self.params.stlb)
+
+    def translate(self, vaddr: int) -> int:
+        """Translate one access; returns the added latency in cycles.
+
+        A dTLB hit costs nothing extra (it overlaps the AGU); a dTLB miss
+        pays the STLB latency; an STLB miss additionally pays the walk.
+        """
+        if not self.params.enabled:
+            return 0
+        page = vaddr >> PAGE_SHIFT
+        self.stats.dtlb_accesses += 1
+        if self._dtlb.lookup(page):
+            return 0
+        self.stats.dtlb_misses += 1
+        if self._stlb.lookup(page):
+            self._dtlb.fill(page)
+            return self.params.stlb.latency
+        self.stats.stlb_misses += 1
+        self._stlb.fill(page)
+        self._dtlb.fill(page)
+        return self.params.stlb.latency + self.params.walk_latency
+
+    def translate_block(self, block: int) -> int:
+        """Translate a cache-block number (64-byte blocks, 4 KB pages)."""
+        return self.translate(block << 6)
+
+    def flush(self) -> None:
+        """Full TLB shootdown (context/domain switch)."""
+        self._dtlb.flush()
+        self._stlb.flush()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,235 @@
+"""GAP-like graph workload traces.
+
+The GAP benchmark suite processes CSR graphs; its memory behaviour is a mix
+of *sequential streams* (offset and neighbor arrays) and *random gathers*
+(per-vertex property arrays indexed by neighbor id).  We synthesize an
+Erdos-Renyi-style graph in CSR form and emit the address stream each kernel
+actually performs, using the kernel's real visit order (BFS frontier order,
+PageRank's sequential sweeps, ...).
+
+Array layout (8-byte elements, disjoint gigabyte-aligned regions):
+
+* ``offsets[v]``   -- CSR row pointers, sequential in visit order;
+* ``neighbors[i]`` -- CSR column indices, streamed per vertex;
+* ``prop[v]``      -- visited flags / ranks / components / distances,
+  gathered at random vertex ids: the high-MPKI part.
+
+Graph kernels branch heavily and unpredictably (data-dependent frontier
+membership), so these builders use a higher mispredict rate than the SPEC
+generators.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List, Tuple
+
+from .synthetic import REGION_GAP, TraceBuilder
+from .trace import Trace
+
+_GRAPH_CACHE: Dict[Tuple[int, int, int], Tuple[List[int], List[int]]] = {}
+
+OFFSETS_BASE = 1 * REGION_GAP
+NEIGHBORS_BASE = 2 * REGION_GAP
+PROP_BASE = 3 * REGION_GAP
+PROP2_BASE = 4 * REGION_GAP
+
+_ELEM = 8  # bytes per array element
+
+
+def build_graph(vertices: int = 65536, degree: int = 16,
+                seed: int = 42) -> Tuple[List[int], List[int]]:
+    """Return (offsets, neighbors) of a random CSR graph (cached)."""
+    key = (vertices, degree, seed)
+    cached = _GRAPH_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = random.Random(seed)
+    offsets = [0] * (vertices + 1)
+    neighbors: List[int] = []
+    for v in range(vertices):
+        deg = rng.randrange(max(1, degree // 2), degree + degree // 2)
+        row = sorted(rng.randrange(vertices) for _ in range(deg))
+        neighbors.extend(row)
+        offsets[v + 1] = len(neighbors)
+    graph = (offsets, neighbors)
+    _GRAPH_CACHE[key] = graph
+    return graph
+
+
+class _GraphEmitter:
+    """Shared helpers for emitting CSR access streams."""
+
+    def __init__(self, name: str, seed: int, vertices: int,
+                 degree: int) -> None:
+        self.builder = TraceBuilder(
+            name, suite="gap", seed=seed, branch_every=6,
+            mispredict_rate=0.01, wrong_path_loads=4)
+        self.offsets, self.neighbors = build_graph(vertices, degree, seed)
+        self.vertices = vertices
+        b = self.builder
+        self.ip_offsets = b.new_ip()
+        self.ip_neighbors = b.new_ip()
+        self.ip_prop = b.new_ip()
+        self.ip_prop2 = b.new_ip()
+        self.loads = 0
+
+    def visit_vertex(self, u: int, *, gather: bool = True,
+                     prop_base: int = PROP_BASE,
+                     neighbor_cap: int = 64) -> List[int]:
+        """Emit the loads of processing vertex ``u``; return its
+        neighbors."""
+        b = self.builder
+        b.add_load(self.ip_offsets, OFFSETS_BASE + u * _ELEM)
+        self.loads += 1
+        start, end = self.offsets[u], self.offsets[u + 1]
+        row = self.neighbors[start:min(end, start + neighbor_cap)]
+        for i, v in enumerate(row):
+            b.add_load(self.ip_neighbors, NEIGHBORS_BASE + (start + i) *
+                       _ELEM)
+            self.loads += 1
+            if gather:
+                addr = prop_base + v * _ELEM
+                b.add_load(self.ip_prop, addr)
+                b.note_wrong_path_target(addr)
+                self.loads += 1
+        return row
+
+    def build(self) -> Trace:
+        return self.builder.build()
+
+
+def bfs_trace(name: str = "bfs-14B", n_loads: int = 30000, *,
+              vertices: int = 65536, degree: int = 16,
+              seed: int = 42) -> Trace:
+    """Breadth-first search: frontier-ordered visits, random gathers."""
+    emitter = _GraphEmitter(name, seed, vertices, degree)
+    visited = bytearray(vertices)
+    frontier = deque([seed % vertices])
+    visited[seed % vertices] = 1
+    while frontier and emitter.loads < n_loads:
+        u = frontier.popleft()
+        for v in emitter.visit_vertex(u):
+            if not visited[v]:
+                visited[v] = 1
+                # Marking the vertex writes its visited flag.
+                emitter.builder.add_store(emitter.ip_prop2,
+                                          PROP2_BASE + v * _ELEM)
+                frontier.append(v)
+    return emitter.build()
+
+
+def pagerank_trace(name: str = "pr-14B", n_loads: int = 30000, *,
+                   vertices: int = 65536, degree: int = 16,
+                   seed: int = 43) -> Trace:
+    """PageRank: sequential vertex sweeps with random rank gathers."""
+    emitter = _GraphEmitter(name, seed, vertices, degree)
+    u = 0
+    while emitter.loads < n_loads:
+        emitter.visit_vertex(u % vertices)
+        if u % vertices == vertices - 1:
+            pass  # next iteration sweeps again from vertex 0
+        u += 1
+    return emitter.build()
+
+
+def cc_trace(name: str = "cc-14B", n_loads: int = 30000, *,
+             vertices: int = 65536, degree: int = 16,
+             seed: int = 44) -> Trace:
+    """Connected components: edge sweeps reading both endpoints'
+    components."""
+    emitter = _GraphEmitter(name, seed, vertices, degree)
+    b = emitter.builder
+    u = 0
+    while emitter.loads < n_loads:
+        row = emitter.visit_vertex(u % vertices, gather=True)
+        # comp[u] is re-read and occasionally updated (union step).
+        b.add_load(emitter.ip_prop2, PROP2_BASE + (u % vertices) * _ELEM)
+        emitter.loads += 1
+        if row and (u + len(row)) % 3 == 0:
+            b.add_store(emitter.ip_prop2, PROP2_BASE + row[0] * _ELEM)
+        u += 1
+    return emitter.build()
+
+
+def sssp_trace(name: str = "sssp-14B", n_loads: int = 30000, *,
+               vertices: int = 65536, degree: int = 16,
+               seed: int = 45) -> Trace:
+    """Delta-stepping-style SSSP: bucket-ordered (semi-random) visits."""
+    emitter = _GraphEmitter(name, seed, vertices, degree)
+    rng = random.Random(seed * 3 + 1)
+    # Bucket order: a permuted visit order models priority buckets.
+    order = list(range(vertices))
+    rng.shuffle(order)
+    i = 0
+    while emitter.loads < n_loads:
+        emitter.visit_vertex(order[i % vertices], prop_base=PROP_BASE)
+        i += 1
+    return emitter.build()
+
+
+def bc_trace(name: str = "bc-0B", n_loads: int = 30000, *,
+             vertices: int = 65536, degree: int = 16,
+             seed: int = 46) -> Trace:
+    """Betweenness centrality: BFS forward pass + reverse accumulation."""
+    emitter = _GraphEmitter(name, seed, vertices, degree)
+    visited = bytearray(vertices)
+    src = seed % vertices
+    frontier = deque([src])
+    visited[src] = 1
+    order: List[int] = []
+    budget = n_loads * 2 // 3
+    while frontier and emitter.loads < budget:
+        u = frontier.popleft()
+        order.append(u)
+        for v in emitter.visit_vertex(u):
+            if not visited[v]:
+                visited[v] = 1
+                frontier.append(v)
+    # Reverse pass accumulates dependencies (second property array).
+    for u in reversed(order):
+        if emitter.loads >= n_loads:
+            break
+        emitter.visit_vertex(u, prop_base=PROP2_BASE)
+    return emitter.build()
+
+
+def tc_trace(name: str = "tc-0B", n_loads: int = 30000, *,
+             vertices: int = 8192, degree: int = 24,
+             seed: int = 47) -> Trace:
+    """Triangle counting: nested neighbor-list scans with heavy reuse."""
+    emitter = _GraphEmitter(name, seed, vertices, degree)
+    u = 0
+    while emitter.loads < n_loads:
+        row = emitter.visit_vertex(u % vertices, gather=False,
+                                   neighbor_cap=12)
+        for v in row[:4]:
+            emitter.visit_vertex(v, gather=False, neighbor_cap=12)
+            if emitter.loads >= n_loads:
+                break
+        u += 1
+    return emitter.build()
+
+
+#: Kernel-name -> builder, mirroring the GAP suite used in the paper.
+GAP_KERNELS = {
+    "bfs": bfs_trace,
+    "pr": pagerank_trace,
+    "cc": cc_trace,
+    "sssp": sssp_trace,
+    "bc": bc_trace,
+    "tc": tc_trace,
+}
+
+
+def gap_traces(n_loads: int = 30000, *, vertices: int = 65536,
+               seed: int = 42) -> List[Trace]:
+    """The GAP-like trace pool."""
+    traces = []
+    for i, (kernel, build) in enumerate(sorted(GAP_KERNELS.items())):
+        kwargs = {"n_loads": n_loads, "seed": seed + i}
+        if kernel != "tc":
+            kwargs["vertices"] = vertices
+        traces.append(build(f"{kernel}-{seed}B", **kwargs))
+    return traces

@@ -1,0 +1,82 @@
+"""Trace serialization: save and load traces as compact binary files.
+
+Traces regenerate deterministically from their seeds, so serialization
+mainly serves (a) interchange with other tools, (b) archiving the exact
+workloads behind a set of published numbers, and (c) skipping generation
+cost for the large graph workloads.
+
+Format (``.rtrace``, gzip-compressed):
+
+* 16-byte header: magic ``b"RPRT"``, version (u16), flags (u16),
+  record count (u64);
+* a UTF-8 name block (u16 length + bytes) and suite block (same);
+* records as fixed 13-byte little-endian triples: ip (u48), vaddr (i64,
+  -1 for non-memory), flags (u8).
+
+The format is versioned; readers reject unknown versions rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import Union
+
+from .trace import Trace
+
+MAGIC = b"RPRT"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQ")
+_RECORD = struct.Struct("<qqB")  # generous fixed width, compresses well
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed or incompatible trace files."""
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (gzip-compressed binary)."""
+    path = Path(path)
+    name_bytes = trace.name.encode("utf-8")
+    suite_bytes = trace.suite.encode("utf-8")
+    with gzip.open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION, 0, len(trace.records)))
+        handle.write(struct.pack("<H", len(name_bytes)))
+        handle.write(name_bytes)
+        handle.write(struct.pack("<H", len(suite_bytes)))
+        handle.write(suite_bytes)
+        pack = _RECORD.pack
+        for ip, vaddr, flags in trace.records:
+            handle.write(pack(ip, vaddr, flags))
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with gzip.open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFormatError(f"{path}: truncated header")
+        magic, version, _flags, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"{path}: not a repro trace file")
+        if version != VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported version {version} "
+                f"(reader supports {VERSION})")
+        (name_len,) = struct.unpack("<H", handle.read(2))
+        name = handle.read(name_len).decode("utf-8")
+        (suite_len,) = struct.unpack("<H", handle.read(2))
+        suite = handle.read(suite_len).decode("utf-8")
+
+        size = _RECORD.size
+        unpack = _RECORD.unpack
+        payload = handle.read(count * size)
+        if len(payload) != count * size:
+            raise TraceFormatError(f"{path}: truncated record section")
+        records = [unpack(payload[i:i + size])
+                   for i in range(0, len(payload), size)]
+    return Trace(name, records, suite=suite)

@@ -1,0 +1,50 @@
+"""Multi-core workload mixes (Section VI: heterogeneous random mixes).
+
+The paper simulates 150 randomly generated 4-core mixes of SPEC CPU2017 and
+GAP traces; we generate seeded random mixes from our pools the same way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .gap import GAP_KERNELS, gap_traces
+from .spec import SPEC_WORKLOADS, spec_traces
+from .trace import Trace
+
+
+def workload_pool(n_loads: int = 20000, *, spec_count: int = 0,
+                  gap_count: int = 0, seed: int = 1) -> List[Trace]:
+    """Build the combined SPEC-like + GAP-like pool.
+
+    ``spec_count`` / ``gap_count`` truncate the pools (0 = all) so small
+    benchmark scales stay fast.
+    """
+    spec = spec_traces(n_loads, count=spec_count, seed=seed)
+    gap = gap_traces(n_loads, seed=seed + 41)
+    if gap_count:
+        gap = gap[:gap_count]
+    return spec + gap
+
+
+def generate_mixes(pool: Sequence[Trace], n_mixes: int, cores: int = 4,
+                   seed: int = 7) -> List[List[Trace]]:
+    """Seeded random heterogeneous mixes drawn (with replacement) from
+    ``pool``, mirroring the paper's mix construction."""
+    if not pool:
+        raise ValueError("empty workload pool")
+    rng = random.Random(seed)
+    mixes = []
+    for _ in range(n_mixes):
+        mixes.append([pool[rng.randrange(len(pool))] for _ in range(cores)])
+    return mixes
+
+
+def mix_name(mix: Sequence[Trace]) -> str:
+    return "+".join(trace.name.split("-")[0].split(".")[-1]
+                    for trace in mix)
+
+
+__all__ = ["workload_pool", "generate_mixes", "mix_name",
+           "SPEC_WORKLOADS", "GAP_KERNELS"]

@@ -1,0 +1,155 @@
+"""SPEC CPU2017-like trace pool.
+
+Each named workload maps a memory-intensive SPEC CPU2017 SimPoint from the
+paper's Fig. 12(a) to the synthetic pattern class that reproduces its
+behaviour (DESIGN.md section 3).  Names keep the SPEC trace naming so the
+per-trace figures read like the paper's.
+
+The full pool has 14 workloads; ``spec_traces`` returns a deterministic
+subset sized by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .synthetic import (hot_cold_trace, interleave, pointer_chase_trace,
+                        region_trace, stream_trace)
+from .trace import Trace
+
+SUITE = "spec"
+
+
+def _mcf_1554(n: int, seed: int) -> Trace:
+    return pointer_chase_trace(
+        "605.mcf-1554B", n, footprint_mb=8, chains=2, locality=0.3,
+        seed=seed, suite=SUITE, mispredict_rate=0.006)
+
+
+def _mcf_994(n: int, seed: int) -> Trace:
+    return pointer_chase_trace(
+        "605.mcf-994B", n, footprint_mb=6, chains=3, locality=0.35,
+        seed=seed + 1, suite=SUITE, mispredict_rate=0.005)
+
+
+def _bwaves_2931(n: int, seed: int) -> Trace:
+    return stream_trace(
+        "603.bwa-2931B", n, streams=6, stride_blocks=2, elems_per_block=4,
+        footprint_mb=24,
+        seed=seed + 2, suite=SUITE)
+
+
+def _lbm_2676(n: int, seed: int) -> Trace:
+    return stream_trace(
+        "619.lbm-2676B", n, streams=4, stride_blocks=1, elems_per_block=8,
+        footprint_mb=24,
+        store_every=4, seed=seed + 3, suite=SUITE)
+
+
+def _roms_1007(n: int, seed: int) -> Trace:
+    return stream_trace(
+        "654.roms-1007B", n, streams=5, stride_blocks=4, elems_per_block=4,
+        footprint_mb=32,
+        seed=seed + 4, suite=SUITE)
+
+
+def _cactu_2421(n: int, seed: int) -> Trace:
+    return stream_trace(
+        "607.cactu-2421B", n, streams=3, stride_blocks=8, elems_per_block=2,
+        footprint_mb=32,
+        seed=seed + 5, suite=SUITE, filler=4)
+
+
+def _gcc_1850(n: int, seed: int) -> Trace:
+    return region_trace(
+        "602.gcc-1850B", n, footprints=8, pool_regions=256, churn=0.12,
+        seed=seed + 6, suite=SUITE, mispredict_rate=0.004)
+
+
+def _xalan_10(n: int, seed: int) -> Trace:
+    return region_trace(
+        "623.xalan-10B", n, footprints=6, pool_regions=192, churn=0.08,
+        seed=seed + 7, suite=SUITE, mispredict_rate=0.004)
+
+
+def _omnet_141(n: int, seed: int) -> Trace:
+    return pointer_chase_trace(
+        "620.omnet-141B", n, footprint_mb=5, chains=2, locality=0.4,
+        seed=seed + 8, suite=SUITE, mispredict_rate=0.005)
+
+
+def _foton_1176(n: int, seed: int) -> Trace:
+    return stream_trace(
+        "649.foton-1176B", n, streams=8, stride_blocks=2, elems_per_block=4,
+        footprint_mb=16,
+        seed=seed + 9, suite=SUITE)
+
+
+def _wrf_6673(n: int, seed: int) -> Trace:
+    half = n // 2
+    streams = stream_trace(
+        "wrf-part-a", half, streams=4, stride_blocks=2, elems_per_block=4,
+        footprint_mb=16,
+        seed=seed + 10, suite=SUITE)
+    regions = region_trace(
+        "wrf-part-b", n - half, footprints=6, pool_regions=256, churn=0.1,
+        seed=seed + 11, suite=SUITE)
+    mixed = interleave([streams, regions], "621.wrf-6673B")
+    mixed.suite = SUITE
+    return mixed
+
+
+def _xz_2302(n: int, seed: int) -> Trace:
+    return hot_cold_trace(
+        "657.xz-2302B", n, hot_kb=24, cold_mb=12, cold_ratio=0.08,
+        seed=seed + 12, suite=SUITE, mispredict_rate=0.004)
+
+
+def _leela_1083(n: int, seed: int) -> Trace:
+    return hot_cold_trace(
+        "641.leela-1083B", n, hot_kb=32, cold_mb=8, cold_ratio=0.05,
+        seed=seed + 13, suite=SUITE, mispredict_rate=0.008)
+
+
+def _perlb_570(n: int, seed: int) -> Trace:
+    return hot_cold_trace(
+        "600.perlb-570B", n, hot_kb=28, cold_mb=8, cold_ratio=0.06,
+        seed=seed + 14, suite=SUITE, mispredict_rate=0.003)
+
+
+#: Workload name -> builder(n_loads, seed).
+SPEC_WORKLOADS: Dict[str, Callable[[int, int], Trace]] = {
+    "605.mcf-1554B": _mcf_1554,
+    "605.mcf-994B": _mcf_994,
+    "603.bwa-2931B": _bwaves_2931,
+    "619.lbm-2676B": _lbm_2676,
+    "654.roms-1007B": _roms_1007,
+    "607.cactu-2421B": _cactu_2421,
+    "602.gcc-1850B": _gcc_1850,
+    "623.xalan-10B": _xalan_10,
+    "620.omnet-141B": _omnet_141,
+    "649.foton-1176B": _foton_1176,
+    "621.wrf-6673B": _wrf_6673,
+    "657.xz-2302B": _xz_2302,
+    "641.leela-1083B": _leela_1083,
+    "600.perlb-570B": _perlb_570,
+}
+
+
+def spec_trace(name: str, n_loads: int = 30000, seed: int = 1) -> Trace:
+    """Build one named SPEC-like trace."""
+    try:
+        builder = SPEC_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown SPEC-like workload {name!r}; known: "
+                         f"{sorted(SPEC_WORKLOADS)}") from None
+    return builder(n_loads, seed)
+
+
+def spec_traces(n_loads: int = 30000, *, count: int = 0,
+                seed: int = 1) -> List[Trace]:
+    """Build the SPEC-like pool (first ``count`` workloads, 0 = all)."""
+    names = list(SPEC_WORKLOADS)
+    if count:
+        names = names[:count]
+    return [spec_trace(name, n_loads, seed) for name in names]

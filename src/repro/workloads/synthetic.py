@@ -1,0 +1,328 @@
+"""Synthetic trace generation primitives.
+
+Real SPEC CPU2017 / GAP SimPoint traces are multi-gigabyte downloads, so the
+reproduction generates address streams exhibiting the *memory behaviours*
+that drive the paper's effects (DESIGN.md section 3):
+
+* streaming / strided access (bwaves, lbm, roms, fotonik ...);
+* pointer chasing over footprints far larger than the LLC (mcf, omnetpp);
+* spatially-clustered region access with recurring footprints (gcc,
+  xalancbmk) -- the pattern Bingo exploits;
+* hot/cold working sets with low MPKI (leela, perlbench, xz);
+* graph traversals (GAP) built from real BFS/PageRank/... visit orders over
+  synthetic graphs (``repro.workloads.gap``).
+
+Every generator is deterministic given its seed.  Branches are emitted
+periodically; a configurable fraction mispredict, and each mispredict is
+followed by a burst of *wrong-path* loads that execute speculatively and
+never commit -- this is what makes on-access and on-commit prefetcher
+training genuinely different, and what gives GhostMinion's GM transient
+state to hide.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from .trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT, FLAG_STORE,
+                    FLAG_WRONG_PATH, Record, Trace)
+
+#: Byte distance between generated arrays / heaps, keeping address ranges
+#: of different data structures disjoint.
+REGION_GAP = 1 << 30
+
+
+class TraceBuilder:
+    """Incrementally assemble a trace with realistic instruction mix.
+
+    ``add_load``/``add_store`` emit the memory operation plus ``filler``
+    non-memory instructions; every ``branch_every`` instructions a branch is
+    emitted, mispredicting with probability ``mispredict_rate`` and then
+    running ``wrong_path_fn`` to produce the transient loads executed in the
+    shadow of the mispredict.
+    """
+
+    def __init__(self, name: str, *, suite: str = "synthetic",
+                 filler: int = 2, branch_every: int = 8,
+                 mispredict_rate: float = 0.002,
+                 wrong_path_loads: int = 4,
+                 seed: int = 1) -> None:
+        self.name = name
+        self.suite = suite
+        self.filler = filler
+        self.branch_every = branch_every
+        self.mispredict_rate = mispredict_rate
+        self.wrong_path_loads = wrong_path_loads
+        self.rng = random.Random(seed)
+        self.records: List[Record] = []
+        self._since_branch = 0
+        self._next_ip = 0x400000
+        #: Pool of wrong-path target addresses, refreshed by the patterns.
+        self._wrong_path_pool: List[int] = [REGION_GAP * 7]
+
+    def new_ip(self) -> int:
+        """Allocate a fresh instruction pointer (one per static load site)."""
+        ip = self._next_ip
+        self._next_ip += 4
+        return ip
+
+    def note_wrong_path_target(self, addr: int) -> None:
+        """Register an address wrong-path bursts may touch."""
+        pool = self._wrong_path_pool
+        pool.append(addr)
+        if len(pool) > 64:
+            pool.pop(0)
+
+    # ------------------------------------------------------------------
+
+    def add_load(self, ip: int, addr: int) -> None:
+        self.records.append((ip, addr, FLAG_LOAD))
+        self._advance()
+
+    def add_store(self, ip: int, addr: int) -> None:
+        self.records.append((ip, addr, FLAG_STORE))
+        self._advance()
+
+    def add_filler(self, count: Optional[int] = None) -> None:
+        for _ in range(self.filler if count is None else count):
+            self.records.append((self._next_ip, -1, 0))
+            self._since_branch += 1
+            self._maybe_branch()
+
+    def _advance(self) -> None:
+        self._since_branch += 1
+        self._maybe_branch()
+        self.add_filler()
+
+    def _maybe_branch(self) -> None:
+        if self._since_branch < self.branch_every:
+            return
+        self._since_branch = 0
+        mispredict = self.rng.random() < self.mispredict_rate
+        flags = FLAG_BRANCH | (FLAG_MISPREDICT if mispredict else 0)
+        self.records.append((self._next_ip + 2, -1, flags))
+        if mispredict:
+            self._emit_wrong_path()
+
+    def _emit_wrong_path(self) -> None:
+        """Transient loads executed in a mispredicted branch's shadow."""
+        rng = self.rng
+        pool = self._wrong_path_pool
+        wp_flags = FLAG_LOAD | FLAG_WRONG_PATH
+        ip = self._next_ip + 16
+        for _ in range(self.wrong_path_loads):
+            base = pool[rng.randrange(len(pool))]
+            addr = base + rng.randrange(256) * 64
+            self.records.append((ip, addr, wp_flags))
+
+    def build(self) -> Trace:
+        return Trace(self.name, self.records, suite=self.suite)
+
+
+# ----------------------------------------------------------------------
+# pattern generators
+# ----------------------------------------------------------------------
+
+def stream_trace(name: str, n_loads: int, *, streams: int = 4,
+                 stride_blocks: int = 1, elems_per_block: int = 8,
+                 footprint_mb: int = 16, store_every: int = 0, seed: int = 1,
+                 suite: str = "synthetic", **builder_kw) -> Trace:
+    """Concurrent sequential/strided streams (bwaves/lbm/roms-like).
+
+    Each stream reads ``elems_per_block`` 8-byte elements of a cache block
+    (so most accesses hit in the L1D, like real array sweeps), then jumps
+    ``stride_blocks`` blocks forward.  ``elems_per_block=1`` gives the
+    one-touch-per-block behaviour of large-stride codes (cactus-like).
+    """
+    builder = TraceBuilder(name, suite=suite, seed=seed, **builder_kw)
+    footprint = footprint_mb << 20
+    bases = [i * REGION_GAP for i in range(1, streams + 1)]
+    ips = [builder.new_ip() for _ in range(streams)]
+    store_ip = builder.new_ip()
+    block_pos = [0] * streams
+    elem_pos = [0] * streams
+    for i in range(n_loads):
+        s = i % streams
+        addr = bases[s] + (block_pos[s] * 64 + elem_pos[s] * 8) % footprint
+        elem_pos[s] += 1
+        if elem_pos[s] >= elems_per_block:
+            elem_pos[s] = 0
+            block_pos[s] += stride_blocks
+        builder.add_load(ips[s], addr)
+        if s == 0:
+            builder.note_wrong_path_target(addr)
+        if store_every and i % store_every == store_every - 1:
+            builder.add_store(store_ip, addr)
+    return builder.build()
+
+
+def pointer_chase_trace(name: str, n_loads: int, *, footprint_mb: int = 32,
+                        chains: int = 2, locality: float = 0.0,
+                        hot_fraction: float = 0.5, hot_kb: int = 32,
+                        scan_fraction: float = 0.6, scan_run: int = 32,
+                        seed: int = 1, suite: str = "synthetic",
+                        **builder_kw) -> Trace:
+    """Pointer-heavy walks over a huge footprint (mcf-like, high MPKI).
+
+    Real mcf mixes three behaviours this generator reproduces:
+
+    * ``hot_fraction`` of loads touch a small hot structure (node headers,
+      the simplex working set) and mostly hit;
+    * a ``scan_fraction`` of the cold walk follows short sequential runs of
+      ``scan_run`` blocks (arc-array scans) -- the part prefetchers can
+      learn;
+    * the rest are random jumps (pointer dereferences), with ``locality``
+      probability of re-touching a recently visited block.
+    """
+    builder = TraceBuilder(name, suite=suite, seed=seed, **builder_kw)
+    rng = random.Random(seed * 7919 + 13)
+    blocks = (footprint_mb << 20) // 64
+    hot_blocks = (hot_kb << 10) // 64
+    bases = [i * REGION_GAP for i in range(1, chains + 1)]
+    hot_base = (chains + 1) * REGION_GAP
+    jump_ips = [builder.new_ip() for _ in range(chains)]
+    scan_ips = [builder.new_ip() for _ in range(chains)]
+    hot_ip = builder.new_ip()
+    scan_pos = [0] * chains
+    scan_left = [0] * chains
+    segments = [[rng.randrange(blocks) for _ in range(16)]
+                for _ in range(chains)]
+    recent: List[int] = []
+    for i in range(n_loads):
+        if rng.random() < hot_fraction:
+            builder.add_load(hot_ip,
+                             hot_base + rng.randrange(hot_blocks) * 64)
+            continue
+        c = i % chains
+        if scan_left[c] > 0:
+            # Continue the sequential arc-array run.
+            scan_left[c] -= 1
+            scan_pos[c] += 1
+            addr = bases[c] + (scan_pos[c] % blocks) * 64
+            builder.add_load(scan_ips[c], addr)
+            continue
+        if rng.random() < scan_fraction:
+            # Re-scan one of a bounded set of arc-array segments (mcf
+            # revisits its arc lists every simplex iteration), refreshing a
+            # segment occasionally so cold misses keep appearing.
+            if rng.random() < 0.1:
+                segments[c][rng.randrange(len(segments[c]))] = \
+                    rng.randrange(blocks)
+            scan_left[c] = scan_run
+            scan_pos[c] = segments[c][rng.randrange(len(segments[c]))]
+            addr = bases[c] + scan_pos[c] * 64
+            builder.add_load(scan_ips[c], addr)
+            builder.note_wrong_path_target(addr)
+            continue
+        if recent and rng.random() < locality:
+            addr = recent[rng.randrange(len(recent))]
+        else:
+            addr = bases[c] + rng.randrange(blocks) * 64
+            recent.append(addr)
+            if len(recent) > 32:
+                recent.pop(0)
+        builder.add_load(jump_ips[c], addr)
+        builder.note_wrong_path_target(addr)
+    return builder.build()
+
+
+def region_trace(name: str, n_loads: int, *, region_blocks: int = 32,
+                 footprints: int = 8, pool_regions: int = 256,
+                 churn: float = 0.1, concurrency: int = 4, seed: int = 1,
+                 suite: str = "synthetic", **builder_kw) -> Trace:
+    """Spatially-clustered region access with recurring footprints.
+
+    A working set of ``pool_regions`` regions is visited repeatedly; each
+    visit touches the region's *footprint* (a fixed subset of its blocks
+    keyed by the visiting IP) -- exactly the structure Bingo's
+    PC+Address/PC+Offset history can learn.  With probability ``churn`` a
+    visit targets a brand-new region (working-set turnover), producing the
+    steady compulsory-miss stream that footprint prefetchers cover.
+    ``concurrency`` visits proceed interleaved (real code walks several
+    structures at once), giving a prefetcher time to run ahead of the
+    demands within each region.  gcc/xalancbmk-like.
+    """
+    builder = TraceBuilder(name, suite=suite, seed=seed, **builder_kw)
+    rng = random.Random(seed * 104729 + 1)
+    base = REGION_GAP
+    ips = [builder.new_ip() for _ in range(footprints)]
+    patterns = []
+    for _ in range(footprints):
+        size = rng.randrange(6, region_blocks // 2)
+        patterns.append(sorted(rng.sample(range(region_blocks), size)))
+    pool = list(range(pool_regions))
+    next_region = pool_regions
+
+    def new_visit() -> List[tuple]:
+        """Pick a region; return its pending (ip, addr) access list."""
+        nonlocal next_region
+        if rng.random() < churn:
+            pool[rng.randrange(len(pool))] = next_region
+            region = next_region
+            next_region += 1
+        else:
+            region = pool[rng.randrange(len(pool))]
+        f = region % footprints
+        region_base = base + region * region_blocks * 64
+        builder.note_wrong_path_target(region_base)
+        return [(ips[f], region_base + off * 64) for off in patterns[f]]
+
+    active = [new_visit() for _ in range(concurrency)]
+    loads = 0
+    slot = 0
+    while loads < n_loads:
+        slot = (slot + 1) % concurrency
+        if not active[slot]:
+            active[slot] = new_visit()
+        ip, addr = active[slot].pop(0)
+        builder.add_load(ip, addr)
+        loads += 1
+    return builder.build()
+
+
+def hot_cold_trace(name: str, n_loads: int, *, hot_kb: int = 24,
+                   cold_mb: int = 8, cold_ratio: float = 0.06,
+                   seed: int = 1, suite: str = "synthetic",
+                   **builder_kw) -> Trace:
+    """Mostly cache-resident hot set with occasional cold misses
+    (leela/perlbench/xz-like, low MPKI)."""
+    builder = TraceBuilder(name, suite=suite, seed=seed, **builder_kw)
+    rng = random.Random(seed * 31337 + 5)
+    hot_blocks = (hot_kb << 10) // 64
+    cold_blocks = (cold_mb << 20) // 64
+    hot_base = REGION_GAP
+    cold_base = 2 * REGION_GAP
+    hot_ip = builder.new_ip()
+    cold_ip = builder.new_ip()
+    cold_pos = 0
+    for _ in range(n_loads):
+        if rng.random() < cold_ratio:
+            # Cold accesses stride forward: partially prefetchable.
+            addr = cold_base + (cold_pos % cold_blocks) * 64
+            cold_pos += rng.randrange(1, 4)
+            builder.add_load(cold_ip, addr)
+            builder.note_wrong_path_target(addr)
+        else:
+            addr = hot_base + rng.randrange(hot_blocks) * 64
+            builder.add_load(hot_ip, addr)
+    return builder.build()
+
+
+def interleave(traces: Iterable[Trace], name: str,
+               chunk: int = 64) -> Trace:
+    """Round-robin interleave several traces (used to mix behaviours)."""
+    iters = [iter(t.records) for t in traces]
+    records: List[Record] = []
+    alive = list(range(len(iters)))
+    while alive:
+        for idx in list(alive):
+            taken = 0
+            for record in iters[idx]:
+                records.append(record)
+                taken += 1
+                if taken >= chunk:
+                    break
+            if taken < chunk:
+                alive.remove(idx)
+    return Trace(name, records)

@@ -1,0 +1,155 @@
+"""Trace records and trace containers.
+
+The simulator is trace driven, in the spirit of ChampSim.  A trace is an
+ordered list of committed-path instructions, optionally interleaved with
+*wrong-path* records that model the transient instructions executed in the
+shadow of a mispredicted branch.  Wrong-path records execute speculatively
+(they access the memory hierarchy and, on a non-secure system, pollute it and
+train on-access prefetchers) but they never commit.
+
+For speed each record is a plain tuple ``(ip, vaddr, flags)``:
+
+* ``ip``    -- instruction pointer (integer, byte address).
+* ``vaddr`` -- virtual byte address of the memory operand, or ``-1`` when the
+  instruction does not touch memory.
+* ``flags`` -- bitwise OR of the ``FLAG_*`` constants below.
+
+The :class:`Instr` dataclass offers a readable view of a record for tests and
+examples; the hot simulator loops index the tuples directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+#: Record flag bits.
+FLAG_LOAD = 0x01
+FLAG_STORE = 0x02
+FLAG_BRANCH = 0x04
+FLAG_MISPREDICT = 0x08  # only meaningful when FLAG_BRANCH is set
+FLAG_WRONG_PATH = 0x10  # transient record: executes, never commits
+
+#: Cache block size used throughout the simulator (bytes).
+BLOCK_SIZE = 64
+BLOCK_SHIFT = 6
+
+Record = Tuple[int, int, int]
+
+
+def block_of(addr: int) -> int:
+    """Return the cache-block number of a byte address."""
+    return addr >> BLOCK_SHIFT
+
+
+@dataclass(frozen=True)
+class Instr:
+    """Readable view of one trace record."""
+
+    ip: int
+    vaddr: int = -1
+    flags: int = 0
+
+    @property
+    def is_load(self) -> bool:
+        return bool(self.flags & FLAG_LOAD)
+
+    @property
+    def is_store(self) -> bool:
+        return bool(self.flags & FLAG_STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return bool(self.flags & FLAG_BRANCH)
+
+    @property
+    def is_mispredict(self) -> bool:
+        return bool(self.flags & FLAG_MISPREDICT)
+
+    @property
+    def is_wrong_path(self) -> bool:
+        return bool(self.flags & FLAG_WRONG_PATH)
+
+    @property
+    def is_mem(self) -> bool:
+        return self.vaddr >= 0
+
+    def record(self) -> Record:
+        """Return the compact tuple representation."""
+        return (self.ip, self.vaddr, self.flags)
+
+
+def load(ip: int, vaddr: int, *, wrong_path: bool = False) -> Record:
+    """Build a load record."""
+    flags = FLAG_LOAD | (FLAG_WRONG_PATH if wrong_path else 0)
+    return (ip, vaddr, flags)
+
+
+def store(ip: int, vaddr: int) -> Record:
+    """Build a store record (committed path only)."""
+    return (ip, vaddr, FLAG_STORE)
+
+
+def alu(ip: int) -> Record:
+    """Build a non-memory, non-branch record."""
+    return (ip, -1, 0)
+
+
+def branch(ip: int, *, mispredict: bool = False) -> Record:
+    """Build a branch record."""
+    flags = FLAG_BRANCH | (FLAG_MISPREDICT if mispredict else 0)
+    return (ip, -1, flags)
+
+
+class Trace:
+    """An ordered sequence of trace records with a name and provenance.
+
+    ``records`` mixes committed-path and wrong-path records.  The committed
+    instruction count (used for IPC and per-kilo-instruction metrics) excludes
+    wrong-path records.
+    """
+
+    def __init__(self, name: str, records: Sequence[Record],
+                 suite: str = "synthetic") -> None:
+        self.name = name
+        self.suite = suite
+        self.records: List[Record] = list(records)
+        self.committed_count = sum(
+            1 for (_, _, flags) in self.records
+            if not flags & FLAG_WRONG_PATH)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Trace({self.name!r}, {len(self.records)} records, "
+                f"{self.committed_count} committed)")
+
+    def instructions(self) -> Iterator[Instr]:
+        """Iterate records as :class:`Instr` objects (slow, for inspection)."""
+        for ip, vaddr, flags in self.records:
+            yield Instr(ip, vaddr, flags)
+
+    def loads(self) -> Iterator[Instr]:
+        """Iterate only the load records (committed and wrong path)."""
+        for instr in self.instructions():
+            if instr.is_load:
+                yield instr
+
+    def footprint_blocks(self) -> int:
+        """Number of distinct cache blocks touched by committed-path memory."""
+        blocks = {
+            vaddr >> BLOCK_SHIFT
+            for (_, vaddr, flags) in self.records
+            if vaddr >= 0 and not flags & FLAG_WRONG_PATH
+        }
+        return len(blocks)
+
+    @staticmethod
+    def from_instrs(name: str, instrs: Iterable[Instr],
+                    suite: str = "synthetic") -> "Trace":
+        """Build a trace from :class:`Instr` objects."""
+        return Trace(name, [i.record() for i in instrs], suite=suite)

@@ -1,0 +1,87 @@
+"""Metrics and report rendering."""
+
+import pytest
+
+from repro.analysis import (amean, apki, apki_breakdown, format_series,
+                            format_stacked, format_table, geomean,
+                            load_miss_latency, mpki, prefetch_accuracy,
+                            prefetch_coverage, speedup, train_level_mpki)
+from repro.sim.system import System
+from repro.workloads.synthetic import stream_trace
+
+
+@pytest.fixture(scope="module")
+def pair():
+    trace = stream_trace("m", 2000, streams=2, seed=6)
+    base = System().run(trace)
+    secure = System(secure=True).run(trace)
+    return base, secure
+
+
+class TestMeans:
+    def test_geomean(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_geomean_skips_nonpositive(self):
+        assert geomean([4, 0, -1]) == pytest.approx(4.0)
+
+    def test_amean(self):
+        assert amean([1, 2, 3]) == 2.0
+        assert amean([]) == 0.0
+
+
+class TestPerRunMetrics:
+    def test_speedup(self, pair):
+        base, secure = pair
+        assert speedup(base, base) == 1.0
+        assert speedup(secure, base) == pytest.approx(
+            secure.ipc / base.ipc)
+
+    def test_apki_positive(self, pair):
+        base, _ = pair
+        assert apki(base) > 0
+        assert apki(base, "l2") >= 0
+
+    def test_apki_breakdown_sums_to_apki(self, pair):
+        _, secure = pair
+        split = apki_breakdown(secure)
+        assert sum(split.values()) == pytest.approx(apki(secure))
+        assert split["commit"] > 0
+
+    def test_mpki_levels(self, pair):
+        base, _ = pair
+        assert mpki(base) >= mpki(base, "l2") >= 0
+
+    def test_train_level_mpki_selects_level(self, pair):
+        base, _ = pair
+        assert train_level_mpki(base) == mpki(base, "l1d")
+
+    def test_latency_positive(self, pair):
+        base, _ = pair
+        assert load_miss_latency(base) > 0
+
+    def test_accuracy_bounds(self, pair):
+        base, _ = pair
+        assert 0.0 <= prefetch_accuracy(base) <= 1.0
+
+    def test_coverage_of_self_is_zero(self, pair):
+        base, _ = pair
+        assert prefetch_coverage(base, base) == 0.0
+
+
+class TestReports:
+    def test_format_table(self):
+        text = format_table("T", ["a", "b"], {"row": [1.0, 2.0]})
+        assert "T" in text and "row" in text
+        assert "1.000" in text and "2.000" in text
+
+    def test_format_series_handles_missing(self):
+        text = format_series("S", {"x": {"t1": 1.0}, "y": {"t2": 2.0}})
+        assert "t1" in text and "t2" in text and "-" in text
+
+    def test_format_stacked_totals(self):
+        text = format_stacked("K", ["p", "q"],
+                              {"bar": {"p": 1.0, "q": 2.0}})
+        assert "3.00" in text

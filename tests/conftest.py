@@ -1,0 +1,32 @@
+"""Shared fixtures: small deterministic traces and common systems."""
+
+import pytest
+
+from repro.sim.params import baseline
+from repro.workloads.synthetic import stream_trace
+from repro.workloads.trace import Trace, load
+
+
+@pytest.fixture()
+def params():
+    return baseline()
+
+
+@pytest.fixture()
+def tiny_stream():
+    """A small 2-stream trace with stores and mispredicts."""
+    return stream_trace("tiny-stream", 1500, streams=2, stride_blocks=1,
+                        elems_per_block=8, footprint_mb=4, store_every=8,
+                        seed=3)
+
+
+@pytest.fixture()
+def pure_loads():
+    """400 sequential loads, one per 8 bytes, no branches or stores."""
+    records = [load(0x1000, (1 << 30) + i * 8) for i in range(400)]
+    return Trace("pure-loads", records)
+
+
+def make_load_trace(blocks, ip=0x1000, base=1 << 30):
+    """Build a trace of one load per listed block number."""
+    return Trace("blocks", [load(ip, base + b * 64) for b in blocks])

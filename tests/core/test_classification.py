@@ -1,0 +1,119 @@
+"""The Fig. 6 miss taxonomy classifier."""
+
+from repro.core.classification import (CAT_COMMIT_LATE, CAT_LATE,
+                                       CAT_MISSED_OPPORTUNITY,
+                                       CAT_UNCOVERED, CATEGORIES,
+                                       MissClassifier)
+from repro.prefetchers.base import PrefetchRequest, Prefetcher, \
+    TrainingEvent
+
+
+class ScriptedShadow(Prefetcher):
+    """A shadow whose predictions are scripted per trained block."""
+
+    name = "scripted"
+    train_level = 0
+
+    def __init__(self, predictions):
+        #: block -> list of predicted blocks
+        self.predictions = predictions
+
+    def train(self, event):
+        return [PrefetchRequest(b)
+                for b in self.predictions.get(event.block, [])]
+
+    def storage_bits(self):
+        return 0
+
+
+def access_event(block, cycle):
+    return TrainingEvent(ip=1, block=block, hit=False, cycle=cycle,
+                         access_cycle=cycle, fetch_latency=100, hit_level=3)
+
+
+class TestCategories:
+    def test_late(self):
+        clf = MissClassifier(ScriptedShadow({}))
+        clf.classify_miss(10, 100, merged_into_prefetch=True)
+        clf.finalize()
+        assert clf.counts[CAT_LATE] == 1
+
+    def test_uncovered(self):
+        clf = MissClassifier(ScriptedShadow({}))
+        clf.classify_miss(10, 100, merged_into_prefetch=False)
+        clf.finalize()
+        assert clf.counts[CAT_UNCOVERED] == 1
+
+    def test_commit_late(self):
+        """Shadow predicted before the miss; the real prefetcher issues
+        the block shortly after: pure commit-induced lateness."""
+        clf = MissClassifier(ScriptedShadow({5: [10]}), window=500)
+        clf.on_access(access_event(5, 50))     # shadow predicts 10 @50
+        clf.classify_miss(10, 100, merged_into_prefetch=False)
+        clf.on_real_prefetch(10, 300)          # within the window
+        clf.finalize()
+        assert clf.counts[CAT_COMMIT_LATE] == 1
+
+    def test_missed_opportunity(self):
+        """Shadow covered it; the real (commit-trained) prefetcher never
+        issues it."""
+        clf = MissClassifier(ScriptedShadow({5: [10]}), window=500)
+        clf.on_access(access_event(5, 50))
+        clf.classify_miss(10, 100, merged_into_prefetch=False)
+        clf.finalize()
+        assert clf.counts[CAT_MISSED_OPPORTUNITY] == 1
+
+    def test_real_prefetch_before_miss_not_commit_late(self):
+        """A real prefetch that was already issued before the miss does
+        not make it commit-late (that case is a late or covered miss)."""
+        clf = MissClassifier(ScriptedShadow({5: [10]}), window=500)
+        clf.on_access(access_event(5, 50))
+        clf.on_real_prefetch(10, 80)
+        clf.classify_miss(10, 100, merged_into_prefetch=False)
+        clf.finalize()
+        assert clf.counts[CAT_MISSED_OPPORTUNITY] == 1
+        assert clf.counts[CAT_COMMIT_LATE] == 0
+
+    def test_shadow_prediction_after_miss_is_uncovered(self):
+        clf = MissClassifier(ScriptedShadow({5: [10]}), window=500)
+        clf.classify_miss(10, 100, merged_into_prefetch=False)
+        clf.on_access(access_event(5, 200))  # too late to count
+        clf.finalize()
+        assert clf.counts[CAT_UNCOVERED] == 1
+
+
+class TestNoShadow:
+    def test_on_access_mode_only_late_and_uncovered(self):
+        clf = MissClassifier(None)
+        clf.classify_miss(1, 10, merged_into_prefetch=True)
+        clf.classify_miss(2, 20, merged_into_prefetch=False)
+        clf.finalize()
+        assert clf.counts[CAT_LATE] == 1
+        assert clf.counts[CAT_UNCOVERED] == 1
+        assert clf.counts[CAT_COMMIT_LATE] == 0
+        assert clf.counts[CAT_MISSED_OPPORTUNITY] == 0
+
+
+class TestResolution:
+    def test_window_resolution_is_lazy(self):
+        clf = MissClassifier(ScriptedShadow({5: [10]}), window=100)
+        clf.on_access(access_event(5, 0))
+        clf.classify_miss(10, 50, merged_into_prefetch=False)
+        assert clf.total_misses() == 0      # still pending
+        clf.resolve(500)
+        assert clf.total_misses() == 1
+
+    def test_mpki_helper(self):
+        clf = MissClassifier(None)
+        for i in range(10):
+            clf.classify_miss(i, i * 10, merged_into_prefetch=False)
+        clf.finalize()
+        mpki = clf.mpki(2.0)  # 2 kilo-instructions
+        assert mpki[CAT_UNCOVERED] == 5.0
+        assert sum(mpki.values()) == 5.0
+
+    def test_log_bounded(self):
+        clf = MissClassifier(ScriptedShadow({}), window=10)
+        for i in range(clf.LOG_ENTRIES + 100):
+            clf.on_real_prefetch(i, i)
+        assert len(clf._real_log) <= clf.LOG_ENTRIES

@@ -1,0 +1,81 @@
+"""The Secure Update Filter: decision rule and LQ-side storage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.suf import (HIT_DRAM, HIT_L1D, HIT_L2, HIT_LLC,
+                            HitLevelQueue, suf_decide)
+from repro.sim.cache import LEVEL_DRAM, LEVEL_L1D, LEVEL_L2, LEVEL_LLC
+
+
+class TestEncoding:
+    def test_matches_hierarchy_levels(self):
+        """The contribution's 2-bit encoding equals the simulator's level
+        indices (asserted because suf.py redefines them)."""
+        assert HIT_L1D == LEVEL_L1D
+        assert HIT_L2 == LEVEL_L2
+        assert HIT_LLC == LEVEL_LLC
+        assert HIT_DRAM == LEVEL_DRAM
+
+
+class TestDecide:
+    """Section IV's filtering rule, case by case."""
+
+    def test_l1d_drops_everything(self):
+        decision = suf_decide(HIT_L1D)
+        assert decision.drop
+        assert not decision.gm_propagate and not decision.wbb
+
+    def test_l2_stops_at_l1d(self):
+        decision = suf_decide(HIT_L2)
+        assert not decision.drop
+        assert not decision.gm_propagate  # L2 already has the line
+
+    def test_llc_propagates_to_l2_only(self):
+        decision = suf_decide(HIT_LLC)
+        assert not decision.drop
+        assert decision.gm_propagate and not decision.wbb
+
+    def test_dram_full_propagation(self):
+        decision = suf_decide(HIT_DRAM)
+        assert not decision.drop
+        assert decision.gm_propagate and decision.wbb
+
+    @given(level=st.integers(min_value=0, max_value=3))
+    def test_monotone_propagation_depth(self, level):
+        """Deeper providers always propagate at least as far."""
+        decision = suf_decide(level)
+        depth = (0 if decision.drop else
+                 1 + int(decision.gm_propagate) + int(decision.wbb))
+        expected = {HIT_L1D: 0, HIT_L2: 1, HIT_LLC: 2, HIT_DRAM: 3}
+        assert depth == expected[level]
+
+
+class TestHitLevelQueue:
+    def test_record_read_roundtrip(self):
+        hlq = HitLevelQueue()
+        hlq.record(5, HIT_LLC)
+        assert hlq.read(5) == HIT_LLC
+
+    def test_slot_wraparound(self):
+        hlq = HitLevelQueue(lq_entries=4)
+        hlq.record(6, HIT_L2)        # slot 6 % 4 == 2
+        assert hlq.read(2) == HIT_L2
+
+    def test_rejects_wide_values(self):
+        hlq = HitLevelQueue()
+        with pytest.raises(ValueError, match="2 bits"):
+            hlq.record(0, 4)
+
+    def test_flush_defaults_conservative(self):
+        hlq = HitLevelQueue()
+        hlq.record(0, HIT_L1D)
+        hlq.flush()
+        # DRAM = full propagation: never drops an update it should not.
+        assert hlq.read(0) == HIT_DRAM
+
+    def test_storage_is_paper_012kb(self):
+        hlq = HitLevelQueue(lq_entries=128, l1d_lines=768)
+        assert hlq.storage_bits() == 128 * 2 + 768
+        assert abs(hlq.storage_bits() / 8 / 1024 - 0.12) < 0.01

@@ -1,0 +1,163 @@
+"""TS variants: lateness monitor, phase detector, distance adaptation."""
+
+from repro.core.timely import (BINGO_LATENESS_THRESHOLD,
+                               LATENESS_THRESHOLD, LatenessMonitor,
+                               PhaseChangeDetector, TimelyPrefetcher,
+                               make_timely)
+from repro.prefetchers import make_prefetcher
+from repro.prefetchers.base import TrainingEvent
+from repro.prefetchers.bingo import BingoPrefetcher
+
+
+def event(ip=1, block=0, cycle=0):
+    return TrainingEvent(ip=ip, block=block, hit=False, cycle=cycle,
+                         access_cycle=cycle, fetch_latency=100, hit_level=3)
+
+
+def drive_interval(monitor, misses, late, useful):
+    """Feed one full interval with the given outcome counts; return the
+    decision from the interval boundary."""
+    decision = False
+    fed_late = fed_useful = 0
+    for i in range(misses):
+        is_late = fed_late < late
+        is_useful = fed_useful < useful
+        fed_late += is_late
+        fed_useful += is_useful
+        decision = monitor.note_demand(True, is_late, is_useful) or decision
+    return decision
+
+
+class TestLatenessMonitor:
+    def test_interval_boundary(self):
+        monitor = LatenessMonitor(interval_misses=10, threshold=0.14)
+        for _ in range(9):
+            assert not monitor.note_demand(True, False, False)
+        monitor.note_demand(True, False, False)  # 10th closes the interval
+        assert monitor._misses == 0
+
+    def test_two_exceeding_intervals_trigger(self):
+        """The paper: one noisy interval must not change the distance."""
+        monitor = LatenessMonitor(interval_misses=10, threshold=0.14)
+        assert not drive_interval(monitor, 10, late=2, useful=10)  # 1st over
+        assert drive_interval(monitor, 10, late=3, useful=10)      # 2nd over
+
+    def test_below_threshold_never_triggers(self):
+        monitor = LatenessMonitor(interval_misses=10, threshold=0.5)
+        for _ in range(5):
+            assert not drive_interval(monitor, 10, late=1, useful=10)
+
+    def test_quiet_interval_resets_streak(self):
+        monitor = LatenessMonitor(interval_misses=10, threshold=0.14)
+        drive_interval(monitor, 10, late=2, useful=10)   # over: streak 1
+        assert not drive_interval(monitor, 10, late=1, useful=10)  # under
+        assert not drive_interval(monitor, 10, late=2, useful=10)  # streak 1
+
+    def test_hits_do_not_advance_interval(self):
+        monitor = LatenessMonitor(interval_misses=2, threshold=0.14)
+        for _ in range(10):
+            assert not monitor.note_demand(False, False, False)
+        assert monitor._misses == 0
+
+
+class TestPhaseChangeDetector:
+    def test_stable_ratio_no_change(self):
+        det = PhaseChangeDetector()
+        for _ in range(2):
+            for _ in range(10):
+                det.note(True)
+            for _ in range(10):
+                det.note(False)
+            changed = det.end_interval()
+        assert not changed
+
+    def test_abrupt_shift_detected(self):
+        det = PhaseChangeDetector(sensitivity=0.5)
+        for _ in range(10):
+            det.note(True)
+        det.end_interval()
+        for _ in range(10):
+            det.note(False)
+        assert det.end_interval()
+
+
+class TestTimelyWrapper:
+    def test_naming(self):
+        ts = make_timely(make_prefetcher("ip-stride"))
+        assert ts.name == "ts-ip-stride"
+        assert ts.train_level == 0
+
+    def test_bingo_gets_lower_threshold(self):
+        ts = make_timely(make_prefetcher("bingo"))
+        assert ts.monitor.threshold == BINGO_LATENESS_THRESHOLD
+        other = make_timely(make_prefetcher("ip-stride"))
+        assert other.monitor.threshold == LATENESS_THRESHOLD
+
+    def test_stride_distance_bumps(self):
+        ts = make_timely(make_prefetcher("ip-stride"), interval_misses=5)
+        start = ts.inner.distance
+        for _ in range(6):
+            drive_interval(ts.monitor, 5, late=5, useful=5)
+            if ts.monitor.note_demand(True, True, True):
+                ts._increase_distance()
+        # Drive through the public API as well.
+        for _ in range(40):
+            ts.note_demand(True, True, True)
+        assert ts.inner.distance > start
+
+    def test_distance_capped(self):
+        ts = make_timely(make_prefetcher("ip-stride"), interval_misses=2)
+        for _ in range(500):
+            ts.note_demand(True, True, True)
+        assert ts.inner.distance <= TimelyPrefetcher.MAX_DISTANCE
+
+    def test_spp_adapts_skip(self):
+        ts = make_timely(make_prefetcher("spp+ppf"), interval_misses=2)
+        assert ts.inner.skip_deltas == 2  # the paper's empirical k
+        for _ in range(500):
+            ts.note_demand(True, True, True)
+        assert 2 <= ts.inner.skip_deltas <= TimelyPrefetcher.MAX_SKIP
+
+    def test_bingo_gains_lookahead(self):
+        ts = make_timely(make_prefetcher("bingo"), interval_misses=2)
+        for _ in range(500):
+            ts.note_demand(True, True, True)
+        assert 1 <= ts.lookahead <= TimelyPrefetcher.MAX_LOOKAHEAD
+
+    def test_bingo_lookahead_shifts_requests(self):
+        inner = BingoPrefetcher(at_entries=4)
+        ts = make_timely(inner)
+        ts.lookahead = 1
+        # Teach a footprint then trigger (see test_bingo.teach).
+        for region in (1, 2):
+            for i, off in enumerate([0, 4]):
+                ts.train(event(1, region * inner.region_blocks + off, i))
+        for filler in range(100, 100 + inner.at_entries + 2):
+            for i, off in enumerate([0, 1]):
+                ts.train(event(99, filler * inner.region_blocks + off, i))
+        reqs = ts.train(event(1, 500 * inner.region_blocks))
+        blocks = {r.block for r in reqs}
+        assert 500 * inner.region_blocks + 4 in blocks
+        assert 501 * inner.region_blocks + 4 in blocks
+
+    def test_phase_change_resets(self):
+        ts = make_timely(make_prefetcher("ip-stride"))
+        ts.inner.distance = 7
+        ts.lookahead = 2
+        ts.on_phase_change()
+        assert ts.inner.distance == ts.inner.base_distance
+        assert ts.lookahead == 0
+
+    def test_storage_adds_small_overhead(self):
+        inner = make_prefetcher("ip-stride")
+        inner_bits = inner.storage_bits()
+        ts = make_timely(inner)
+        extra = ts.storage_bits() - inner_bits
+        assert 0 < extra <= 256  # a handful of counters
+
+    def test_delegates_flush(self):
+        ts = make_timely(make_prefetcher("ip-stride"))
+        ts.inner.distance = 7
+        ts.flush()
+        # flush clears tables; the monitor is reset too.
+        assert ts.monitor._misses == 0

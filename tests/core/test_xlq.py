@@ -1,0 +1,97 @@
+"""The X-LQ extended load queue (TSB's timing-preservation structure)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.xlq import LAT_MASK, TS_MASK, XLQ
+
+
+class TestRecording:
+    def test_miss_then_fill(self):
+        xlq = XLQ()
+        xlq.record_miss(3, access_cycle=1000)
+        xlq.record_fill(3, fetch_latency=250)
+        entry = xlq.read(3, commit_cycle=1400)
+        assert entry is not None
+        assert entry.access_cycle == 1000
+        assert entry.fetch_latency == 250
+        assert not entry.prefetch_hit
+
+    def test_prefetch_hit_sets_hitp(self):
+        xlq = XLQ()
+        xlq.record_prefetch_hit(7, access_cycle=500, line_latency=180)
+        entry = xlq.read(7, commit_cycle=700)
+        assert entry.prefetch_hit
+        assert entry.fetch_latency == 180
+
+    def test_regular_hit_leaves_invalid(self):
+        """Plain L1D hits take no X-LQ entry: no training at commit."""
+        xlq = XLQ()
+        assert xlq.read(0, commit_cycle=100) is None
+
+    def test_read_invalidates(self):
+        xlq = XLQ()
+        xlq.record_miss(3, 1000)
+        assert xlq.read(3, 1100) is not None
+        assert xlq.read(3, 1200) is None
+
+    def test_slot_isolation(self):
+        """An entry is only visible through its own slot."""
+        xlq = XLQ()
+        xlq.record_miss(3, 1000)
+        assert xlq.read(4, 1100) is None
+        assert xlq.read(3, 1100) is not None
+
+
+class TestTimestampWraparound:
+    def test_16bit_reconstruction(self):
+        """Access cycles are stored in 16 bits and reconstructed relative
+        to commit -- exercised across the wrap boundary."""
+        xlq = XLQ()
+        access = (1 << 16) - 10       # near the wrap
+        commit = (1 << 16) + 300      # after the wrap
+        xlq.record_miss(0, access)
+        entry = xlq.read(0, commit)
+        assert entry.access_cycle == access
+
+    def test_large_absolute_cycles(self):
+        xlq = XLQ()
+        access = 123_456_789
+        xlq.record_miss(1, access)
+        entry = xlq.read(1, access + 400)
+        assert entry.access_cycle == access
+
+    def test_latency_saturates_at_12_bits(self):
+        xlq = XLQ()
+        xlq.record_miss(0, 0)
+        xlq.record_fill(0, 100_000)
+        assert xlq.read(0, 500).fetch_latency == LAT_MASK
+
+
+class TestFlush:
+    def test_domain_switch_clears_all(self):
+        xlq = XLQ()
+        for slot in range(8):
+            xlq.record_miss(slot, slot * 10)
+        assert xlq.occupancy() == 8
+        xlq.flush()
+        assert xlq.occupancy() == 0
+        assert xlq.read(0, 1000) is None
+
+
+class TestStorage:
+    def test_paper_047kb(self):
+        xlq = XLQ(entries=128)
+        assert xlq.storage_bits() == 128 * (1 + 1 + 16 + 12)
+        assert abs(xlq.storage_bits() / 8 / 1024 - 0.47) < 0.01
+
+
+@settings(max_examples=50, deadline=None)
+@given(access=st.integers(min_value=0, max_value=1 << 40),
+       lag=st.integers(min_value=0, max_value=TS_MASK))
+def test_reconstruction_within_window(access, lag):
+    """Any access within 2^16 cycles of commit reconstructs exactly."""
+    xlq = XLQ()
+    xlq.record_miss(0, access)
+    entry = xlq.read(0, access + lag)
+    assert entry.access_cycle == access

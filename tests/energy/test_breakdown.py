@@ -1,0 +1,41 @@
+"""Energy breakdown composition and Fig. 14-style comparisons."""
+
+import pytest
+
+from repro.energy import EnergyBreakdown, EnergyParams, dynamic_energy
+from repro.prefetchers import MODE_ON_COMMIT, make_prefetcher
+from repro.sim.system import System
+from repro.workloads.synthetic import stream_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return stream_trace("en", 2500, streams=2, seed=17)
+
+
+class TestBreakdown:
+    def test_total_is_sum(self):
+        breakdown = EnergyBreakdown({"a": 1.5, "b": 2.5})
+        assert breakdown.total_nj == 4.0
+
+    def test_empty_breakdown(self):
+        assert EnergyBreakdown().total_nj == 0.0
+        assert EnergyBreakdown().normalized_to(EnergyBreakdown()) == 0.0
+
+    def test_prefetcher_component_appears(self, trace):
+        plain = dynamic_energy(System().run(trace))
+        with_pf = dynamic_energy(
+            System(prefetcher=make_prefetcher("ip-stride")).run(trace))
+        assert "prefetcher" not in plain.components
+        assert with_pf.components.get("prefetcher", 0) > 0
+
+    def test_suf_reduces_secure_energy(self, trace):
+        secure = dynamic_energy(System(secure=True).run(trace))
+        filtered = dynamic_energy(
+            System(secure=True, suf=True).run(trace))
+        assert filtered.total_nj <= secure.total_nj
+
+    def test_zero_cost_params(self, trace):
+        params = EnergyParams(gm_nj=0, l1d_nj=0, l2_nj=0, llc_nj=0,
+                              dram_nj=0, prefetcher_nj=0)
+        assert dynamic_energy(System().run(trace), params).total_nj == 0.0

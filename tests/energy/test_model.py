@@ -1,0 +1,54 @@
+"""Dynamic-energy model."""
+
+import pytest
+
+from repro.energy import (EnergyParams, dynamic_energy,
+                          energy_per_kilo_instruction)
+from repro.sim.system import System
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    from repro.workloads.synthetic import stream_trace
+    trace = stream_trace("e", 2000, streams=2, seed=5)
+    return {
+        "nonsecure": System().run(trace),
+        "secure": System(secure=True).run(trace),
+    }
+
+
+class TestDynamicEnergy:
+    def test_components_present(self, results):
+        breakdown = dynamic_energy(results["nonsecure"])
+        for key in ("l1d", "l2", "llc", "dram"):
+            assert key in breakdown.components
+            assert breakdown.components[key] >= 0
+        assert "gm" not in breakdown.components
+
+    def test_gm_component_when_secure(self, results):
+        breakdown = dynamic_energy(results["secure"])
+        assert breakdown.components["gm"] > 0
+
+    def test_dram_dominates(self, results):
+        breakdown = dynamic_energy(results["nonsecure"])
+        assert breakdown.components["dram"] > breakdown.components["l1d"]
+
+    def test_secure_system_costs_more(self, results):
+        """The paper's Fig. 14 premise: GhostMinion traffic raises dynamic
+        energy."""
+        ns = energy_per_kilo_instruction(results["nonsecure"])
+        s = energy_per_kilo_instruction(results["secure"])
+        assert s > ns
+
+    def test_normalization(self, results):
+        ns = dynamic_energy(results["nonsecure"])
+        s = dynamic_energy(results["secure"])
+        assert s.normalized_to(ns) > 1.0
+        assert ns.normalized_to(ns) == 1.0
+
+    def test_custom_params_scale(self, results):
+        cheap = dynamic_energy(results["nonsecure"],
+                               EnergyParams(dram_nj=1.0))
+        costly = dynamic_energy(results["nonsecure"],
+                                EnergyParams(dram_nj=100.0))
+        assert costly.total_nj > cheap.total_nj

@@ -1,0 +1,34 @@
+"""Multi-core experiment drivers at micro scale."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, Scale, fig15, \
+    smt_accuracy_check
+
+
+@pytest.fixture(scope="module")
+def micro_runner():
+    # 2 mixes of very short traces keep this test in seconds.
+    return ExperimentRunner(scale=Scale("micro", 2000, 3, 1, 2))
+
+
+class TestFig15:
+    def test_structure(self, micro_runner):
+        result = fig15(micro_runner, cores=2, n_mixes=2)
+        assert set(result.rows) == {
+            "no-pref/S", "berti-OA/NS", "berti-OC/S", "berti-OC/S+SUF",
+            "tsb", "tsb+suf"}
+        for label, (geo, lo, hi) in result.rows.items():
+            assert 0 < lo <= geo <= hi, label
+        assert len(result.sorted_norms["tsb"]) == 2
+
+    def test_secure_costs_weighted_speedup(self, micro_runner):
+        result = fig15(micro_runner, cores=2, n_mixes=2)
+        assert result.rows["no-pref/S"][0] <= 1.02
+
+
+class TestSmtProxy:
+    def test_accuracy_stats(self, micro_runner):
+        stats = smt_accuracy_check(micro_runner, n_mixes=2)
+        assert 0.0 <= stats["min_suf_accuracy"] <= \
+            stats["mean_suf_accuracy"] <= 1.0

@@ -1,0 +1,111 @@
+"""Experiment runner: scales, configs, memoization, prefetcher specs."""
+
+import pytest
+
+from repro.core.timely import TimelyPrefetcher
+from repro.core.tsb import TSBPrefetcher
+from repro.experiments import (BASELINE, Config, ExperimentRunner, SCALES,
+                               current_scale, nonsecure, on_access_secure,
+                               on_commit_secure, ts_config)
+from repro.prefetchers import MODE_ON_ACCESS, MODE_ON_COMMIT
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=SCALES["tiny"])
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert {"tiny", "small", "medium", "large"} <= set(SCALES)
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert current_scale().name == "medium"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "small"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            current_scale()
+
+    def test_ts_intervals_scale(self):
+        assert SCALES["large"].ts_interval_l1 >= \
+            SCALES["tiny"].ts_interval_l1
+        for scale in SCALES.values():
+            assert scale.ts_interval_l2 == 4 * scale.ts_interval_l1
+
+
+class TestConfigs:
+    def test_labels(self):
+        assert BASELINE.label() == "none/OA/NS"
+        assert on_commit_secure("berti", suf=True).label() == \
+            "berti/OC/S/SUF"
+
+    def test_helpers(self):
+        assert nonsecure("ipcp").mode == MODE_ON_ACCESS
+        assert on_access_secure("ipcp").secure
+        assert on_commit_secure("ipcp").mode == MODE_ON_COMMIT
+
+    def test_ts_config_names(self):
+        assert ts_config("ip-stride").prefetcher == "ts-ip-stride"
+        assert ts_config("berti").prefetcher == "tsb"
+        assert ts_config("berti", suf=True).suf
+
+
+class TestPrefetcherSpecs:
+    def test_tsb(self, runner):
+        assert isinstance(runner.build_prefetcher("tsb"), TSBPrefetcher)
+
+    def test_ts_wrappers(self, runner):
+        pf = runner.build_prefetcher("ts-ip-stride")
+        assert isinstance(pf, TimelyPrefetcher)
+        assert pf.name == "ts-ip-stride"
+        assert pf.monitor.interval_misses == runner.scale.ts_interval_l1
+
+    def test_ts_l2_interval(self, runner):
+        pf = runner.build_prefetcher("ts-bingo")
+        assert pf.monitor.interval_misses == runner.scale.ts_interval_l2
+
+    def test_none(self, runner):
+        assert runner.build_prefetcher("none") is None
+
+
+class TestPoolAndMemo:
+    def test_pool_sized_by_scale(self, runner):
+        pool = runner.pool()
+        scale = runner.scale
+        assert len(pool) == scale.spec_count + scale.gap_count
+        assert runner.spec_pool() and runner.gap_pool()
+
+    def test_trace_lookup(self, runner):
+        name = runner.pool()[0].name
+        assert runner.trace(name).name == name
+        with pytest.raises(KeyError):
+            runner.trace("definitely-not-a-trace")
+
+    def test_memoization(self, runner):
+        trace = runner.pool()[0]
+        before = runner.cached_runs()
+        r1 = runner.run(BASELINE, trace)
+        mid = runner.cached_runs()
+        r2 = runner.run(BASELINE, trace)
+        assert r1 is r2
+        assert mid == before + 1
+        assert runner.cached_runs() == mid
+
+    def test_classify_attaches_shadow(self, runner):
+        config = Config(prefetcher="berti", secure=True,
+                        mode=MODE_ON_COMMIT, classify=True)
+        system = runner.build_system(config)
+        assert system.classifier is not None
+        assert system.classifier.shadow is not None
+        assert system.classifier.shadow.name == "berti"
+
+    def test_mixes(self, runner):
+        mixes = runner.mixes()
+        assert len(mixes) == runner.scale.mixes
+        assert all(len(m) == 4 for m in mixes)

@@ -1,0 +1,171 @@
+"""Berti's timely-delta learning -- including the Fig. 8 mechanism.
+
+The decisive behaviour: Berti only learns deltas whose trigger access is at
+least one fetch latency older than the trained access, so what it learns
+depends entirely on which timestamps/latency the training events carry:
+
+* on-access events (true access times, true latency) -> deltas that lead
+  the stream by the fetch latency;
+* naive on-commit events (commit times, ~1-cycle on-commit write latency)
+  -> the useless +1 delta of Fig. 8 (red);
+* TSB events (commit-ordered history, but X-LQ-preserved access time and
+  GM fetch latency) -> the timely delta of Fig. 8 (green).
+"""
+
+from repro.prefetchers.base import FILL_L1D, FILL_L2, TrainingEvent
+from repro.prefetchers.berti import BertiPrefetcher
+
+
+def stream_events(n, *, period, latency, ip=1, start_block=0,
+                  access_equals_cycle=True, commit_lag=0):
+    """Events for a unit-stride stream: one block every ``period`` cycles.
+
+    ``commit_lag`` shifts the training cycle after the access (commit-time
+    training); ``access_equals_cycle`` selects whether the event's
+    ``access_cycle`` carries the true access time (TSB) or just the
+    training time (naive).
+    """
+    events = []
+    for i in range(n):
+        access = i * period
+        cycle = access + commit_lag
+        events.append(TrainingEvent(
+            ip=ip, block=start_block + i, hit=False, cycle=cycle,
+            access_cycle=access if access_equals_cycle else cycle,
+            fetch_latency=latency, hit_level=3))
+    return events
+
+
+def run(pf, events):
+    return [pf.train(e) for e in events]
+
+
+class TestTimelyLearning:
+    def test_learns_latency_covering_delta(self):
+        """With latency 4 periods, the learned delta must be >= 4."""
+        pf = BertiPrefetcher()
+        results = run(pf, stream_events(60, period=10, latency=40))
+        issued = [r for r in results if r]
+        assert issued
+        deltas = {req.block - e.block
+                  for e, r in zip(stream_events(60, period=10, latency=40),
+                                  results) for req in r}
+        assert deltas
+        assert min(deltas) >= 4
+
+    def test_short_latency_allows_small_delta(self):
+        pf = BertiPrefetcher()
+        results = run(pf, stream_events(60, period=10, latency=10))
+        deltas = {req.block - i for i, r in enumerate(results)
+                  for req in r}
+        assert 1 in deltas or 2 in deltas
+
+    def test_latency_beyond_history_learns_nothing(self):
+        """Deltas the 16-deep history cannot reach are never learned."""
+        pf = BertiPrefetcher()
+        results = run(pf, stream_events(60, period=10, latency=1000))
+        assert all(not r for r in results)
+
+    def test_coverage_threshold_filters_noise(self):
+        """Random per-IP deltas never reach the coverage thresholds."""
+        import random
+        rng = random.Random(3)
+        pf = BertiPrefetcher()
+        events = [TrainingEvent(ip=1, block=rng.randrange(10 ** 6),
+                                hit=False, cycle=i * 10,
+                                access_cycle=i * 10, fetch_latency=20,
+                                hit_level=3)
+                  for i in range(100)]
+        results = run(pf, events)
+        assert sum(len(r) for r in results) < 10
+
+    def test_min_observations_gate(self):
+        pf = BertiPrefetcher()
+        events = stream_events(pf.MIN_OBSERVATIONS - 1, period=10,
+                               latency=10)
+        results = run(pf, events)
+        assert all(not r for r in results)
+
+    def test_high_coverage_fills_l1(self):
+        pf = BertiPrefetcher()
+        results = run(pf, stream_events(80, period=10, latency=10))
+        fills = {req.fill_level for r in results for req in r}
+        assert FILL_L1D in fills
+
+    def test_hits_do_not_learn(self):
+        pf = BertiPrefetcher()
+        events = [e._replace(hit=True)
+                  for e in stream_events(60, period=10, latency=10)]
+        results = run(pf, events)
+        assert all(not r for r in results)
+
+    def test_prefetch_hits_do_learn(self):
+        pf = BertiPrefetcher()
+        events = [e._replace(hit=True, prefetch_hit=True)
+                  for e in stream_events(60, period=10, latency=10)]
+        results = run(pf, events)
+        assert any(results)
+
+
+class TestFig8Mechanism:
+    """The paper's Fig. 8 timeline, in miniature.
+
+    A unit-stride load stream with a 3-cycle fetch-to-GM latency and a
+    1-cycle on-commit write; accesses are 1 cycle apart and commit 2
+    cycles after their access.
+    """
+
+    PERIOD = 1
+    FETCH_LATENCY = 3
+    COMMIT_LAG = 2
+
+    def test_naive_on_commit_learns_late_delta(self):
+        """Red timeline: training sees the 1-cycle write latency at commit
+        times, learns +1, whose prefetches would always arrive late."""
+        pf = BertiPrefetcher()
+        events = stream_events(
+            60, period=self.PERIOD, latency=1,       # on-commit write
+            access_equals_cycle=False, commit_lag=self.COMMIT_LAG)
+        results = run(pf, events)
+        deltas = {req.block - e.block for e, r in zip(events, results)
+                  for req in r}
+        assert deltas and min(deltas) == 1
+        # A +1 prefetch issued at commit of block b fetches data that
+        # arrives FETCH_LATENCY after commit; the demand for b+1 came at
+        # access(b)+1, i.e. before the commit itself: always late.
+        assert self.COMMIT_LAG + self.FETCH_LATENCY > self.PERIOD
+
+    def test_tsb_learns_timely_delta(self):
+        """Green timeline: with the X-LQ's access time and true latency,
+        the learned delta covers commit lag + fetch latency."""
+        pf = BertiPrefetcher()
+        events = stream_events(
+            60, period=self.PERIOD, latency=self.FETCH_LATENCY,
+            access_equals_cycle=True, commit_lag=self.COMMIT_LAG)
+        results = run(pf, events)
+        deltas = {req.block - e.block for e, r in zip(events, results)
+                  for req in r}
+        assert deltas
+        # Timely: trigger at commit(b) = access(b)+2; data for b+delta
+        # arrives at commit(b)+3 <= access(b+delta) iff delta >= 5.
+        assert min(deltas) >= self.FETCH_LATENCY + self.COMMIT_LAG
+
+
+class TestHousekeeping:
+    def test_per_ip_tables_bounded(self):
+        pf = BertiPrefetcher()
+        for ip in range(40):
+            run(pf, stream_events(20, period=10, latency=10, ip=ip,
+                                  start_block=ip * 1000))
+        assert len(pf._history) <= pf.MAX_IPS
+        assert len(pf._deltas) <= pf.MAX_IPS
+
+    def test_flush(self):
+        pf = BertiPrefetcher()
+        run(pf, stream_events(60, period=10, latency=10))
+        pf.flush()
+        assert not pf._history and not pf._deltas
+
+    def test_storage_order_of_table_iii(self):
+        # Table III lists Berti at 2.55 KB.
+        assert 0.5 <= BertiPrefetcher().storage_kb() <= 4.0

@@ -1,0 +1,104 @@
+"""Bingo footprint prefetcher."""
+
+from repro.prefetchers.base import FILL_L2, TrainingEvent
+from repro.prefetchers.bingo import BingoPrefetcher
+
+
+def event(ip, block, cycle=0):
+    return TrainingEvent(ip=ip, block=block, hit=False, cycle=cycle,
+                         access_cycle=cycle, fetch_latency=100,
+                         hit_level=3)
+
+
+def visit(pf, ip, region, offsets, cycle=0):
+    """Access a region's footprint; returns all requests produced."""
+    out = []
+    for i, off in enumerate(offsets):
+        out.extend(pf.train(event(ip, region * pf.region_blocks + off,
+                                  cycle + i)))
+    return out
+
+
+def teach(pf, ip, footprint, regions):
+    """Train the PHT by visiting regions and forcing AT evictions.
+
+    Fillers use a different IP so their footprints land under different
+    PHT events and do not overwrite what we are teaching.
+    """
+    for region in regions:
+        visit(pf, ip, region, footprint)
+    # Overflow the AT so the taught footprints are written to the PHT.
+    for filler_region in range(10000, 10000 + pf.at_entries + 4):
+        visit(pf, ip + 12345, filler_region, [0, 1])
+
+
+class TestStructure:
+    def test_region_blocks(self):
+        assert BingoPrefetcher(region_kb=2).region_blocks == 32
+
+    def test_first_access_no_prediction_when_cold(self):
+        pf = BingoPrefetcher()
+        assert visit(pf, 1, 5, [0, 3, 7]) == []
+
+    def test_ft_to_at_promotion(self):
+        pf = BingoPrefetcher()
+        visit(pf, 1, 5, [0, 3])
+        assert 5 in pf._at
+        assert 5 not in pf._ft
+
+
+class TestPrediction:
+    def test_short_event_replays_footprint_in_new_region(self):
+        """PC+Offset fallback predicts for never-seen regions."""
+        pf = BingoPrefetcher(at_entries=8)
+        footprint = [0, 3, 7, 12]
+        teach(pf, 1, footprint, regions=[1, 2, 3])
+        requests = pf.train(event(1, 777 * pf.region_blocks + 0))
+        targets = {r.block - 777 * pf.region_blocks for r in requests}
+        assert targets == {3, 7, 12}
+
+    def test_long_event_preferred_for_known_region(self):
+        pf = BingoPrefetcher(at_entries=8)
+        teach(pf, 1, [0, 3, 7], regions=[42])
+        requests = pf.train(event(1, 42 * pf.region_blocks + 0))
+        targets = {r.block - 42 * pf.region_blocks for r in requests}
+        assert targets == {3, 7}
+
+    def test_fills_into_l2(self):
+        pf = BingoPrefetcher(at_entries=8)
+        teach(pf, 1, [0, 5], regions=[1, 2])
+        requests = pf.train(event(1, 999 * pf.region_blocks))
+        assert requests
+        assert all(r.fill_level == FILL_L2 for r in requests)
+
+    def test_trigger_offset_not_prefetched(self):
+        pf = BingoPrefetcher(at_entries=8)
+        teach(pf, 1, [0, 4, 9], regions=[1, 2])
+        requests = pf.train(event(1, 500 * pf.region_blocks + 0))
+        offsets = {r.block % pf.region_blocks for r in requests}
+        assert 0 not in offsets
+
+
+class TestCapacity:
+    def test_ft_bounded(self):
+        pf = BingoPrefetcher(ft_entries=4)
+        for region in range(10):
+            pf.train(event(1, region * pf.region_blocks))
+        assert len(pf._ft) <= 4
+
+    def test_at_bounded(self):
+        pf = BingoPrefetcher(at_entries=4)
+        for region in range(10):
+            visit(pf, 1, region, [0, 1])
+        assert len(pf._at) <= 4
+
+    def test_flush(self):
+        pf = BingoPrefetcher(at_entries=8)
+        teach(pf, 1, [0, 5], regions=[1])
+        pf.flush()
+        assert pf.train(event(1, 321 * pf.region_blocks)) == []
+
+    def test_storage_order_of_magnitude(self):
+        # Table III: ~124 KB dominated by the 16K-entry PHT.
+        pf = BingoPrefetcher()
+        assert 50 <= pf.storage_kb() <= 200

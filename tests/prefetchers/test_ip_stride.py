@@ -1,0 +1,98 @@
+"""IP-stride prefetcher behaviour."""
+
+from repro.prefetchers.base import FILL_L1D, FILL_L2, TrainingEvent
+from repro.prefetchers.ip_stride import IPStridePrefetcher
+
+
+def event(ip, block, cycle=0):
+    return TrainingEvent(ip=ip, block=block, hit=False, cycle=cycle,
+                         access_cycle=cycle, fetch_latency=100,
+                         hit_level=3)
+
+
+def train_blocks(pf, ip, blocks):
+    out = []
+    for i, block in enumerate(blocks):
+        out.append(pf.train(event(ip, block, cycle=i * 10)))
+    return out
+
+
+class TestLearning:
+    def test_learns_unit_stride(self):
+        pf = IPStridePrefetcher()
+        results = train_blocks(pf, 0x400, [0, 1, 2, 3, 4])
+        assert results[-1]  # prefetching by the 5th access
+        targets = {r.block for r in results[-1]}
+        assert 5 in targets
+
+    def test_learns_negative_stride(self):
+        pf = IPStridePrefetcher()
+        results = train_blocks(pf, 0x400, [100, 98, 96, 94, 92])
+        targets = {r.block for r in results[-1]}
+        assert 90 in targets
+
+    def test_no_prefetch_on_random(self):
+        pf = IPStridePrefetcher()
+        results = train_blocks(pf, 0x400, [5, 912, 33, 77, 1204, 8])
+        assert all(not r for r in results)
+
+    def test_zero_delta_ignored(self):
+        pf = IPStridePrefetcher()
+        results = train_blocks(pf, 0x400, [7, 7, 7, 7])
+        assert all(not r for r in results)
+
+    def test_per_ip_isolation(self):
+        pf = IPStridePrefetcher(entries=1024)
+        train_blocks(pf, 0x400, [0, 1, 2, 3])
+        # A different IP starts cold.
+        assert not pf.train(event(0x500, 1000))
+        assert not pf.train(event(0x500, 1002))
+
+    def test_table_conflict_replaces(self):
+        pf = IPStridePrefetcher(entries=4)
+        train_blocks(pf, 0, [0, 1, 2, 3])
+        # IP 4 aliases to the same entry; the tag changes, learning resets.
+        assert not pf.train(event(4, 50))
+        assert not pf.train(event(4, 51))
+
+
+class TestDistance:
+    def test_distance_shifts_targets(self):
+        near = IPStridePrefetcher(distance=1)
+        far = IPStridePrefetcher(distance=4)
+        near_reqs = train_blocks(near, 1, [0, 1, 2, 3])[-1]
+        far_reqs = train_blocks(far, 1, [0, 1, 2, 3])[-1]
+        assert min(r.block for r in far_reqs) == \
+            min(r.block for r in near_reqs) + 3
+
+    def test_phase_change_resets_distance(self):
+        pf = IPStridePrefetcher(distance=1)
+        pf.distance = 5
+        pf.on_phase_change()
+        assert pf.distance == 1
+
+    def test_far_request_fills_l2(self):
+        pf = IPStridePrefetcher(degree=2)
+        reqs = train_blocks(pf, 1, [0, 1, 2, 3])[-1]
+        fills = {r.fill_level for r in reqs}
+        assert fills == {FILL_L1D, FILL_L2}
+
+
+class TestHousekeeping:
+    def test_flush_clears_learning(self):
+        pf = IPStridePrefetcher()
+        train_blocks(pf, 1, [0, 1, 2, 3])
+        pf.flush()
+        assert not pf.train(event(1, 4))
+        assert not pf.train(event(1, 5))
+
+    def test_storage_about_8kb(self):
+        # Table III lists IP-stride at 8 KB for 1024 entries.
+        pf = IPStridePrefetcher()
+        assert 6 <= pf.storage_kb() <= 12
+
+    def test_negative_targets_clamped(self):
+        pf = IPStridePrefetcher()
+        results = train_blocks(pf, 1, [20, 15, 10, 5])
+        for reqs in results:
+            assert all(r.block >= 0 for r in reqs)

@@ -1,0 +1,49 @@
+"""Next-line baseline prefetcher."""
+
+from repro.prefetchers import make_prefetcher
+from repro.prefetchers.base import FILL_L1D, FILL_L2, TrainingEvent
+from repro.prefetchers.next_line import NextLinePrefetcher
+
+
+def event(block, hit=False, prefetch_hit=False):
+    return TrainingEvent(ip=1, block=block, hit=hit, cycle=0,
+                         access_cycle=0, fetch_latency=100, hit_level=3,
+                         prefetch_hit=prefetch_hit)
+
+
+class TestNextLine:
+    def test_miss_triggers(self):
+        pf = NextLinePrefetcher(degree=2)
+        requests = pf.train(event(10))
+        assert [r.block for r in requests] == [11, 12]
+        assert requests[0].fill_level == FILL_L1D
+        assert requests[1].fill_level == FILL_L2
+
+    def test_plain_hit_silent(self):
+        pf = NextLinePrefetcher()
+        assert pf.train(event(10, hit=True)) == []
+
+    def test_prefetch_hit_triggers(self):
+        pf = NextLinePrefetcher()
+        assert pf.train(event(10, hit=True, prefetch_hit=True))
+
+    def test_distance(self):
+        pf = NextLinePrefetcher(degree=1, distance=4)
+        assert pf.train(event(10))[0].block == 14
+
+    def test_registered(self):
+        assert isinstance(make_prefetcher("next-line"),
+                          NextLinePrefetcher)
+
+    def test_tiny_storage(self):
+        assert NextLinePrefetcher().storage_bits() <= 16
+
+    def test_covers_streams(self):
+        """Sanity: next-line converts a pure stream's misses into hits."""
+        from repro.sim.system import System
+        from repro.workloads.synthetic import stream_trace
+        trace = stream_trace("nl", 3000, streams=1, elems_per_block=8,
+                             mispredict_rate=0.0, store_every=0)
+        base = System().run(trace)
+        nl = System(prefetcher=NextLinePrefetcher()).run(trace)
+        assert nl.ipc > base.ipc

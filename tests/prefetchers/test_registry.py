@@ -1,0 +1,41 @@
+"""Prefetcher registry."""
+
+import pytest
+
+from repro.prefetchers import (PAPER_PREFETCHERS, Prefetcher,
+                               make_prefetcher, prefetcher_names, register)
+from repro.prefetchers.berti import BertiPrefetcher
+
+
+class TestRegistry:
+    def test_paper_prefetchers_all_registered(self):
+        for name in PAPER_PREFETCHERS:
+            pf = make_prefetcher(name)
+            assert isinstance(pf, Prefetcher)
+            assert pf.name == name
+
+    def test_none_returns_none(self):
+        assert make_prefetcher(None) is None
+        assert make_prefetcher("none") is None
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            make_prefetcher("magic")
+
+    def test_fresh_instances(self):
+        assert make_prefetcher("berti") is not make_prefetcher("berti")
+
+    def test_spp_variants(self):
+        assert make_prefetcher("spp+ppf").filter is not None
+        assert make_prefetcher("spp").filter is None
+
+    def test_register_extension(self):
+        register("berti-clone", BertiPrefetcher)
+        assert isinstance(make_prefetcher("berti-clone"), BertiPrefetcher)
+        assert "berti-clone" in prefetcher_names()
+
+    def test_train_levels(self):
+        assert make_prefetcher("ip-stride").train_level == 0
+        assert make_prefetcher("berti").train_level == 0
+        assert make_prefetcher("bingo").train_level == 1
+        assert make_prefetcher("spp+ppf").train_level == 1

@@ -1,0 +1,312 @@
+"""Set-associative cache level: hits, LRU, MSHRs, ports, prefetch queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import (CacheLevel, LEVEL_DRAM, LEVEL_L1D, LEVEL_L2,
+                             LEVEL_LLC, MemoryBackend, _PortBucket)
+from repro.sim.dram import DRAMChannel
+from repro.sim.params import CacheParams, DRAMParams
+from repro.sim.stats import REQ_COMMIT, REQ_LOAD, REQ_PREFETCH, REQ_STORE
+
+
+def small_cache(ways=2, sets_kb=None, mshrs=4, ports=2, pq=4,
+                latency=5, next_level=None):
+    """A 2-way, 8-set cache in front of a (fast) DRAM by default."""
+    params = CacheParams(name="T", size_kb=1, ways=ways, latency=latency,
+                         mshrs=mshrs, ports=ports, pq_entries=pq)
+    if next_level is None:
+        next_level = MemoryBackend(DRAMChannel(DRAMParams()))
+    return CacheLevel(params, LEVEL_L1D, next_level)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        done, served = cache.access(5, 0, REQ_LOAD)
+        assert served == LEVEL_DRAM
+        assert cache.stats.misses[REQ_LOAD] == 1
+        done2, served2 = cache.access(5, done + 10, REQ_LOAD)
+        assert served2 == LEVEL_L1D
+        assert done2 == done + 10 + cache.params.latency
+        assert cache.stats.hits[REQ_LOAD] == 1
+
+    def test_hit_latency(self):
+        cache = small_cache(latency=7)
+        cache.insert(3, 0)
+        done, _ = cache.access(3, 100, REQ_LOAD)
+        assert done == 107
+
+    def test_in_flight_fill_merges(self):
+        cache = small_cache()
+        done, _ = cache.access(5, 0, REQ_LOAD)
+        # A second request before the fill arrives merges with it.
+        done2, _ = cache.access(5, 1, REQ_LOAD)
+        assert done2 == done
+        assert cache.stats.mshr_merges == 1
+        assert cache.stats.misses[REQ_LOAD] == 2
+
+    def test_store_sets_dirty(self):
+        cache = small_cache()
+        cache.insert(5, 0)
+        cache.access(5, 10, REQ_STORE)
+        assert cache.lookup(5).dirty
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = small_cache(ways=2)
+        cache.insert(0, time=1)    # set 0
+        cache.insert(8, time=2)    # set 0 (8 % 8 == 0)
+        cache.access(0, 10, REQ_LOAD)   # touch 0
+        cache.insert(16, time=20)  # evicts 8 (LRU), not 0
+        assert cache.contains(0)
+        assert not cache.contains(8)
+        assert cache.contains(16)
+        assert cache.stats.evictions == 1
+
+    def test_probe_does_not_update_lru(self):
+        cache = small_cache(ways=2)
+        cache.insert(0, time=1)
+        cache.insert(8, time=2)
+        cache.probe(0, 10, REQ_LOAD)    # GhostMinion-style probe
+        cache.insert(16, time=20)       # must still evict 0
+        assert not cache.contains(0)
+
+    def test_no_update_access_keeps_lru(self):
+        cache = small_cache(ways=2)
+        cache.insert(0, time=1)
+        cache.insert(8, time=2)
+        cache.access(0, 10, REQ_LOAD, update=False)
+        cache.insert(16, time=20)
+        assert not cache.contains(0)
+
+
+class TestInvisibleWalk:
+    def test_fill_false_leaves_no_line(self):
+        cache = small_cache()
+        cache.access(5, 0, REQ_LOAD, update=False, fill=False)
+        assert not cache.contains(5)
+
+    def test_fill_false_propagates_downstream(self):
+        l2 = small_cache()
+        l1 = small_cache(next_level=l2)
+        l1.access(5, 0, REQ_LOAD, update=False, fill=False)
+        assert not l1.contains(5)
+        assert not l2.contains(5)
+
+    def test_fill_false_still_uses_mshr(self):
+        cache = small_cache(mshrs=1)
+        cache.access(5, 0, REQ_LOAD, update=False, fill=False)
+        assert cache.mshr_occupancy(1) == 1
+
+    def test_stale_outstanding_expires(self):
+        cache = small_cache()
+        done, _ = cache.access(5, 0, REQ_LOAD, fill=False)
+        # Long after the fill, the block is no longer in flight here:
+        # a new request is a fresh miss, not a merge.
+        cache.access(5, done + 1000, REQ_LOAD)
+        assert cache.stats.mshr_merges == 0
+        assert cache.stats.misses[REQ_LOAD] == 2
+
+
+class TestMSHR:
+    def test_full_mshrs_delay_miss(self):
+        cache = small_cache(mshrs=2)
+        d1, _ = cache.access(0, 0, REQ_LOAD)
+        cache.access(8, 0, REQ_LOAD)
+        d3, _ = cache.access(16, 0, REQ_LOAD)
+        assert cache.stats.mshr_full_events == 1
+        assert cache.stats.mshr_full_wait_cycles > 0
+        assert d3 > d1
+
+    def test_occupancy_sampling(self):
+        cache = small_cache(mshrs=4)
+        cache.access(0, 0, REQ_LOAD)
+        cache.access(8, 0, REQ_LOAD)
+        assert cache.stats.mshr_occupancy_samples == 2
+        assert cache.stats.mshr_occupancy_sum == 1  # 0 then 1 busy
+
+    def test_load_miss_latency_recorded(self):
+        cache = small_cache()
+        done, _ = cache.access(0, 0, REQ_LOAD)
+        assert cache.stats.load_miss_latency_count == 1
+        assert cache.stats.load_miss_latency_sum == done
+
+
+class TestWritebacks:
+    def test_dirty_eviction_writes_back(self):
+        l2 = small_cache()
+        l1 = small_cache(ways=1, next_level=l2)
+        l1.insert(0, 1, dirty=True)
+        l1.insert(16, 2)  # evicts dirty 0 (1-way cache has 16 sets)
+        assert l2.contains(0)
+        assert l2.lookup(0).dirty
+        assert l1.stats.writebacks_out == 1
+
+    def test_clean_eviction_silent(self):
+        l2 = small_cache()
+        l1 = small_cache(ways=1, next_level=l2)
+        l1.insert(0, 1)
+        l1.insert(16, 2)
+        assert not l2.contains(0)
+        assert l1.stats.writebacks_out == 0
+
+    def test_gm_propagate_clean_eviction_writes_back(self):
+        """GhostMinion commit data propagates down on (clean) eviction."""
+        l2 = small_cache()
+        l1 = small_cache(ways=1, next_level=l2)
+        l1.insert(0, 1, gm_propagate=True, wbb=True)
+        l1.insert(16, 2)
+        assert l2.contains(0)
+        # The next hop's line carries the passed-along wbb (here True).
+        assert l2.lookup(0).gm_propagate
+
+    def test_wbb_chain_stops_propagation(self):
+        """SUF's writeback bit truncates the chain one hop early."""
+        l3 = small_cache()
+        l2 = small_cache(ways=1, next_level=l3)
+        l1 = small_cache(ways=1, next_level=l2)
+        l1.insert(0, 1, gm_propagate=True, wbb=False)  # stop after L2
+        l1.insert(16, 2)  # evict 0 -> L2
+        assert l2.contains(0)
+        assert not l2.lookup(0).gm_propagate
+        l2.insert(16, 3)  # evict 0 from L2: must NOT reach L3
+        assert not l3.contains(0)
+
+    def test_suf_cleared_propagate_is_silent(self):
+        l2 = small_cache()
+        l1 = small_cache(ways=1, next_level=l2)
+        l1.insert(0, 1, gm_propagate=False, wbb=False)
+        l1.insert(16, 2)
+        assert not l2.contains(0)
+
+
+class TestCommitWrite:
+    def test_counts_commit_traffic(self):
+        cache = small_cache()
+        cache.commit_write(5, 10, gm_propagate=True, wbb=True)
+        assert cache.stats.accesses[REQ_COMMIT] == 1
+        assert cache.contains(5)
+        assert cache.lookup(5).gm_propagate
+
+    def test_existing_line_updated(self):
+        cache = small_cache()
+        cache.insert(5, 0)
+        cache.commit_write(5, 10, gm_propagate=True, wbb=False)
+        assert cache.stats.hits[REQ_COMMIT] == 1
+        assert cache.lookup(5).gm_propagate
+
+
+class TestPrefetchQueue:
+    def test_issue_and_fill(self):
+        cache = small_cache()
+        assert cache.issue_prefetch(5, 0)
+        assert cache.stats.prefetches_issued == 1
+        assert cache.stats.prefetch_fills == 1
+        assert cache.lookup(5).prefetched
+
+    def test_duplicate_dropped(self):
+        cache = small_cache()
+        cache.insert(5, 0)
+        assert not cache.issue_prefetch(5, 1)
+        assert cache.stats.prefetches_dropped == 1
+
+    def test_in_flight_duplicate_dropped(self):
+        cache = small_cache()
+        cache.access(5, 0, REQ_LOAD, fill=False)
+        assert not cache.issue_prefetch(5, 1)
+
+    def test_pq_full_drops(self):
+        cache = small_cache(pq=2, mshrs=8)
+        assert cache.issue_prefetch(0, 0)
+        assert cache.issue_prefetch(8, 0)
+        assert not cache.issue_prefetch(16, 0)
+        assert cache.stats.prefetches_dropped == 1
+
+    def test_mshr_full_drops_prefetch(self):
+        cache = small_cache(mshrs=2, pq=8)
+        cache.access(0, 0, REQ_LOAD)
+        cache.access(8, 0, REQ_LOAD)
+        assert not cache.issue_prefetch(16, 0)
+
+    def test_usefulness_tracking(self):
+        cache = small_cache()
+        cache.issue_prefetch(5, 0)
+        done, _ = cache.access(5, 500, REQ_LOAD)
+        assert cache.stats.prefetches_useful == 1
+        # A second demand hit does not double-count.
+        cache.access(5, 600, REQ_LOAD)
+        assert cache.stats.prefetches_useful == 1
+
+    def test_useless_counted_on_eviction(self):
+        cache = small_cache(ways=1)
+        cache.issue_prefetch(0, 0)
+        cache.insert(16, 5000)  # evict the never-used prefetch
+        assert cache.stats.prefetches_useless == 1
+
+    def test_late_prefetch_merge_detected(self):
+        cache = small_cache()
+        cache.issue_prefetch(5, 0)
+        cache.access(5, 1, REQ_LOAD)  # merges with the in-flight prefetch
+        assert cache.stats.demand_merged_into_prefetch == 1
+        assert cache.stats.prefetches_useful == 1
+
+
+class TestPortBucket:
+    def test_capacity_per_cycle(self):
+        ports = _PortBucket(2)
+        assert ports.acquire(10) == 10
+        assert ports.acquire(10) == 10
+        assert ports.acquire(10) == 11
+
+    def test_out_of_order_charges(self):
+        """A future-time charge must not delay an earlier request."""
+        ports = _PortBucket(1)
+        assert ports.acquire(100) == 100
+        assert ports.acquire(5) == 5
+
+    def test_spills_forward(self):
+        ports = _PortBucket(1)
+        ports.acquire(0)
+        ports.acquire(0)
+        ports.acquire(0)
+        assert ports.acquire(0) == 3
+
+
+class TestSignature:
+    def test_state_signature_reflects_contents(self):
+        c1 = small_cache()
+        c2 = small_cache()
+        assert c1.state_signature() == c2.state_signature()
+        c1.insert(5, 0)
+        assert c1.state_signature() != c2.state_signature()
+
+
+@settings(max_examples=30, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=200),
+                       min_size=1, max_size=60))
+def test_set_capacity_invariant(blocks):
+    """No set ever exceeds its associativity, whatever the access mix."""
+    cache = small_cache(ways=2)
+    t = 0
+    for block in blocks:
+        t += 10
+        cache.access(block, t, REQ_LOAD)
+    assert all(len(s) <= 2 for s in cache.sets)
+
+
+@settings(max_examples=30, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=30),
+                       min_size=1, max_size=40))
+def test_accesses_equal_hits_plus_misses(blocks):
+    """With full accesses (no probes), counts reconcile."""
+    cache = small_cache(ways=4)
+    t = 0
+    for block in blocks:
+        t += 1000  # far apart: no merges
+        cache.access(block, t, REQ_LOAD)
+    stats = cache.stats
+    assert stats.accesses[REQ_LOAD] == \
+        stats.hits[REQ_LOAD] + stats.misses[REQ_LOAD]

@@ -1,0 +1,91 @@
+"""Delay-on-miss mitigation (the delay-based family of Table I)."""
+
+import pytest
+
+from repro.sim.delay import DelayOnMissPolicy
+from repro.sim.system import System
+from repro.workloads.spec import spec_trace
+from repro.workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
+                                   FLAG_WRONG_PATH, Trace, alu, load)
+
+
+class TestPolicy:
+    def test_hits_not_delayed(self):
+        policy = DelayOnMissPolicy()
+        policy.note_branch(100)
+        assert policy.issue_time(50, l1d_hit=True) == 50
+        assert policy.stats.hits_not_delayed == 1
+
+    def test_misses_wait_for_branch_horizon(self):
+        policy = DelayOnMissPolicy()
+        policy.note_branch(100)
+        assert policy.issue_time(50, l1d_hit=False) == 100
+        assert policy.stats.delayed_loads == 1
+        assert policy.stats.delay_cycles == 50
+
+    def test_branch_depends_on_last_load(self):
+        policy = DelayOnMissPolicy()
+        policy.note_load_completion(500)
+        resolve = policy.note_branch(10)
+        assert resolve == 500
+        assert policy.issue_time(20, l1d_hit=False) == 500
+
+    def test_no_older_branch_no_delay(self):
+        policy = DelayOnMissPolicy()
+        assert policy.issue_time(50, l1d_hit=False) == 50
+
+    def test_average_delay(self):
+        policy = DelayOnMissPolicy()
+        policy.note_branch(100)
+        policy.issue_time(0, l1d_hit=False)
+        policy.issue_time(50, l1d_hit=False)
+        assert policy.stats.average_delay() == 75.0
+
+
+class TestSystemIntegration:
+    def test_exclusive_with_ghostminion(self):
+        with pytest.raises(ValueError, match="one mitigation"):
+            System(secure=True, delay_mitigation=True)
+
+    def test_label(self):
+        assert System(delay_mitigation=True).label == \
+            "no-pref/on-access/delay"
+
+    def test_slower_than_nonsecure(self):
+        trace = spec_trace("619.lbm-2676B", n_loads=4000)
+        ns = System().run(trace)
+        dm = System(delay_mitigation=True).run(trace)
+        assert dm.ipc < ns.ipc
+        assert dm.extras["delayed_loads"] > 0
+
+    def test_slower_than_ghostminion(self):
+        """Table I: delay-based costs more than invisible speculation."""
+        trace = spec_trace("605.mcf-1554B", n_loads=4000)
+        gm = System(secure=True).run(trace)
+        dm = System(delay_mitigation=True).run(trace)
+        assert dm.ipc < gm.ipc
+
+    def test_wrong_path_misses_never_issue(self):
+        """The security property: transient misses send no requests."""
+        wrong_block = 1 << 26
+        records = [load(1, i * 64) for i in range(4)]
+        records.append((2, -1, FLAG_BRANCH | FLAG_MISPREDICT))
+        records += [(3, (wrong_block + i) * 64,
+                     FLAG_LOAD | FLAG_WRONG_PATH) for i in range(4)]
+        records += [alu(4)] * 100
+        system = System(delay_mitigation=True)
+        system.run(Trace("t", records), warmup=0.0)
+        for i in range(4):
+            for level in system.hierarchy.levels():
+                assert not level.contains(wrong_block + i)
+
+    def test_wrong_path_hits_allowed(self):
+        """Delay-on-miss lets speculative hits proceed (that is its
+        performance advantage over full delay)."""
+        records = [load(1, 0)] + [alu(9)] * 60
+        records.append((2, -1, FLAG_BRANCH | FLAG_MISPREDICT))
+        records += [(3, 0, FLAG_LOAD | FLAG_WRONG_PATH)]
+        records += [alu(4)] * 50
+        system = System(delay_mitigation=True)
+        result = system.run(Trace("t", records), warmup=0.0)
+        assert result.core.wrong_path_loads == 1

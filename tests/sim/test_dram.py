@@ -1,0 +1,129 @@
+"""Open-page DRAM channel model."""
+
+from repro.sim.dram import DRAMChannel
+from repro.sim.params import DRAMParams
+
+
+def make_channel(**kw):
+    return DRAMChannel(DRAMParams(**kw))
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        dram = make_channel()
+        done = dram.access(0, time=0)
+        p = dram.params
+        assert done == p.controller_latency + p.t_rp + p.t_rcd + p.t_cas \
+            + p.bus_cycles_per_line
+        assert dram.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = make_channel()
+        dram.access(0, time=0)
+        t = 1000
+        done = dram.access(1, time=t)  # same 4 KB row
+        p = dram.params
+        assert done == t + p.controller_latency + p.t_cas \
+            + p.bus_cycles_per_line
+        assert dram.stats.row_hits == 1
+
+    def test_row_conflict_misses(self):
+        dram = make_channel(banks=1)
+        dram.access(0, time=0)
+        dram.access(64, time=1000)   # a different row, same (only) bank
+        assert dram.stats.row_misses == 2
+
+
+class TestContention:
+    def test_bank_serializes(self):
+        dram = make_channel(banks=1)
+        d1 = dram.access(0, time=0)
+        d2 = dram.access(0, time=0)
+        assert d2 > d1
+
+    def test_banks_overlap(self):
+        dram = make_channel()
+        # Find two blocks in different banks.
+        base = dram.access(1 << 20, time=0)
+        alone = base - 0
+        dram2 = make_channel()
+        times = [dram2.access(b << 14, time=0) for b in range(8)]
+        # Several requests to distinct banks complete much sooner than
+        # 8x the serialized latency.
+        assert max(times) < 8 * alone
+
+    def test_bus_serializes_everything(self):
+        dram = make_channel()
+        done = [dram.access(b << 14, time=0) for b in range(16)]
+        p = dram.params
+        # Every transfer occupies the bus for bus_cycles_per_line.
+        assert max(done) >= min(done) + 15 * p.bus_cycles_per_line
+
+    def test_gb_aligned_streams_spread_over_banks(self):
+        """The bank hash must not map GB-aligned arrays onto one bank."""
+        dram = make_channel()
+        rows_per_gb = (1 << 30) // dram.params.row_buffer_bytes
+        blocks = [i * rows_per_gb * 64 for i in range(1, 7)]
+        banks = set()
+        for block in blocks:
+            row = block // (dram.params.row_buffer_bytes // 64)
+            h = row & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 33
+            h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 33
+            banks.add(h % dram.params.banks)
+        assert len(banks) >= 3
+
+
+class TestDemandPriority:
+    def test_prefetch_backlog_does_not_delay_demands(self):
+        dram = make_channel(banks=1)
+        # Queue a deep low-priority backlog.
+        for i in range(10):
+            dram.access(i * 64, time=0, demand=False)
+        # A demand arriving now is served against the demand-side bank
+        # state, not behind the prefetch queue.
+        done = dram.access(1 << 20, time=0)
+        p = dram.params
+        assert done <= p.controller_latency + p.t_rp + p.t_rcd + p.t_cas \
+            + 11 * p.bus_cycles_per_line
+
+    def test_demand_backlog_delays_prefetches(self):
+        dram = make_channel(banks=1)
+        d_done = dram.access(0, time=0)
+        p_done = dram.access(1 << 20, time=0, demand=False)
+        assert p_done > d_done - dram.params.bus_cycles_per_line
+
+    def test_backlogged_signal(self):
+        dram = make_channel(banks=1)
+        assert not dram.backlogged(0)
+        for i in range(20):
+            dram.access(i * 1 << 20, time=0, demand=False)
+        assert dram.backlogged(0)
+
+    def test_backlogged_ignores_demand_queue(self):
+        dram = make_channel(banks=1)
+        for i in range(20):
+            dram.access(i * 1 << 20, time=0, demand=True)
+        assert not dram.backlogged(0)
+
+
+class TestStats:
+    def test_request_count(self):
+        dram = make_channel()
+        for i in range(5):
+            dram.access(i * 64, time=i * 1000)
+        assert dram.stats.requests == 5
+        assert dram.stats.row_hits + dram.stats.row_misses == 5
+
+    def test_row_hit_rate(self):
+        dram = make_channel()
+        dram.access(0, 0)
+        dram.access(1, 5000)
+        assert dram.stats.row_hit_rate() == 0.5
+
+    def test_reset(self):
+        dram = make_channel()
+        dram.access(0, 0)
+        dram.reset_stats()
+        assert dram.stats.requests == 0

@@ -1,0 +1,143 @@
+"""GhostMinion GM cache: fills, TimeGuarding, physical-time residency."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.ghostminion import GhostMinionCache
+from repro.sim.params import GhostMinionParams
+
+
+def make_gm(ways=4):
+    params = GhostMinionParams(size_kb=ways * 64 // 1024 or 1, ways=ways)
+    # size_kb math above breaks for tiny sizes; construct explicitly.
+    params = GhostMinionParams(size_kb=max(1, ways * 64 // 1024),
+                               ways=ways)
+    return GhostMinionCache(params)
+
+
+def tiny_gm():
+    """A 4-way, single-set GM (256 bytes)."""
+    return GhostMinionCache(GhostMinionParams(size_kb=1, ways=16))
+
+
+class TestFillAndLookup:
+    def test_pending_until_fill_time(self):
+        gm = tiny_gm()
+        gm.fill(5, time=100, timestamp=1, fetch_latency=90)
+        line = gm.lookup(5)
+        assert line is not None          # visible for merging
+        assert gm.lookup(5, time=50) is None   # data not there yet
+        assert gm.lookup(5, time=100) is not None
+
+    def test_apply_installs(self):
+        gm = tiny_gm()
+        gm.fill(5, time=100, timestamp=1, fetch_latency=90)
+        assert gm.occupancy() == 0       # still pending
+        gm.apply_until(100)
+        assert gm.occupancy() == 1
+
+    def test_fill_merges_keep_oldest(self):
+        gm = tiny_gm()
+        gm.fill(5, time=100, timestamp=10, fetch_latency=90)
+        gm.fill(5, time=80, timestamp=3, fetch_latency=70)
+        line = gm.lookup(5)
+        assert line.timestamp == 3
+        assert line.fill_time == 80
+
+    def test_stats_count_fills(self):
+        gm = tiny_gm()
+        gm.fill(1, 10, 1, 5)
+        gm.fill(2, 10, 2, 5)
+        gm.fill(1, 12, 3, 5)  # merge, not a new fill
+        assert gm.stats.gm_fills == 2
+
+
+class TestTake:
+    def test_take_removes(self):
+        gm = tiny_gm()
+        gm.fill(5, 10, 1, 5)
+        gm.apply_until(10)
+        line = gm.take(5)
+        assert line is not None
+        assert gm.lookup(5) is None
+
+    def test_take_from_pending(self):
+        gm = tiny_gm()
+        gm.fill(5, 10, 1, 5)
+        assert gm.take(5) is not None
+        assert gm.lookup(5) is None
+
+    def test_take_missing(self):
+        gm = tiny_gm()
+        assert gm.take(5) is None
+
+    def test_fetch_latency_preserved(self):
+        """TSB reads the true fetch latency from the GM fill."""
+        gm = tiny_gm()
+        gm.fill(5, 200, 1, fetch_latency=180)
+        gm.apply_until(200)
+        assert gm.take(5).fetch_latency == 180
+
+
+class TestTimeGuarding:
+    def test_younger_cannot_evict_older(self):
+        gm = GhostMinionCache(GhostMinionParams(size_kb=1, ways=16))
+        for i in range(16):
+            gm.fill(i, time=10, timestamp=i, fetch_latency=5)
+        gm.apply_until(10)
+        # Timestamp 100 is younger than every resident: dropped.
+        gm.fill(99, time=20, timestamp=100, fetch_latency=5)
+        gm.apply_until(20)
+        assert gm.lookup(99) is None
+        assert gm.ordering_drops == 1
+
+    def test_older_evicts_youngest(self):
+        gm = GhostMinionCache(GhostMinionParams(size_kb=1, ways=16))
+        for i in range(1, 17):
+            gm.fill(i, time=10, timestamp=i * 10, fetch_latency=5)
+        gm.apply_until(10)
+        # An older insertion (timestamp 5) may evict the youngest (160).
+        gm.fill(99, time=20, timestamp=5, fetch_latency=5)
+        gm.apply_until(20)
+        assert gm.lookup(99) is not None
+        assert gm.lookup(16) is None
+
+    def test_transient_lines_reclaimed_first(self):
+        """Squashed (wrong-path) lines never wedge the GM."""
+        gm = GhostMinionCache(GhostMinionParams(size_kb=1, ways=16))
+        for i in range(16):
+            gm.fill(i, time=10, timestamp=i, fetch_latency=5,
+                    transient=True)
+        gm.apply_until(10)
+        gm.fill(99, time=20, timestamp=100, fetch_latency=5)
+        gm.apply_until(20)
+        assert gm.lookup(99) is not None
+        assert gm.ordering_drops == 0
+
+
+class TestFlush:
+    def test_flush_clears_everything(self):
+        gm = tiny_gm()
+        gm.fill(1, 10, 1, 5)
+        gm.apply_until(10)
+        gm.fill(2, 100, 2, 5)  # still pending
+        gm.flush()
+        assert gm.lookup(1) is None
+        assert gm.lookup(2) is None
+        assert gm.occupancy() == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(fills=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),   # block
+              st.integers(min_value=0, max_value=500),  # fill time
+              st.integers(min_value=0, max_value=100)), # timestamp
+    min_size=1, max_size=50))
+def test_gm_capacity_invariant(fills):
+    """Physical occupancy never exceeds the GM's capacity."""
+    gm = GhostMinionCache(GhostMinionParams(size_kb=1, ways=8))
+    ways = 8
+    for block, time, ts in fills:
+        gm.fill(block, time, ts, 5)
+    gm.apply_until(10 ** 9)
+    assert all(len(s) <= ways for s in gm.sets)

@@ -1,0 +1,243 @@
+"""Memory hierarchy: demand paths, GhostMinion flows, SUF integration."""
+
+import pytest
+
+from repro.core.suf import suf_decide
+from repro.sim.cache import LEVEL_DRAM, LEVEL_L1D, LEVEL_L2, LEVEL_LLC
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.params import baseline
+
+
+def make_hierarchy(secure=False, suf=False):
+    return MemoryHierarchy(baseline(), secure=secure,
+                           commit_filter=suf_decide if suf else None)
+
+
+class TestNonSecurePath:
+    def test_miss_fills_all_levels(self):
+        h = make_hierarchy()
+        result = h.demand_load(5, 0, timestamp=1)
+        assert result.hit_level == LEVEL_DRAM
+        assert h.l1d.contains(5)
+        assert h.l2.contains(5)
+        assert h.llc.contains(5)
+
+    def test_l1d_hit_level(self):
+        h = make_hierarchy()
+        first = h.demand_load(5, 0, timestamp=1)
+        second = h.demand_load(5, first.completion + 10, timestamp=2)
+        assert second.hit_level == LEVEL_L1D
+        assert second.fetch_latency == h.params.l1d.latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        t = 0
+        target = 5
+        h.demand_load(target, t, timestamp=1)
+        # Evict block 5 from the 12-way L1D set by loading 12 conflicting
+        # blocks (same set: stride = number of sets).
+        sets = h.params.l1d.sets
+        t = 100000
+        for i in range(1, 13):
+            h.demand_load(target + i * sets, t, timestamp=1 + i)
+            t += 1000
+        result = h.demand_load(target, t + 1000, timestamp=99)
+        assert result.hit_level == LEVEL_L2
+
+    def test_fetch_latency_is_observed_latency(self):
+        h = make_hierarchy()
+        result = h.demand_load(5, 0, timestamp=1)
+        assert result.fetch_latency == result.completion - 0
+        assert result.fetch_latency > 100  # DRAM-scale
+
+
+class TestSecureSpeculativePath:
+    def test_invisible_miss(self):
+        """A speculative miss fills only the GM (Fig. 2, flow 1)."""
+        h = make_hierarchy(secure=True)
+        result = h.demand_load(5, 0, timestamp=1)
+        assert result.hit_level == LEVEL_DRAM
+        assert not result.gm_hit
+        assert not h.l1d.contains(5)
+        assert not h.l2.contains(5)
+        assert not h.llc.contains(5)
+        assert h.gm.lookup(5) is not None
+
+    def test_gm_hit_on_reuse(self):
+        h = make_hierarchy(secure=True)
+        first = h.demand_load(5, 0, timestamp=1)
+        second = h.demand_load(5, first.completion + 5, timestamp=2)
+        assert second.gm_hit
+        assert second.hit_level == LEVEL_L1D  # the 2-bit "00" encoding
+        assert h.gm_stats.gm_hits == 1
+
+    def test_gm_hit_never_faster_than_l1d(self):
+        h = make_hierarchy(secure=True)
+        first = h.demand_load(5, 0, timestamp=1)
+        t = first.completion + 10
+        second = h.demand_load(5, t, timestamp=2)
+        assert second.completion - t >= h.params.l1d.latency
+
+    def test_l1d_hit_takes_no_gm_entry(self):
+        """L1D-provided data parks nowhere: commit just re-touches L1D."""
+        h = make_hierarchy(secure=True)
+        h.l1d.insert(5, 0)
+        result = h.demand_load(5, 10, timestamp=1)
+        assert result.hit_level == LEVEL_L1D
+        assert not result.gm_hit
+        assert h.gm.lookup(5) is None
+
+    def test_spec_hits_do_not_touch_replacement(self):
+        h = make_hierarchy(secure=True)
+        h.l2.insert(7, 0)
+        sig = h.l2.state_signature()
+        h.demand_load(7, 10, timestamp=1)
+        assert h.l2.state_signature() == sig
+
+
+class TestCommitPath:
+    def _spec_then_commit(self, h, block=5, hit_level=None):
+        result = h.demand_load(block, 0, timestamp=1)
+        level = hit_level if hit_level is not None else result.hit_level
+        h.commit_load(block, result.completion + 50, level)
+        return result
+
+    def test_commit_write_moves_gm_to_l1d(self):
+        h = make_hierarchy(secure=True)
+        self._spec_then_commit(h)
+        assert h.l1d.contains(5)
+        assert h.gm.lookup(5) is None
+        assert h.gm_stats.commit_writes == 1
+
+    def test_commit_refetch_on_gm_eviction(self):
+        h = make_hierarchy(secure=True)
+        result = h.demand_load(5, 0, timestamp=1)
+        h.gm.invalidate(5)
+        h.commit_load(5, result.completion + 50, result.hit_level)
+        assert h.gm_stats.commit_refetches == 1
+        assert h.l1d.contains(5)
+
+    def test_commit_write_propagates_on_eviction(self):
+        """Without SUF, commit data reaches L2 when evicted from L1D."""
+        h = make_hierarchy(secure=True)
+        self._spec_then_commit(h)
+        sets = h.params.l1d.sets
+        t = 10 ** 6
+        for i in range(1, 13):
+            h.l1d.insert(5 + i * sets, t + i)
+        assert not h.l1d.contains(5)
+        assert h.l2.contains(5)
+
+    def test_suf_drops_l1d_hits(self):
+        h = make_hierarchy(secure=True, suf=True)
+        h.l1d.insert(5, 0)
+        result = h.demand_load(5, 10, timestamp=1)
+        h.commit_load(5, result.completion + 50, result.hit_level)
+        assert h.gm_stats.commit_drops_suf == 1
+        assert h.gm_stats.commit_writes == 0
+        assert h.gm_stats.commit_refetches == 0
+        assert h.gm_stats.suf_correct == 1
+
+    def test_suf_mispredict_detected(self):
+        h = make_hierarchy(secure=True, suf=True)
+        h.l1d.insert(5, 0)
+        result = h.demand_load(5, 10, timestamp=1)
+        # The line is evicted between access and commit.
+        sets = h.params.l1d.sets
+        for i in range(1, 13):
+            h.l1d.insert(5 + i * sets, 1000 + i)
+        h.commit_load(5, result.completion + 5000, result.hit_level)
+        assert h.gm_stats.suf_mispredict == 1
+
+    def test_suf_stops_propagation_for_l2_hits(self):
+        """Data served by the L2: commit write installs in L1D but must
+        not propagate back to the L2 on eviction (it is already there)."""
+        h = make_hierarchy(secure=True, suf=True)
+        h.l2.insert(5, 0)
+        result = h.demand_load(5, 10, timestamp=1)
+        assert result.hit_level == LEVEL_L2
+        h.commit_load(5, result.completion + 50, result.hit_level)
+        assert h.l1d.contains(5)
+        line = h.l1d.lookup(5)
+        assert not line.gm_propagate
+        assert h.gm_stats.wb_stopped_suf == 1
+
+    def test_suf_llc_hit_propagates_to_l2_only(self):
+        h = make_hierarchy(secure=True, suf=True)
+        h.llc.insert(5, 0)
+        result = h.demand_load(5, 10, timestamp=1)
+        assert result.hit_level == LEVEL_LLC
+        h.commit_load(5, result.completion + 50, result.hit_level)
+        line = h.l1d.lookup(5)
+        assert line.gm_propagate and not line.wbb
+
+    def test_suf_dram_full_propagation(self):
+        h = make_hierarchy(secure=True, suf=True)
+        result = h.demand_load(5, 0, timestamp=1)
+        assert result.hit_level == LEVEL_DRAM
+        h.commit_load(5, result.completion + 50, result.hit_level)
+        line = h.l1d.lookup(5)
+        assert line.gm_propagate and line.wbb
+
+    def test_commit_latency_returned(self):
+        """The naive on-commit Berti 'fetch latency' (Section V-B)."""
+        h = make_hierarchy(secure=True)
+        result = h.demand_load(5, 0, timestamp=1)
+        latency = h.commit_load(5, result.completion + 50,
+                                result.hit_level)
+        assert latency == h.params.gm.latency
+
+    def test_nonsecure_commit_is_noop(self):
+        h = make_hierarchy()
+        assert h.commit_load(5, 100, LEVEL_DRAM) == 0
+
+    def test_suf_requires_secure(self):
+        with pytest.raises(ValueError, match="SUF"):
+            MemoryHierarchy(baseline(), secure=False,
+                            commit_filter=suf_decide)
+
+
+class TestPrefetchIssue:
+    def test_fill_levels(self):
+        h = make_hierarchy()
+        assert h.issue_prefetch(5, 0, LEVEL_L1D)
+        assert h.l1d.contains(5)
+        assert h.issue_prefetch(900, 0, LEVEL_L2)
+        assert not h.l1d.contains(900)
+        assert h.l2.contains(900)
+        assert h.issue_prefetch(1800, 0, LEVEL_LLC)
+        assert not h.l2.contains(1800)
+        assert h.llc.contains(1800)
+
+    def test_l1_demotes_under_mshr_pressure(self):
+        h = make_hierarchy()
+        # Occupy half the L1D MSHRs with demand misses.
+        for i in range(8):
+            h.demand_load(1000 + i * 64, 0, timestamp=i)
+        assert h.issue_prefetch(5, 1, LEVEL_L1D)
+        assert not h.l1d.contains(5)
+        assert h.l2.contains(5)
+
+    def test_backpressure_drops(self):
+        h = make_hierarchy()
+        # Saturate the low-priority DRAM lane.
+        for i in range(100):
+            h.dram.access(i * 4096, 0, demand=False)
+        assert not h.issue_prefetch(5, 0, LEVEL_L1D)
+        assert h.l1d.stats.prefetches_dropped == 1
+
+
+class TestFlush:
+    def test_flush_speculative_clears_gm(self):
+        h = make_hierarchy(secure=True)
+        h.demand_load(5, 0, timestamp=1)
+        h.flush_speculative()
+        assert h.gm.lookup(5) is None
+
+    def test_reset_stats(self):
+        h = make_hierarchy(secure=True)
+        h.demand_load(5, 0, timestamp=1)
+        h.reset_stats()
+        assert h.l1d.stats.total_accesses() == 0
+        assert h.gm_stats.gm_misses == 0
+        assert h.dram.stats.requests == 0

@@ -1,0 +1,97 @@
+"""Table II configuration and validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.params import (CacheParams, CoreParams, baseline, validate)
+
+
+class TestBaseline:
+    """The defaults must match Table II."""
+
+    def test_core(self):
+        core = baseline().core
+        assert core.issue_width == 6
+        assert core.retire_width == 4
+        assert core.rob_entries == 352
+        assert core.lq_entries == 128
+        assert core.freq_ghz == 4.0
+
+    def test_l1d(self):
+        l1d = baseline().l1d
+        assert l1d.size_kb == 48
+        assert l1d.ways == 12
+        assert l1d.latency == 5
+        assert l1d.mshrs == 16
+        assert l1d.sets == 64
+        assert l1d.blocks == 768  # the SUF writeback-bit count
+
+    def test_l2(self):
+        l2 = baseline().l2
+        assert (l2.size_kb, l2.ways, l2.latency, l2.mshrs) == \
+            (512, 8, 15, 32)
+
+    def test_llc(self):
+        llc = baseline().llc
+        assert (llc.size_kb, llc.ways, llc.latency, llc.mshrs) == \
+            (2048, 16, 35, 64)
+
+    def test_dram_timings_at_4ghz(self):
+        dram = baseline().dram
+        # 12.5 ns at 4 GHz = 50 cycles (Table II).
+        assert dram.t_rp == dram.t_rcd == dram.t_cas == 50
+        assert dram.row_buffer_bytes == 4096
+
+    def test_gm(self):
+        gm = baseline().gm
+        assert gm.size_kb == 2
+        assert gm.blocks == 32
+        assert gm.latency == 1
+
+    def test_validates(self):
+        validate(baseline())
+
+
+class TestScaled:
+    def test_shrinks_sets_only(self):
+        params = baseline().scaled(4)
+        assert params.l1d.size_kb == 12
+        assert params.l1d.ways == 12
+        assert params.l2.size_kb == 128
+        assert params.llc.size_kb == 512
+        validate(params)
+
+    def test_never_below_one_set(self):
+        params = baseline().scaled(10000)
+        assert params.l1d.sets >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            baseline().scaled(0)
+
+
+class TestValidate:
+    def test_rejects_non_power_of_two_sets(self):
+        bad = replace(baseline(), l1d=CacheParams(
+            name="L1D", size_kb=48, ways=16, latency=5, mshrs=16))
+        with pytest.raises(ValueError, match="power of two"):
+            validate(bad)
+
+    def test_rejects_inverted_latencies(self):
+        bad = replace(baseline(), l1d=CacheParams(
+            name="L1D", size_kb=64, ways=16, latency=50, mshrs=16))
+        with pytest.raises(ValueError, match="latencies"):
+            validate(bad)
+
+    def test_rejects_zero_mshrs(self):
+        bad = replace(baseline(), l2=CacheParams(
+            name="L2", size_kb=512, ways=8, latency=15, mshrs=0))
+        with pytest.raises(ValueError, match="MSHR"):
+            validate(bad)
+
+    def test_rejects_rob_smaller_than_lq(self):
+        bad = replace(baseline(),
+                      core=CoreParams(rob_entries=64, lq_entries=128))
+        with pytest.raises(ValueError, match="ROB"):
+            validate(bad)

@@ -1,0 +1,96 @@
+"""Statistics containers."""
+
+from repro.sim.stats import (CacheStats, CoreStats, DRAMStats,
+                             GhostMinionStats, REQ_LOAD, REQUEST_TYPES)
+
+
+class TestCacheStats:
+    def test_initial_zero(self):
+        stats = CacheStats()
+        assert stats.total_accesses() == 0
+        assert stats.demand_misses() == 0
+        assert stats.load_miss_latency_avg() == 0.0
+        assert stats.prefetch_accuracy() == 0.0
+        assert stats.mshr_occupancy_avg() == 0.0
+
+    def test_request_types_complete(self):
+        stats = CacheStats()
+        for table in (stats.accesses, stats.hits, stats.misses):
+            assert set(table) == set(REQUEST_TYPES)
+
+    def test_demand_accessors(self):
+        stats = CacheStats()
+        stats.accesses[REQ_LOAD] = 10
+        stats.accesses["store"] = 5
+        stats.accesses["prefetch"] = 99
+        assert stats.demand_accesses() == 15
+        stats.misses[REQ_LOAD] = 3
+        stats.misses["store"] = 1
+        assert stats.demand_misses() == 4
+
+    def test_latency_average(self):
+        stats = CacheStats()
+        stats.load_miss_latency_sum = 300
+        stats.load_miss_latency_count = 3
+        assert stats.load_miss_latency_avg() == 100.0
+
+    def test_accuracy_over_resolved_only(self):
+        stats = CacheStats()
+        stats.prefetches_useful = 3
+        stats.prefetches_useless = 1
+        assert stats.prefetch_accuracy() == 0.75
+
+    def test_reset(self):
+        stats = CacheStats()
+        stats.accesses[REQ_LOAD] = 7
+        stats.prefetches_issued = 5
+        stats.mshr_full_wait_cycles = 100
+        stats.reset()
+        assert stats.total_accesses() == 0
+        assert stats.prefetches_issued == 0
+        assert stats.mshr_full_wait_cycles == 0
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        stats = CoreStats()
+        stats.committed_instructions = 100
+        stats.cycles = 50
+        assert stats.ipc() == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert CoreStats().ipc() == 0.0
+
+    def test_reset(self):
+        stats = CoreStats()
+        stats.committed_instructions = 10
+        stats.wrong_path_loads = 3
+        stats.reset()
+        assert stats.committed_instructions == 0
+        assert stats.wrong_path_loads == 0
+
+
+class TestGhostMinionStats:
+    def test_suf_accuracy_no_decisions(self):
+        assert GhostMinionStats().suf_accuracy() == 1.0
+
+    def test_suf_accuracy(self):
+        stats = GhostMinionStats()
+        stats.suf_correct = 99
+        stats.suf_mispredict = 1
+        assert stats.suf_accuracy() == 0.99
+
+    def test_reset_clears_loss_counter(self):
+        stats = GhostMinionStats()
+        stats.gm_lost_before_commit = 5
+        stats.reset()
+        assert stats.gm_lost_before_commit == 0
+
+
+class TestDRAMStats:
+    def test_row_hit_rate(self):
+        stats = DRAMStats()
+        assert stats.row_hit_rate() == 0.0
+        stats.requests = 4
+        stats.row_hits = 3
+        assert stats.row_hit_rate() == 0.75

@@ -1,0 +1,208 @@
+"""Single-core System: end-to-end runs, training modes, measurement."""
+
+import pytest
+
+from repro.prefetchers import (MODE_ON_ACCESS, MODE_ON_COMMIT,
+                               make_prefetcher)
+from repro.prefetchers.base import Prefetcher, TrainingEvent
+from repro.sim.system import System
+from repro.workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
+                                   FLAG_WRONG_PATH, Trace, alu, load, store)
+
+
+class RecordingPrefetcher(Prefetcher):
+    """Captures every training event it sees; never prefetches."""
+
+    name = "recording"
+    train_level = 0
+
+    def __init__(self):
+        self.events = []
+
+    def train(self, event):
+        self.events.append(event)
+        return []
+
+    def storage_bits(self):
+        return 0
+
+
+class TestBasicRun:
+    def test_deterministic(self, tiny_stream):
+        r1 = System().run(tiny_stream)
+        r2 = System().run(tiny_stream)
+        assert r1.ipc == r2.ipc
+        assert r1.l1d.accesses == r2.l1d.accesses
+
+    def test_counts_committed_instructions(self, pure_loads):
+        result = System().run(pure_loads, warmup=0.0)
+        assert result.committed == 400
+        assert result.core.committed_loads == 400
+
+    def test_ipc_positive_and_bounded(self, tiny_stream):
+        result = System().run(tiny_stream)
+        assert 0 < result.ipc <= 6  # issue width bounds IPC
+
+    def test_warmup_resets_stats(self, pure_loads):
+        warm = System().run(pure_loads, warmup=0.5)
+        cold = System().run(pure_loads, warmup=0.0)
+        # Measured counts cover only the post-warm-up window.
+        assert warm.committed == cold.committed // 2
+        assert warm.l1d.total_accesses() < cold.l1d.total_accesses()
+
+    def test_label_generation(self):
+        sys_ = System(secure=True, suf=True,
+                      prefetcher=make_prefetcher("berti"),
+                      train_mode=MODE_ON_COMMIT)
+        assert sys_.label == "berti/on-commit/secure/suf"
+
+    def test_rejects_suf_without_secure(self):
+        with pytest.raises(ValueError):
+            System(suf=True)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            System(train_mode="sometimes")
+
+
+class TestStores:
+    def test_store_writes_at_commit(self):
+        trace = Trace("t", [load(1, 64), store(2, 64)] + [alu(3)] * 50)
+        sys_ = System()
+        sys_.run(trace, warmup=0.0)
+        line = sys_.hierarchy.l1d.lookup(1)
+        assert line is not None and line.dirty
+
+    def test_store_counted(self):
+        trace = Trace("t", [store(2, 64)] + [alu(3)] * 20)
+        result = System().run(trace, warmup=0.0)
+        assert result.core.committed_stores == 1
+
+
+class TestWrongPath:
+    def _trace_with_wrong_path(self):
+        records = [load(1, i * 64) for i in range(16)]
+        records.append((2, -1, FLAG_BRANCH | FLAG_MISPREDICT))
+        wrong_block = 1 << 24
+        records += [(3, (wrong_block + i) * 64, FLAG_LOAD | FLAG_WRONG_PATH)
+                    for i in range(4)]
+        records += [alu(4)] * 100
+        return Trace("wp", records), wrong_block
+
+    def test_wrong_path_counted_not_committed(self):
+        trace, _ = self._trace_with_wrong_path()
+        result = System().run(trace, warmup=0.0)
+        assert result.core.wrong_path_loads == 4
+        assert result.core.branch_mispredicts == 1
+        assert result.committed == trace.committed_count
+
+    def test_wrong_path_pollutes_nonsecure(self):
+        trace, wrong_block = self._trace_with_wrong_path()
+        sys_ = System()
+        sys_.run(trace, warmup=0.0)
+        assert sys_.hierarchy.l1d.contains(wrong_block)
+
+    def test_wrong_path_invisible_when_secure(self):
+        """The invisible-speculation property (Section II-C)."""
+        trace, wrong_block = self._trace_with_wrong_path()
+        sys_ = System(secure=True)
+        sys_.run(trace, warmup=0.0)
+        for level in sys_.hierarchy.levels():
+            for i in range(4):
+                assert not level.contains(wrong_block + i)
+
+    def test_mispredict_slows_execution(self):
+        # ALU-only traces so the redirect bubble is the critical path.
+        fast_trace = Trace("a", [(2, -1, FLAG_BRANCH)] + [alu(4)] * 100)
+        slow_trace = Trace("b", [(2, -1, FLAG_BRANCH | FLAG_MISPREDICT)]
+                           + [alu(4)] * 100)
+        fast = System().run(fast_trace, warmup=0.0)
+        slow = System().run(slow_trace, warmup=0.0)
+        assert slow.cycles > fast.cycles
+
+
+class TestTrainingModes:
+    def _loads(self, n=12):
+        return Trace("t", [load(7, i * 64) for i in range(n)]
+                     + [alu(1)] * 200)
+
+    def test_on_access_trains_at_access_time(self):
+        pf = RecordingPrefetcher()
+        System(prefetcher=pf).run(self._loads(), warmup=0.0)
+        assert len(pf.events) == 12
+        for event in pf.events:
+            assert event.cycle == event.access_cycle
+
+    def test_on_access_includes_wrong_path(self):
+        pf = RecordingPrefetcher()
+        records = [(3, 64, FLAG_LOAD | FLAG_WRONG_PATH)] \
+            + [load(1, 128)] + [alu(2)] * 30
+        System(prefetcher=pf).run(Trace("t", records), warmup=0.0)
+        assert len(pf.events) == 2
+
+    def test_on_commit_trains_at_commit_time(self):
+        pf = RecordingPrefetcher()
+        System(prefetcher=pf, train_mode=MODE_ON_COMMIT).run(
+            self._loads(), warmup=0.0)
+        assert len(pf.events) == 12
+
+    def test_on_commit_excludes_wrong_path(self):
+        pf = RecordingPrefetcher()
+        records = [(3, 64, FLAG_LOAD | FLAG_WRONG_PATH)] \
+            + [load(1, 128)] + [alu(2)] * 30
+        System(prefetcher=pf, train_mode=MODE_ON_COMMIT).run(
+            Trace("t", records), warmup=0.0)
+        assert len(pf.events) == 1
+
+    def test_on_commit_event_cycles_lag_access(self):
+        pf_access = RecordingPrefetcher()
+        pf_commit = RecordingPrefetcher()
+        System(prefetcher=pf_access).run(self._loads(), warmup=0.0)
+        System(prefetcher=pf_commit, train_mode=MODE_ON_COMMIT).run(
+            self._loads(), warmup=0.0)
+        access_first = pf_access.events[0].cycle
+        commit_first = pf_commit.events[0].cycle
+        assert commit_first > access_first
+
+    def test_naive_on_commit_latency_misleading(self):
+        """On the secure system, naive commit training observes the tiny
+        on-commit write latency, not the fetch latency (Section V-B)."""
+        pf = RecordingPrefetcher()
+        System(secure=True, prefetcher=pf,
+               train_mode=MODE_ON_COMMIT).run(self._loads(), warmup=0.0)
+        misses = [e for e in pf.events if not e.hit]
+        assert misses
+        assert all(e.fetch_latency <= 5 for e in misses)
+
+    def test_on_access_latency_realistic(self):
+        pf = RecordingPrefetcher()
+        System(secure=True, prefetcher=pf,
+               train_mode=MODE_ON_ACCESS).run(self._loads(), warmup=0.0)
+        misses = [e for e in pf.events if not e.hit]
+        assert any(e.fetch_latency > 100 for e in misses)
+
+
+class TestSecureSystemResult:
+    def test_gm_stats_present_when_secure(self, tiny_stream):
+        result = System(secure=True).run(tiny_stream)
+        assert result.gm is not None
+        assert result.gm.gm_fills > 0
+
+    def test_gm_stats_absent_when_nonsecure(self, tiny_stream):
+        assert System().run(tiny_stream).gm is None
+
+    def test_commit_traffic_present(self, tiny_stream):
+        ns = System().run(tiny_stream)
+        s = System(secure=True).run(tiny_stream)
+        assert s.l1d.accesses["commit"] > 0
+        assert ns.l1d.accesses["commit"] == 0
+
+    def test_suf_cuts_commit_traffic(self, tiny_stream):
+        s = System(secure=True).run(tiny_stream)
+        f = System(secure=True, suf=True).run(tiny_stream)
+        assert f.gm.commit_drops_suf > 0
+        assert f.l1d.accesses["commit"] < s.l1d.accesses["commit"]
+
+    def test_suf_accuracy_high_single_core(self, tiny_stream):
+        result = System(secure=True, suf=True).run(tiny_stream)
+        assert result.gm.suf_accuracy() > 0.9

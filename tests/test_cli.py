@@ -1,0 +1,89 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "605.mcf-1554B", "--secure", "--suf",
+             "--prefetcher", "tsb", "--mode", "on-commit"])
+        assert args.secure and args.suf
+        assert args.prefetcher == "tsb"
+
+    def test_figure_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig1",
+                                       "--scale", "huge"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "605.mcf-1554B" in out
+        assert "bfs" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "657.xz-2302B", "--loads", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "L1D MPKI" in out
+
+    def test_run_secure_shows_gm(self, capsys):
+        assert main(["run", "657.xz-2302B", "--loads", "1500",
+                     "--secure", "--suf"]) == 0
+        out = capsys.readouterr().out
+        assert "GM" in out and "SUF drops" in out
+
+    def test_run_delay(self, capsys):
+        assert main(["run", "657.xz-2302B", "--loads", "1500",
+                     "--delay"]) == 0
+        assert "delayed loads" in capsys.readouterr().out
+
+    def test_run_unknown_workload(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["run", "700.fake"])
+
+    def test_compare(self, capsys):
+        assert main(["compare", "657.xz-2302B", "--loads", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "TSB" in out and "speedup" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table III" in out
+
+    def test_attack_closed(self, capsys):
+        assert main(["attack", "--secure", "--mode", "on-commit"]) == 0
+        assert "channel closed" in capsys.readouterr().out
+
+    def test_figure_unknown(self):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figure", "fig99"])
+
+    def test_multicore(self, capsys):
+        assert main(["multicore", "--mixes", "1", "--loads", "1200",
+                     "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out and "average" in out
+
+    def test_report_assembles_results(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig1.txt").write_text("Fig. 1: hello\n")
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--results-dir", str(results),
+                     "--output", str(out_file)]) == 0
+        content = out_file.read_text()
+        assert "## fig1" in content and "Fig. 1: hello" in content
+
+    def test_report_missing_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="no results directory"):
+            main(["report", "--results-dir", str(tmp_path / "nope")])

@@ -1,0 +1,131 @@
+"""Integration tests: the paper's headline claims, at test scale.
+
+Each test checks a *shape* the paper reports -- who wins, in which
+direction -- on workloads where the effect is robust at small scale.
+"""
+
+import pytest
+
+from repro.analysis import geomean
+from repro.core import TSBPrefetcher
+from repro.prefetchers import MODE_ON_COMMIT, make_prefetcher
+from repro.sim.system import System
+from repro.workloads.spec import spec_trace
+
+TRACES = ["619.lbm-2676B", "657.xz-2302B", "654.roms-1007B",
+          "649.foton-1176B"]
+N_LOADS = 6000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [spec_trace(name, n_loads=N_LOADS) for name in TRACES]
+
+
+@pytest.fixture(scope="module")
+def baselines(traces):
+    return [System().run(t) for t in traces]
+
+
+def mean_speedup(traces, baselines, **kwargs):
+    factory = kwargs.pop("prefetcher_factory", None)
+    values = []
+    for trace, base in zip(traces, baselines):
+        pf = factory() if factory else None
+        result = System(prefetcher=pf, **kwargs).run(trace)
+        values.append(result.ipc / base.ipc)
+    return geomean(values)
+
+
+class TestSecureCacheSystem:
+    def test_ghostminion_overhead_is_low(self, traces, baselines):
+        """Table I bins GhostMinion's slowdown as Low (<5%)."""
+        secure = mean_speedup(traces, baselines, secure=True)
+        assert 0.95 <= secure <= 1.02
+
+    def test_secure_system_inflates_l1d_traffic(self, traces):
+        """Section III-A: >1.5x L1D APKI from commit requests."""
+        ratios = []
+        for trace in traces:
+            ns = System().run(trace)
+            s = System(secure=True).run(trace)
+            ratios.append(s.apki(s.l1d) / ns.apki(ns.l1d))
+        assert geomean(ratios) > 1.4
+
+
+class TestPrefetchingRegimes:
+    """Fig. 1's ordering: on-access NS >= on-access S > on-commit S."""
+
+    def test_on_access_prefetching_helps_nonsecure(self, traces,
+                                                   baselines):
+        oa_ns = mean_speedup(
+            traces, baselines,
+            prefetcher_factory=lambda: make_prefetcher("berti"))
+        assert oa_ns > 1.05
+
+    def test_secure_cache_dampens_on_access_prefetching(self, traces,
+                                                        baselines):
+        oa_ns = mean_speedup(
+            traces, baselines,
+            prefetcher_factory=lambda: make_prefetcher("berti"))
+        oa_s = mean_speedup(
+            traces, baselines, secure=True,
+            prefetcher_factory=lambda: make_prefetcher("berti"))
+        assert oa_s <= oa_ns + 0.005
+
+    def test_on_commit_loses_timeliness(self, traces, baselines):
+        oa_s = mean_speedup(
+            traces, baselines, secure=True,
+            prefetcher_factory=lambda: make_prefetcher("berti"))
+        oc_s = mean_speedup(
+            traces, baselines, secure=True, train_mode=MODE_ON_COMMIT,
+            prefetcher_factory=lambda: make_prefetcher("berti"))
+        assert oc_s < oa_s
+
+
+class TestContributions:
+    def test_tsb_beats_naive_on_commit(self, traces, baselines):
+        """Section V / Fig. 10: TSB recovers the timeliness loss."""
+        oc = mean_speedup(
+            traces, baselines, secure=True, train_mode=MODE_ON_COMMIT,
+            prefetcher_factory=lambda: make_prefetcher("berti"))
+        tsb = mean_speedup(
+            traces, baselines, secure=True, train_mode=MODE_ON_COMMIT,
+            prefetcher_factory=TSBPrefetcher)
+        assert tsb > oc
+
+    def test_tsb_plus_suf_is_best_secure_config(self, traces, baselines):
+        """Fig. 11: TSB+SUF outperforms every other secure configuration."""
+        candidates = {
+            "no-pref": mean_speedup(traces, baselines, secure=True),
+            "berti-oc": mean_speedup(
+                traces, baselines, secure=True,
+                train_mode=MODE_ON_COMMIT,
+                prefetcher_factory=lambda: make_prefetcher("berti")),
+        }
+        best = mean_speedup(
+            traces, baselines, secure=True, suf=True,
+            train_mode=MODE_ON_COMMIT, prefetcher_factory=TSBPrefetcher)
+        for label, value in candidates.items():
+            assert best > value, label
+
+    def test_suf_removes_commit_traffic(self, traces):
+        """Fig. 3 vs Fig. 11: SUF filters the redundant updates."""
+        for trace in traces:
+            plain = System(secure=True).run(trace)
+            filtered = System(secure=True, suf=True).run(trace)
+            assert filtered.l1d.accesses["commit"] < \
+                0.6 * plain.l1d.accesses["commit"]
+
+    def test_suf_accuracy_over_90_percent(self, traces):
+        """Section VII-A: SUF filters accurately (99.3% avg in paper)."""
+        for trace in traces:
+            result = System(secure=True, suf=True).run(trace)
+            assert result.gm.suf_accuracy() > 0.9
+
+    def test_storage_budget(self):
+        """The headline 0.59 KB/core overhead."""
+        from repro.core import HitLevelQueue, XLQ
+        total_kb = (HitLevelQueue().storage_bits()
+                    + XLQ().storage_bits()) / 8 / 1024
+        assert total_kb == pytest.approx(0.59, abs=0.01)

@@ -1,0 +1,101 @@
+"""System-level property tests over randomized traces (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tsb import TSBPrefetcher
+from repro.prefetchers import MODE_ON_COMMIT, make_prefetcher
+from repro.sim.system import System
+from repro.workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
+                                   FLAG_STORE, FLAG_WRONG_PATH, Trace)
+
+#: Committed blocks live here, wrong-path blocks in a disjoint region.
+COMMITTED_BASE = 1 << 20
+WRONG_BASE = 1 << 26
+
+
+@st.composite
+def small_traces(draw):
+    """Random traces mixing loads, stores, branches, and wrong-path
+    bursts, with committed and transient footprints kept disjoint."""
+    records = []
+    n = draw(st.integers(min_value=5, max_value=120))
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["load", "load", "load", "store", "alu", "branch", "wrong"]))
+        if kind == "load":
+            block = COMMITTED_BASE + draw(st.integers(0, 400))
+            records.append((0x400, block * 64, FLAG_LOAD))
+        elif kind == "store":
+            block = COMMITTED_BASE + draw(st.integers(0, 400))
+            records.append((0x404, block * 64, FLAG_STORE))
+        elif kind == "alu":
+            records.append((0x408, -1, 0))
+        elif kind == "branch":
+            records.append((0x40C, -1, FLAG_BRANCH))
+        else:
+            records.append((0x40C, -1, FLAG_BRANCH | FLAG_MISPREDICT))
+            for i in range(draw(st.integers(1, 4))):
+                block = WRONG_BASE + draw(st.integers(0, 400))
+                records.append((0x410, block * 64,
+                                FLAG_LOAD | FLAG_WRONG_PATH))
+    records += [(0x500, -1, 0)] * 30   # drain tail
+    return Trace("prop", records)
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=small_traces())
+def test_runs_are_deterministic(trace):
+    r1 = System().run(trace, warmup=0.0)
+    r2 = System().run(trace, warmup=0.0)
+    assert r1.ipc == r2.ipc
+    assert r1.l1d.accesses == r2.l1d.accesses
+    assert r1.dram.requests == r2.dram.requests
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=small_traces())
+def test_committed_count_conserved(trace):
+    result = System().run(trace, warmup=0.0)
+    assert result.committed == trace.committed_count
+    assert result.core.committed_loads == sum(
+        1 for ip, v, f in trace.records
+        if f & FLAG_LOAD and not f & FLAG_WRONG_PATH)
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=small_traces())
+def test_invisible_speculation_property(trace):
+    """No transient-only block ever appears in the non-speculative
+    hierarchy of a secure system, for any interleaving."""
+    system = System(secure=True)
+    system.run(trace, warmup=0.0)
+    wrong_blocks = {v // 64 for ip, v, f in trace.records
+                    if f & FLAG_WRONG_PATH and v >= 0}
+    for block in wrong_blocks:
+        for level in system.hierarchy.levels():
+            assert not level.contains(block)
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=small_traces())
+def test_secure_configs_never_crash_and_stay_sane(trace):
+    for kwargs in (
+            dict(secure=True, suf=True),
+            dict(secure=True, prefetcher=TSBPrefetcher(),
+                 train_mode=MODE_ON_COMMIT),
+            dict(delay_mitigation=True),
+            dict(prefetcher=make_prefetcher("ip-stride"))):
+        result = System(**kwargs).run(trace, warmup=0.0)
+        assert 0 <= result.ipc <= 6
+        assert result.cycles >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=small_traces())
+def test_suf_only_filters_never_adds(trace):
+    """SUF can only remove commit traffic, never add accesses anywhere."""
+    plain = System(secure=True).run(trace, warmup=0.0)
+    filtered = System(secure=True, suf=True).run(trace, warmup=0.0)
+    assert filtered.l1d.accesses["commit"] <= plain.l1d.accesses["commit"]
+    assert filtered.dram.requests <= plain.dram.requests + 2

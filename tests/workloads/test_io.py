@@ -1,0 +1,69 @@
+"""Trace serialization round-trips."""
+
+import gzip
+import struct
+
+import pytest
+
+from repro.workloads.io import (TraceFormatError, load_trace, save_trace)
+from repro.workloads.spec import spec_trace
+from repro.workloads.trace import Trace, load
+
+
+class TestRoundTrip:
+    def test_identical_records(self, tmp_path):
+        trace = spec_trace("619.lbm-2676B", n_loads=500)
+        path = tmp_path / "lbm.rtrace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.records == trace.records
+        assert loaded.name == trace.name
+        assert loaded.suite == trace.suite
+        assert loaded.committed_count == trace.committed_count
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.rtrace"
+        save_trace(Trace("empty", []), path)
+        assert load_trace(path).records == []
+
+    def test_compression_effective(self, tmp_path):
+        trace = spec_trace("654.roms-1007B", n_loads=2000)
+        path = tmp_path / "roms.rtrace"
+        save_trace(trace, path)
+        raw_size = len(trace.records) * 17
+        assert path.stat().st_size < raw_size / 2
+
+    def test_simulation_equivalence(self, tmp_path):
+        from repro.sim.system import System
+        trace = spec_trace("657.xz-2302B", n_loads=1000)
+        path = tmp_path / "xz.rtrace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert System().run(trace).ipc == System().run(loaded).ipc
+
+
+class TestErrorHandling:
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.rtrace"
+        with gzip.open(path, "wb") as handle:
+            handle.write(b"JUNKJUNKJUNKJUNKJUNK")
+        with pytest.raises(TraceFormatError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.rtrace"
+        with gzip.open(path, "wb") as handle:
+            handle.write(struct.pack("<4sHHQ", b"RPRT", 99, 0, 0))
+            handle.write(struct.pack("<H", 1) + b"x")
+            handle.write(struct.pack("<H", 1) + b"y")
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+    def test_rejects_truncation(self, tmp_path):
+        trace = Trace("t", [load(1, 64), load(1, 128)])
+        path = tmp_path / "t.rtrace"
+        save_trace(trace, path)
+        data = gzip.decompress(path.read_bytes())
+        path.write_bytes(gzip.compress(data[:-5]))
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path)

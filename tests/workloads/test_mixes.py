@@ -1,0 +1,61 @@
+"""Workload pool and multi-core mix construction."""
+
+import pytest
+
+from repro.workloads.mixes import generate_mixes, mix_name, workload_pool
+from repro.workloads.spec import SPEC_WORKLOADS, spec_trace, spec_traces
+
+
+class TestSpecPool:
+    def test_all_named_workloads_build(self):
+        traces = spec_traces(300)
+        assert len(traces) == len(SPEC_WORKLOADS)
+        assert all(t.suite == "spec" for t in traces)
+
+    def test_count_subset(self):
+        traces = spec_traces(300, count=5)
+        assert len(traces) == 5
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown SPEC-like"):
+            spec_trace("no-such-trace")
+
+    def test_names_match_keys(self):
+        for name in list(SPEC_WORKLOADS)[:4]:
+            assert spec_trace(name, 200).name == name
+
+
+class TestWorkloadPool:
+    def test_combines_suites(self):
+        pool = workload_pool(300, spec_count=3, gap_count=2)
+        suites = [t.suite for t in pool]
+        assert suites.count("spec") == 3
+        assert suites.count("gap") == 2
+
+
+class TestMixes:
+    def test_mix_shape(self):
+        pool = workload_pool(200, spec_count=4, gap_count=2)
+        mixes = generate_mixes(pool, n_mixes=5, cores=4, seed=9)
+        assert len(mixes) == 5
+        assert all(len(mix) == 4 for mix in mixes)
+
+    def test_seeded(self):
+        pool = workload_pool(200, spec_count=4, gap_count=2)
+        a = generate_mixes(pool, 3, seed=9)
+        b = generate_mixes(pool, 3, seed=9)
+        c = generate_mixes(pool, 3, seed=10)
+        assert [[t.name for t in m] for m in a] == \
+            [[t.name for t in m] for m in b]
+        assert [[t.name for t in m] for m in a] != \
+            [[t.name for t in m] for m in c]
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            generate_mixes([], 3)
+
+    def test_mix_name(self):
+        pool = workload_pool(200, spec_count=2, gap_count=1)
+        mix = generate_mixes(pool, 1, cores=2, seed=1)[0]
+        name = mix_name(mix)
+        assert "+" in name

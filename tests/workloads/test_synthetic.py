@@ -1,0 +1,175 @@
+"""Synthetic trace generator behaviour and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.synthetic import (TraceBuilder, hot_cold_trace,
+                                       interleave, pointer_chase_trace,
+                                       region_trace, stream_trace)
+from repro.workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
+                                   FLAG_STORE, FLAG_WRONG_PATH)
+
+
+def loads_of(trace):
+    return [(ip, vaddr) for ip, vaddr, flags in trace.records
+            if flags & FLAG_LOAD and not flags & FLAG_WRONG_PATH]
+
+
+class TestTraceBuilder:
+    def test_emits_fillers_and_branches(self):
+        builder = TraceBuilder("t", filler=2, branch_every=4,
+                               mispredict_rate=0.0)
+        for i in range(20):
+            builder.add_load(0x400, i * 64)
+        trace = builder.build()
+        kinds = [flags for _, _, flags in trace.records]
+        assert sum(1 for f in kinds if f & FLAG_LOAD) == 20
+        assert sum(1 for f in kinds if f & FLAG_BRANCH) > 0
+        assert sum(1 for f in kinds if f == 0) >= 40  # fillers
+
+    def test_mispredicts_inject_wrong_path(self):
+        builder = TraceBuilder("t", mispredict_rate=1.0,
+                               wrong_path_loads=3, branch_every=2)
+        for i in range(10):
+            builder.add_load(0x400, i * 64)
+        trace = builder.build()
+        wrong = [r for r in trace.records if r[2] & FLAG_WRONG_PATH]
+        mispredicts = [r for r in trace.records
+                       if r[2] & FLAG_MISPREDICT]
+        assert len(mispredicts) > 0
+        assert len(wrong) == 3 * len(mispredicts)
+        assert all(r[2] & FLAG_LOAD for r in wrong)
+
+    def test_new_ip_unique(self):
+        builder = TraceBuilder("t")
+        ips = {builder.new_ip() for _ in range(100)}
+        assert len(ips) == 100
+
+    def test_deterministic_for_seed(self):
+        def build(seed):
+            b = TraceBuilder("t", seed=seed, mispredict_rate=0.2)
+            for i in range(50):
+                b.add_load(0x400, i * 64)
+            return b.build().records
+        assert build(7) == build(7)
+        assert build(7) != build(8)
+
+
+class TestStreamTrace:
+    def test_load_count(self):
+        trace = stream_trace("s", 500, streams=2)
+        assert len(loads_of(trace)) == 500
+
+    def test_intra_block_locality(self):
+        trace = stream_trace("s", 400, streams=1, elems_per_block=8,
+                            store_every=0, mispredict_rate=0.0)
+        blocks = [vaddr // 64 for _, vaddr in loads_of(trace)]
+        # 8 consecutive accesses share a block.
+        assert blocks[0] == blocks[7]
+        assert blocks[8] == blocks[0] + 1
+
+    def test_stride_blocks(self):
+        trace = stream_trace("s", 64, streams=1, elems_per_block=1,
+                            stride_blocks=4, store_every=0,
+                            mispredict_rate=0.0)
+        blocks = [vaddr // 64 for _, vaddr in loads_of(trace)]
+        deltas = {b2 - b1 for b1, b2 in zip(blocks, blocks[1:])}
+        assert deltas == {4}
+
+    def test_streams_use_disjoint_regions(self):
+        trace = stream_trace("s", 200, streams=4, mispredict_rate=0.0)
+        regions = {vaddr >> 30 for _, vaddr in loads_of(trace)}
+        assert len(regions) == 4
+
+    def test_stores_emitted(self):
+        trace = stream_trace("s", 100, store_every=4)
+        stores = [r for r in trace.records if r[2] & FLAG_STORE]
+        assert len(stores) == 25
+
+
+class TestPointerChaseTrace:
+    def test_load_count(self):
+        trace = pointer_chase_trace("p", 600)
+        assert len(loads_of(trace)) == 600
+
+    def test_hot_fraction_creates_reuse(self):
+        trace = pointer_chase_trace("p", 2000, hot_fraction=0.9,
+                                    hot_kb=8, seed=5)
+        blocks = [vaddr // 64 for _, vaddr in loads_of(trace)]
+        # A 8KB hot set is 128 blocks; with 90% hot loads the distinct
+        # block count must be far below the load count.
+        assert len(set(blocks)) < len(blocks) // 4
+
+    def test_scan_runs_are_sequential(self):
+        trace = pointer_chase_trace("p", 500, hot_fraction=0.0,
+                                    scan_fraction=1.0, scan_run=8,
+                                    chains=1, seed=2)
+        blocks = [vaddr // 64 for _, vaddr in loads_of(trace)]
+        sequential = sum(1 for b1, b2 in zip(blocks, blocks[1:])
+                         if b2 - b1 == 1)
+        assert sequential > len(blocks) // 2
+
+    def test_zero_hot_zero_scan_is_random(self):
+        trace = pointer_chase_trace("p", 500, hot_fraction=0.0,
+                                    scan_fraction=0.0, locality=0.0)
+        blocks = [vaddr // 64 for _, vaddr in loads_of(trace)]
+        assert len(set(blocks)) > len(blocks) * 0.9
+
+
+class TestRegionTrace:
+    def test_load_count(self):
+        trace = region_trace("r", 400)
+        assert len(loads_of(trace)) == 400
+
+    def test_footprints_recur(self):
+        trace = region_trace("r", 2000, footprints=2, pool_regions=16,
+                             churn=0.0, seed=3)
+        # With zero churn the same 16 regions repeat: the distinct block
+        # count is bounded by pool size x footprint size.
+        blocks = {vaddr // 64 for _, vaddr in loads_of(trace)}
+        assert len(blocks) <= 16 * 16
+
+    def test_churn_introduces_new_regions(self):
+        low = region_trace("r", 2000, pool_regions=16, churn=0.0, seed=3)
+        high = region_trace("r", 2000, pool_regions=16, churn=0.5, seed=3)
+        blocks_low = {v // 64 for _, v in loads_of(low)}
+        blocks_high = {v // 64 for _, v in loads_of(high)}
+        assert len(blocks_high) > len(blocks_low)
+
+
+class TestHotColdTrace:
+    def test_mostly_hot(self):
+        trace = hot_cold_trace("h", 1000, cold_ratio=0.05, seed=4)
+        blocks = [vaddr // 64 for _, vaddr in loads_of(trace)]
+        hot_region = [b for b in blocks if b < (2 << 24)]
+        assert len(hot_region) > 800
+
+
+class TestInterleave:
+    def test_preserves_all_records(self):
+        a = stream_trace("a", 100, mispredict_rate=0.0)
+        b = region_trace("b", 100, mispredict_rate=0.0)
+        merged = interleave([a, b], "ab")
+        assert len(merged.records) == len(a.records) + len(b.records)
+
+    def test_round_robin_chunks(self):
+        a = stream_trace("a", 100, mispredict_rate=0.0)
+        b = region_trace("b", 100, mispredict_rate=0.0)
+        merged = interleave([a, b], "ab", chunk=10)
+        assert merged.records[:10] == a.records[:10]
+        assert merged.records[10:20] == b.records[:10]
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_loads=st.integers(min_value=1, max_value=300),
+       streams=st.integers(min_value=1, max_value=6),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_stream_trace_properties(n_loads, streams, seed):
+    """Generators always deliver the requested committed loads with
+    64-bit-safe, non-negative addresses."""
+    trace = stream_trace("s", n_loads, streams=streams, seed=seed)
+    loads = loads_of(trace)
+    assert len(loads) == n_loads
+    assert all(vaddr >= 0 for _, vaddr in loads)
+    assert trace.committed_count == sum(
+        1 for r in trace.records if not r[2] & FLAG_WRONG_PATH)

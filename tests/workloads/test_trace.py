@@ -1,0 +1,90 @@
+"""Trace record and container behaviour."""
+
+from repro.workloads.trace import (BLOCK_SIZE, FLAG_BRANCH, FLAG_LOAD,
+                                   FLAG_MISPREDICT, FLAG_STORE,
+                                   FLAG_WRONG_PATH, Instr, Trace, alu,
+                                   block_of, branch, load, store)
+
+
+class TestRecordBuilders:
+    def test_load_record(self):
+        ip, vaddr, flags = load(0x400, 0x1000)
+        assert ip == 0x400
+        assert vaddr == 0x1000
+        assert flags == FLAG_LOAD
+
+    def test_wrong_path_load(self):
+        _, _, flags = load(0x400, 0x1000, wrong_path=True)
+        assert flags & FLAG_LOAD
+        assert flags & FLAG_WRONG_PATH
+
+    def test_store_record(self):
+        _, vaddr, flags = store(0x404, 0x2000)
+        assert vaddr == 0x2000
+        assert flags == FLAG_STORE
+
+    def test_alu_record_has_no_memory(self):
+        _, vaddr, flags = alu(0x408)
+        assert vaddr == -1
+        assert flags == 0
+
+    def test_branch_records(self):
+        _, _, taken = branch(0x40C)
+        assert taken == FLAG_BRANCH
+        _, _, misp = branch(0x40C, mispredict=True)
+        assert misp == FLAG_BRANCH | FLAG_MISPREDICT
+
+
+class TestBlockOf:
+    def test_block_granularity(self):
+        assert block_of(0) == 0
+        assert block_of(BLOCK_SIZE - 1) == 0
+        assert block_of(BLOCK_SIZE) == 1
+        assert block_of(BLOCK_SIZE * 10 + 5) == 10
+
+
+class TestInstr:
+    def test_flags_views(self):
+        instr = Instr(0x400, 0x1000, FLAG_LOAD | FLAG_WRONG_PATH)
+        assert instr.is_load
+        assert instr.is_wrong_path
+        assert not instr.is_store
+        assert not instr.is_branch
+        assert instr.is_mem
+
+    def test_non_memory(self):
+        instr = Instr(0x400)
+        assert not instr.is_mem
+
+    def test_record_roundtrip(self):
+        instr = Instr(0x400, 0x1000, FLAG_STORE)
+        assert instr.record() == (0x400, 0x1000, FLAG_STORE)
+
+
+class TestTrace:
+    def test_committed_count_excludes_wrong_path(self):
+        records = [load(1, 64), load(1, 128, wrong_path=True), alu(2)]
+        trace = Trace("t", records)
+        assert len(trace) == 3
+        assert trace.committed_count == 2
+
+    def test_footprint_blocks_committed_only(self):
+        records = [load(1, 0), load(1, 64), load(1, 64),
+                   load(1, 4096, wrong_path=True)]
+        trace = Trace("t", records)
+        assert trace.footprint_blocks() == 2
+
+    def test_instructions_iteration(self):
+        trace = Trace("t", [load(1, 64), alu(2)])
+        instrs = list(trace.instructions())
+        assert len(instrs) == 2
+        assert instrs[0].is_load
+
+    def test_loads_iteration_includes_wrong_path(self):
+        trace = Trace("t", [load(1, 64), alu(2),
+                            load(1, 128, wrong_path=True)])
+        assert len(list(trace.loads())) == 2
+
+    def test_from_instrs(self):
+        trace = Trace.from_instrs("t", [Instr(1, 64, FLAG_LOAD)])
+        assert trace.records == [(1, 64, FLAG_LOAD)]
