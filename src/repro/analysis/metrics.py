@@ -15,7 +15,15 @@ from ..sim.system import SimResult
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (used for normalized metrics, Section VII)."""
+    """Geometric mean (used for normalized metrics, Section VII).
+
+    NaN inputs (failed simulations in failsoft sweeps) poison the mean so
+    aggregates never silently average over missing cells; the report
+    layer renders the NaN as ``n/a``.
+    """
+    values = list(values)
+    if any(isinstance(v, float) and math.isnan(v) for v in values):
+        return float("nan")
     values = [v for v in values if v > 0]
     if not values:
         return 0.0

@@ -7,7 +7,22 @@ rows), so benchmark logs read like the paper's tables.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence
+import math
+from typing import List, Mapping, Optional, Sequence
+
+
+def _cell(value: Optional[float], value_format: str) -> str:
+    """One rendered table cell; missing/failed values become ``n/a``.
+
+    Failed simulations propagate NaN through the metric layer, so a NaN
+    here means "this cell's data could not be computed" -- render it
+    honestly instead of printing ``nan``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isnan(value):
+        return "n/a"
+    return value_format.format(value)
 
 
 def format_table(title: str, columns: Sequence[str],
@@ -23,7 +38,7 @@ def format_table(title: str, columns: Sequence[str],
     lines.append("-" * len(header))
     for label, values in rows.items():
         cells = "".join(
-            value_format.format(v).rjust(col_width) for v in values)
+            _cell(v, value_format).rjust(col_width) for v in values)
         lines.append(label.ljust(label_width) + cells)
     return "\n".join(lines)
 
@@ -46,9 +61,7 @@ def format_series(title: str, series: Mapping[str, Mapping[str, float]],
     for name in names:
         cells = ""
         for values in series.values():
-            value = values.get(name)
-            cell = value_format.format(value) if value is not None else "-"
-            cells += cell.rjust(col_width)
+            cells += _cell(values.get(name), value_format).rjust(col_width)
         lines.append(name.ljust(label_width) + cells)
     return "\n".join(lines)
 
@@ -66,9 +79,9 @@ def format_stacked(title: str, categories: Sequence[str],
     lines.append("-" * len(header))
     for label, split in bars.items():
         cells = "".join(
-            value_format.format(split.get(c, 0.0)).rjust(col_width)
+            _cell(split.get(c, 0.0), value_format).rjust(col_width)
             for c in categories)
         total = sum(split.values())
         lines.append(label.ljust(label_width) + cells
-                     + value_format.format(total).rjust(10))
+                     + _cell(total, value_format).rjust(10))
     return "\n".join(lines)

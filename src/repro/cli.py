@@ -10,6 +10,9 @@ Commands
     Run the paper's standard configurations side by side on one workload.
 ``figure``
     Regenerate one of the paper's figures (fig1, fig3, ..., fig15).
+``sweep``
+    Run a whole set of figures through the fault-tolerant execution
+    layer, with a persistent result store for resume support.
 ``tables``
     Print Tables I-III and the contribution storage budget.
 ``attack``
@@ -22,12 +25,14 @@ Examples
     python -m repro run 605.mcf-1554B --secure --suf --prefetcher tsb
     python -m repro compare 619.lbm-2676B --loads 10000
     python -m repro figure fig11 --scale tiny
+    python -m repro sweep --scale small --jobs 4 --store .repro-store
     python -m repro attack --secure --mode on-commit
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -38,6 +43,30 @@ from .sim.system import System
 from .workloads.gap import GAP_KERNELS, gap_traces
 from .workloads.spec import SPEC_WORKLOADS, spec_trace
 from .workloads.trace import Trace
+
+#: Default result-store directory (overridable via REPRO_STORE or --store).
+DEFAULT_STORE = os.environ.get("REPRO_STORE", ".repro-store")
+
+
+def _require_positive(value: int, flag: str) -> int:
+    if value <= 0:
+        raise SystemExit(f"{flag} must be a positive integer, got {value}")
+    return value
+
+
+def _exec_runner(args, *, failsoft: bool = True) -> ExperimentRunner:
+    """An ExperimentRunner wired to the execution layer from CLI flags."""
+    from .exec.faults import FaultPlan
+    try:
+        fault_plan = FaultPlan.from_env()
+    except ValueError as exc:
+        raise SystemExit(f"REPRO_FAULTS: {exc}")
+    store = None if args.no_store else args.store
+    return ExperimentRunner(
+        scale=SCALES[args.scale],
+        jobs=_require_positive(args.jobs, "--jobs"),
+        store=store, timeout_s=args.timeout, failsoft=failsoft,
+        fault_plan=fault_plan)
 
 
 def _build_trace(name: str, n_loads: int) -> Trace:
@@ -71,6 +100,7 @@ def cmd_workloads(args) -> int:
 
 
 def cmd_run(args) -> int:
+    _require_positive(args.loads, "--loads")
     trace = _build_trace(args.workload, args.loads)
     system = _make_system(args)
     result = system.run(trace)
@@ -96,6 +126,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    _require_positive(args.loads, "--loads")
     trace = _build_trace(args.workload, args.loads)
     runner = ExperimentRunner(scale=SCALES["small"])
     configs = [
@@ -123,18 +154,60 @@ def cmd_compare(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    from .experiments.figures import ALL_FIGURES
-    from .experiments.multicore_experiments import fig15
-    drivers = dict(ALL_FIGURES)
-    drivers["fig15"] = fig15
+    from .experiments.figures import run_figure
+    runner = _exec_runner(args)
     try:
-        driver = drivers[args.name]
-    except KeyError:
-        raise SystemExit(f"unknown figure {args.name!r}; "
-                         f"known: {sorted(drivers)}")
-    runner = ExperimentRunner(scale=SCALES[args.scale])
-    result = driver(runner)
+        result = run_figure(runner, args.name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     print(result.text)
+    if runner.store is not None:
+        print(f"\n[{runner.store.summary()}]")
+    return 1 if runner.failures else 0
+
+
+def cmd_sweep(args) -> int:
+    """Run a figure set through the fault-tolerant executor.
+
+    The persistent store gives resume semantics: an interrupted sweep
+    rerun with the same store recomputes only the missing records, and a
+    fully cached sweep performs zero simulations (verifiable with
+    ``--expect-cached``).
+    """
+    from .experiments.figures import figure_drivers, run_figure
+    drivers = figure_drivers()
+    names = args.figures or sorted(drivers)
+    unknown = [n for n in names if n not in drivers]
+    if unknown:
+        raise SystemExit(f"unknown figure(s) {unknown}; "
+                         f"known: {sorted(drivers)}")
+    runner = _exec_runner(args)
+    broken: List[str] = []
+    for name in names:
+        try:
+            result = run_figure(runner, name)
+        except Exception as exc:
+            # One broken figure (e.g. a trace absent at this scale) must
+            # not abort the rest of the sweep.
+            broken.append(name)
+            print(f"[figure {name} failed: {type(exc).__name__}: {exc}]",
+                  file=sys.stderr)
+            continue
+        print(result.text)
+        print()
+    stats = runner.execution_stats()
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+    print(f"[sweep: {len(names) - len(broken)}/{len(names)} figure(s); "
+          f"{summary}]")
+    if runner.failures:
+        print(runner.failure_summary(), file=sys.stderr)
+    if broken or runner.failures:
+        return 1
+    if args.expect_cached and stats.get("simulated", 0) > 0:
+        print(f"--expect-cached: {stats['simulated']} job(s) were "
+              "re-simulated instead of hitting the store",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -154,6 +227,9 @@ def cmd_tables(args) -> int:
 def cmd_multicore(args) -> int:
     from .sim.multicore import alone_ipcs, run_mix
     from .workloads.mixes import generate_mixes, mix_name, workload_pool
+    _require_positive(args.mixes, "--mixes")
+    _require_positive(args.cores, "--cores")
+    _require_positive(args.loads, "--loads")
     pool = workload_pool(args.loads, spec_count=6, gap_count=2)
     mixes = generate_mixes(pool, n_mixes=args.mixes, cores=args.cores,
                            seed=args.seed)
@@ -255,10 +331,34 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("workload")
     cmp_p.add_argument("--loads", type=int, default=10000)
 
+    def add_exec_flags(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial in-process)")
+        p.add_argument("--store", default=DEFAULT_STORE,
+                       help="persistent result-store directory "
+                            f"(default: {DEFAULT_STORE!r})")
+        p.add_argument("--no-store", action="store_true",
+                       help="disable the persistent result store")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock timeout in seconds "
+                            "(requires --jobs > 1)")
+
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("name", help="fig1, fig3, ..., fig15")
     fig_p.add_argument("--scale", choices=sorted(SCALES),
                        default="tiny")
+    add_exec_flags(fig_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a figure set with resume support")
+    sweep_p.add_argument("figures", nargs="*",
+                         help="figure names (default: all figures)")
+    sweep_p.add_argument("--scale", choices=sorted(SCALES),
+                         default="tiny")
+    sweep_p.add_argument("--expect-cached", action="store_true",
+                         help="fail if any job re-simulated instead of "
+                              "hitting the store (resume verification)")
+    add_exec_flags(sweep_p)
 
     sub.add_parser("tables", help="print Tables I-III")
 
@@ -285,6 +385,7 @@ COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "figure": cmd_figure,
+    "sweep": cmd_sweep,
     "tables": cmd_tables,
     "attack": cmd_attack,
     "multicore": cmd_multicore,
@@ -299,6 +400,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except KeyboardInterrupt:
+        # Aborted long sweeps exit cleanly; the result store means a rerun
+        # resumes from the last completed job.  128 + SIGINT = 130.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

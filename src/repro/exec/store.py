@@ -1,0 +1,290 @@
+"""Persistent content-addressed result store.
+
+Records are keyed by a stable SHA-256 over everything that determines a
+simulation's outcome -- the :class:`~repro.experiments.runner.Config`, a
+fingerprint of the trace's actual records, the experiment scale, and the
+:class:`~repro.sim.params.SystemParams` digest -- so a result is reused iff
+the simulation it answers for would be bit-identical.
+
+On-disk layout (under the store root)::
+
+    format                  -- version stamp, refuses unknown versions
+    objects/ab/<key>.rec    -- one record per job key (sharded by prefix)
+    quarantine/             -- corrupt records moved aside for post-mortem
+
+Record format: magic line, a JSON header (key, payload length, SHA-256),
+then a pickled :class:`~repro.sim.system.SimResult`.  Writes go to a
+temporary file in the same directory followed by ``os.replace`` so a
+record is either fully present or absent -- an interrupted sweep never
+leaves a torn record.  Reads verify the magic, the header key, the payload
+length, and the checksum; any mismatch quarantines the file (it is moved,
+counted, and logged -- never deleted, never trusted) and reports a miss so
+the caller simply recomputes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from .faults import FaultPlan
+
+#: Bump when the record layout or key derivation changes.
+FORMAT_VERSION = 1
+
+_MAGIC = b"repro-store-record\n"
+
+
+# ----------------------------------------------------------------------
+# stable key derivation
+# ----------------------------------------------------------------------
+
+def _canonical(obj: Any) -> Any:
+    """Reduce dataclasses/containers to JSON-serializable structures."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {"__type__": type(obj).__name__, **asdict(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def stable_digest(obj: Any) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form."""
+    payload = json.dumps(_canonical(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def trace_fingerprint(trace) -> str:
+    """Content hash of a trace: name, suite, and every record tuple.
+
+    Cached on the trace object -- fingerprinting a 50k-record trace once
+    per process is cheap, doing it per job is not.
+    """
+    cached = getattr(trace, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(f"{trace.name}\x00{trace.suite}\x00".encode("utf-8"))
+    for ip, vaddr, flags in trace.records:
+        h.update(b"%d,%d,%d;" % (ip, vaddr, flags))
+    fingerprint = h.hexdigest()
+    try:
+        trace._fingerprint = fingerprint
+    except AttributeError:  # pragma: no cover - slotted trace subclass
+        pass
+    return fingerprint
+
+
+def job_key(config, trace, scale, params) -> str:
+    """The store key of one ``(config, trace, scale, params)`` job."""
+    from ..sim.params import params_digest
+    payload = {
+        "format": FORMAT_VERSION,
+        "config": _canonical(config),
+        "trace": trace_fingerprint(trace),
+        "scale": _canonical(scale),
+        "params": params_digest(params),
+    }
+    return stable_digest(payload)
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+
+class StoreError(OSError):
+    """The store root is unusable (unwritable, wrong version, ...)."""
+
+
+class ResultStore:
+    """Durable result cache with checksums and corruption quarantine.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing).
+    fault_plan:
+        Optional :class:`FaultPlan`; records whose key it selects for
+        ``corrupt`` get one payload byte flipped right after their first
+        write, so tests exercise the quarantine/recompute path.
+    """
+
+    def __init__(self, root, fault_plan: Optional[FaultPlan] = None
+                 ) -> None:
+        self.root = Path(root)
+        self.fault_plan = fault_plan
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.quarantined = 0
+        self.injected_corruptions = 0
+        self._corrupted_once: set = set()
+        self._init_root()
+
+    def _init_root(self) -> None:
+        try:
+            self.objects.mkdir(parents=True, exist_ok=True)
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            version_file = self.root / "format"
+            if version_file.exists():
+                stamp = version_file.read_text().strip()
+                if stamp != str(FORMAT_VERSION):
+                    raise StoreError(
+                        f"{self.root}: store format {stamp!r} != "
+                        f"{FORMAT_VERSION} (delete the store to rebuild)")
+            else:
+                version_file.write_text(f"{FORMAT_VERSION}\n")
+            # Probe writability once, up front, so callers can degrade.
+            probe = self.root / ".write-probe"
+            probe.write_text("ok")
+            probe.unlink()
+        except OSError as exc:
+            if isinstance(exc, StoreError):
+                raise
+            raise StoreError(f"{self.root}: unusable result store "
+                             f"({exc})") from exc
+
+    @property
+    def objects(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _path(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.rec"
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the stored result, or ``None`` on miss/corruption.
+
+        A record failing any integrity check is quarantined (moved under
+        ``quarantine/``) and reported as a miss so the job is recomputed.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            result = self._decode(key, blob)
+        except Exception as exc:
+            self._quarantine(path, str(exc))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    @staticmethod
+    def _decode(key: str, blob: bytes) -> Any:
+        if not blob.startswith(_MAGIC):
+            raise ValueError("bad magic")
+        rest = blob[len(_MAGIC):]
+        header_line, sep, payload = rest.partition(b"\n")
+        if not sep:
+            raise ValueError("truncated header")
+        header = json.loads(header_line.decode("utf-8"))
+        if header.get("key") != key:
+            raise ValueError(f"key mismatch: record is for "
+                             f"{header.get('key', '?')[:12]}")
+        if header.get("len") != len(payload):
+            raise ValueError(f"payload length {len(payload)} != "
+                             f"recorded {header.get('len')}")
+        digest = hashlib.sha256(payload).hexdigest()
+        if header.get("sha256") != digest:
+            raise ValueError("payload checksum mismatch")
+        return pickle.loads(payload)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantined += 1
+        target = self.quarantine_dir / f"{path.name}.{self.quarantined}"
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced/unlinked file
+            target = None
+        print(f"repro.exec.store: quarantined corrupt record {path.name} "
+              f"({reason})" + (f" -> {target}" if target else ""),
+              file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, result: Any) -> None:
+        """Atomically persist one result record."""
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        header = json.dumps(
+            {"key": key, "len": len(payload),
+             "sha256": hashlib.sha256(payload).hexdigest()},
+            sort_keys=True).encode("utf-8")
+        blob = _MAGIC + header + b"\n" + payload
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - write failed mid-way
+                tmp.unlink()
+        self.writes += 1
+        self._maybe_inject_corruption(key, path, len(blob))
+
+    def _maybe_inject_corruption(self, key: str, path: Path,
+                                 blob_len: int) -> None:
+        """Flip one payload byte after the record's *first* write when the
+        fault plan selects it (simulated bit rot; the recomputed record is
+        written clean).  A marker file under ``faults-injected/`` makes
+        "first write" hold across store instances, so a resumed sweep is
+        not re-corrupted forever."""
+        plan = self.fault_plan
+        if plan is None or not plan.should_corrupt(key) \
+                or key in self._corrupted_once:
+            return
+        marker = self.root / "faults-injected" / key
+        if marker.exists():
+            return
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text("corrupted once\n")
+        self._corrupted_once.add(key)
+        self.injected_corruptions += 1
+        with open(path, "r+b") as fh:
+            fh.seek(blob_len - 1)
+            last = fh.read(1)
+            fh.seek(blob_len - 1)
+            fh.write(bytes([last[0] ^ 0xFF]))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "quarantined": self.quarantined,
+                "injected_corruptions": self.injected_corruptions}
+
+    def summary(self) -> str:
+        s = self.stats()
+        return (f"store {self.root}: {s['hits']} hits, {s['misses']} "
+                f"misses, {s['writes']} writes, {s['quarantined']} "
+                f"quarantined")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r}, {self.stats()})"

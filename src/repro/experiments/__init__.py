@@ -2,19 +2,21 @@
 
 from .figures import (ALL_FIGURES, FigureResult, MCF_TRACE, fig1, fig3,
                       fig4, fig5, fig6, fig10, fig11, fig12, fig13, fig14,
-                      suf_statistics)
+                      figure_drivers, run_figure, suf_statistics)
 from .multicore_experiments import fig15, smt_accuracy_check
-from .runner import (BASELINE, Config, ExperimentRunner, SCALES, Scale,
-                     current_scale, nonsecure, on_access_secure,
-                     on_commit_secure, ts_config)
+from .runner import (BASELINE, Config, ExperimentError, ExperimentRunner,
+                     SCALES, Scale, current_scale, nonsecure,
+                     on_access_secure, on_commit_secure, ts_config)
 from .tables import (contribution_storage_text, table1_text, table2_text,
                      table3_rows, table3_text)
 
 __all__ = [
     "ALL_FIGURES", "FigureResult", "MCF_TRACE", "fig1", "fig3", "fig4",
     "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "figure_drivers", "run_figure",
     "suf_statistics", "fig15", "smt_accuracy_check",
-    "BASELINE", "Config", "ExperimentRunner", "SCALES", "Scale",
+    "BASELINE", "Config", "ExperimentError", "ExperimentRunner",
+    "SCALES", "Scale",
     "current_scale", "nonsecure", "on_access_secure", "on_commit_secure",
     "ts_config",
     "contribution_storage_text", "table1_text", "table2_text",

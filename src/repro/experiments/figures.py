@@ -45,10 +45,10 @@ class FigureResult:
 
 def _speedups(runner: ExperimentRunner, config: Config) -> List[float]:
     """Per-trace speedups of ``config`` vs the non-secure no-prefetch
-    baseline."""
-    traces = runner.pool()
-    baselines = [runner.run(BASELINE, t) for t in traces]
-    results = [runner.run(config, t) for t in traces]
+    baseline.  Batched through ``run_pool`` so ``jobs>1`` parallelizes
+    across traces."""
+    baselines = runner.run_pool(BASELINE)
+    results = runner.run_pool(config)
     return [speedup(r, b) for r, b in zip(results, baselines)]
 
 
@@ -219,6 +219,9 @@ def fig12(runner: ExperimentRunner) -> FigureResult:
         "tsb": ts_config("berti"),
         "tsb+suf": ts_config("berti", suf=True),
     }
+    runner.run_pool(BASELINE)  # batch-fill the cache for jobs>1
+    for config in configs.values():
+        runner.run_pool(config)
     for trace in runner.pool():
         base = runner.run(BASELINE, trace)
         for label, config in configs.items():
@@ -295,6 +298,8 @@ def suf_statistics(runner: ExperimentRunner) -> FigureResult:
     columns = ["suf_accuracy_%", "l1d_apki", "l1d_apki_unfiltered"]
     rows: Dict[str, List[float]] = {}
     unfiltered = ts_config("berti")
+    runner.run_pool(config)  # batch-fill the cache for jobs>1
+    runner.run_pool(unfiltered)
     for trace in runner.pool():
         with_suf = runner.run(config, trace)
         without = runner.run(unfiltered, trace)
@@ -316,3 +321,32 @@ ALL_FIGURES = {
     "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
     "fig14": fig14, "suf_statistics": suf_statistics,
 }
+
+
+def figure_drivers() -> Dict[str, "object"]:
+    """All figure drivers, including the multi-core Fig. 15."""
+    from .multicore_experiments import fig15
+    drivers: Dict[str, object] = dict(ALL_FIGURES)
+    drivers["fig15"] = fig15
+    return drivers
+
+
+def run_figure(runner: ExperimentRunner, name: str) -> FigureResult:
+    """Run one figure driver with partial-result rendering.
+
+    With a failsoft runner, cells whose simulation permanently failed
+    render as ``n/a`` and a failure summary (which cell, why) is appended
+    to the figure text instead of the figure aborting.
+    """
+    drivers = figure_drivers()
+    try:
+        driver = drivers[name]
+    except KeyError:
+        raise ValueError(f"unknown figure {name!r}; "
+                         f"known: {sorted(drivers)}") from None
+    already_failed = len(runner.failures)
+    result = driver(runner)
+    new_failures = runner.failures[already_failed:]
+    if new_failures:
+        result.text += "\n\n" + runner.failure_summary(new_failures)
+    return result

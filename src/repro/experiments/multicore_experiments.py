@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.metrics import amean, geomean
 from ..analysis.report import format_table
+from ..exec.pool import JobFailure
 from ..prefetchers.base import MODE_ON_ACCESS, MODE_ON_COMMIT
-from ..sim.multicore import alone_ipcs, run_mix
+from ..sim.multicore import run_mix
+from ..workloads.mixes import mix_name
 from .figures import FigureResult
-from .runner import ExperimentRunner
+from .runner import BASELINE, ExperimentRunner
 
 #: Fig. 15's series, in the paper's legend order.
 FIG15_CONFIGS = (
@@ -36,33 +38,56 @@ def fig15(runner: ExperimentRunner, cores: int = 4,
     if n_mixes is not None:
         mixes = mixes[:n_mixes]
     warmup = runner.scale.warmup
-    alone_cache: Dict = {}
+
+    # Alone-IPC runs are plain single-core baseline simulations, so they
+    # route through the runner's execution layer: store-backed, and run
+    # in parallel across workers when the runner has jobs > 1.
+    distinct = list({t.name: t for mix in mixes for t in mix}.values())
+    runner.run_pool(BASELINE, distinct)
+
+    def alone(mix: Sequence) -> List[float]:
+        return [runner.run(BASELINE, t).ipc for t in mix]
+
+    def shared_ws(mix, label: str, prefetcher: Optional[str],
+                  **kwargs) -> Optional[float]:
+        """One mix's weighted speedup; a failed mix becomes a recorded
+        failure (rendered in the failure summary) instead of aborting the
+        figure when the runner is failsoft."""
+        factory = (lambda name=prefetcher: runner.build_prefetcher(name)
+                   ) if prefetcher else None
+        try:
+            shared = run_mix(mix, cores=cores, params=runner.params,
+                             warmup=warmup, prefetcher_factory=factory,
+                             **kwargs)
+        except Exception as exc:
+            failure = JobFailure(label, mix_name(mix),
+                                 f"{type(exc).__name__}: {exc}")
+            runner.failures.append(failure)
+            if not runner.failsoft:
+                raise
+            return None
+        return shared.weighted_speedup(alone(mix))
 
     # Normalization baseline: non-secure, no prefetching, same mix.
-    base_ws: List[float] = []
-    for mix in mixes:
-        alone = alone_ipcs(mix, params=runner.params, warmup=warmup,
-                           cache=alone_cache)
-        shared = run_mix(mix, cores=cores, params=runner.params,
-                         warmup=warmup)
-        base_ws.append(shared.weighted_speedup(alone))
+    base_ws = [shared_ws(mix, "base/NS", None) for mix in mixes]
 
     rows: Dict[str, List[float]] = {}
     per_config_norms: Dict[str, List[float]] = {}
     for label, kwargs, prefetcher in FIG15_CONFIGS:
         norms = []
         for mix, base in zip(mixes, base_ws):
-            alone = alone_ipcs(mix, params=runner.params, warmup=warmup,
-                               cache=alone_cache)
-            factory = (lambda name=prefetcher: runner.build_prefetcher(name)
-                       ) if prefetcher else None
-            shared = run_mix(mix, cores=cores, params=runner.params,
-                             warmup=warmup, prefetcher_factory=factory,
-                             **kwargs)
-            ws = shared.weighted_speedup(alone)
+            if base is None:
+                continue
+            ws = shared_ws(mix, label, prefetcher, **kwargs)
+            if ws is None:
+                norms.append(float("nan"))
+                continue
             norms.append(ws / base if base else 0.0)
-        per_config_norms[label] = sorted(norms)
-        rows[label] = [geomean(norms), min(norms), max(norms)]
+        clean = [n for n in norms if n == n]
+        per_config_norms[label] = sorted(clean)
+        rows[label] = [geomean(norms),
+                       min(clean) if clean else float("nan"),
+                       max(clean) if clean else float("nan")]
 
     text = format_table(
         f"Fig. 15: {cores}-core weighted speedup vs non-secure no-prefetch "

@@ -14,17 +14,25 @@ runner.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.timely import make_timely
 from ..core.tsb import TSBPrefetcher
+from ..exec.faults import FaultPlan
+from ..exec.pool import Job, JobExecutor, JobFailure, failed_result
+from ..exec.store import ResultStore, StoreError, job_key
 from ..prefetchers.base import (MODE_ON_ACCESS, MODE_ON_COMMIT, Prefetcher)
 from ..prefetchers.registry import make_prefetcher
 from ..sim.params import SystemParams, baseline
 from ..sim.system import SimResult, System
 from ..workloads.mixes import generate_mixes, workload_pool
 from ..workloads.trace import Trace
+
+
+class ExperimentError(RuntimeError):
+    """A simulation job failed permanently (retries exhausted)."""
 
 
 @dataclass(frozen=True)
@@ -119,14 +127,59 @@ def ts_config(prefetcher: str, suf: bool = False) -> Config:
 
 
 class ExperimentRunner:
-    """Builds traces, runs configurations, memoizes results."""
+    """Builds traces, runs configurations, memoizes results.
+
+    Execution routes through :mod:`repro.exec`:
+
+    ``jobs``
+        Worker-process count.  ``jobs=1`` (the default) is the classic
+        serial in-process path; ``jobs>1`` fans each batch across a
+        crash-isolated process pool with per-job timeouts and retries.
+    ``store``
+        ``None``, a directory path, or a :class:`ResultStore`: a
+        persistent content-addressed cache keyed by ``(config, trace,
+        scale, params)``.  An unusable store directory degrades
+        gracefully to store-less execution with a warning.
+    ``failsoft``
+        When ``True``, a permanently failed job yields a NaN sentinel
+        result (figures render the cell as ``n/a``) and is recorded in
+        :attr:`failures`; when ``False`` it raises :class:`ExperimentError`.
+    """
 
     def __init__(self, scale: Optional[Scale] = None,
-                 params: Optional[SystemParams] = None) -> None:
+                 params: Optional[SystemParams] = None, *,
+                 jobs: int = 1,
+                 store: Union[None, str, "os.PathLike", ResultStore] = None,
+                 timeout_s: Optional[float] = None,
+                 max_retries: int = 2,
+                 backoff_s: float = 0.5,
+                 failsoft: bool = False,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.scale = scale if scale is not None else current_scale()
         self.params = params if params is not None else baseline()
+        self.jobs = max(1, int(jobs))
+        self.failsoft = failsoft
+        self.fault_plan = fault_plan if fault_plan is not None \
+            else FaultPlan.from_env()
+        self.store = self._open_store(store)
+        #: Permanently failed cells (populated in failsoft mode).
+        self.failures: List[JobFailure] = []
+        self._executor = JobExecutor(
+            jobs=self.jobs, timeout_s=timeout_s, max_retries=max_retries,
+            backoff_s=backoff_s, store=self.store,
+            fault_plan=self.fault_plan)
         self._pool: Optional[List[Trace]] = None
         self._results: Dict[Tuple[Config, str], SimResult] = {}
+
+    def _open_store(self, store) -> Optional[ResultStore]:
+        if store is None or isinstance(store, ResultStore):
+            return store
+        try:
+            return ResultStore(store, fault_plan=self.fault_plan)
+        except StoreError as exc:
+            print(f"repro: {exc}; continuing without a result store",
+                  file=sys.stderr)
+            return None
 
     # ------------------------------------------------------------------
     # workloads
@@ -192,21 +245,77 @@ class ExperimentRunner:
     # execution
     # ------------------------------------------------------------------
 
+    def _job(self, config: Config, trace: Trace) -> Job:
+        return Job(key=job_key(config, trace, self.scale, self.params),
+                   config=config, trace=trace, scale=self.scale,
+                   params=self.params)
+
+    def _finish(self, outcome) -> SimResult:
+        """Turn a job outcome into a result, honouring ``failsoft``."""
+        if outcome.ok:
+            return outcome.result
+        failure = JobFailure(outcome.job.config.label(),
+                             outcome.job.trace.name, outcome.error)
+        self.failures.append(failure)
+        if not self.failsoft:
+            raise ExperimentError(
+                f"{failure.config_label} on {failure.trace_name} failed "
+                f"after {outcome.attempts} attempt(s): {outcome.error}")
+        return failed_result(outcome.job.config, outcome.job.trace.name,
+                             outcome.error)
+
     def run(self, config: Config, trace: Trace) -> SimResult:
         """Run (or recall) one configuration on one trace."""
         key = (config, trace.name)
         result = self._results.get(key)
         if result is None:
-            system = self.build_system(config)
-            result = system.run(trace, warmup=self.scale.warmup)
+            outcome = self._executor.run_jobs(
+                [self._job(config, trace)])[0]
+            result = self._finish(outcome)
             self._results[key] = result
         return result
 
     def run_pool(self, config: Config,
                  traces: Optional[List[Trace]] = None) -> List[SimResult]:
+        """Run one configuration over many traces.
+
+        Uncached ``(config, trace)`` pairs are submitted as one batch, so
+        with ``jobs>1`` they execute in parallel across the pool.
+        """
         if traces is None:
             traces = self.pool()
-        return [self.run(config, trace) for trace in traces]
+        missing = [t for t in traces
+                   if (config, t.name) not in self._results]
+        if missing:
+            jobs = [self._job(config, t) for t in missing]
+            for outcome in self._executor.run_jobs(jobs):
+                self._results[(config, outcome.job.trace.name)] = \
+                    self._finish(outcome)
+        return [self._results[(config, t.name)] for t in traces]
 
     def cached_runs(self) -> int:
         return len(self._results)
+
+    # ------------------------------------------------------------------
+    # execution-layer introspection
+    # ------------------------------------------------------------------
+
+    def execution_stats(self) -> Dict[str, int]:
+        """Executor + store counters (simulated, hits, quarantined...)."""
+        return self._executor.stats()
+
+    def failure_summary(self,
+                        failures: Optional[List[JobFailure]] = None
+                        ) -> str:
+        """Human-readable list of permanently failed cells ('' if none)."""
+        if failures is None:
+            failures = self.failures
+        if not failures:
+            return ""
+        lines = [f"{len(failures)} failed run(s) rendered as n/a:"]
+        for failure in failures:
+            reason = failure.error.strip().splitlines()[-1] \
+                if failure.error.strip() else "unknown error"
+            lines.append(f"  - {failure.config_label} on "
+                         f"{failure.trace_name}: {reason}")
+        return "\n".join(lines)

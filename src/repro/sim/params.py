@@ -15,7 +15,9 @@ The defaults model one core of an Intel Sunny-Cove-like machine:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from .tlb import TLBParams
 
@@ -145,6 +147,18 @@ class SystemParams:
 
         return replace(self, l1d=shrink(self.l1d), l2=shrink(self.l2),
                        llc=shrink(self.llc))
+
+
+def params_digest(params: SystemParams) -> str:
+    """Stable SHA-256 of a configuration's full parameter tree.
+
+    The persistent result store keys records by this digest (among other
+    inputs), so two :class:`SystemParams` hash equal iff every nested
+    field is equal -- independent of process, platform, or dict order.
+    """
+    payload = json.dumps(asdict(params), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def baseline() -> SystemParams:

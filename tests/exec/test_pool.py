@@ -1,0 +1,135 @@
+"""Job executor: serial/parallel parity, retries, timeouts, isolation.
+
+Worker crash/hang handling forks real processes, so these tests use a
+micro scale (300 loads) to stay fast.
+"""
+
+import pytest
+
+from repro.exec.faults import FaultPlan
+from repro.exec.pool import Job, JobExecutor, execute_job, failed_result
+from repro.exec.store import ResultStore, job_key
+from repro.experiments.runner import BASELINE, Config, Scale
+from repro.sim.params import baseline
+from repro.workloads.mixes import workload_pool
+
+SCALE = Scale("micro", 300, 2, 1, 2)
+
+
+def make_jobs(config=BASELINE, n=3):
+    params = baseline()
+    traces = workload_pool(SCALE.n_loads, spec_count=SCALE.spec_count,
+                           gap_count=SCALE.gap_count)[:n]
+    return [Job(key=job_key(config, t, SCALE, params), config=config,
+                trace=t, scale=SCALE, params=params) for t in traces]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Direct in-process results for the standard job batch."""
+    return [execute_job(job) for job in make_jobs()]
+
+
+class TestSerial:
+    def test_basic_batch(self, reference):
+        outcomes = JobExecutor(jobs=1).run_jobs(make_jobs())
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert [o.result.ipc for o in outcomes] == \
+            [r.ipc for r in reference]
+
+    def test_crash_retried(self):
+        plan = FaultPlan(crash_every=1, attempts=1)
+        ex = JobExecutor(jobs=1, backoff_s=0, fault_plan=plan)
+        outcomes = ex.run_jobs(make_jobs())
+        assert all(o.ok and o.attempts == 2 for o in outcomes)
+        assert ex.failed_attempts == len(outcomes)
+
+    def test_permanent_failure_isolated(self):
+        plan = FaultPlan(crash_every=1, attempts=99)
+        ex = JobExecutor(jobs=1, max_retries=1, backoff_s=0,
+                         fault_plan=plan)
+        outcomes = ex.run_jobs(make_jobs())
+        assert all(not o.ok for o in outcomes)
+        assert all("injected crash" in o.error for o in outcomes)
+        assert all(o.attempts == 2 for o in outcomes)  # 1 + 1 retry
+
+
+class TestParallel:
+    def test_matches_serial(self, reference):
+        outcomes = JobExecutor(jobs=2).run_jobs(make_jobs())
+        assert all(o.ok for o in outcomes)
+        assert [o.result.ipc for o in outcomes] == \
+            [r.ipc for r in reference]
+
+    def test_worker_exception_retried(self, reference):
+        plan = FaultPlan(crash_every=1, attempts=1)
+        ex = JobExecutor(jobs=2, backoff_s=0, fault_plan=plan)
+        outcomes = ex.run_jobs(make_jobs())
+        assert all(o.ok and o.attempts == 2 for o in outcomes)
+        assert [o.result.ipc for o in outcomes] == \
+            [r.ipc for r in reference]
+
+    def test_dead_worker_respawned(self, reference):
+        plan = FaultPlan(die_every=1, attempts=1)
+        ex = JobExecutor(jobs=2, backoff_s=0, fault_plan=plan)
+        outcomes = ex.run_jobs(make_jobs())
+        assert all(o.ok and o.attempts == 2 for o in outcomes)
+        assert [o.result.ipc for o in outcomes] == \
+            [r.ipc for r in reference]
+
+    def test_hung_worker_timed_out_and_retried(self, reference):
+        plan = FaultPlan(hang_every=1, attempts=1, hang_s=60)
+        ex = JobExecutor(jobs=2, timeout_s=1.0, backoff_s=0,
+                         fault_plan=plan)
+        outcomes = ex.run_jobs(make_jobs(n=2))
+        assert all(o.ok and o.attempts == 2 for o in outcomes)
+        assert ex.failed_attempts == 2
+        assert [o.result.ipc for o in outcomes] == \
+            [r.ipc for r in reference[:2]]
+
+    def test_permanent_timeout_reported(self):
+        plan = FaultPlan(hang_every=1, attempts=99, hang_s=60)
+        ex = JobExecutor(jobs=2, timeout_s=0.5, max_retries=0,
+                         backoff_s=0, fault_plan=plan)
+        outcomes = ex.run_jobs(make_jobs(n=1))
+        assert not outcomes[0].ok
+        assert "timed out" in outcomes[0].error
+
+
+class TestStoreIntegration:
+    def test_results_persisted_and_resumed(self, tmp_path, reference):
+        store = ResultStore(tmp_path / "store")
+        first = JobExecutor(jobs=1, store=store).run_jobs(make_jobs())
+        assert all(o.ok and not o.from_store for o in first)
+        assert store.writes == len(first)
+
+        fresh = ResultStore(tmp_path / "store")
+        ex = JobExecutor(jobs=1, store=fresh)
+        second = ex.run_jobs(make_jobs())
+        assert all(o.ok and o.from_store for o in second)
+        assert ex.simulated == 0 and fresh.hits == len(second)
+        assert [o.result.ipc for o in second] == \
+            [r.ipc for r in reference]
+
+    def test_failed_jobs_not_persisted(self, tmp_path):
+        plan = FaultPlan(crash_every=1, attempts=99)
+        store = ResultStore(tmp_path / "store", fault_plan=plan)
+        ex = JobExecutor(jobs=1, max_retries=0, backoff_s=0,
+                         store=store, fault_plan=plan)
+        outcomes = ex.run_jobs(make_jobs(n=1))
+        assert not outcomes[0].ok
+        assert store.writes == 0
+
+
+class TestFailedResult:
+    def test_sentinel_is_nan_and_marked(self):
+        sentinel = failed_result(Config(prefetcher="berti"), "t", "boom")
+        assert sentinel.ipc != sentinel.ipc  # NaN
+        assert sentinel.extras["failed"] == 1.0
+        assert sentinel.trace_name == "t"
+
+    def test_executor_validates_arguments(self):
+        with pytest.raises(ValueError):
+            JobExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            JobExecutor(max_retries=-1)

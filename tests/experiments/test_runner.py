@@ -1,13 +1,20 @@
 """Experiment runner: scales, configs, memoization, prefetcher specs."""
 
+import math
+
 import pytest
 
 from repro.core.timely import TimelyPrefetcher
 from repro.core.tsb import TSBPrefetcher
-from repro.experiments import (BASELINE, Config, ExperimentRunner, SCALES,
+from repro.exec.faults import FaultPlan
+from repro.experiments import (BASELINE, Config, ExperimentError,
+                               ExperimentRunner, SCALES, Scale,
                                current_scale, nonsecure, on_access_secure,
                                on_commit_secure, ts_config)
 from repro.prefetchers import MODE_ON_ACCESS, MODE_ON_COMMIT
+
+#: Small enough that executor tests fork and simulate in milliseconds.
+MICRO = Scale("micro", 300, 2, 1, 2)
 
 
 @pytest.fixture(scope="module")
@@ -73,6 +80,14 @@ class TestPrefetcherSpecs:
     def test_none(self, runner):
         assert runner.build_prefetcher("none") is None
 
+    def test_unknown_name_rejected(self, runner):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            runner.build_prefetcher("warp-drive")
+
+    def test_unknown_ts_inner_rejected(self, runner):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            runner.build_prefetcher("ts-warp-drive")
+
 
 class TestPoolAndMemo:
     def test_pool_sized_by_scale(self, runner):
@@ -84,7 +99,7 @@ class TestPoolAndMemo:
     def test_trace_lookup(self, runner):
         name = runner.pool()[0].name
         assert runner.trace(name).name == name
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError, match="not in the pool at scale"):
             runner.trace("definitely-not-a-trace")
 
     def test_memoization(self, runner):
@@ -109,3 +124,95 @@ class TestPoolAndMemo:
         mixes = runner.mixes()
         assert len(mixes) == runner.scale.mixes
         assert all(len(m) == 4 for m in mixes)
+
+
+class TestExecutionLayer:
+    """Parallel execution, the persistent store, and failsoft mode."""
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = ExperimentRunner(scale=MICRO)
+        parallel = ExperimentRunner(scale=MICRO, jobs=2,
+                                    store=tmp_path / "store")
+        s = serial.run_pool(BASELINE)
+        p = parallel.run_pool(BASELINE)
+        assert [r.ipc for r in s] == [r.ipc for r in p]
+
+    def test_resume_hits_store_for_every_job(self, tmp_path):
+        first = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        first.run_pool(BASELINE)
+        n = len(first.pool())
+        assert first.execution_stats()["writes"] == n
+
+        # A fresh runner over the same store re-simulates nothing.
+        resumed = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        results = resumed.run_pool(BASELINE)
+        stats = resumed.execution_stats()
+        assert stats["simulated"] == 0
+        assert stats["hits"] == n and stats["misses"] == 0
+        assert all(r.ipc > 0 for r in results)
+
+    def test_interrupted_sweep_resumes_partially(self, tmp_path):
+        first = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        pool = first.pool()
+        first.run_pool(BASELINE, pool[:1])  # "interrupted" after 1 job
+
+        resumed = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        resumed.run_pool(BASELINE, pool)
+        stats = resumed.execution_stats()
+        assert stats["hits"] == 1
+        assert stats["simulated"] == len(pool) - 1
+
+    def test_corrupt_record_quarantined_and_recomputed(self, tmp_path):
+        plan = FaultPlan(corrupt_every=1)
+        first = ExperimentRunner(scale=MICRO, store=tmp_path / "store",
+                                 fault_plan=plan)
+        trace = first.pool()[0]
+        first.run(BASELINE, trace)
+        assert first.execution_stats()["injected_corruptions"] == 1
+
+        second = ExperimentRunner(scale=MICRO, store=tmp_path / "store",
+                                  fault_plan=plan)
+        result = second.run(BASELINE, trace)
+        stats = second.execution_stats()
+        assert stats["quarantined"] == 1 and stats["simulated"] == 1
+        assert result.ipc > 0
+
+        third = ExperimentRunner(scale=MICRO, store=tmp_path / "store",
+                                 fault_plan=plan)
+        third.run(BASELINE, trace)
+        stats = third.execution_stats()
+        assert stats["hits"] == 1 and stats["simulated"] == 0
+
+    def test_worker_crash_recovery_under_parallel_sweep(self, tmp_path):
+        plan = FaultPlan(crash_every=1, attempts=1)
+        runner = ExperimentRunner(scale=MICRO, jobs=2,
+                                  store=tmp_path / "store",
+                                  fault_plan=plan, backoff_s=0)
+        results = runner.run_pool(BASELINE)
+        assert all(r.ipc > 0 for r in results)
+        assert runner.execution_stats()["failed_attempts"] == len(results)
+
+    def test_permanent_failure_raises_by_default(self):
+        plan = FaultPlan(crash_every=1, attempts=99)
+        runner = ExperimentRunner(scale=MICRO, fault_plan=plan,
+                                  max_retries=0, backoff_s=0)
+        with pytest.raises(ExperimentError, match="injected crash"):
+            runner.run(BASELINE, runner.pool()[0])
+
+    def test_failsoft_renders_sentinel(self):
+        plan = FaultPlan(crash_every=1, attempts=99)
+        runner = ExperimentRunner(scale=MICRO, fault_plan=plan,
+                                  max_retries=0, backoff_s=0,
+                                  failsoft=True)
+        result = runner.run(BASELINE, runner.pool()[0])
+        assert math.isnan(result.ipc)
+        assert result.extras["failed"] == 1.0
+        assert len(runner.failures) == 1
+        assert "injected crash" in runner.failure_summary()
+
+    def test_unwritable_store_degrades_gracefully(self, capsys):
+        runner = ExperimentRunner(scale=MICRO,
+                                  store="/dev/null/not-a-dir")
+        assert runner.store is None
+        assert "without a result store" in capsys.readouterr().err
+        assert runner.run(BASELINE, runner.pool()[0]).ipc > 0

@@ -2,7 +2,12 @@
 
 import pytest
 
+import repro.cli as cli
 from repro.cli import build_parser, main
+from repro.experiments import SCALES, Scale
+
+#: Registered under SCALES for sweep tests so forked jobs finish fast.
+MICRO = Scale("micro", 300, 2, 1, 2)
 
 
 class TestParser:
@@ -87,3 +92,60 @@ class TestCommands:
     def test_report_missing_dir(self, tmp_path):
         with pytest.raises(SystemExit, match="no results directory"):
             main(["report", "--results-dir", str(tmp_path / "nope")])
+
+
+class TestArgumentValidation:
+    def test_multicore_zero_mixes(self):
+        with pytest.raises(SystemExit, match="--mixes must be a positive"):
+            main(["multicore", "--mixes", "0"])
+
+    def test_run_zero_loads(self):
+        with pytest.raises(SystemExit, match="--loads must be a positive"):
+            main(["run", "657.xz-2302B", "--loads", "0"])
+
+    def test_compare_negative_loads(self):
+        with pytest.raises(SystemExit, match="--loads must be a positive"):
+            main(["compare", "657.xz-2302B", "--loads", "-5"])
+
+    def test_figure_zero_jobs(self):
+        with pytest.raises(SystemExit, match="--jobs must be a positive"):
+            main(["figure", "fig1", "--jobs", "0", "--no-store"])
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        def interrupted(args):
+            raise KeyboardInterrupt
+        monkeypatch.setitem(cli.COMMANDS, "tables", interrupted)
+        assert main(["tables"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestSweep:
+    @pytest.fixture(autouse=True)
+    def micro_scale(self, monkeypatch):
+        monkeypatch.setitem(SCALES, "micro", MICRO)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["sweep", "fig99", "--no-store"])
+
+    def test_sweep_then_cached_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ["sweep", "fig1", "--scale", "micro", "--store", store]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Fig. 1" in first and "simulated=" in first
+
+        # Everything is in the store now: the rerun must hit for every
+        # job, which --expect-cached turns into a hard check.
+        assert main(argv + ["--expect-cached"]) == 0
+        second = capsys.readouterr().out
+        assert "simulated=0" in second
+
+    def test_figure_no_store(self, capsys):
+        assert main(["figure", "fig1", "--scale", "micro",
+                     "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "store " not in out
