@@ -5,7 +5,6 @@ single-core (16.8% in the paper); SUF improves every mix; TSB+SUF is the
 best secure configuration.
 """
 
-from repro.analysis import geomean
 from repro.experiments import fig15
 
 

@@ -14,7 +14,6 @@ from repro.core import make_timely
 from repro.prefetchers import make_prefetcher, register
 from repro.prefetchers.base import (FILL_L1D, PrefetchRequest, Prefetcher,
                                     TrainingEvent)
-from repro.prefetchers.registry import PAPER_PREFETCHERS
 from repro.sim.system import System
 from repro.prefetchers import MODE_ON_COMMIT
 from repro.workloads import spec_trace

@@ -3,12 +3,15 @@
 from .metrics import (amean, apki, apki_breakdown, geomean,
                       load_miss_latency, mpki, mshr_full_fraction,
                       prefetch_accuracy, prefetch_coverage, speedup,
-                      speedups, suf_accuracy, traffic, train_level_mpki)
-from .report import format_series, format_stacked, format_table
+                      speedups, suf_accuracy, timeseries_column,
+                      timeseries_summary, traffic, train_level_mpki)
+from .report import (format_profile, format_series, format_stacked,
+                     format_table)
 
 __all__ = [
     "amean", "apki", "apki_breakdown", "geomean", "load_miss_latency",
     "mpki", "mshr_full_fraction", "prefetch_accuracy", "prefetch_coverage",
-    "speedup", "speedups", "suf_accuracy", "traffic", "train_level_mpki",
-    "format_series", "format_stacked", "format_table",
+    "speedup", "speedups", "suf_accuracy", "timeseries_column",
+    "timeseries_summary", "traffic", "train_level_mpki",
+    "format_profile", "format_series", "format_stacked", "format_table",
 ]

@@ -136,3 +136,31 @@ def suf_accuracy(result: SimResult) -> float:
     if result.gm is None:
         return 1.0
     return result.gm.suf_accuracy()
+
+
+# ----------------------------------------------------------------------
+# interval time-series (repro.obs.sampler records)
+# ----------------------------------------------------------------------
+
+def timeseries_column(result: SimResult, field: str) -> List[float]:
+    """One metric's per-interval values from a sampled run."""
+    if not result.timeseries:
+        return []
+    return [record[field] for record in result.timeseries]
+
+
+def timeseries_summary(result: SimResult, field: str) -> Dict[str, float]:
+    """Min/mean/max of one sampled metric over the run's intervals.
+
+    The mean is instruction-weighted, so intervals of unequal length
+    (the final partial interval) do not skew it.
+    """
+    if not result.timeseries:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0, "intervals": 0}
+    values = [record[field] for record in result.timeseries]
+    weights = [record["instructions"] for record in result.timeseries]
+    total = sum(weights)
+    mean = sum(v * w for v, w in zip(values, weights)) / total \
+        if total else 0.0
+    return {"min": min(values), "mean": mean, "max": max(values),
+            "intervals": len(values)}

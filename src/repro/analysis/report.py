@@ -66,6 +66,25 @@ def format_series(title: str, series: Mapping[str, Mapping[str, float]],
     return "\n".join(lines)
 
 
+def format_profile(report: Mapping[str, Sequence[float]],
+                   title: str = "wall-clock profile") -> str:
+    """Render a :meth:`repro.obs.PhaseProfiler.report` as a table.
+
+    One line per phase: total seconds, times entered, and mean seconds
+    per entry -- the ``repro sweep``/``figure`` post-run accounting.
+    """
+    lines = [title, "=" * len(title)]
+    width = max([len(name) for name in report] + [len("phase")])
+    lines.append("phase".ljust(width) + "   seconds" + "    count"
+                 + "     mean")
+    lines.append("-" * (width + 26))
+    for name, (seconds, count) in report.items():
+        mean = seconds / count if count else 0.0
+        lines.append(name.ljust(width) + f"{seconds:9.3f}s"
+                     + f"{count:9d}" + f"{mean:8.3f}s")
+    return "\n".join(lines)
+
+
 def format_stacked(title: str, categories: Sequence[str],
                    bars: Mapping[str, Mapping[str, float]],
                    value_format: str = "{:7.2f}") -> str:

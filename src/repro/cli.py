@@ -6,6 +6,11 @@ Commands
     List the available SPEC-like and GAP-like workloads.
 ``run``
     Simulate one workload under one configuration and print its metrics.
+    ``--timeseries``/``--sample-interval`` export an interval time-series;
+    ``--metrics`` dumps the full metric registry.
+``trace``
+    Simulate one workload with structured event tracing and export the
+    events as JSONL (``repro.obs.validate`` checks such files in CI).
 ``compare``
     Run the paper's standard configurations side by side on one workload.
 ``figure``
@@ -38,6 +43,7 @@ from typing import List, Optional
 
 from .analysis.metrics import apki_breakdown, load_miss_latency, mpki
 from .experiments.runner import SCALES, ExperimentRunner
+from .obs import ObsConfig, events_jsonl, write_timeseries
 from .prefetchers.base import MODE_ON_ACCESS, MODE_ON_COMMIT
 from .sim.system import System
 from .workloads.gap import GAP_KERNELS, gap_traces
@@ -79,14 +85,15 @@ def _build_trace(name: str, n_loads: int) -> Trace:
         f"unknown workload {name!r}; run `python -m repro workloads`")
 
 
-def _make_system(args, runner: Optional[ExperimentRunner] = None) -> System:
+def _make_system(args, runner: Optional[ExperimentRunner] = None,
+                 obs: Optional[ObsConfig] = None) -> System:
     if runner is None:
         runner = ExperimentRunner(scale=SCALES["small"])
     prefetcher = runner.build_prefetcher(args.prefetcher)
     mode = MODE_ON_COMMIT if args.mode == "on-commit" else MODE_ON_ACCESS
     return System(secure=args.secure, suf=args.suf,
                   delay_mitigation=getattr(args, "delay", False),
-                  prefetcher=prefetcher, train_mode=mode)
+                  prefetcher=prefetcher, train_mode=mode, obs=obs)
 
 
 def cmd_workloads(args) -> int:
@@ -102,7 +109,13 @@ def cmd_workloads(args) -> int:
 def cmd_run(args) -> int:
     _require_positive(args.loads, "--loads")
     trace = _build_trace(args.workload, args.loads)
-    system = _make_system(args)
+    interval = args.sample_interval
+    if interval < 0:
+        raise SystemExit(f"--sample-interval must be >= 0, got {interval}")
+    if args.timeseries and not interval:
+        interval = 1000
+    obs = ObsConfig(sample_interval=interval) if interval else None
+    system = _make_system(args, obs=obs)
     result = system.run(trace)
     split = apki_breakdown(result)
     print(f"configuration : {system.label}")
@@ -122,6 +135,44 @@ def cmd_run(args) -> int:
     if "delayed_loads" in result.extras:
         print(f"delayed loads : {result.extras['delayed_loads']:.0f} "
               f"(avg {result.extras['avg_delay_cycles']:.0f} cycles)")
+    if result.timeseries is not None:
+        print(f"time series   : {len(result.timeseries)} interval(s) of "
+              f"{interval} instructions")
+        if args.timeseries:
+            fmt = write_timeseries(result.timeseries, args.timeseries)
+            print(f"wrote {args.timeseries} ({fmt})")
+    if args.metrics:
+        print()
+        for line in system.metrics().describe():
+            print(line)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Simulate one workload with event tracing on; export/print JSONL."""
+    _require_positive(args.loads, "--loads")
+    _require_positive(args.capacity, "--capacity")
+    if args.limit is not None:
+        _require_positive(args.limit, "--limit")
+    trace = _build_trace(args.workload, args.loads)
+    obs = ObsConfig(trace_events=True, trace_capacity=args.capacity)
+    system = _make_system(args, obs=obs)
+    system.run(trace)
+    events = system.events
+    text = events_jsonl(events)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        counts = ", ".join(f"{kind}={n}" for kind, n in
+                           sorted(events.counts_by_kind().items()))
+        print(f"wrote {args.output}: {len(events)} event(s) retained, "
+              f"{events.dropped()} dropped ({counts})")
+    else:
+        lines = text.splitlines()
+        if args.limit is not None and len(lines) > args.limit:
+            lines = lines[-args.limit:]
+        for line in lines:
+            print(line)
     return 0
 
 
@@ -199,6 +250,7 @@ def cmd_sweep(args) -> int:
     summary = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
     print(f"[sweep: {len(names) - len(broken)}/{len(names)} figure(s); "
           f"{summary}]")
+    print(f"[{runner.profile_summary()}]")
     if runner.failures:
         print(runner.failure_summary(), file=sys.stderr)
     if broken or runner.failures:
@@ -324,7 +376,29 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--loads", type=int, default=10000)
     run_p.add_argument("--delay", action="store_true",
                        help="delay-on-miss mitigation instead")
+    run_p.add_argument("--timeseries", metavar="FILE", default=None,
+                       help="write the interval time-series to FILE "
+                            "(.csv for CSV, otherwise JSONL)")
+    run_p.add_argument("--sample-interval", type=int, default=0,
+                       metavar="N",
+                       help="sample every N committed instructions "
+                            "(default: 1000 when --timeseries is given)")
+    run_p.add_argument("--metrics", action="store_true",
+                       help="dump the full metric registry after the run")
     add_config_flags(run_p)
+
+    trc_p = sub.add_parser(
+        "trace", help="simulate with event tracing; export JSONL")
+    trc_p.add_argument("workload")
+    trc_p.add_argument("--loads", type=int, default=10000)
+    trc_p.add_argument("--output", metavar="FILE", default=None,
+                       help="write events to FILE (default: stdout)")
+    trc_p.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="print only the last N events (stdout mode)")
+    trc_p.add_argument("--capacity", type=int, default=65536,
+                       help="ring-buffer capacity (oldest events beyond "
+                            "it are dropped)")
+    add_config_flags(trc_p)
 
     cmp_p = sub.add_parser("compare",
                            help="standard configurations side by side")
@@ -383,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
 COMMANDS = {
     "workloads": cmd_workloads,
     "run": cmd_run,
+    "trace": cmd_trace,
     "compare": cmd_compare,
     "figure": cmd_figure,
     "sweep": cmd_sweep,

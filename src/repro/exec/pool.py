@@ -81,11 +81,21 @@ class JobFailure:
 
 
 def execute_job(job: Job):
-    """Run one job's simulation (used by workers and the serial path)."""
+    """Run one job's simulation (used by workers and the serial path).
+
+    Build and simulation wall-clock times travel back in the result's
+    ``extras`` (``wall_build_s`` / ``wall_simulate_s``), so the parent's
+    profiler can account per-phase time even for pool workers.
+    """
     from ..experiments.runner import ExperimentRunner
+    t0 = time.perf_counter()
     runner = ExperimentRunner(scale=job.scale, params=job.params)
     system = runner.build_system(job.config)
-    return system.run(job.trace, warmup=job.scale.warmup)
+    t1 = time.perf_counter()
+    result = system.run(job.trace, warmup=job.scale.warmup)
+    result.extras["wall_build_s"] = t1 - t0
+    result.extras["wall_simulate_s"] = time.perf_counter() - t1
+    return result
 
 
 def failed_result(config, trace_name: str, error: str):

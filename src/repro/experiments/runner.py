@@ -23,8 +23,9 @@ from ..core.tsb import TSBPrefetcher
 from ..exec.faults import FaultPlan
 from ..exec.pool import Job, JobExecutor, JobFailure, failed_result
 from ..exec.store import ResultStore, StoreError, job_key
+from ..obs import ObsConfig, PhaseProfiler
 from ..prefetchers.base import (MODE_ON_ACCESS, MODE_ON_COMMIT, Prefetcher)
-from ..prefetchers.registry import make_prefetcher
+from ..prefetchers.registry import is_registered, make_prefetcher
 from ..sim.params import SystemParams, baseline
 from ..sim.system import SimResult, System
 from ..workloads.mixes import generate_mixes, workload_pool
@@ -76,6 +77,15 @@ def current_scale() -> Scale:
         ) from None
 
 
+def _valid_prefetcher_spec(spec: str) -> bool:
+    """Whether ``spec`` resolves to a prefetcher at build time."""
+    if spec in ("none", "tsb"):
+        return True
+    if spec.startswith("ts-"):
+        return is_registered(spec[3:])
+    return is_registered(spec)
+
+
 @dataclass(frozen=True)
 class Config:
     """One evaluated system configuration.
@@ -83,7 +93,13 @@ class Config:
     ``prefetcher`` accepts registry names plus ``"ts-<name>"`` for the
     timely-secure variants (Section V-D) and ``"tsb"`` for Timely Secure
     Berti.  ``classify`` attaches the Fig. 6 miss classifier with an
-    on-access shadow copy of the prefetcher.
+    on-access shadow copy of the prefetcher.  ``sample_interval > 0``
+    collects an interval time-series (``SimResult.timeseries``) every
+    that many committed instructions.
+
+    Fields are validated at construction, so an unknown prefetcher or an
+    inconsistent combination fails where the config is *written*, not
+    deep inside a sweep.
     """
 
     prefetcher: str = "none"
@@ -91,6 +107,22 @@ class Config:
     suf: bool = False
     mode: str = MODE_ON_ACCESS
     classify: bool = False
+    sample_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_ON_ACCESS, MODE_ON_COMMIT):
+            raise ValueError(f"unknown train mode {self.mode!r}; expected "
+                             f"{MODE_ON_ACCESS!r} or {MODE_ON_COMMIT!r}")
+        if not _valid_prefetcher_spec(self.prefetcher):
+            raise ValueError(f"unknown prefetcher {self.prefetcher!r} "
+                             f"(registry names, 'ts-<name>', 'tsb', or "
+                             f"'none')")
+        if self.suf and not self.secure:
+            raise ValueError("SUF requires the secure cache system")
+        if not isinstance(self.sample_interval, int) \
+                or self.sample_interval < 0:
+            raise ValueError(f"sample_interval must be a non-negative "
+                             f"integer, got {self.sample_interval!r}")
 
     def label(self) -> str:
         parts = [self.prefetcher,
@@ -113,13 +145,13 @@ def on_access_secure(prefetcher: str) -> Config:
     return Config(prefetcher=prefetcher, secure=True, mode=MODE_ON_ACCESS)
 
 
-def on_commit_secure(prefetcher: str, suf: bool = False,
+def on_commit_secure(prefetcher: str, *, suf: bool = False,
                      classify: bool = False) -> Config:
     return Config(prefetcher=prefetcher, secure=True, suf=suf,
                   mode=MODE_ON_COMMIT, classify=classify)
 
 
-def ts_config(prefetcher: str, suf: bool = False) -> Config:
+def ts_config(prefetcher: str, *, suf: bool = False) -> Config:
     """The timely-secure variant of a baseline prefetcher."""
     name = "tsb" if prefetcher == "berti" else f"ts-{prefetcher}"
     return Config(prefetcher=name, secure=True, suf=suf,
@@ -162,6 +194,9 @@ class ExperimentRunner:
         self.fault_plan = fault_plan if fault_plan is not None \
             else FaultPlan.from_env()
         self.store = self._open_store(store)
+        #: Wall-clock phase accounting (trace generation, execution, and
+        #: per-job build/simulate times reported back by the workers).
+        self.profiler = PhaseProfiler()
         #: Permanently failed cells (populated in failsoft mode).
         self.failures: List[JobFailure] = []
         self._executor = JobExecutor(
@@ -188,9 +223,10 @@ class ExperimentRunner:
     def pool(self) -> List[Trace]:
         """The combined SPEC-like + GAP-like single-core pool."""
         if self._pool is None:
-            self._pool = workload_pool(
-                self.scale.n_loads, spec_count=self.scale.spec_count,
-                gap_count=self.scale.gap_count)
+            with self.profiler.phase("traces"):
+                self._pool = workload_pool(
+                    self.scale.n_loads, spec_count=self.scale.spec_count,
+                    gap_count=self.scale.gap_count)
         return self._pool
 
     def spec_pool(self) -> List[Trace]:
@@ -236,10 +272,13 @@ class ExperimentRunner:
             elif shadow_name == "tsb":
                 shadow_name = "berti"
             shadow = make_prefetcher(shadow_name)
+        obs = ObsConfig(sample_interval=config.sample_interval) \
+            if config.sample_interval else None
         return System(params=self.params, secure=config.secure,
                       suf=config.suf, prefetcher=prefetcher,
                       train_mode=config.mode, shadow=shadow,
-                      classify=config.classify, label=config.label())
+                      classify=config.classify, obs=obs,
+                      label=config.label())
 
     # ------------------------------------------------------------------
     # execution
@@ -253,6 +292,14 @@ class ExperimentRunner:
     def _finish(self, outcome) -> SimResult:
         """Turn a job outcome into a result, honouring ``failsoft``."""
         if outcome.ok:
+            if not outcome.from_store:
+                # Fold the worker-measured phase times into this runner's
+                # profiler (store hits did no fresh work).
+                extras = outcome.result.extras
+                for phase in ("build", "simulate"):
+                    seconds = extras.get(f"wall_{phase}_s")
+                    if seconds is not None:
+                        self.profiler.add(phase, seconds)
             return outcome.result
         failure = JobFailure(outcome.job.config.label(),
                              outcome.job.trace.name, outcome.error)
@@ -269,8 +316,9 @@ class ExperimentRunner:
         key = (config, trace.name)
         result = self._results.get(key)
         if result is None:
-            outcome = self._executor.run_jobs(
-                [self._job(config, trace)])[0]
+            with self.profiler.phase("execute"):
+                outcome = self._executor.run_jobs(
+                    [self._job(config, trace)])[0]
             result = self._finish(outcome)
             self._results[key] = result
         return result
@@ -288,7 +336,9 @@ class ExperimentRunner:
                    if (config, t.name) not in self._results]
         if missing:
             jobs = [self._job(config, t) for t in missing]
-            for outcome in self._executor.run_jobs(jobs):
+            with self.profiler.phase("execute"):
+                outcomes = self._executor.run_jobs(jobs)
+            for outcome in outcomes:
                 self._results[(config, outcome.job.trace.name)] = \
                     self._finish(outcome)
         return [self._results[(config, t.name)] for t in traces]
@@ -303,6 +353,10 @@ class ExperimentRunner:
     def execution_stats(self) -> Dict[str, int]:
         """Executor + store counters (simulated, hits, quarantined...)."""
         return self._executor.stats()
+
+    def profile_summary(self) -> str:
+        """One-line wall-clock accounting (``profile: execute=...``)."""
+        return self.profiler.summary_line()
 
     def failure_summary(self,
                         failures: Optional[List[JobFailure]] = None

@@ -1,0 +1,207 @@
+"""Typed metric registry: named ``Counter`` / ``Gauge`` / ``Histogram``.
+
+The simulator's statistics live in plain dataclasses (``repro.sim.stats``)
+for hot-path speed; this registry gives them *names*.  Counters and gauges
+are **views**: each one holds a zero-argument ``read`` callable bound to the
+underlying attribute, so registering a metric costs nothing on the
+simulation path -- ``snapshot()`` simply reads every view at call time.
+
+Naming convention: dot-separated, ``<component>.<field>[.<key>]``, e.g.
+``l1d.misses.load`` or ``gm.commit_writes``.  The interval sampler
+(``repro.obs.sampler``) and the ``repro run --metrics`` dump both consume
+the flat snapshot, so a counter added to any stats dataclass automatically
+shows up everywhere.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metric", "MetricRegistry"]
+
+
+class Metric:
+    """A named observable; subclasses define what ``value()`` returns."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name or any(c.isspace() for c in name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.description = description
+
+    def value(self):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.value()!r})"
+
+
+class Counter(Metric):
+    """A monotonically non-decreasing integer read through a callable."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, read: Callable[[], int],
+                 description: str = "") -> None:
+        super().__init__(name, description)
+        self._read = read
+
+    def value(self) -> int:
+        return self._read()
+
+
+class Gauge(Metric):
+    """A point-in-time value (may go up and down) read through a callable."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, read: Callable[[], float],
+                 description: str = "") -> None:
+        super().__init__(name, description)
+        self._read = read
+
+    def value(self) -> float:
+        return self._read()
+
+
+class Histogram(Metric):
+    """A bucketed distribution owned by the registry (not a view).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket catches everything above the last bound.  Used for
+    quantities observed occasionally (per-job wall-clock, fill latencies),
+    never on the per-access hot path.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float],
+                 description: str = "") -> None:
+        super().__init__(name, description)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.bounds: List[float] = list(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target and n:
+                return self.bounds[i] if i < len(self.bounds) \
+                    else self.bounds[-1]
+        return self.bounds[-1]
+
+    def value(self) -> Dict[str, float]:
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean()}
+
+
+def _struct_leaves(prefix: str, struct) -> List:
+    """``(name, read)`` pairs for every numeric leaf of a stats dataclass.
+
+    Integer/float fields become one leaf each; ``Dict[str, int]`` fields
+    (the per-request-type tables) are flattened to one leaf per key.
+    """
+    leaves = []
+    for f in dataclasses.fields(struct):
+        value = getattr(struct, f.name)
+        base = f"{prefix}.{f.name}"
+        if isinstance(value, dict):
+            for key in value:
+                leaves.append((f"{base}.{key}",
+                               lambda d=value, k=key: d[k]))
+        elif isinstance(value, bool):  # pragma: no cover - no bool stats
+            continue
+        elif isinstance(value, (int, float)):
+            leaves.append((base,
+                           lambda o=struct, n=f.name: getattr(o, n)))
+    return leaves
+
+
+class MetricRegistry:
+    """An ordered, name-unique collection of metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, metric: Metric) -> Metric:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, read: Callable[[], int],
+                description: str = "") -> Counter:
+        return self.register(Counter(name, read, description))
+
+    def gauge(self, name: str, read: Callable[[], float],
+              description: str = "") -> Gauge:
+        return self.register(Gauge(name, read, description))
+
+    def histogram(self, name: str, bounds: Sequence[float],
+                  description: str = "") -> Histogram:
+        return self.register(Histogram(name, bounds, description))
+
+    def register_struct(self, prefix: str, struct) -> List[Counter]:
+        """Register every numeric field of a stats dataclass as a Counter.
+
+        This is the ``dataclasses.fields``-driven path: adding a field to
+        a stats dataclass makes it appear here (and in every snapshot)
+        with no further registration code.
+        """
+        if not dataclasses.is_dataclass(struct) \
+                or isinstance(struct, type):
+            raise TypeError(f"expected a dataclass instance, "
+                            f"got {struct!r}")
+        return [self.counter(name, read)
+                for name, read in _struct_leaves(prefix, struct)]
+
+    # -- access ---------------------------------------------------------
+
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self, kinds: Optional[Sequence[str]] = None
+                 ) -> Dict[str, Any]:
+        """Read every metric; counters/gauges numeric, histograms dicts."""
+        return {name: m.value() for name, m in self._metrics.items()
+                if kinds is None or m.kind in kinds}
+
+    def describe(self) -> List[str]:
+        """One ``kind name = value`` line per metric (for CLI dumps)."""
+        lines = []
+        for name, metric in sorted(self._metrics.items()):
+            lines.append(f"{metric.kind:9s} {name} = {metric.value()}")
+        return lines

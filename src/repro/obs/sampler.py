@@ -1,0 +1,237 @@
+"""Interval time-series sampling of a running :class:`~repro.sim.system.System`.
+
+The paper's claims are temporal (timeliness transients, SUF behaviour over
+program phases), so the sampler snapshots the simulator's counters every
+``interval`` committed instructions and derives per-interval metrics from
+the deltas: IPC, per-level MPKI, prefetch accuracy/coverage, SUF drop rate
+and accuracy, GhostMinion commit traffic, DRAM row-hit rate, and the Fig. 6
+miss-taxonomy counts.
+
+Sampling starts at the warm-up reset (pre-warm-up behaviour is never
+recorded) and a final partial interval is flushed at the end of the run, so
+``sum(instructions)`` over the records equals the measured instruction
+count.  Derived values depend only on simulator state, and the JSONL/CSV
+renderings are canonical (sorted keys, fixed rounding), so the export is
+byte-identical however the simulation was scheduled (``--jobs 1`` vs
+``--jobs N``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Union
+
+__all__ = ["IntervalSampler", "TIMESERIES_FIELDS", "timeseries_csv",
+           "timeseries_jsonl", "validate_timeseries_record",
+           "write_timeseries"]
+
+#: The closed per-interval record schema (field -> value type).  ``float``
+#: fields accept integers too (JSON does not distinguish ``1`` and ``1.0``).
+TIMESERIES_FIELDS: Dict[str, type] = {
+    "interval": int,            # 0-based interval index
+    "instructions": int,        # committed instructions in this interval
+    "cycle": int,               # measured-clock cycle at interval end
+    "cycles": int,              # cycles elapsed in this interval
+    "ipc": float,
+    "l1d_mpki": float,
+    "l2_mpki": float,
+    "llc_mpki": float,
+    "pf_accuracy": float,       # useful / resolved, all levels
+    "pf_coverage": float,       # useful / (useful + misses) at train level
+    "suf_drop_rate": float,     # SUF drops / commit decisions
+    "suf_accuracy": float,      # correct / decided SUF filterings
+    "gm_commit_writes": int,
+    "gm_refetches": int,
+    "dram_row_hit_rate": float,
+    "rob_occupancy": int,       # point-in-time, sampled at interval end
+    "lq_occupancy": int,
+    "tax_late": int,            # Fig. 6 taxonomy deltas (0 w/o classifier)
+    "tax_commit_late": int,
+    "tax_missed_opportunity": int,
+    "tax_uncovered": int,
+}
+
+_ROUND = 6
+
+
+def _ratio(num: float, den: float, default: float = 0.0) -> float:
+    return round(num / den, _ROUND) if den else default
+
+
+def _capture(system) -> Dict[str, float]:
+    """Flat snapshot of every counter the interval metrics derive from.
+
+    Uses the stats dataclasses' fields-driven ``snapshot()``, so the
+    captured keys track the dataclass definitions automatically.
+    """
+    hierarchy = system.hierarchy
+    snap: Dict[str, float] = {
+        "committed": system.core_stats.committed_instructions,
+        "cycle": system.measurement_cycle(),
+    }
+    for prefix, stats in (("l1d", hierarchy.l1d.stats),
+                          ("l2", hierarchy.l2.stats),
+                          ("llc", hierarchy.llc.stats)):
+        for key, value in stats.snapshot().items():
+            snap[f"{prefix}.{key}"] = value
+    if hierarchy.gm is not None:
+        for key, value in hierarchy.gm_stats.snapshot().items():
+            snap[f"gm.{key}"] = value
+    for key, value in hierarchy.dram.stats.snapshot().items():
+        snap[f"dram.{key}"] = value
+    if system.classifier is not None:
+        for category, count in system.classifier.counts.items():
+            snap[f"tax.{category}"] = count
+    return snap
+
+
+class IntervalSampler:
+    """Collects one record per ``interval`` committed instructions."""
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, "
+                             f"got {interval}")
+        self.interval = interval
+        self.records: List[Dict[str, Union[int, float]]] = []
+        #: Committed-instruction count that triggers the next sample; the
+        #: system's stepper compares against this on its hot path.
+        self.next_at = interval
+        self._prev: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------
+
+    def restart(self, system) -> None:
+        """(Re)baseline at measurement start -- the warm-up reset point."""
+        self.records.clear()
+        self._prev = _capture(system)
+        self.next_at = system.core_stats.committed_instructions \
+            + self.interval
+
+    def sample(self, system) -> None:
+        """Record the interval ending now; schedule the next boundary."""
+        self._record(system)
+        self.next_at += self.interval
+
+    def flush(self, system) -> None:
+        """Record the final partial interval, if any instructions ran."""
+        if self._prev is None:
+            self.restart(system)
+            return
+        if system.core_stats.committed_instructions \
+                > self._prev["committed"]:
+            self._record(system)
+
+    # ------------------------------------------------------------------
+
+    def _record(self, system) -> None:
+        cur = _capture(system)
+        prev = self._prev if self._prev is not None else {}
+        d = {key: value - prev.get(key, 0) for key, value in cur.items()}
+
+        instr = int(d["committed"])
+        cycles = int(d["cycle"])
+        ki = instr / 1000.0
+
+        def demand_misses(level: str) -> int:
+            return int(d.get(f"{level}.misses.load", 0)
+                       + d.get(f"{level}.misses.store", 0))
+
+        useful = sum(d.get(f"{lvl}.prefetches_useful", 0)
+                     for lvl in ("l1d", "l2", "llc"))
+        useless = sum(d.get(f"{lvl}.prefetches_useless", 0)
+                      for lvl in ("l1d", "l2", "llc"))
+        train = "l1d" if getattr(system.prefetcher, "train_level", 0) == 0 \
+            else "l2"
+        train_useful = d.get(f"{train}.prefetches_useful", 0)
+
+        suf_drops = d.get("gm.commit_drops_suf", 0)
+        commit_writes = int(d.get("gm.commit_writes", 0))
+        refetches = int(d.get("gm.commit_refetches", 0))
+        suf_decided = d.get("gm.suf_correct", 0) \
+            + d.get("gm.suf_mispredict", 0)
+
+        occupancy = system.core.occupancy()
+        record: Dict[str, Union[int, float]] = {
+            "interval": len(self.records),
+            "instructions": instr,
+            "cycle": int(cur["cycle"]),
+            "cycles": cycles,
+            "ipc": _ratio(instr, cycles),
+            "l1d_mpki": _ratio(demand_misses("l1d"), ki),
+            "l2_mpki": _ratio(demand_misses("l2"), ki),
+            "llc_mpki": _ratio(demand_misses("llc"), ki),
+            "pf_accuracy": _ratio(useful, useful + useless),
+            "pf_coverage": _ratio(train_useful,
+                                  train_useful + demand_misses(train)),
+            "suf_drop_rate": _ratio(suf_drops,
+                                    suf_drops + commit_writes + refetches),
+            "suf_accuracy": _ratio(d.get("gm.suf_correct", 0), suf_decided,
+                                   default=1.0),
+            "gm_commit_writes": commit_writes,
+            "gm_refetches": refetches,
+            "dram_row_hit_rate": _ratio(d.get("dram.row_hits", 0),
+                                        d.get("dram.requests", 0)),
+            "rob_occupancy": occupancy["rob"],
+            "lq_occupancy": occupancy["lq"],
+            "tax_late": int(d.get("tax.late", 0)),
+            "tax_commit_late": int(d.get("tax.commit_late", 0)),
+            "tax_missed_opportunity": int(
+                d.get("tax.missed_opportunity", 0)),
+            "tax_uncovered": int(d.get("tax.uncovered", 0)),
+        }
+        self.records.append(record)
+        self._prev = cur
+
+
+# ----------------------------------------------------------------------
+# canonical export
+# ----------------------------------------------------------------------
+
+def timeseries_jsonl(records: List[Dict]) -> str:
+    """One sorted-key JSON object per line; byte-deterministic."""
+    lines = [json.dumps(record, sort_keys=True, separators=(",", ":"))
+             for record in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def timeseries_csv(records: List[Dict]) -> str:
+    """CSV with a fixed, sorted column order; byte-deterministic."""
+    columns = sorted(TIMESERIES_FIELDS)
+    lines = [",".join(columns)]
+    for record in records:
+        lines.append(",".join(repr(record.get(c, 0)) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def write_timeseries(records: List[Dict], path) -> str:
+    """Write JSONL (or CSV for ``*.csv`` paths); returns the format used."""
+    path = str(path)
+    if path.endswith(".csv"):
+        text, fmt = timeseries_csv(records), "csv"
+    else:
+        text, fmt = timeseries_jsonl(records), "jsonl"
+    with open(path, "w") as fh:
+        fh.write(text)
+    return fmt
+
+
+def validate_timeseries_record(record: Dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the schema."""
+    if not isinstance(record, dict):
+        raise ValueError(f"record must be an object, "
+                         f"got {type(record).__name__}")
+    if set(record) != set(TIMESERIES_FIELDS):
+        missing = sorted(set(TIMESERIES_FIELDS) - set(record))
+        extra = sorted(set(record) - set(TIMESERIES_FIELDS))
+        raise ValueError(f"bad time-series keys: missing={missing} "
+                         f"extra={extra}")
+    for key, expected in TIMESERIES_FIELDS.items():
+        value = record[key]
+        if isinstance(value, bool) \
+                or not isinstance(value, (int, float)):
+            raise ValueError(f"{key} must be numeric, got {value!r}")
+        if expected is int and not isinstance(value, int):
+            raise ValueError(f"{key} must be an integer, got {value!r}")
+        if value < 0:
+            raise ValueError(f"{key} must be >= 0, got {value!r}")

@@ -1,0 +1,80 @@
+"""Validate exported observability files against their schemas.
+
+Usage (CI runs this against ``repro trace`` / ``--timeseries`` output)::
+
+    python -m repro.obs.validate events.jsonl --kind events
+    python -m repro.obs.validate ts.jsonl --kind timeseries
+
+Exit status 0 when every line parses and matches the schema; 1 otherwise,
+with the first offending line reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .events import validate_event
+from .sampler import validate_timeseries_record
+
+__all__ = ["main", "validate_file"]
+
+_VALIDATORS = {
+    "events": validate_event,
+    "timeseries": validate_timeseries_record,
+}
+
+
+def validate_file(path: str, kind: str) -> int:
+    """Validate one JSONL file; returns the number of valid records.
+
+    Raises ``ValueError`` naming the first bad line.
+    """
+    validator = _VALIDATORS[kind]
+    count = 0
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not JSON ({exc})") from None
+            try:
+                validator(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            count += 1
+    return count
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate exported event/time-series JSONL files")
+    parser.add_argument("path", help="JSONL file to validate")
+    parser.add_argument("--kind", choices=sorted(_VALIDATORS),
+                        required=True, help="which schema to apply")
+    parser.add_argument("--min-records", type=int, default=1,
+                        help="fail unless at least this many records "
+                             "(default: 1)")
+    args = parser.parse_args(argv)
+    try:
+        count = validate_file(args.path, args.kind)
+    except (OSError, ValueError) as exc:
+        print(f"invalid: {exc}", file=sys.stderr)
+        return 1
+    if count < args.min_records:
+        print(f"invalid: {args.path}: {count} record(s), expected >= "
+              f"{args.min_records}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: {count} valid {args.kind} record(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -8,7 +8,7 @@ the dependency direction core -> prefetchers).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .base import Prefetcher
 from .berti import BertiPrefetcher
@@ -50,6 +50,42 @@ def make_prefetcher(name: Optional[str]) -> Optional[Prefetcher]:
     return factory()
 
 
-def register(name: str, factory: Callable[[], Prefetcher]) -> None:
-    """Register an additional prefetcher factory (used by extensions)."""
+def is_registered(name: str) -> bool:
+    """Whether ``name`` is a known baseline prefetcher ('none' excluded)."""
+    return name in _FACTORIES
+
+
+def register(name: str, factory: Callable[[], Prefetcher], *,
+             override: bool = False) -> None:
+    """Register an additional prefetcher factory (used by extensions).
+
+    Re-registering an existing name raises unless ``override=True`` --
+    silently shadowing a baseline prefetcher would corrupt every sweep
+    that references it by name.
+    """
+    if not name or name == "none":
+        raise ValueError(f"invalid prefetcher name {name!r}")
+    if name in _FACTORIES and not override:
+        raise ValueError(
+            f"prefetcher {name!r} is already registered; pass "
+            f"override=True to replace it")
     _FACTORIES[name] = factory
+
+
+def unregister(name: str) -> None:
+    """Remove an extension registration (primarily for tests)."""
+    _FACTORIES.pop(name, None)
+
+
+def describe() -> Dict[str, Tuple[type, float]]:
+    """``name -> (class, storage_kb)`` for every registered prefetcher.
+
+    Each factory is instantiated once to read its class and hardware
+    budget; registered factories must therefore be cheap to construct
+    (all the baselines are).
+    """
+    table: Dict[str, Tuple[type, float]] = {}
+    for name in sorted(_FACTORIES):
+        instance = _FACTORIES[name]()
+        table[name] = (type(instance), instance.storage_kb())
+    return table

@@ -152,8 +152,12 @@ class CacheLevel:
                  next_level: "MemoryBackend") -> None:
         self.params = params
         self.level = level
+        self.name = LEVEL_NAMES[level]
         self.next = next_level
         self.stats = CacheStats()
+        #: Optional :class:`repro.obs.events.EventTrace`; ``None`` keeps
+        #: every emission site down to a single attribute check.
+        self.events = None
 
         if params.replacement not in ("lru", "srrip", "random"):
             raise ValueError(
@@ -237,10 +241,12 @@ class CacheLevel:
                         and not line.was_demand_hit:
                     line.was_demand_hit = True
                     stats.prefetches_useful += 1
+                    if self.events is not None:
+                        self.events.emit("pf_use", time, block, self.name)
                 return max(ready, line.fill_time), self.level
             # Line is being filled: merge with the in-flight fill.
-            return self._merge(line.fill_time, line.prefetched, start,
-                               rtype, demand, count_useful, line)
+            return self._merge(block, line.fill_time, line.prefetched,
+                               start, rtype, demand, count_useful, line)
 
         entry = self._outstanding.get(block)
         if entry is not None:
@@ -249,8 +255,9 @@ class CacheLevel:
                 # no longer in flight here.
                 del self._outstanding[block]
             else:
-                return self._merge(entry.fill_time, entry.is_prefetch, start,
-                                   rtype, demand, count_useful, None)
+                return self._merge(block, entry.fill_time,
+                                   entry.is_prefetch, start, rtype, demand,
+                                   count_useful, None)
 
         # True miss: allocate an MSHR and fetch from the next level.  The
         # update/fill flags propagate down so a GhostMinion speculative walk
@@ -292,8 +299,8 @@ class CacheLevel:
             self.stats.hits[rtype] += 1
         return hit
 
-    def _merge(self, fill_time: int, was_prefetch: bool, start: int,
-               rtype: str, demand: bool, count_useful: bool,
+    def _merge(self, block: int, fill_time: int, was_prefetch: bool,
+               start: int, rtype: str, demand: bool, count_useful: bool,
                line: Optional[Line]) -> Tuple[int, int]:
         """A request merges with an in-flight fill for the same block."""
         stats = self.stats
@@ -302,11 +309,16 @@ class CacheLevel:
         if demand and was_prefetch:
             stats.demand_merged_into_prefetch += 1
             if count_useful:
+                counted = False
                 if line is not None and not line.was_demand_hit:
                     line.was_demand_hit = True
                     stats.prefetches_useful += 1
+                    counted = True
                 elif line is None:
                     stats.prefetches_useful += 1
+                    counted = True
+                if counted and self.events is not None:
+                    self.events.emit("pf_use", start, block, self.name)
         completion = max(fill_time, start + self.params.latency)
         if rtype == REQ_LOAD:
             stats.load_miss_latency_sum += completion - start
@@ -336,6 +348,9 @@ class CacheLevel:
                            latency=latency)
         if prefetched:
             self.stats.prefetch_fills += 1
+        if self.events is not None:
+            self.events.emit("pf_fill" if prefetched else "fill", time,
+                             block, self.name)
 
     def _select_victim(self, set_: Dict[int, Line]) -> int:
         if self._policy == "lru":
@@ -361,6 +376,8 @@ class CacheLevel:
         victim_block = self._select_victim(set_)
         victim = set_.pop(victim_block)
         self.stats.evictions += 1
+        if self.events is not None:
+            self.events.emit("evict", time, victim_block, self.name)
         if victim.prefetched and not victim.was_demand_hit:
             self.stats.prefetches_useless += 1
         if victim.dirty or victim.gm_propagate:
@@ -417,22 +434,27 @@ class CacheLevel:
         flight, or PQ full).
         """
         if self.contains(block) or block in self._outstanding:
-            self.stats.prefetches_dropped += 1
-            return False
+            return self._drop_prefetch(block, time)
         slot, free_at = self._pq.earliest()
         if free_at > time:
-            self.stats.prefetches_dropped += 1
-            return False
+            return self._drop_prefetch(block, time)
         # Hardware drops prefetches rather than letting them queue for an
         # MSHR ahead of demand misses (the functional MSHR model would
         # otherwise let a prefetch reserve a future slot).
         if self._mshrs.full(time):
-            self.stats.prefetches_dropped += 1
-            return False
+            return self._drop_prefetch(block, time)
         self.stats.prefetches_issued += 1
+        if self.events is not None:
+            self.events.emit("pf_issue", time, block, self.name)
         completion, _ = self.access(block, time, REQ_PREFETCH, fill=fill)
         self._pq.times[slot] = completion
         return True
+
+    def _drop_prefetch(self, block: int, time: int) -> bool:
+        self.stats.prefetches_dropped += 1
+        if self.events is not None:
+            self.events.emit("pf_drop", time, block, self.name)
+        return False
 
     # ------------------------------------------------------------------
     # resource pools

@@ -51,6 +51,10 @@ class CoreModel:
         """
         return self._retire_cycle
 
+    def occupancy(self) -> dict:
+        """Point-in-time ROB/LQ depths (read by the interval sampler)."""
+        return {"rob": len(self._rob), "lq": len(self._lq)}
+
     # ------------------------------------------------------------------
     # front end
     # ------------------------------------------------------------------

@@ -48,6 +48,12 @@ class DRAMChannel:
         #: Furthest-scheduled low-priority completion (backpressure signal).
         self._low_horizon = 0
 
+    def low_backlog(self, time: int) -> int:
+        """Cycles of low-priority bus backlog beyond the demand bus and
+        ``time`` -- the same signal :meth:`backlogged` thresholds, exposed
+        raw for the interval sampler and CLI metric dumps."""
+        return max(0, self._bus_free_low - max(self._bus_free, time))
+
     def access(self, block: int, time: int, *, demand: bool = True) -> int:
         """Serve one 64-byte line request; return the delivery cycle.
 

@@ -64,6 +64,8 @@ class GhostMinionCache:
         self._pending_heap: List[Tuple[int, int]] = []
         #: Insertions dropped to preserve strictness ordering.
         self.ordering_drops = 0
+        #: Optional :class:`repro.obs.events.EventTrace` (``None`` = off).
+        self.events = None
 
     @property
     def latency(self) -> int:
@@ -106,6 +108,8 @@ class GhostMinionCache:
                                       transient)
         heapq.heappush(self._pending_heap, (time, block))
         self.stats.gm_fills += 1
+        if self.events is not None:
+            self.events.emit("gm_fill", time, block, "GM")
 
     def apply_until(self, now: int) -> None:
         """Install all pending fills whose data has arrived by ``now``."""
@@ -132,6 +136,9 @@ class GhostMinionCache:
                     # not evict state an older one may still observe
                     # (TimeGuarding).
                     self.ordering_drops += 1
+                    if self.events is not None:
+                        self.events.emit("gm_drop", line.fill_time, block,
+                                         "GM")
                     return
             del set_[victim_block]
         set_[block] = line

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
-from .cache import (CacheLevel, LEVEL_DRAM, LEVEL_L1D, LEVEL_L2, LEVEL_LLC,
+from .cache import (CacheLevel, LEVEL_L1D, LEVEL_L2, LEVEL_LLC,
                     MemoryBackend)
 from .dram import DRAMChannel
 from .ghostminion import GhostMinionCache
@@ -68,6 +68,21 @@ class MemoryHierarchy:
         self.gm_stats = GhostMinionStats()
         self.gm = GhostMinionCache(params.gm, self.gm_stats) if secure \
             else None
+        #: Optional :class:`repro.obs.events.EventTrace` for commit-path
+        #: (GM/SUF) events; attached via :meth:`attach_events`.
+        self.events = None
+
+    def attach_events(self, events) -> None:
+        """Enable structured event tracing on every component.
+
+        Shared levels (a multi-core LLC/DRAM) are attached too: their
+        events then interleave all cores' traffic, which is the point.
+        """
+        self.events = events
+        for level in self.levels():
+            level.events = events
+        if self.gm is not None:
+            self.gm.events = events
 
     # ------------------------------------------------------------------
     # demand path
@@ -152,11 +167,15 @@ class MemoryHierarchy:
                 stats.suf_correct += 1
             else:
                 stats.suf_mispredict += 1
+            if self.events is not None:
+                self.events.emit("suf_drop", time, block, "SUF")
             return 0
 
         if gm_line is not None:
             # On-commit write: the line moves GM -> L1D.
             stats.commit_writes += 1
+            if self.events is not None:
+                self.events.emit("gm_commit_write", time, block, "GM")
             if decision is not None:
                 gm_propagate, wbb = decision.gm_propagate, decision.wbb
                 self._record_suf_stop(block, hit_level)
@@ -172,6 +191,8 @@ class MemoryHierarchy:
         stats.commit_refetches += 1
         if hit_level > LEVEL_L1D:
             stats.gm_lost_before_commit += 1
+        if self.events is not None:
+            self.events.emit("gm_refetch", time, block, "GM")
         completion, _ = self.l1d.access(block, time, REQ_COMMIT)
         return completion - time
 
@@ -179,17 +200,18 @@ class MemoryHierarchy:
         """Account a truncated propagation decision and its correctness."""
         stats = self.gm_stats
         if hit_level == LEVEL_L2:
-            stats.wb_stopped_suf += 1
-            if self.l2.contains(block):
-                stats.suf_correct += 1
-            else:
-                stats.suf_mispredict += 1
+            provider = self.l2
         elif hit_level == LEVEL_LLC:
-            stats.wb_stopped_suf += 1
-            if self.llc.contains(block):
-                stats.suf_correct += 1
-            else:
-                stats.suf_mispredict += 1
+            provider = self.llc
+        else:
+            return
+        stats.wb_stopped_suf += 1
+        if provider.contains(block):
+            stats.suf_correct += 1
+        else:
+            stats.suf_mispredict += 1
+        if self.events is not None:
+            self.events.emit("suf_stop", 0, block, "SUF")
 
     # ------------------------------------------------------------------
     # prefetch path

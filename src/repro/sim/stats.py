@@ -4,11 +4,18 @@ Plain attribute-based counter objects (no dict lookups in hot paths).  Each
 cache level owns a :class:`CacheStats`; the core owns a :class:`CoreStats`.
 Per-kilo-instruction metrics are computed by ``repro.analysis.metrics`` from
 these raw counts.
+
+Every container derives :meth:`~StatsStruct.reset` and
+:meth:`~StatsStruct.snapshot` from ``dataclasses.fields`` via the shared
+:class:`StatsStruct` base, so adding a counter field is all it takes for the
+field to be zeroed at the warm-up reset, appear in metric-registry dumps,
+and flow into the interval time-series.  (Hand-maintained ``reset()`` lists
+once silently skipped newly added counters.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 #: Request types seen by a cache level.
@@ -18,19 +25,66 @@ REQ_PREFETCH = "prefetch"  # prefetcher-generated request
 REQ_COMMIT = "commit"      # GhostMinion commit-time update (write or re-fetch)
 REQ_WRITEBACK = "writeback"  # eviction traffic from a lower level
 
-REQUEST_TYPES = (REQ_LOAD, REQ_STORE, REQ_PREFETCH, REQ_COMMIT, REQ_WRITEBACK)
+REQUEST_TYPES = (REQ_LOAD, REQ_STORE, REQ_PREFETCH, REQ_COMMIT,
+                 REQ_WRITEBACK)
+
+
+class StatsStruct:
+    """Fields-driven reset/snapshot for flat counter dataclasses.
+
+    Supported field shapes: ``int`` / ``float`` scalars and ``Dict[str,
+    int]`` tables (whose key sets are preserved across resets).  Anything
+    else is a design error in the stats container and is rejected loudly
+    rather than silently skipped.
+    """
+
+    def reset(self) -> None:
+        """Zero every counter (used at the end of warm-up)."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                for key in value:
+                    value[key] = 0
+            elif isinstance(value, (int, float)):
+                setattr(self, f.name, type(value)())
+            else:
+                raise TypeError(
+                    f"{type(self).__name__}.{f.name}: unsupported stats "
+                    f"field type {type(value).__name__}")
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{field[.key]: value}`` view of every counter."""
+        snap: Dict[str, float] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                for key, item in value.items():
+                    snap[f"{f.name}.{key}"] = item
+            elif isinstance(value, (int, float)):
+                snap[f.name] = value
+            else:
+                raise TypeError(
+                    f"{type(self).__name__}.{f.name}: unsupported stats "
+                    f"field type {type(value).__name__}")
+        return snap
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Register every counter field into a
+        :class:`~repro.obs.registry.MetricRegistry` under ``prefix``."""
+        registry.register_struct(prefix, self)
+
+
+def _request_table() -> Dict[str, int]:
+    return {t: 0 for t in REQUEST_TYPES}
 
 
 @dataclass
-class CacheStats:
+class CacheStats(StatsStruct):
     """Raw event counts for one cache level."""
 
-    accesses: Dict[str, int] = field(
-        default_factory=lambda: {t: 0 for t in REQUEST_TYPES})
-    hits: Dict[str, int] = field(
-        default_factory=lambda: {t: 0 for t in REQUEST_TYPES})
-    misses: Dict[str, int] = field(
-        default_factory=lambda: {t: 0 for t in REQUEST_TYPES})
+    accesses: Dict[str, int] = field(default_factory=_request_table)
+    hits: Dict[str, int] = field(default_factory=_request_table)
+    misses: Dict[str, int] = field(default_factory=_request_table)
 
     #: Demand misses that merged into an in-flight *prefetch* MSHR entry
     #: (the classic "late prefetch").
@@ -90,30 +144,9 @@ class CacheStats:
             return 0.0
         return self.prefetches_useful / resolved
 
-    def reset(self) -> None:
-        """Zero all counters (used at the end of warm-up)."""
-        for table in (self.accesses, self.hits, self.misses):
-            for key in table:
-                table[key] = 0
-        self.demand_merged_into_prefetch = 0
-        self.mshr_merges = 0
-        self.mshr_full_wait_cycles = 0
-        self.mshr_full_events = 0
-        self.mshr_occupancy_sum = 0
-        self.mshr_occupancy_samples = 0
-        self.load_miss_latency_sum = 0
-        self.load_miss_latency_count = 0
-        self.evictions = 0
-        self.writebacks_out = 0
-        self.prefetches_issued = 0
-        self.prefetches_dropped = 0
-        self.prefetch_fills = 0
-        self.prefetches_useful = 0
-        self.prefetches_useless = 0
-
 
 @dataclass
-class CoreStats:
+class CoreStats(StatsStruct):
     """Per-core execution statistics."""
 
     committed_instructions: int = 0
@@ -128,17 +161,9 @@ class CoreStats:
             return 0.0
         return self.committed_instructions / self.cycles
 
-    def reset(self) -> None:
-        self.committed_instructions = 0
-        self.committed_loads = 0
-        self.committed_stores = 0
-        self.cycles = 0
-        self.wrong_path_loads = 0
-        self.branch_mispredicts = 0
-
 
 @dataclass
-class GhostMinionStats:
+class GhostMinionStats(StatsStruct):
     """GhostMinion-specific event counts."""
 
     gm_fills: int = 0
@@ -160,21 +185,9 @@ class GhostMinionStats:
             return 1.0
         return self.suf_correct / decided
 
-    def reset(self) -> None:
-        self.gm_fills = 0
-        self.gm_hits = 0
-        self.gm_misses = 0
-        self.commit_writes = 0
-        self.commit_refetches = 0
-        self.gm_lost_before_commit = 0
-        self.commit_drops_suf = 0
-        self.wb_stopped_suf = 0
-        self.suf_correct = 0
-        self.suf_mispredict = 0
-
 
 @dataclass
-class DRAMStats:
+class DRAMStats(StatsStruct):
     """DRAM channel statistics."""
 
     requests: int = 0
@@ -185,8 +198,3 @@ class DRAMStats:
         if not self.requests:
             return 0.0
         return self.row_hits / self.requests
-
-    def reset(self) -> None:
-        self.requests = 0
-        self.row_hits = 0
-        self.row_misses = 0

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.classification import MissClassifier
 from ..core.suf import HitLevelQueue, suf_decide
 from ..core.xlq import XLQ
+from ..obs import EventTrace, IntervalSampler, MetricRegistry, ObsConfig
 from ..prefetchers.base import (MODE_ON_ACCESS, MODE_ON_COMMIT, Prefetcher,
                                 TrainingEvent)
 from ..workloads.trace import (BLOCK_SHIFT, FLAG_BRANCH, FLAG_LOAD,
@@ -59,6 +60,8 @@ class SimResult:
     secure: bool
     suf: bool
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Interval time-series records (``obs.sample_interval > 0`` only).
+    timeseries: Optional[List[Dict[str, float]]] = None
 
     def kilo_instructions(self) -> float:
         return self.committed / 1000.0
@@ -105,6 +108,7 @@ class System:
                  shadow: Optional[Prefetcher] = None,
                  classify: bool = False,
                  shared_llc=None, shared_dram=None,
+                 obs: Optional[ObsConfig] = None,
                  label: Optional[str] = None) -> None:
         if params is None:
             params = baseline()
@@ -147,6 +151,16 @@ class System:
             else None
         #: TS wrappers expose ``note_demand`` for lateness feedback.
         self._ts_feedback = hasattr(prefetcher, "note_demand")
+
+        #: Observability: interval sampler and event trace, both ``None``
+        #: when disabled so the hot loop pays a single attribute check.
+        self.obs = obs if obs is not None else ObsConfig()
+        self.sampler = IntervalSampler(self.obs.sample_interval) \
+            if self.obs.sample_interval else None
+        self.events = EventTrace(self.obs.trace_capacity) \
+            if self.obs.trace_events else None
+        if self.events is not None:
+            self.hierarchy.attach_events(self.events)
 
         self.label = label if label is not None else self._default_label()
 
@@ -198,6 +212,7 @@ class System:
 
         core = self.core
         stats = self.core_stats
+        sampler = self.sampler
         issue_latency = self.params.core.load_issue_latency
         alu_latency = self.params.core.alu_latency
         penalty = self.params.core.mispredict_penalty
@@ -243,6 +258,9 @@ class System:
             if not warmed and committed >= warmup_target:
                 warmed = True
                 self._reset_measurement()
+            elif sampler is not None \
+                    and stats.committed_instructions >= sampler.next_at:
+                sampler.sample(self)
             if chunk:
                 since_yield += 1
                 if since_yield >= chunk:
@@ -256,7 +274,45 @@ class System:
             self.classifier.finalize()
         self.core_stats.cycles = max(
             self.core.final_retire - self._warmup_cycle, 1)
+        if self.sampler is not None:
+            self.sampler.flush(self)
         return self._build_result(trace)
+
+    def measurement_cycle(self) -> int:
+        """Cycles elapsed since the warm-up reset (the measured clock)."""
+        return self.core.final_retire - self._warmup_cycle
+
+    def metrics(self) -> MetricRegistry:
+        """A typed registry over every live stats structure.
+
+        Reads are bound to the stats objects, so one registry built up
+        front observes the whole run; snapshots taken mid-run see current
+        values.
+        """
+        registry = MetricRegistry()
+        registry.register_struct("core", self.core_stats)
+        hierarchy = self.hierarchy
+        for prefix, level in (("l1d", hierarchy.l1d), ("l2", hierarchy.l2),
+                              ("llc", hierarchy.llc)):
+            registry.register_struct(prefix, level.stats)
+        if self.secure:
+            registry.register_struct("gm", hierarchy.gm_stats)
+        registry.register_struct("dram", hierarchy.dram.stats)
+        registry.register_struct("tlb", self.tlb.stats)
+        registry.gauge("core.ipc", self.core_stats.ipc,
+                       description="committed instructions per cycle")
+        registry.gauge("dram.row_hit_rate",
+                       hierarchy.dram.stats.row_hit_rate,
+                       description="row-buffer hit fraction")
+        for prefix, level in (("l1d", hierarchy.l1d), ("l2", hierarchy.l2),
+                              ("llc", hierarchy.llc)):
+            registry.gauge(f"{prefix}.prefetch_accuracy",
+                           level.stats.prefetch_accuracy,
+                           description="useful / resolved prefetches")
+        if self.secure:
+            registry.gauge("gm.suf_accuracy", hierarchy.gm_stats.suf_accuracy,
+                           description="correct / decided SUF filterings")
+        return registry
 
     # ------------------------------------------------------------------
     # loads
@@ -442,6 +498,8 @@ class System:
             for category in self.classifier.counts:
                 self.classifier.counts[category] = 0
         self._warmup_cycle = self.core.final_retire
+        if self.sampler is not None:
+            self.sampler.restart(self)
 
     def _build_result(self, trace: Trace) -> SimResult:
         stats = self.core_stats
@@ -481,4 +539,6 @@ class System:
             secure=self.secure,
             suf=self.suf,
             extras=extras,
+            timeseries=list(self.sampler.records)
+            if self.sampler is not None else None,
         )

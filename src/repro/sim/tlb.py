@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .stats import StatsStruct
+
 #: 4 KB pages.
 PAGE_SHIFT = 12
 
@@ -56,7 +58,7 @@ class TLBParams:
 
 
 @dataclass
-class TLBStats:
+class TLBStats(StatsStruct):
     """Translation statistics."""
 
     dtlb_accesses: int = 0
@@ -67,11 +69,6 @@ class TLBStats:
         if not self.dtlb_accesses:
             return 0.0
         return self.dtlb_misses / self.dtlb_accesses
-
-    def reset(self) -> None:
-        self.dtlb_accesses = 0
-        self.dtlb_misses = 0
-        self.stlb_misses = 0
 
 
 class _TLBLevel:

@@ -5,7 +5,11 @@ import pytest
 from repro.analysis import (amean, apki, apki_breakdown, format_series,
                             format_stacked, format_table, geomean,
                             load_miss_latency, mpki, prefetch_accuracy,
-                            prefetch_coverage, speedup, train_level_mpki)
+                            prefetch_coverage, speedup, suf_accuracy,
+                            timeseries_column, timeseries_summary,
+                            train_level_mpki)
+from repro.obs import ObsConfig
+from repro.sim.stats import GhostMinionStats
 from repro.sim.system import System
 from repro.workloads.synthetic import stream_trace
 
@@ -69,6 +73,96 @@ class TestPerRunMetrics:
     def test_coverage_of_self_is_zero(self, pair):
         base, _ = pair
         assert prefetch_coverage(base, base) == 0.0
+
+
+def fake_result(**overrides):
+    """A minimal hand-built SimResult for metric edge cases."""
+    from repro.sim.stats import CacheStats, CoreStats, DRAMStats
+    from repro.sim.system import SimResult
+    values = dict(
+        label="fake", trace_name="fake", committed=1000, cycles=500,
+        ipc=2.0, core=CoreStats(), l1d=CacheStats(), l2=CacheStats(),
+        llc=CacheStats(), gm=None, dram=DRAMStats(), tlb=None,
+        classification=None, prefetcher_name="none", train_level=0,
+        train_mode="on-access", secure=False, suf=False)
+    values.update(overrides)
+    return SimResult(**values)
+
+
+class TestAccuracyEdgeCases:
+    """prefetch_accuracy / suf_accuracy at their degenerate points."""
+
+    def test_prefetch_accuracy_no_resolved_prefetches(self):
+        # Nothing resolved: accuracy is defined as 0, not a zero division.
+        assert prefetch_accuracy(fake_result()) == 0.0
+
+    def test_prefetch_accuracy_all_useless(self):
+        result = fake_result()
+        result.l1d.prefetches_useless = 5
+        assert prefetch_accuracy(result) == 0.0
+
+    def test_prefetch_accuracy_aggregates_levels(self):
+        result = fake_result()
+        result.l1d.prefetches_useful = 3
+        result.l2.prefetches_useless = 1
+        assert prefetch_accuracy(result) == 0.75
+
+    def test_suf_accuracy_without_gm(self):
+        assert suf_accuracy(fake_result()) == 1.0
+
+    def test_suf_accuracy_no_decisions_is_perfect(self):
+        result = fake_result(gm=GhostMinionStats())
+        assert suf_accuracy(result) == 1.0
+
+    def test_suf_accuracy_all_mispredict(self):
+        gm = GhostMinionStats()
+        gm.suf_mispredict = 4
+        assert suf_accuracy(fake_result(gm=gm)) == 0.0
+
+    def test_coverage_zero_baseline_mpki(self):
+        result = fake_result()
+        result.l1d.misses["load"] = 10
+        assert prefetch_coverage(result, fake_result()) == 0.0
+
+    def test_coverage_never_negative(self):
+        worse = fake_result()
+        worse.l1d.misses["load"] = 20
+        better = fake_result()
+        better.l1d.misses["load"] = 10
+        assert prefetch_coverage(worse, better) == 0.0
+        assert prefetch_coverage(better, worse) == pytest.approx(0.5)
+
+    def test_speedup_zero_baseline(self):
+        assert speedup(fake_result(), fake_result(ipc=0.0)) == 0.0
+
+
+class TestTimeseriesHelpers:
+    @pytest.fixture(scope="class")
+    def sampled(self):
+        trace = stream_trace("tsm", 5000, streams=2, seed=9)
+        return System(obs=ObsConfig(sample_interval=800)).run(trace)
+
+    def test_column(self, sampled):
+        ipcs = timeseries_column(sampled, "ipc")
+        assert len(ipcs) == len(sampled.timeseries)
+        assert all(v >= 0 for v in ipcs)
+
+    def test_column_without_sampling(self, pair):
+        base, _ = pair
+        assert timeseries_column(base, "ipc") == []
+
+    def test_summary_weighted_mean(self, sampled):
+        summary = timeseries_summary(sampled, "ipc")
+        assert summary["intervals"] == len(sampled.timeseries)
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+        # Close to (not exactly) the run IPC: the summary weights by
+        # instructions while the run ratio is cycle-weighted.
+        assert summary["mean"] == pytest.approx(
+            sampled.committed / sampled.cycles, rel=0.05)
+
+    def test_summary_without_sampling(self, pair):
+        base, _ = pair
+        assert timeseries_summary(base, "ipc")["intervals"] == 0
 
 
 class TestReports:

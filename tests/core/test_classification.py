@@ -2,8 +2,7 @@
 
 from repro.core.classification import (CAT_COMMIT_LATE, CAT_LATE,
                                        CAT_MISSED_OPPORTUNITY,
-                                       CAT_UNCOVERED, CATEGORIES,
-                                       MissClassifier)
+                                       CAT_UNCOVERED, MissClassifier)
 from repro.prefetchers.base import PrefetchRequest, Prefetcher, \
     TrainingEvent
 

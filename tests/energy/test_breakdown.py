@@ -3,7 +3,7 @@
 import pytest
 
 from repro.energy import EnergyBreakdown, EnergyParams, dynamic_energy
-from repro.prefetchers import MODE_ON_COMMIT, make_prefetcher
+from repro.prefetchers import make_prefetcher
 from repro.sim.system import System
 from repro.workloads.synthetic import stream_trace
 

@@ -63,6 +63,44 @@ class TestConfigs:
         assert ts_config("berti", suf=True).suf
 
 
+class TestConfigValidation:
+    """Configs fail at construction, not deep inside a sweep."""
+
+    def test_unknown_prefetcher_rejected(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            Config(prefetcher="warp-drive")
+
+    def test_unknown_ts_inner_rejected(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            Config(prefetcher="ts-warp-drive")
+
+    def test_valid_specs_accepted(self):
+        for spec in ("none", "berti", "tsb", "ts-ip-stride", "spp+ppf"):
+            assert Config(prefetcher=spec).prefetcher == spec
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown train mode"):
+            Config(mode="sometimes")
+
+    def test_suf_requires_secure(self):
+        with pytest.raises(ValueError, match="SUF requires"):
+            Config(suf=True)
+        assert Config(secure=True, suf=True).suf
+
+    def test_sample_interval_validated(self):
+        with pytest.raises(ValueError, match="sample_interval"):
+            Config(sample_interval=-1)
+        with pytest.raises(ValueError, match="sample_interval"):
+            Config(sample_interval=1.5)
+        assert Config(sample_interval=500).sample_interval == 500
+
+    def test_helpers_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            on_commit_secure("berti", True)
+        with pytest.raises(TypeError):
+            ts_config("berti", True)
+
+
 class TestPrefetcherSpecs:
     def test_tsb(self, runner):
         assert isinstance(runner.build_prefetcher("tsb"), TSBPrefetcher)
@@ -216,3 +254,77 @@ class TestExecutionLayer:
         assert runner.store is None
         assert "without a result store" in capsys.readouterr().err
         assert runner.run(BASELINE, runner.pool()[0]).ipc > 0
+
+
+class TestObservabilityThroughRunner:
+    """Time-series travel through the executor, pool, and store; the
+    profiler accounts the sweep's wall-clock."""
+
+    TS = Config(prefetcher="berti", secure=True, mode=MODE_ON_COMMIT,
+                sample_interval=100)
+
+    def test_sampled_config_produces_timeseries(self):
+        runner = ExperimentRunner(scale=MICRO)
+        result = runner.run(self.TS, runner.pool()[0])
+        assert result.timeseries
+        assert sum(r["instructions"] for r in result.timeseries) == \
+            result.committed
+
+    def test_unsampled_config_has_none(self):
+        runner = ExperimentRunner(scale=MICRO)
+        assert runner.run(BASELINE, runner.pool()[0]).timeseries is None
+
+    def test_timeseries_byte_identical_across_jobs(self):
+        """The acceptance bar: jobs=1 and jobs=4 JSONL exports match."""
+        from repro.obs import timeseries_jsonl
+        serial = ExperimentRunner(scale=MICRO)
+        parallel = ExperimentRunner(scale=MICRO, jobs=4)
+        s = serial.run_pool(self.TS)
+        p = parallel.run_pool(self.TS)
+        for rs, rp in zip(s, p):
+            assert rs.timeseries
+            assert timeseries_jsonl(rs.timeseries) == \
+                timeseries_jsonl(rp.timeseries)
+
+    def test_timeseries_survive_the_store(self, tmp_path):
+        first = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        trace = first.pool()[0]
+        fresh = first.run(self.TS, trace)
+
+        resumed = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        recalled = resumed.run(self.TS, trace)
+        assert resumed.execution_stats()["simulated"] == 0
+        assert recalled.timeseries == fresh.timeseries
+
+    def test_sampled_and_unsampled_use_distinct_store_keys(self, tmp_path):
+        runner = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        trace = runner.pool()[0]
+        runner.run(Config(prefetcher="berti"), trace)
+        runner.run(Config(prefetcher="berti", sample_interval=100), trace)
+        assert runner.execution_stats()["simulated"] == 2
+
+    def test_profiler_accounts_phases(self):
+        runner = ExperimentRunner(scale=MICRO)
+        runner.run_pool(BASELINE)
+        prof = runner.profiler
+        n = len(runner.pool())
+        assert prof.count("traces") == 1
+        assert prof.count("execute") == 1
+        assert prof.count("simulate") == n
+        assert prof.count("build") == n
+        assert prof.seconds("simulate") > 0
+        assert "execute=" in runner.profile_summary()
+
+    def test_store_hits_add_no_job_phases(self, tmp_path):
+        first = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        first.run_pool(BASELINE)
+        resumed = ExperimentRunner(scale=MICRO, store=tmp_path / "store")
+        resumed.run_pool(BASELINE)
+        assert resumed.profiler.count("simulate") == 0
+        assert resumed.profiler.count("execute") == 1
+
+    def test_job_extras_carry_wall_times(self):
+        runner = ExperimentRunner(scale=MICRO)
+        result = runner.run(BASELINE, runner.pool()[0])
+        assert result.extras["wall_simulate_s"] > 0
+        assert result.extras["wall_build_s"] >= 0

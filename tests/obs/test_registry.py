@@ -1,0 +1,107 @@
+"""Typed metric registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricRegistry
+from repro.sim.stats import CacheStats, GhostMinionStats, REQ_LOAD
+
+
+class TestMetrics:
+    def test_counter_reads_through_callable(self):
+        box = {"n": 0}
+        counter = Counter("c", lambda: box["n"])
+        assert counter.value() == 0
+        box["n"] = 7
+        assert counter.value() == 7
+        assert counter.kind == "counter"
+
+    def test_gauge(self):
+        gauge = Gauge("g", lambda: 2.5, description="d")
+        assert gauge.value() == 2.5
+        assert gauge.description == "d"
+        assert gauge.kind == "gauge"
+
+    def test_invalid_names(self):
+        with pytest.raises(ValueError):
+            Counter("", lambda: 0)
+        with pytest.raises(ValueError):
+            Counter("has space", lambda: 0)
+
+
+class TestHistogram:
+    def test_buckets_and_mean(self):
+        hist = Histogram("h", [1.0, 10.0])
+        for v in (0.5, 5.0, 50.0):
+            hist.observe(v)
+        assert hist.buckets == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.mean() == pytest.approx(55.5 / 3)
+
+    def test_quantile(self):
+        hist = Histogram("h", [1.0, 10.0, 100.0])
+        for _ in range(9):
+            hist.observe(0.5)
+        hist.observe(50.0)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 100.0
+        assert Histogram("e", [1.0]).quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_unsorted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [10.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+
+class TestRegistry:
+    def test_duplicate_name_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x", lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x", lambda: 2.0)
+
+    def test_register_struct_covers_every_field(self):
+        stats = CacheStats()
+        registry = MetricRegistry()
+        registry.register_struct("l1d", stats)
+        # Scalar fields and per-request-type dict entries all appear.
+        assert "l1d.prefetches_issued" in registry
+        assert "l1d.accesses.load" in registry
+        assert "l1d.misses.writeback" in registry
+        # Views are live: mutate the struct, read through the registry.
+        stats.accesses[REQ_LOAD] = 9
+        stats.prefetches_issued = 4
+        assert registry.get("l1d.accesses.load").value() == 9
+        assert registry.get("l1d.prefetches_issued").value() == 4
+
+    def test_register_struct_rejects_non_dataclass(self):
+        registry = MetricRegistry()
+        with pytest.raises(TypeError):
+            registry.register_struct("x", object())
+        with pytest.raises(TypeError):
+            registry.register_struct("x", CacheStats)  # class, not instance
+
+    def test_snapshot_and_kinds(self):
+        registry = MetricRegistry()
+        registry.register_struct("gm", GhostMinionStats())
+        registry.gauge("acc", lambda: 0.5)
+        hist = registry.histogram("lat", [1.0, 10.0])
+        hist.observe(3.0)
+        snap = registry.snapshot()
+        assert snap["gm.gm_hits"] == 0
+        assert snap["acc"] == 0.5
+        assert snap["lat"]["count"] == 1
+        counters_only = registry.snapshot(kinds=("counter",))
+        assert "acc" not in counters_only
+        assert "gm.gm_hits" in counters_only
+
+    def test_describe_sorted(self):
+        registry = MetricRegistry()
+        registry.counter("b", lambda: 1)
+        registry.counter("a", lambda: 2)
+        lines = registry.describe()
+        assert lines[0].startswith("counter") and " a = 2" in lines[0]
+        assert len(registry) == 2
+        assert registry.names() == ["b", "a"]  # insertion order

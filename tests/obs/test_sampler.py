@@ -1,0 +1,136 @@
+"""Interval time-series sampler."""
+
+import json
+
+import pytest
+
+from repro.obs import (IntervalSampler, ObsConfig, TIMESERIES_FIELDS,
+                       timeseries_csv, timeseries_jsonl,
+                       validate_timeseries_record, write_timeseries)
+from repro.prefetchers.registry import make_prefetcher
+from repro.sim.system import System
+from repro.workloads.synthetic import stream_trace
+
+
+def sampled_run(n_loads=8000, interval=1000, warmup=0.2, **system_kwargs):
+    trace = stream_trace("ts", n_loads, streams=2, seed=5)
+    system = System(obs=ObsConfig(sample_interval=interval),
+                    **system_kwargs)
+    return system.run(trace, warmup=warmup)
+
+
+class TestSampling:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(0)
+        with pytest.raises(ValueError):
+            ObsConfig(sample_interval=-1)
+
+    def test_disabled_without_obs(self, tiny_stream):
+        result = System().run(tiny_stream)
+        assert result.timeseries is None
+
+    def test_records_validate(self):
+        result = sampled_run()
+        assert result.timeseries
+        for record in result.timeseries:
+            validate_timeseries_record(record)
+
+    def test_interval_boundaries(self):
+        """Full intervals are exact; the tail interval holds the rest."""
+        result = sampled_run(interval=1000)
+        *full, tail = result.timeseries
+        assert all(r["instructions"] == 1000 for r in full)
+        assert 0 < tail["instructions"] <= 1000
+        assert [r["interval"] for r in result.timeseries] == \
+            list(range(len(result.timeseries)))
+
+    def test_sum_matches_measured_instructions(self):
+        result = sampled_run(interval=700)
+        assert sum(r["instructions"] for r in result.timeseries) == \
+            result.committed
+
+    def test_warmup_excluded(self):
+        """Sampling restarts at the warm-up reset: interval 0 starts at
+        measured-instruction 0, and the measured clock starts near 0."""
+        result = sampled_run(interval=1000, warmup=0.5)
+        first = result.timeseries[0]
+        assert first["interval"] == 0
+        assert first["instructions"] == 1000
+        # The first interval's end cycle equals its own cycle delta --
+        # i.e. the clock was rebaselined at the warm-up point.
+        assert first["cycle"] == first["cycles"]
+
+    def test_cycle_column_is_cumulative(self):
+        result = sampled_run(interval=1000)
+        records = result.timeseries
+        assert records[-1]["cycle"] == sum(r["cycles"] for r in records)
+        assert records[-1]["cycle"] == result.cycles
+
+    def test_secure_suf_columns_populated(self):
+        result = sampled_run(secure=True, suf=True,
+                             prefetcher=make_prefetcher("berti"))
+        assert any(r["gm_commit_writes"] > 0 for r in result.timeseries)
+        assert any(r["suf_drop_rate"] > 0 for r in result.timeseries)
+        for record in result.timeseries:
+            assert 0.0 <= record["suf_accuracy"] <= 1.0
+            validate_timeseries_record(record)
+
+    def test_deterministic_across_runs(self):
+        a = sampled_run(secure=True, prefetcher=make_prefetcher("berti"))
+        b = sampled_run(secure=True, prefetcher=make_prefetcher("berti"))
+        assert timeseries_jsonl(a.timeseries) == \
+            timeseries_jsonl(b.timeseries)
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return sampled_run().timeseries
+
+    def test_jsonl_canonical_and_parseable(self, records):
+        text = timeseries_jsonl(records)
+        lines = text.splitlines()
+        assert len(lines) == len(records)
+        for line in lines:
+            parsed = json.loads(line)
+            validate_timeseries_record(parsed)
+            assert list(parsed) == sorted(parsed)  # sorted keys
+
+    def test_csv_has_all_columns(self, records):
+        text = timeseries_csv(records)
+        header, *rows = text.splitlines()
+        assert header.split(",") == sorted(TIMESERIES_FIELDS)
+        assert len(rows) == len(records)
+
+    def test_write_timeseries_picks_format(self, records, tmp_path):
+        jpath, cpath = tmp_path / "t.jsonl", tmp_path / "t.csv"
+        assert write_timeseries(records, jpath) == "jsonl"
+        assert write_timeseries(records, cpath) == "csv"
+        assert jpath.read_text() == timeseries_jsonl(records)
+        assert cpath.read_text() == timeseries_csv(records)
+
+    def test_empty_exports(self):
+        assert timeseries_jsonl([]) == ""
+        assert timeseries_csv([]).count("\n") == 1  # header only
+
+
+class TestValidateRecord:
+    def test_rejects_missing_and_extra_keys(self):
+        good = sampled_run(n_loads=3000).timeseries[0]
+        bad = dict(good)
+        bad.pop("ipc")
+        with pytest.raises(ValueError, match="missing"):
+            validate_timeseries_record(bad)
+        bad = dict(good, surprise=1)
+        with pytest.raises(ValueError, match="extra"):
+            validate_timeseries_record(bad)
+
+    def test_rejects_bad_types(self):
+        good = sampled_run(n_loads=3000).timeseries[0]
+        with pytest.raises(ValueError, match="integer"):
+            validate_timeseries_record(dict(good, interval=0.5))
+        with pytest.raises(ValueError, match="numeric"):
+            validate_timeseries_record(dict(good, ipc="fast"))
+        with pytest.raises(ValueError, match=">= 0"):
+            validate_timeseries_record(dict(good, cycles=-1))

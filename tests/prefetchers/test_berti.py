@@ -12,7 +12,7 @@ depends entirely on which timestamps/latency the training events carry:
   GM fetch latency) -> the timely delta of Fig. 8 (green).
 """
 
-from repro.prefetchers.base import FILL_L1D, FILL_L2, TrainingEvent
+from repro.prefetchers.base import FILL_L1D, TrainingEvent
 from repro.prefetchers.berti import BertiPrefetcher
 
 

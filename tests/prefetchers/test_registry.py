@@ -5,6 +5,8 @@ import pytest
 from repro.prefetchers import (PAPER_PREFETCHERS, Prefetcher,
                                make_prefetcher, prefetcher_names, register)
 from repro.prefetchers.berti import BertiPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.registry import describe, is_registered, unregister
 
 
 class TestRegistry:
@@ -30,9 +32,48 @@ class TestRegistry:
         assert make_prefetcher("spp").filter is None
 
     def test_register_extension(self):
-        register("berti-clone", BertiPrefetcher)
-        assert isinstance(make_prefetcher("berti-clone"), BertiPrefetcher)
-        assert "berti-clone" in prefetcher_names()
+        try:
+            register("berti-clone", BertiPrefetcher)
+            assert isinstance(make_prefetcher("berti-clone"),
+                              BertiPrefetcher)
+            assert "berti-clone" in prefetcher_names()
+        finally:
+            unregister("berti-clone")
+
+    def test_duplicate_register_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("berti", BertiPrefetcher)
+        # The original registration is untouched.
+        assert isinstance(make_prefetcher("berti"), BertiPrefetcher)
+
+    def test_register_override(self):
+        try:
+            register("berti-dup", BertiPrefetcher)
+            register("berti-dup", NextLinePrefetcher, override=True)
+            assert isinstance(make_prefetcher("berti-dup"),
+                              NextLinePrefetcher)
+        finally:
+            unregister("berti-dup")
+
+    def test_register_invalid_names(self):
+        with pytest.raises(ValueError, match="invalid"):
+            register("", BertiPrefetcher)
+        with pytest.raises(ValueError, match="invalid"):
+            register("none", BertiPrefetcher)
+
+    def test_is_registered(self):
+        assert is_registered("berti")
+        assert not is_registered("none")
+        assert not is_registered("magic")
+
+    def test_describe(self):
+        table = describe()
+        assert set(table) == set(prefetcher_names())
+        cls, storage = table["berti"]
+        assert cls is BertiPrefetcher
+        assert storage == pytest.approx(BertiPrefetcher().storage_kb())
+        for name, (_, kb) in table.items():
+            assert kb >= 0, name
 
     def test_train_levels(self):
         assert make_prefetcher("ip-stride").train_level == 0

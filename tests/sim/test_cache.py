@@ -1,11 +1,10 @@
 """Set-associative cache level: hits, LRU, MSHRs, ports, prefetch queue."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.cache import (CacheLevel, LEVEL_DRAM, LEVEL_L1D, LEVEL_L2,
-                             LEVEL_LLC, MemoryBackend, _PortBucket)
+from repro.sim.cache import (CacheLevel, LEVEL_DRAM, LEVEL_L1D,
+                             MemoryBackend, _PortBucket)
 from repro.sim.dram import DRAMChannel
 from repro.sim.params import CacheParams, DRAMParams
 from repro.sim.stats import REQ_COMMIT, REQ_LOAD, REQ_PREFETCH, REQ_STORE

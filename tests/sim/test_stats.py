@@ -1,7 +1,85 @@
 """Statistics containers."""
 
+import dataclasses
+
+import pytest
+
 from repro.sim.stats import (CacheStats, CoreStats, DRAMStats,
-                             GhostMinionStats, REQ_LOAD, REQUEST_TYPES)
+                             GhostMinionStats, REQ_LOAD, REQUEST_TYPES,
+                             StatsStruct)
+from repro.sim.tlb import TLBStats
+
+ALL_STRUCTS = (CacheStats, CoreStats, GhostMinionStats, DRAMStats,
+               TLBStats)
+
+
+def _fill_with_nonzero(stats) -> int:
+    """Set every counter leaf to a distinct non-zero value; return the
+    number of leaves touched."""
+    leaves = 0
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        if isinstance(value, dict):
+            for key in value:
+                leaves += 1
+                value[key] = leaves
+        else:
+            leaves += 1
+            setattr(stats, f.name, type(value)(leaves))
+    return leaves
+
+
+class TestStatsStruct:
+    """The fields-driven reset/snapshot shared by every container.
+
+    The round-trip property is the regression guard for the old bug
+    class: hand-maintained ``reset()`` lists silently skipped newly
+    added counters.
+    """
+
+    @pytest.mark.parametrize("cls", ALL_STRUCTS)
+    def test_every_field_resets_to_zero(self, cls):
+        stats = cls()
+        leaves = _fill_with_nonzero(stats)
+        assert leaves > 0
+        assert any(v != 0 for v in stats.snapshot().values())
+        stats.reset()
+        snap = stats.snapshot()
+        assert len(snap) == leaves
+        assert all(v == 0 for v in snap.values()), \
+            {k: v for k, v in snap.items() if v != 0}
+
+    @pytest.mark.parametrize("cls", ALL_STRUCTS)
+    def test_reset_preserves_dict_keys(self, cls):
+        stats = cls()
+        before = set(stats.snapshot())
+        stats.reset()
+        assert set(stats.snapshot()) == before
+
+    def test_snapshot_flattens_request_tables(self):
+        stats = CacheStats()
+        stats.accesses[REQ_LOAD] = 3
+        snap = stats.snapshot()
+        assert snap["accesses.load"] == 3
+        assert snap["prefetches_issued"] == 0
+
+    def test_unsupported_field_type_rejected(self):
+        @dataclasses.dataclass
+        class Bad(StatsStruct):
+            items: list = dataclasses.field(default_factory=list)
+
+        with pytest.raises(TypeError):
+            Bad().reset()
+        with pytest.raises(TypeError):
+            Bad().snapshot()
+
+    def test_register_into(self):
+        from repro.obs import MetricRegistry
+        registry = MetricRegistry()
+        stats = DRAMStats()
+        stats.register_into(registry, "dram")
+        stats.requests = 8
+        assert registry.get("dram.requests").value() == 8
 
 
 class TestCacheStats:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.prefetchers import (MODE_ON_ACCESS, MODE_ON_COMMIT,
                                make_prefetcher)
-from repro.prefetchers.base import Prefetcher, TrainingEvent
+from repro.prefetchers.base import Prefetcher
 from repro.sim.system import System
 from repro.workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
                                    FLAG_WRONG_PATH, Trace, alu, load, store)

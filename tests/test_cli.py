@@ -94,6 +94,85 @@ class TestCommands:
             main(["report", "--results-dir", str(tmp_path / "nope")])
 
 
+class TestObservabilityCommands:
+    def test_run_timeseries_jsonl(self, tmp_path, capsys):
+        import json
+        from repro.obs import validate_timeseries_record
+        out_file = tmp_path / "ts.jsonl"
+        assert main(["run", "657.xz-2302B", "--loads", "1500",
+                     "--timeseries", str(out_file),
+                     "--sample-interval", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "time series" in out and "500 instructions" in out
+        lines = out_file.read_text().splitlines()
+        assert lines
+        for line in lines:
+            validate_timeseries_record(json.loads(line))
+
+    def test_run_timeseries_csv(self, tmp_path):
+        out_file = tmp_path / "ts.csv"
+        assert main(["run", "657.xz-2302B", "--loads", "1500",
+                     "--timeseries", str(out_file)]) == 0
+        header = out_file.read_text().splitlines()[0]
+        assert "ipc" in header.split(",")
+
+    def test_run_metrics_dump(self, capsys):
+        assert main(["run", "657.xz-2302B", "--loads", "1500",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "counter   core.committed_instructions" in out
+        assert "gauge     core.ipc" in out
+
+    def test_run_negative_sample_interval(self):
+        with pytest.raises(SystemExit, match="--sample-interval"):
+            main(["run", "657.xz-2302B", "--sample-interval", "-5"])
+
+    def test_trace_stdout(self, capsys):
+        import json
+        from repro.obs import validate_event
+        assert main(["trace", "657.xz-2302B", "--loads", "1500",
+                     "--limit", "20"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(lines) <= 20
+        for line in lines:
+            validate_event(json.loads(line))
+
+    def test_trace_output_file(self, tmp_path, capsys):
+        import json
+        from repro.obs import validate_event
+        out_file = tmp_path / "events.jsonl"
+        assert main(["trace", "657.xz-2302B", "--loads", "1500",
+                     "--secure", "--prefetcher", "berti",
+                     "--output", str(out_file)]) == 0
+        assert "event(s) retained" in capsys.readouterr().out
+        lines = out_file.read_text().splitlines()
+        assert lines
+        for line in lines:
+            validate_event(json.loads(line))
+
+    def test_trace_capacity_bounds_output(self, tmp_path):
+        out_file = tmp_path / "events.jsonl"
+        assert main(["trace", "657.xz-2302B", "--loads", "1500",
+                     "--capacity", "32",
+                     "--output", str(out_file)]) == 0
+        assert len(out_file.read_text().splitlines()) <= 32
+
+    def test_trace_zero_loads(self):
+        with pytest.raises(SystemExit, match="--loads must be a positive"):
+            main(["trace", "657.xz-2302B", "--loads", "0"])
+
+    def test_validate_cli(self, tmp_path, capsys):
+        from repro.obs.validate import main as validate_main
+        out_file = tmp_path / "ts.jsonl"
+        assert main(["run", "657.xz-2302B", "--loads", "1500",
+                     "--timeseries", str(out_file)]) == 0
+        capsys.readouterr()
+        assert validate_main([str(out_file), "--kind", "timeseries"]) == 0
+        out_file.write_text('{"not": "a record"}\n')
+        assert validate_main([str(out_file), "--kind",
+                              "timeseries"]) == 1
+
+
 class TestArgumentValidation:
     def test_multicore_zero_mixes(self):
         with pytest.raises(SystemExit, match="--mixes must be a positive"):
@@ -136,6 +215,7 @@ class TestSweep:
         assert main(argv) == 0
         first = capsys.readouterr().out
         assert "Fig. 1" in first and "simulated=" in first
+        assert "profile:" in first
 
         # Everything is in the store now: the rerun must hit for every
         # job, which --expect-cached turns into a hard check.
