@@ -20,6 +20,10 @@ Commands
     layer, with a persistent result store for resume support.
 ``tables``
     Print Tables I-III and the contribution storage budget.
+``bench``
+    Run the pinned performance-benchmark suites and emit a canonical
+    ``BENCH_<tag>.json``; ``--compare baseline.json`` flags throughput
+    regressions (the CI bench-smoke job runs this).
 ``attack``
     Mount the prefetcher covert channel under a chosen defence.
 
@@ -31,6 +35,8 @@ Examples
     python -m repro compare 619.lbm-2676B --loads 10000
     python -m repro figure fig11 --scale tiny
     python -m repro sweep --scale small --jobs 4 --store .repro-store
+    python -m repro bench --suite macro --tag pr4
+    python -m repro bench --suite micro --compare BENCH_pr4.json
     python -m repro attack --secure --mode on-commit
 """
 
@@ -334,6 +340,44 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the pinned perf suites; emit/compare canonical BENCH json."""
+    from .perf import (bench_document, compare_docs, format_results,
+                      load_bench, run_suite, write_bench)
+    _require_positive(args.repeat, "--repeat")
+    if not 0 <= args.threshold < 1:
+        raise SystemExit(f"--threshold must be in [0, 1), "
+                         f"got {args.threshold}")
+    if args.input is not None and args.compare is None:
+        raise SystemExit("--input requires --compare (nothing to do)")
+    if args.input is not None:
+        doc = load_bench(args.input)
+        print(f"loaded {args.input} (tag {doc['tag']!r}, "
+              f"suite {doc['suite']!r})")
+    else:
+        progress = None if args.quiet \
+            else (lambda line: print(line, file=sys.stderr))
+        results = run_suite(args.suite, repeat=args.repeat,
+                            progress=progress)
+        print(format_results(results))
+        doc = bench_document(results, tag=args.tag, suite=args.suite,
+                             repeat=args.repeat)
+        output = args.output if args.output else f"BENCH_{args.tag}.json"
+        write_bench(doc, output)
+        print(f"wrote {output}")
+    if args.compare is None:
+        return 0
+    baseline = load_bench(args.compare)
+    try:
+        report = compare_docs(baseline, doc, threshold=args.threshold)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print()
+    print(f"vs {args.compare} (tag {baseline['tag']!r}):")
+    print(report.format_table())
+    return 0 if report.ok else 1
+
+
 def cmd_attack(args) -> int:
     from .security.attacks import run_prefetch_covert_channel
     secret = [1, 0, 1, 1, 0, 0, 1, 0]
@@ -436,6 +480,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="print Tables I-III")
 
+    bench_p = sub.add_parser(
+        "bench", help="run the pinned perf suites; emit BENCH_<tag>.json")
+    bench_p.add_argument("--suite", choices=["micro", "macro", "all"],
+                         default="micro",
+                         help="which pinned suite to run (default: micro)")
+    bench_p.add_argument("--repeat", type=int, default=3,
+                         help="repeats per case; the best is kept "
+                              "(default: 3)")
+    bench_p.add_argument("--tag", default="local",
+                         help="tag naming the default output "
+                              "BENCH_<tag>.json (default: local)")
+    bench_p.add_argument("--output", metavar="FILE", default=None,
+                         help="output path (default: BENCH_<tag>.json)")
+    bench_p.add_argument("--input", metavar="FILE", default=None,
+                         help="compare an existing bench file instead of "
+                              "running (requires --compare)")
+    bench_p.add_argument("--compare", metavar="BASELINE", default=None,
+                         help="compare against this bench file; exit 1 "
+                              "on regression")
+    bench_p.add_argument("--threshold", type=float, default=0.2,
+                         help="regression threshold as a fraction "
+                              "(default: 0.2 = fail below 80%% of "
+                              "baseline)")
+    bench_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-case progress on stderr")
+
     atk_p = sub.add_parser("attack", help="mount the covert channel")
     add_config_flags(atk_p, default_pf="ip-stride")
 
@@ -462,6 +532,7 @@ COMMANDS = {
     "figure": cmd_figure,
     "sweep": cmd_sweep,
     "tables": cmd_tables,
+    "bench": cmd_bench,
     "attack": cmd_attack,
     "multicore": cmd_multicore,
     "report": cmd_report,

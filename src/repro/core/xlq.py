@@ -105,9 +105,7 @@ class XLQ:
             return None
         entry.valid = False
         age = (commit_cycle - entry.ts) & TS_MASK
-        return XLQEntry(access_cycle=commit_cycle - age,
-                        fetch_latency=entry.latency,
-                        prefetch_hit=entry.hitp)
+        return XLQEntry(commit_cycle - age, entry.latency, entry.hitp)
 
     def flush(self) -> None:
         """Domain switch: no transient timing may cross domains."""

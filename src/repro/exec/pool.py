@@ -28,6 +28,11 @@ from __future__ import annotations
 
 import time
 import traceback
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import Pipe, Process, connection
@@ -85,7 +90,12 @@ def execute_job(job: Job):
 
     Build and simulation wall-clock times travel back in the result's
     ``extras`` (``wall_build_s`` / ``wall_simulate_s``), so the parent's
-    profiler can account per-phase time even for pool workers.
+    profiler can account per-phase time even for pool workers.  Two perf
+    extras ride along for throughput tracking (docs/PERFORMANCE.md):
+    ``instr_per_s`` (committed instructions over simulate wall time) and
+    ``max_rss_kb`` (the executing process's peak RSS so far -- in a pool,
+    the *worker's* footprint, which is the one that matters for sizing
+    ``--jobs``).
     """
     from ..experiments.runner import ExperimentRunner
     t0 = time.perf_counter()
@@ -93,8 +103,14 @@ def execute_job(job: Job):
     system = runner.build_system(job.config)
     t1 = time.perf_counter()
     result = system.run(job.trace, warmup=job.scale.warmup)
+    wall_simulate = time.perf_counter() - t1
     result.extras["wall_build_s"] = t1 - t0
-    result.extras["wall_simulate_s"] = time.perf_counter() - t1
+    result.extras["wall_simulate_s"] = wall_simulate
+    if wall_simulate > 0.0:
+        result.extras["instr_per_s"] = result.committed / wall_simulate
+    if resource is not None:
+        result.extras["max_rss_kb"] = float(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
     return result
 
 

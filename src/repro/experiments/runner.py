@@ -199,6 +199,9 @@ class ExperimentRunner:
         self.profiler = PhaseProfiler()
         #: Permanently failed cells (populated in failsoft mode).
         self.failures: List[JobFailure] = []
+        #: Per-job simulation throughputs (instr/s) reported by workers;
+        #: :meth:`throughput` folds them into one harmonic mean.
+        self.job_throughputs: List[float] = []
         self._executor = JobExecutor(
             jobs=self.jobs, timeout_s=timeout_s, max_retries=max_retries,
             backoff_s=backoff_s, store=self.store,
@@ -300,6 +303,9 @@ class ExperimentRunner:
                     seconds = extras.get(f"wall_{phase}_s")
                     if seconds is not None:
                         self.profiler.add(phase, seconds)
+                instr_per_s = extras.get("instr_per_s")
+                if instr_per_s:
+                    self.job_throughputs.append(instr_per_s)
             return outcome.result
         failure = JobFailure(outcome.job.config.label(),
                              outcome.job.trace.name, outcome.error)
@@ -310,6 +316,18 @@ class ExperimentRunner:
                 f"after {outcome.attempts} attempt(s): {outcome.error}")
         return failed_result(outcome.job.config, outcome.job.trace.name,
                              outcome.error)
+
+    def throughput(self) -> float:
+        """Harmonic-mean simulation throughput (instr/s) over fresh jobs.
+
+        The harmonic mean weights every job by its wall time, so one slow
+        secure-config cell is not drowned out by many fast baseline cells.
+        Returns 0.0 when nothing ran fresh (e.g. a fully store-hit sweep).
+        """
+        rates = self.job_throughputs
+        if not rates:
+            return 0.0
+        return len(rates) / sum(1.0 / r for r in rates)
 
     def run(self, config: Config, trace: Trace) -> SimResult:
         """Run (or recall) one configuration on one trace."""

@@ -1,12 +1,16 @@
 """Validate exported observability files against their schemas.
 
-Usage (CI runs this against ``repro trace`` / ``--timeseries`` output)::
+Usage (CI runs this against ``repro trace`` / ``--timeseries`` /
+``repro bench`` output)::
 
     python -m repro.obs.validate events.jsonl --kind events
     python -m repro.obs.validate ts.jsonl --kind timeseries
+    python -m repro.obs.validate BENCH_pr4.json --kind bench
 
-Exit status 0 when every line parses and matches the schema; 1 otherwise,
-with the first offending line reported.
+``events`` and ``timeseries`` files are JSONL (one record per line);
+``bench`` files are a single JSON document.  Exit status 0 when
+everything parses and matches the schema; 1 otherwise, with the first
+offending line reported.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import json
 import sys
 from typing import List, Optional
 
+from ..perf.schema import validate_bench_record
 from .events import validate_event
 from .sampler import validate_timeseries_record
 
@@ -24,15 +29,31 @@ __all__ = ["main", "validate_file"]
 _VALIDATORS = {
     "events": validate_event,
     "timeseries": validate_timeseries_record,
+    "bench": validate_bench_record,
 }
+
+#: Kinds whose file is one JSON document rather than JSONL.
+_DOCUMENT_KINDS = ("bench",)
 
 
 def validate_file(path: str, kind: str) -> int:
-    """Validate one JSONL file; returns the number of valid records.
+    """Validate one exported file; returns the number of valid records.
 
-    Raises ``ValueError`` naming the first bad line.
+    JSONL kinds count lines; document kinds (``bench``) count benchmark
+    result entries.  Raises ``ValueError`` naming the first bad line.
     """
     validator = _VALIDATORS[kind]
+    if kind in _DOCUMENT_KINDS:
+        with open(path) as fh:
+            try:
+                doc = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not JSON ({exc})") from None
+        try:
+            validator(doc)
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from None
+        return len(doc["results"])
     count = 0
     with open(path) as fh:
         for lineno, line in enumerate(fh, start=1):

@@ -1,0 +1,34 @@
+"""Performance tracking: benchmark harness, canonical results, comparison.
+
+Three cooperating pieces:
+
+* :mod:`repro.perf.suites` -- the *pinned* micro/macro benchmark cases
+  (fixed workloads, loads, configurations) so numbers are comparable
+  file to file;
+* :mod:`repro.perf.harness` -- runs a suite best-of-N and emits one
+  canonical ``BENCH_<tag>.json`` (throughput, wall split, peak RSS)
+  validated against the closed :mod:`repro.perf.schema`;
+* :mod:`repro.perf.compare` -- diffs two bench documents and flags
+  regressions for ``repro bench --compare`` and the CI bench-smoke job.
+
+Entry point: ``python -m repro bench`` (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+from .compare import (CaseDelta, CompareReport, compare_docs,
+                      DEFAULT_THRESHOLD)
+from .harness import (BenchResult, bench_document, format_results,
+                      load_bench, peak_rss_kb, run_case, run_suite,
+                      write_bench)
+from .schema import (BENCH_GROUPS, BENCH_SCHEMA, BENCH_UNITS,
+                     validate_bench_record)
+from .suites import SUITES, BenchCase
+
+__all__ = [
+    "BENCH_GROUPS", "BENCH_SCHEMA", "BENCH_UNITS", "BenchCase",
+    "BenchResult", "CaseDelta", "CompareReport", "DEFAULT_THRESHOLD",
+    "SUITES", "bench_document", "compare_docs", "format_results",
+    "load_bench", "peak_rss_kb", "run_case", "run_suite",
+    "validate_bench_record", "write_bench",
+]

@@ -1,0 +1,103 @@
+"""Compare two bench documents; flag regressions for CI.
+
+The regression rule is deliberately simple: a case regresses when its
+throughput falls below ``baseline * (1 - threshold)``.  Cases are matched
+by name; cases present on only one side are reported but never fail the
+comparison (suites are allowed to grow).  ``totals`` entries present in
+both documents are compared under the same rule, so the headline
+``macro_instr_per_s`` is protected even if individual cases are renamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["CaseDelta", "CompareReport", "compare_docs",
+           "DEFAULT_THRESHOLD"]
+
+#: CI default: fail on >20% regression vs the committed baseline.
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """One matched case (or total) across the two documents."""
+
+    name: str
+    baseline: float
+    current: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else 0.0
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one baseline-vs-current comparison."""
+
+    threshold: float
+    deltas: List[CaseDelta] = field(default_factory=list)
+    only_baseline: List[str] = field(default_factory=list)
+    only_current: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_table(self) -> str:
+        lines = [f"{'case':30s}{'baseline':>14s}{'current':>14s}"
+                 f"{'ratio':>8s}  verdict"]
+        for d in self.deltas:
+            verdict = "REGRESSED" if d.regressed else "ok"
+            lines.append(f"{d.name:30s}{d.baseline:>14,.0f}"
+                         f"{d.current:>14,.0f}{d.ratio:>8.3f}  {verdict}")
+        for name in self.only_baseline:
+            lines.append(f"{name:30s}  [baseline only -- not compared]")
+        for name in self.only_current:
+            lines.append(f"{name:30s}  [new case -- no baseline]")
+        state = "ok" if self.ok else \
+            f"{len(self.regressions)} regression(s)"
+        lines.append(f"threshold {self.threshold:.0%}: {state}")
+        return "\n".join(lines)
+
+
+def _values(doc: dict) -> dict:
+    values = {entry["name"]: float(entry["value"])
+              for entry in doc["results"]}
+    for key, value in doc.get("totals", {}).items():
+        values[f"totals.{key}"] = float(value)
+    return values
+
+
+def compare_docs(baseline: dict, current: dict,
+                 threshold: float = DEFAULT_THRESHOLD) -> CompareReport:
+    """Compare two validated bench documents.
+
+    Raises ``ValueError`` when the documents share no case at all --
+    comparing disjoint suites is a configuration error, not a pass.
+    """
+    if not 0 <= threshold < 1:
+        raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+    base, cur = _values(baseline), _values(current)
+    shared = [name for name in base if name in cur]
+    if not shared:
+        raise ValueError(
+            f"no shared cases between baseline (suite "
+            f"{baseline.get('suite')!r}) and current (suite "
+            f"{current.get('suite')!r})")
+    report = CompareReport(threshold=threshold)
+    floor = 1.0 - threshold
+    for name in shared:
+        report.deltas.append(CaseDelta(
+            name, base[name], cur[name],
+            regressed=cur[name] < base[name] * floor))
+    report.only_baseline = sorted(set(base) - set(cur))
+    report.only_current = sorted(set(cur) - set(base))
+    return report

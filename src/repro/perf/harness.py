@@ -1,0 +1,162 @@
+"""Benchmark harness: run pinned suites, emit canonical ``BENCH_*.json``.
+
+Methodology (documented in docs/PERFORMANCE.md):
+
+* each case is **prepared** outside the timed region (trace building is
+  setup for simulation cases, and its own case for ``trace_build``);
+* each case runs ``repeat`` times and reports the **best** repeat --
+  best-of-N is the standard way to suppress scheduler noise when the
+  quantity of interest is the code's speed, not the machine's mood;
+* throughput is ``items / wall`` where items is committed instructions
+  (simulations), trace records (trace build), or jobs (sweeps);
+* peak RSS is the process high-water mark (``ru_maxrss``) sampled after
+  the case -- a monotone ceiling, useful for spotting memory blowups.
+
+The emitted document validates against :mod:`repro.perf.schema` (CI runs
+``python -m repro.obs.validate FILE --kind bench``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .schema import validate_bench_record, BENCH_SCHEMA
+from .suites import SUITES, BenchCase
+
+__all__ = ["BenchResult", "run_case", "run_suite", "bench_document",
+           "write_bench", "load_bench", "format_results", "peak_rss_kb"]
+
+
+def peak_rss_kb() -> int:
+    """Process high-water RSS in KB (0 where ``resource`` is missing)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB; macOS reports bytes.
+    return rss // 1024 if sys.platform == "darwin" else rss
+
+
+@dataclass
+class BenchResult:
+    """Best-of-N measurement for one case."""
+
+    name: str
+    group: str
+    unit: str
+    value: float          # items / wall_s of the best repeat
+    wall_s: float
+    items: int
+    peak_rss_kb: int
+    phases: Optional[Dict[str, float]] = None
+
+    def as_record(self) -> dict:
+        record = {
+            "name": self.name, "group": self.group, "unit": self.unit,
+            "value": round(self.value, 3), "wall_s": round(self.wall_s, 6),
+            "items": self.items, "peak_rss_kb": self.peak_rss_kb,
+        }
+        if self.phases:
+            record["phases"] = {k: round(v, 6)
+                                for k, v in sorted(self.phases.items())}
+        return record
+
+
+def run_case(case: BenchCase, repeat: int = 3) -> BenchResult:
+    """Run one case ``repeat`` times; keep the fastest repeat."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best: Optional[BenchResult] = None
+    for _ in range(repeat):
+        thunk = case.prepare()
+        t0 = time.perf_counter()
+        items, phases = thunk()
+        wall = time.perf_counter() - t0
+        wall = max(wall, 1e-9)
+        result = BenchResult(case.name, case.group, case.unit,
+                             items / wall, wall, items, peak_rss_kb(),
+                             phases)
+        if best is None or result.value > best.value:
+            best = result
+    return best
+
+
+def run_suite(suite: str = "micro", repeat: int = 3,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> List[BenchResult]:
+    """Run every case of ``suite`` (micro / macro / all)."""
+    try:
+        cases = SUITES[suite]
+    except KeyError:
+        raise ValueError(f"unknown suite {suite!r}; "
+                         f"known: {sorted(SUITES)}") from None
+    results = []
+    for case in cases:
+        if progress is not None:
+            progress(f"bench: {case.name} (x{repeat}) ...")
+        results.append(run_case(case, repeat))
+    return results
+
+
+def bench_document(results: List[BenchResult], *, tag: str,
+                   suite: str, repeat: int) -> dict:
+    """Assemble (and validate) the canonical bench document."""
+    totals: Dict[str, float] = {}
+    for group in ("micro", "macro"):
+        members = [r for r in results
+                   if r.group == group and r.unit == "instr/s"]
+        wall = sum(r.wall_s for r in members)
+        if members and wall > 0:
+            totals[f"{group}_instr_per_s"] = round(
+                sum(r.items for r in members) / wall, 3)
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "tag": tag,
+        "suite": suite,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeat": repeat,
+        "results": [r.as_record() for r in results],
+        "totals": totals,
+    }
+    validate_bench_record(doc)
+    return doc
+
+
+def write_bench(doc: dict, path: str) -> None:
+    """Canonical rendering: sorted keys, 2-space indent, one trailing NL."""
+    validate_bench_record(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> dict:
+    """Read and validate one bench document."""
+    with open(path) as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not JSON ({exc})") from None
+    try:
+        validate_bench_record(doc)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+    return doc
+
+
+def format_results(results: List[BenchResult]) -> str:
+    """Human-readable table for CLI output."""
+    lines = [f"{'case':30s}{'group':>7s}{'value':>14s}{'unit':>11s}"
+             f"{'wall':>9s}{'rss':>10s}"]
+    for r in results:
+        lines.append(f"{r.name:30s}{r.group:>7s}{r.value:>14,.0f}"
+                     f"{r.unit:>11s}{r.wall_s:>8.2f}s"
+                     f"{r.peak_rss_kb:>9d}K")
+    return "\n".join(lines)

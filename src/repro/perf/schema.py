@@ -1,0 +1,105 @@
+"""The ``BENCH_<tag>.json`` document schema.
+
+One benchmark run emits one JSON *document* (not JSONL): a header
+identifying the run plus one entry per benchmark case.  The schema is
+closed -- ``python -m repro.obs.validate FILE --kind bench`` rejects
+unknown keys -- so CI can trust that any committed ``BENCH_*.json`` is
+readable by :mod:`repro.perf.compare` forever.
+
+This module is import-light on purpose (stdlib only, no ``repro``
+imports) so the validator can load it without dragging in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["BENCH_SCHEMA", "BENCH_GROUPS", "BENCH_UNITS",
+           "RESULT_FIELDS", "validate_bench_record"]
+
+#: Schema identifier embedded in every document.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Benchmark groups (micro = seconds-scale smoke cases; macro = the
+#: headline throughput cases PERFORMANCE.md quotes).
+BENCH_GROUPS = ("micro", "macro")
+
+#: Allowed throughput units.  Every ``value`` is a rate: higher is better.
+BENCH_UNITS = ("instr/s", "records/s", "jobs/s")
+
+#: Per-case entry schema: field -> (type, required).
+RESULT_FIELDS: Dict[str, tuple] = {
+    "name": (str, True),          # unique case name within the document
+    "group": (str, True),         # one of BENCH_GROUPS
+    "unit": (str, True),          # one of BENCH_UNITS
+    "value": ((int, float), True),    # throughput, higher is better
+    "wall_s": ((int, float), True),   # wall seconds of the best repeat
+    "items": (int, True),         # work items per repeat (instrs/records/jobs)
+    "peak_rss_kb": (int, True),   # process high-water RSS after the case
+    "phases": (dict, False),      # optional {phase: seconds} wall split
+}
+
+_HEADER_FIELDS: Dict[str, tuple] = {
+    "schema": (str, True),
+    "tag": (str, True),
+    "suite": (str, True),
+    "python": (str, True),
+    "platform": (str, True),
+    "repeat": (int, True),
+    "results": (list, True),
+    "totals": (dict, False),
+}
+
+
+def _check_fields(record: dict, spec: Dict[str, tuple], where: str) -> None:
+    for key, (types, required) in spec.items():
+        if key not in record:
+            if required:
+                raise ValueError(f"{where}: missing required key {key!r}")
+            continue
+        value = record[key]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise ValueError(f"{where}: {key} must be "
+                             f"{types}, got {value!r}")
+    extra = sorted(set(record) - set(spec))
+    if extra:
+        raise ValueError(f"{where}: unknown keys {extra}")
+
+
+def validate_bench_record(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid bench document."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"bench document must be an object, "
+                         f"got {type(doc).__name__}")
+    _check_fields(doc, _HEADER_FIELDS, "bench header")
+    if doc["schema"] != BENCH_SCHEMA:
+        raise ValueError(f"unknown bench schema {doc['schema']!r} "
+                         f"(expected {BENCH_SCHEMA!r})")
+    if not doc["results"]:
+        raise ValueError("bench document has no results")
+    seen = set()
+    for i, entry in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where}: must be an object")
+        _check_fields(entry, RESULT_FIELDS, where)
+        if entry["group"] not in BENCH_GROUPS:
+            raise ValueError(f"{where}: unknown group {entry['group']!r}")
+        if entry["unit"] not in BENCH_UNITS:
+            raise ValueError(f"{where}: unknown unit {entry['unit']!r}")
+        if entry["value"] <= 0 or entry["wall_s"] < 0:
+            raise ValueError(f"{where}: non-positive measurement")
+        if entry["name"] in seen:
+            raise ValueError(f"{where}: duplicate case {entry['name']!r}")
+        seen.add(entry["name"])
+        phases = entry.get("phases", {})
+        for phase, seconds in phases.items():
+            if not isinstance(phase, str) or isinstance(seconds, bool) \
+                    or not isinstance(seconds, (int, float)) or seconds < 0:
+                raise ValueError(f"{where}: bad phase entry "
+                                 f"{phase!r}: {seconds!r}")
+    totals = doc.get("totals", {})
+    for key, value in totals.items():
+        if not isinstance(key, str) or isinstance(value, bool) \
+                or not isinstance(value, (int, float)):
+            raise ValueError(f"totals: bad entry {key!r}: {value!r}")

@@ -31,54 +31,78 @@ Configuration per Table III: 128-entry history table (16 IPs x 8 accesses),
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from operator import itemgetter
 from typing import Dict, List, Tuple
 
 from .base import (FILL_L1D, FILL_L2, PrefetchRequest, Prefetcher,
                    TrainingEvent)
 
+#: C-level value extractor for the weakest-delta scan in ``observe``.
+_BY_COUNT = itemgetter(1)
+
 
 class _DeltaTable:
-    """Per-IP delta coverage counters."""
+    """Per-IP delta coverage counters.
 
-    __slots__ = ("counters", "observations")
+    ``best_deltas`` is pure in (counters, observations, thresholds), and
+    both inputs change only inside :meth:`observe` -- so its result is
+    cached and invalidated there.  Most training events read the table
+    without observing (plain issue path), making this the difference
+    between one sort per *table update* and one sort per *load*.
+    """
+
+    __slots__ = ("counters", "observations", "_best", "_best_key")
 
     def __init__(self) -> None:
         self.counters: Dict[int, int] = {}
         self.observations = 0
+        self._best: List[Tuple[int, int]] = None
+        self._best_key: Tuple[float, float] = None
 
     def observe(self, timely_deltas: List[int], max_deltas: int) -> None:
+        self._best = None
         self.observations += 1
+        counters = self.counters
         for delta in timely_deltas:
-            if delta in self.counters:
-                self.counters[delta] += 1
-            elif len(self.counters) < max_deltas:
-                self.counters[delta] = 1
+            if delta in counters:
+                counters[delta] += 1
+            elif len(counters) < max_deltas:
+                counters[delta] = 1
             else:
-                # Replace the weakest delta, decay-style.
-                weakest = min(self.counters, key=self.counters.get)
-                if self.counters[weakest] <= 1:
-                    del self.counters[weakest]
-                    self.counters[delta] = 1
+                # Replace the weakest delta, decay-style.  min over items
+                # keeps the same first-minimum tie-break as min over keys
+                # with a value key function, without a get() per element.
+                weakest, weakest_count = min(counters.items(), key=_BY_COUNT)
+                if weakest_count <= 1:
+                    del counters[weakest]
+                    counters[delta] = 1
                 else:
-                    self.counters[weakest] -= 1
+                    counters[weakest] = weakest_count - 1
         if self.observations >= 16:
             self.observations >>= 1
-            self.counters = {d: c >> 1 for d, c in self.counters.items()
+            self.counters = {d: c >> 1 for d, c in counters.items()
                              if c >> 1 > 0}
 
     def best_deltas(self, l1_threshold: float,
                     l2_threshold: float) -> List[Tuple[int, int]]:
-        """Return ``[(delta, fill_level)]`` above the coverage thresholds."""
-        if not self.observations:
-            return []
+        """Return ``[(delta, fill_level)]`` above the coverage thresholds.
+
+        Callers must treat the returned list as read-only (it is cached).
+        """
+        key = (l1_threshold, l2_threshold)
+        if self._best is not None and self._best_key == key:
+            return self._best
         result = []
-        for delta, count in self.counters.items():
-            coverage = count / self.observations
-            if coverage >= l1_threshold:
-                result.append((delta, FILL_L1D))
-            elif coverage >= l2_threshold:
-                result.append((delta, FILL_L2))
-        result.sort(key=lambda item: -self.counters[item[0]])
+        if self.observations:
+            for delta, count in self.counters.items():
+                coverage = count / self.observations
+                if coverage >= l1_threshold:
+                    result.append((delta, FILL_L1D))
+                elif coverage >= l2_threshold:
+                    result.append((delta, FILL_L2))
+            result.sort(key=lambda item: -self.counters[item[0]])
+        self._best = result
+        self._best_key = key
         return result
 
 
@@ -108,19 +132,29 @@ class BertiPrefetcher(Prefetcher):
         self._history: "OrderedDict[int, Deque[Tuple[int, int]]]" = \
             OrderedDict()
         self._deltas: "OrderedDict[int, _DeltaTable]" = OrderedDict()
+        #: The coverage thresholds never change at run time; the shared
+        #: key tuple makes the per-event delta-cache check one comparison.
+        self._cov_key = (self.L1_COVERAGE, self.L2_COVERAGE)
+        # Class constants bound as instance attributes: ``train`` runs per
+        # load, and instance-dict reads beat class-dict fallbacks there.
+        self._history_per_ip = self.HISTORY_PER_IP
+        self._max_ips = self.MAX_IPS
+        self._min_observations = self.MIN_OBSERVATIONS
 
     # ------------------------------------------------------------------
 
     def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
         ip = event.ip
-        history = self._history.get(ip)
+        block = event.block
+        history_table = self._history
+        history = history_table.get(ip)
         if history is None:
-            history = deque(maxlen=self.HISTORY_PER_IP)
-            self._history[ip] = history
-            if len(self._history) > self.MAX_IPS:
-                self._history.popitem(last=False)
+            history = deque(maxlen=self._history_per_ip)
+            history_table[ip] = history
+            if len(history_table) > self._max_ips:
+                history_table.popitem(last=False)
         else:
-            self._history.move_to_end(ip)
+            history_table.move_to_end(ip)
 
         # Berti trains on misses and prefetched-line hits only (the
         # accesses a prefetch could have covered); plain hits take no
@@ -131,9 +165,9 @@ class BertiPrefetcher(Prefetcher):
             # needed the data.  ``access_cycle - fetch_latency`` is the
             # latest trigger time that still yields a timely prefetch.
             window_end = event.access_cycle - event.fetch_latency
-            timely = [event.block - old_block
+            timely = [block - old_block
                       for old_block, t_j in history
-                      if t_j <= window_end and old_block != event.block]
+                      if t_j <= window_end and old_block != block]
             if timely:
                 table = self._delta_table(ip)
                 table.observe(timely, self.MAX_DELTAS)
@@ -141,20 +175,27 @@ class BertiPrefetcher(Prefetcher):
             # Record the access in the history (timestamped with the
             # training stream's own clock: access order on-access, commit
             # order on-commit).
-            history.append((event.block, event.cycle))
+            history.append((block, event.cycle))
 
         # Issue prefetches for the best-covered deltas.
         table = self._deltas.get(ip)
-        if table is None or table.observations < self.MIN_OBSERVATIONS:
+        if table is None or table.observations < self._min_observations:
+            return []
+        # Inline of ``table.best_deltas``'s cache hit -- the common case:
+        # most events read the table without having observed new deltas.
+        deltas = table._best
+        if deltas is None or table._best_key != self._cov_key:
+            deltas = table.best_deltas(self.L1_COVERAGE, self.L2_COVERAGE)
+        if not deltas:
             return []
         requests = []
-        for delta, fill in table.best_deltas(self.L1_COVERAGE,
-                                             self.L2_COVERAGE):
-            target = event.block + delta
+        max_issue = self.MAX_ISSUE
+        for delta, fill in deltas:
+            target = block + delta
             if target >= 0:
                 requests.append(PrefetchRequest(target, fill))
-            if len(requests) >= self.MAX_ISSUE:
-                break
+                if len(requests) >= max_issue:
+                    break
         return requests
 
     def _delta_table(self, ip: int) -> _DeltaTable:

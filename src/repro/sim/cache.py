@@ -17,6 +17,21 @@ the cycle at which the request arrives and returns the cycle at which data is
 available.  The simulator guarantees requests are generated in (near)
 non-decreasing time order, so next-free bookkeeping for ports, MSHRs, and the
 PQ models contention faithfully.
+
+Where the secure pipeline touches this module: a speculative load under
+GhostMinion walks the hierarchy with ``update=False, fill=False`` (the
+*invisible* walk -- observe latency, change nothing), and its commit later
+arrives as ``commit_write`` / a ``REQ_COMMIT`` access, the redundant
+traffic Section III-A measures and the SUF (Section IV) filters.  The
+``LEVEL_*`` constants below are the SUF's 2-bit hit-level encoding; the
+latency each level returns also feeds TSB's X-LQ (Section V) so
+commit-time training sees access-time timing.
+
+Hot-path conventions (docs/PERFORMANCE.md): the recursive descent passes
+arguments positionally (keyword passing costs ~3x in CPython), request
+types are compared with ``is`` against the interned ``REQ_*`` constants,
+and :class:`Line` is slotted.  None of this changes behaviour -- the
+golden-stats tests pin bit-identical counters.
 """
 
 from __future__ import annotations
@@ -42,7 +57,7 @@ class Line:
     __slots__ = ("last_touch", "fill_time", "prefetched", "was_demand_hit",
                  "dirty", "gm_propagate", "wbb", "latency", "rrpv")
 
-    def __init__(self, last_touch: int, fill_time: int, *,
+    def __init__(self, last_touch: int, fill_time: int,
                  prefetched: bool = False, dirty: bool = False,
                  gm_propagate: bool = False, wbb: bool = False,
                  latency: int = 0) -> None:
@@ -100,17 +115,24 @@ class _PortBucket:
     def acquire(self, time: int) -> int:
         """Charge one access at or after ``time``; return its start cycle."""
         counts = self.counts
-        t = time
-        while counts.get(t, 0) >= self.ports:
-            t += 1
-        counts[t] = counts.get(t, 0) + 1
+        count = counts.get(time, 0)
+        if count >= self.ports:
+            # Slow path: walk forward to the first cycle with a free port.
+            ports = self.ports
+            get = counts.get
+            time += 1
+            count = get(time, 0)
+            while count >= ports:
+                time += 1
+                count = get(time, 0)
+        counts[time] = count + 1
         self._acquires += 1
         if self._acquires >= 8192 and len(counts) > 65536:
             self._acquires = 0
-            horizon = t - 100000
+            horizon = time - 100000
             for key in [k for k in counts if k < horizon]:
                 del counts[key]
-        return t
+        return time
 
 
 class _SlotPool:
@@ -129,20 +151,16 @@ class _SlotPool:
     def earliest(self) -> Tuple[int, int]:
         """Return ``(index, next_free_time)`` of the earliest-free slot."""
         times = self.times
-        best = 0
-        best_t = times[0]
-        for i in range(1, len(times)):
-            if times[i] < best_t:
-                best_t = times[i]
-                best = i
-        return best, best_t
+        free_at = min(times)                 # C-level; first minimum
+        return times.index(free_at), free_at
 
     def occupancy(self, time: int) -> int:
         """Number of slots busy at ``time``."""
-        return sum(1 for t in self.times if t > time)
+        # time < t  <=>  slot busy; map() keeps the count in C.
+        return sum(map(time.__lt__, self.times))
 
     def full(self, time: int) -> bool:
-        return all(t > time for t in self.times)
+        return min(self.times) > time
 
 
 class CacheLevel:
@@ -171,6 +189,17 @@ class CacheLevel:
         self._pq = _SlotPool(params.pq_entries)
         self._outstanding: Dict[int, _MSHREntry] = {}
         self._pending_mshr_slot = 0
+        # Hot-path hoists: immutable params read on every access, and the
+        # bound port-acquire method (skips one attribute lookup + frame
+        # per charge).  ``access`` is the hottest function in the whole
+        # simulator; see docs/PERFORMANCE.md.
+        self._latency = params.latency
+        self._ways = params.ways
+        self._port_acquire = self._ports.acquire
+        # Identity-stable aliases of the pools' next-free-time lists (the
+        # pools mutate them in place, never rebind).
+        self._mshr_times = self._mshrs.times
+        self._pq_times = self._pq.times
 
     # ------------------------------------------------------------------
     # basic array operations
@@ -207,7 +236,7 @@ class CacheLevel:
     # main access path
     # ------------------------------------------------------------------
 
-    def access(self, block: int, time: int, rtype: str, *,
+    def access(self, block: int, time: int, rtype: str,
                update: bool = True, fill: bool = True,
                count_useful: bool = True) -> Tuple[int, int]:
         """Service a request for ``block`` arriving at ``time``.
@@ -220,33 +249,41 @@ class CacheLevel:
         touch replacement state.  ``fill=False`` means a miss does not install
         the line at this level (the data bypasses to the GM); the miss still
         consumes an MSHR and port bandwidth, as GhostMinion's MSHRs do.
+        (The flags are positional-friendly: keyword passing costs real time
+        on the recursive descent, the hottest call chain in the simulator.)
         """
         stats = self.stats
         stats.accesses[rtype] += 1
         start = self._port_acquire(time)
-        demand = rtype in (REQ_LOAD, REQ_STORE)
+        # ``demand`` (is this a load/store?) is only consulted on the
+        # rarer paths, so it is derived lazily there; the REQ_* constants
+        # are module-level interned strings, making ``is`` tests exact.
 
-        line = self._set_of(block).get(block)
+        line = self.sets[block & self._set_mask].get(block)
         if line is not None:
-            ready = start + self.params.latency
+            ready = start + self._latency
             if line.fill_time <= ready:
                 # Plain hit.
                 stats.hits[rtype] += 1
                 if update:
                     line.last_touch = time
                     line.rrpv = 0
-                    if rtype == REQ_STORE:
+                    if rtype is REQ_STORE:
                         line.dirty = True
-                if demand and count_useful and line.prefetched \
-                        and not line.was_demand_hit:
+                if line.prefetched and count_useful \
+                        and not line.was_demand_hit \
+                        and (rtype is REQ_LOAD or rtype is REQ_STORE):
                     line.was_demand_hit = True
                     stats.prefetches_useful += 1
                     if self.events is not None:
                         self.events.emit("pf_use", time, block, self.name)
-                return max(ready, line.fill_time), self.level
+                # fill_time <= ready was just checked: ready is the max.
+                return ready, self.level
             # Line is being filled: merge with the in-flight fill.
             return self._merge(block, line.fill_time, line.prefetched,
-                               start, rtype, demand, count_useful, line)
+                               start, rtype,
+                               rtype is REQ_LOAD or rtype is REQ_STORE,
+                               count_useful, line)
 
         entry = self._outstanding.get(block)
         if entry is not None:
@@ -256,7 +293,8 @@ class CacheLevel:
                 del self._outstanding[block]
             else:
                 return self._merge(block, entry.fill_time,
-                                   entry.is_prefetch, start, rtype, demand,
+                                   entry.is_prefetch, start, rtype,
+                                   rtype is REQ_LOAD or rtype is REQ_STORE,
                                    count_useful, None)
 
         # True miss: allocate an MSHR and fetch from the next level.  The
@@ -264,21 +302,20 @@ class CacheLevel:
         # leaves no state anywhere in the non-speculative hierarchy.
         stats.misses[rtype] += 1
         alloc = self._mshr_acquire(start)
-        send = alloc + self.params.latency
+        send = alloc + self._latency
         completion, served = self.next.access(
-            block, send, rtype, update=update, fill=fill,
-            count_useful=count_useful)
-        self._mshr_fill(block, completion, rtype == REQ_PREFETCH, start)
+            block, send, rtype, update, fill, count_useful)
+        self._mshr_fill(block, completion, rtype is REQ_PREFETCH, start)
 
         if fill:
             self.insert(block, completion,
-                        prefetched=(rtype == REQ_PREFETCH),
-                        dirty=(rtype == REQ_STORE),
+                        rtype is REQ_PREFETCH,
+                        rtype is REQ_STORE,
                         latency=completion - time)
             # The line itself now carries the in-flight state.
             self._outstanding.pop(block, None)
 
-        if rtype == REQ_LOAD:
+        if rtype is REQ_LOAD:
             stats.load_miss_latency_sum += completion - time
             stats.load_miss_latency_count += 1
         return completion, served
@@ -293,7 +330,7 @@ class CacheLevel:
         """
         self.stats.accesses[rtype] += 1
         self._port_acquire(time)
-        line = self._set_of(block).get(block)
+        line = self.sets[block & self._set_mask].get(block)
         hit = line is not None and line.fill_time <= time
         if hit:
             self.stats.hits[rtype] += 1
@@ -319,8 +356,8 @@ class CacheLevel:
                     counted = True
                 if counted and self.events is not None:
                     self.events.emit("pf_use", start, block, self.name)
-        completion = max(fill_time, start + self.params.latency)
-        if rtype == REQ_LOAD:
+        completion = max(fill_time, start + self._latency)
+        if rtype is REQ_LOAD:
             stats.load_miss_latency_sum += completion - start
             stats.load_miss_latency_count += 1
         return completion, self.level
@@ -329,11 +366,11 @@ class CacheLevel:
     # fills, insertions, writebacks
     # ------------------------------------------------------------------
 
-    def insert(self, block: int, time: int, *, prefetched: bool = False,
+    def insert(self, block: int, time: int, prefetched: bool = False,
                dirty: bool = False, gm_propagate: bool = False,
                wbb: bool = False, latency: int = 0) -> None:
         """Install ``block`` at this level, evicting the LRU victim."""
-        set_ = self._set_of(block)
+        set_ = self.sets[block & self._set_mask]
         existing = set_.get(block)
         if existing is not None:
             existing.last_touch = time
@@ -341,11 +378,10 @@ class CacheLevel:
             existing.gm_propagate = existing.gm_propagate or gm_propagate
             existing.wbb = existing.wbb or wbb
             return
-        if len(set_) >= self.params.ways:
+        if len(set_) >= self._ways:
             self._evict(set_, time)
-        set_[block] = Line(time, time, prefetched=prefetched,
-                           dirty=dirty, gm_propagate=gm_propagate, wbb=wbb,
-                           latency=latency)
+        set_[block] = Line(time, time, prefetched, dirty, gm_propagate,
+                           wbb, latency)
         if prefetched:
             self.stats.prefetch_fills += 1
         if self.events is not None:
@@ -354,7 +390,21 @@ class CacheLevel:
 
     def _select_victim(self, set_: Dict[int, Line]) -> int:
         if self._policy == "lru":
-            return min(set_, key=lambda b: set_[b].last_touch)
+            # Explicit scan instead of min(key=lambda ...): no closure
+            # allocation per eviction.  Strict < keeps min()'s tie-break
+            # (first key in insertion order); last_touch is NOT monotone
+            # here -- a demand hit can move it backwards relative to a
+            # fill-time initialisation -- so an O(1) recency list would
+            # pick different victims.  The TLB, whose ticks are strictly
+            # monotone, gets the O(1) treatment instead (see tlb.py).
+            victim = -1
+            victim_touch = None
+            for block, line in set_.items():
+                touch = line.last_touch
+                if victim_touch is None or touch < victim_touch:
+                    victim_touch = touch
+                    victim = block
+            return victim
         if self._policy == "srrip":
             # Find a distant-re-reference line, aging the set as needed.
             while True:
@@ -382,17 +432,16 @@ class CacheLevel:
             self.stats.prefetches_useless += 1
         if victim.dirty or victim.gm_propagate:
             self.stats.writebacks_out += 1
-            self.next.receive_writeback(
-                victim_block, time, dirty=victim.dirty,
-                gm_propagate=victim.wbb)
+            self.next.receive_writeback(victim_block, time, victim.dirty,
+                                        victim.wbb)
 
-    def receive_writeback(self, block: int, time: int, *, dirty: bool,
+    def receive_writeback(self, block: int, time: int, dirty: bool = False,
                           gm_propagate: bool = False,
                           wbb: bool = False) -> None:
         """Accept an eviction from the level above (no read recursion)."""
         self.stats.accesses[REQ_WRITEBACK] += 1
         self._port_acquire(time)
-        line = self._set_of(block).get(block)
+        line = self.sets[block & self._set_mask].get(block)
         if line is not None:
             self.stats.hits[REQ_WRITEBACK] += 1
             line.dirty = line.dirty or dirty
@@ -401,25 +450,24 @@ class CacheLevel:
             line.wbb = line.wbb or wbb
             return
         self.stats.misses[REQ_WRITEBACK] += 1
-        self.insert(block, time, dirty=dirty, gm_propagate=gm_propagate,
-                    wbb=wbb)
+        self.insert(block, time, False, dirty, gm_propagate, wbb)
 
-    def commit_write(self, block: int, time: int, *, gm_propagate: bool,
-                     wbb: bool) -> None:
+    def commit_write(self, block: int, time: int, gm_propagate: bool = True,
+                     wbb: bool = True) -> None:
         """Accept a GhostMinion on-commit write (GM -> this level).
 
         Counted as a *commit request* in the traffic breakdown (Fig. 3).
         """
         self.stats.accesses[REQ_COMMIT] += 1
         self._port_acquire(time)
-        line = self._set_of(block).get(block)
+        line = self.sets[block & self._set_mask].get(block)
         if line is not None:
             self.stats.hits[REQ_COMMIT] += 1
             line.last_touch = time
             line.gm_propagate = line.gm_propagate or gm_propagate
             line.wbb = line.wbb or wbb
             return
-        self.insert(block, time, gm_propagate=gm_propagate, wbb=wbb)
+        self.insert(block, time, False, False, gm_propagate, wbb)
 
     # ------------------------------------------------------------------
     # prefetch queue
@@ -433,21 +481,26 @@ class CacheLevel:
         as issued), ``False`` when it was dropped (already present, in
         flight, or PQ full).
         """
-        if self.contains(block) or block in self._outstanding:
+        if block in self.sets[block & self._set_mask] \
+                or block in self._outstanding:
             return self._drop_prefetch(block, time)
-        slot, free_at = self._pq.earliest()
+        # Inline of _SlotPool.earliest/full; the slot index is resolved
+        # only once the request is known to issue (drops skip it).
+        pq_times = self._pq_times
+        free_at = min(pq_times)
         if free_at > time:
             return self._drop_prefetch(block, time)
         # Hardware drops prefetches rather than letting them queue for an
         # MSHR ahead of demand misses (the functional MSHR model would
         # otherwise let a prefetch reserve a future slot).
-        if self._mshrs.full(time):
+        if min(self._mshr_times) > time:
             return self._drop_prefetch(block, time)
+        slot = pq_times.index(free_at)
         self.stats.prefetches_issued += 1
         if self.events is not None:
             self.events.emit("pf_issue", time, block, self.name)
-        completion, _ = self.access(block, time, REQ_PREFETCH, fill=fill)
-        self._pq.times[slot] = completion
+        completion, _ = self.access(block, time, REQ_PREFETCH, True, fill)
+        pq_times[slot] = completion
         return True
 
     def _drop_prefetch(self, block: int, time: int) -> bool:
@@ -464,13 +517,16 @@ class CacheLevel:
         """MSHRs busy at ``time`` (prefetch orchestration reads this)."""
         return self._mshrs.occupancy(time)
 
-    def _port_acquire(self, time: int) -> int:
-        return self._ports.acquire(time)
-
     def _mshr_acquire(self, time: int) -> int:
+        # C-level scans instead of a Python loop: min()/list.index find
+        # the earliest-free slot (first-minimum, like the old earliest()),
+        # and sum(map(time.__lt__, ...)) counts busy slots -- the whole
+        # sample runs without interpreting a single loop body.
         stats = self.stats
-        slot, free_at = self._mshrs.earliest()
-        stats.mshr_occupancy_sum += self._mshrs.occupancy(time)
+        times = self._mshr_times
+        free_at = min(times)
+        slot = times.index(free_at)
+        stats.mshr_occupancy_sum += sum(map(time.__lt__, times))
         stats.mshr_occupancy_samples += 1
         if free_at > time:
             stats.mshr_full_events += 1
@@ -479,13 +535,13 @@ class CacheLevel:
         else:
             start = time
         # Reserve the slot; the true release time is set by ``_mshr_fill``.
-        self._mshrs.times[slot] = start + 1
+        times[slot] = start + 1
         self._pending_mshr_slot = slot
         return start
 
     def _mshr_fill(self, block: int, fill_time: int, is_prefetch: bool,
                    issue_time: int) -> None:
-        self._mshrs.times[self._pending_mshr_slot] = fill_time
+        self._mshr_times[self._pending_mshr_slot] = fill_time
         self._outstanding[block] = _MSHREntry(fill_time, is_prefetch,
                                               issue_time)
 
@@ -505,16 +561,17 @@ class MemoryBackend:
     def __init__(self, dram) -> None:
         self.dram = dram
 
-    def access(self, block: int, time: int, rtype: str, *,
+    def access(self, block: int, time: int, rtype: str,
                update: bool = True, fill: bool = True,
                count_useful: bool = True) -> Tuple[int, int]:
         del update, fill, count_useful
-        demand = rtype in (REQ_LOAD, REQ_STORE)
-        return self.dram.access(block, time, demand=demand), LEVEL_DRAM
+        return (self.dram.access(block, time,
+                                 rtype is REQ_LOAD or rtype is REQ_STORE),
+                LEVEL_DRAM)
 
-    def receive_writeback(self, block: int, time: int, *, dirty: bool,
+    def receive_writeback(self, block: int, time: int, dirty: bool = False,
                           gm_propagate: bool = False,
                           wbb: bool = False) -> None:
         del gm_propagate, wbb
         if dirty:
-            self.dram.access(block, time, demand=False)
+            self.dram.access(block, time, False)

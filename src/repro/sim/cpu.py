@@ -36,6 +36,12 @@ class CoreModel:
         self._lq: Deque[int] = deque()
         self._load_seq = 0
         self.final_retire = 0
+        # Hot-path hoists: dispatch/retire/lq_* run once per record, and
+        # a flat attribute is cheaper than the params chain.
+        self._rob_entries = params.rob_entries
+        self._issue_width = params.issue_width
+        self._retire_width_m1 = params.retire_width - 1
+        self._lq_entries = params.lq_entries
 
     @property
     def current_cycle(self) -> int:
@@ -61,14 +67,14 @@ class CoreModel:
 
     def dispatch(self, wrong_path: bool) -> int:
         """Dispatch the next instruction; return its dispatch cycle."""
-        if not wrong_path and len(self._rob) >= self.params.rob_entries:
+        if not wrong_path and len(self._rob) >= self._rob_entries:
             oldest = self._rob.popleft()
             if oldest > self._dispatch_cycle:
                 self._dispatch_cycle = oldest
                 self._dispatch_slot = 0
         cycle = self._dispatch_cycle
         self._dispatch_slot += 1
-        if self._dispatch_slot >= self.params.issue_width:
+        if self._dispatch_slot >= self._issue_width:
             self._dispatch_cycle += 1
             self._dispatch_slot = 0
         return cycle
@@ -89,7 +95,7 @@ class CoreModel:
         The caller must follow up with :meth:`lq_complete` once the load's
         completion time is known.
         """
-        if len(self._lq) >= self.params.lq_entries:
+        if len(self._lq) >= self._lq_entries:
             oldest = self._lq.popleft()
             if oldest > issue_time:
                 issue_time = oldest
@@ -99,7 +105,7 @@ class CoreModel:
         """Record the load's completion; returns its LQ slot id (X-LQ
         index)."""
         self._lq.append(completion)
-        slot = self._load_seq % self.params.lq_entries
+        slot = self._load_seq % self._lq_entries
         self._load_seq += 1
         return slot
 
@@ -109,11 +115,13 @@ class CoreModel:
 
     def retire(self, complete_time: int, dispatch_time: int) -> int:
         """Retire the next committed-path instruction in order."""
-        ready = max(complete_time, dispatch_time + 1)
+        ready = dispatch_time + 1
+        if complete_time > ready:
+            ready = complete_time
         if ready > self._retire_cycle:
             self._retire_cycle = ready
             self._retire_slot = 0
-        elif self._retire_slot + 1 < self.params.retire_width:
+        elif self._retire_slot < self._retire_width_m1:
             self._retire_slot += 1
         else:
             self._retire_cycle += 1

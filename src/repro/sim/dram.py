@@ -54,7 +54,7 @@ class DRAMChannel:
         raw for the interval sampler and CLI metric dumps."""
         return max(0, self._bus_free_low - max(self._bus_free, time))
 
-    def access(self, block: int, time: int, *, demand: bool = True) -> int:
+    def access(self, block: int, time: int, demand: bool = True) -> int:
         """Serve one 64-byte line request; return the delivery cycle.
 
         ``demand=False`` marks low-priority traffic (prefetches, commit-time

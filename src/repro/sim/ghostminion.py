@@ -14,6 +14,20 @@ instruction, which is the property GhostMinion's TimeGuarding enforces.  If
 every resident line is strictly older than the inserting instruction, the
 insertion is dropped: a younger instruction may not evict state an older
 instruction can still observe.
+
+Role in the on-access/on-commit pipeline: the GM is what makes
+speculation invisible at access time -- wrong-path loads fill only here
+and are squashed in place, so neither the caches nor an on-access
+prefetcher ever see them.  The price is paid at commit time, when every
+committed load's data must move GM->L1D (or be re-fetched if evicted),
+doubling L1D traffic (Section III-A).  That commit stream is exactly
+where the paper's mechanisms attach: the SUF (Section IV) consults the
+2-bit hit level recorded at access time to drop/truncate redundant
+commit updates (``stats.commit_drops_suf`` / ``suf_accuracy``), and TSB
+(Section V) trains at commit with X-LQ-preserved access-time timing --
+both orchestrated by :mod:`repro.sim.hierarchy` and
+:mod:`repro.sim.system`, which call :meth:`GhostMinionCache.lookup`,
+:meth:`fill`, :meth:`apply_pending`, and :meth:`take` here.
 """
 
 from __future__ import annotations
@@ -53,6 +67,7 @@ class GhostMinionCache:
         self.params = params
         self.stats = stats if stats is not None else GhostMinionStats()
         self._set_mask = params.sets - 1
+        self._ways = params.ways
         self.sets: List[Dict[int, GMLine]] = [
             dict() for _ in range(params.sets)]
         #: Fills whose data has not physically arrived yet.  Installing a
@@ -78,11 +93,11 @@ class GhostMinionCache:
                ) -> Optional[GMLine]:
         """Return the GM line for ``block`` if present or in flight (and
         filled by ``time``, when given)."""
-        line = self._set_of(block).get(block)
+        line = self.sets[block & self._set_mask].get(block)
         if line is None:
             line = self._pending.get(block)
-        if line is None:
-            return None
+            if line is None:
+                return None
         if time is not None and line.fill_time > time:
             return None
         return line
@@ -124,14 +139,25 @@ class GhostMinionCache:
         set_ = self._set_of(block)
         if block in set_:
             return
-        if len(set_) >= self.params.ways:
+        if len(set_) >= self._ways:
+            # Explicit scans (no genexp/lambda allocation per install),
+            # preserving insertion-order tie-breaks of the next()/max()
+            # forms they replaced.
             # Reclaim a squashed line first: nothing can observe it anymore.
-            victim_block = next(
-                (b for b, ln in set_.items()
-                 if ln.transient and ln.timestamp < line.timestamp), None)
+            timestamp = line.timestamp
+            victim_block = None
+            for b, ln in set_.items():
+                if ln.transient and ln.timestamp < timestamp:
+                    victim_block = b
+                    break
             if victim_block is None:
-                victim_block = max(set_, key=lambda b: set_[b].timestamp)
-                if set_[victim_block].timestamp < line.timestamp:
+                victim_ts = None
+                for b, ln in set_.items():
+                    ts = ln.timestamp
+                    if victim_ts is None or ts > victim_ts:
+                        victim_ts = ts
+                        victim_block = b
+                if victim_ts < timestamp:
                     # Everyone resident is older: a younger instruction must
                     # not evict state an older one may still observe
                     # (TimeGuarding).
@@ -145,7 +171,7 @@ class GhostMinionCache:
 
     def take(self, block: int) -> Optional[GMLine]:
         """Remove and return the line (commit moves the data to L1D)."""
-        line = self._set_of(block).pop(block, None)
+        line = self.sets[block & self._set_mask].pop(block, None)
         if line is None:
             line = self._pending.pop(block, None)
         return line

@@ -68,6 +68,28 @@ class MemoryHierarchy:
         self.gm_stats = GhostMinionStats()
         self.gm = GhostMinionCache(params.gm, self.gm_stats) if secure \
             else None
+        # Hot-path hoists (demand_load runs once per load): bound methods
+        # of the fixed collaborators and the constants behind a GM hit's
+        # latency and the prefetch-demotion threshold.
+        self._l1d_access = self.l1d.access
+        self._l1d_mshrs = params.l1d.mshrs
+        #: Identity-stable alias of the L1D MSHR next-free times (the pool
+        #: mutates the list in place); read by the prefetch-demotion check.
+        self._l1d_mshr_times = self.l1d._mshrs.times
+        self._dram_backlogged = self.dram.backlogged
+        self._gm_hit_latency = max(self.gm.latency, params.l1d.latency) \
+            if secure else 0
+        self._gm_latency = params.gm.latency if secure else 0
+        self._l1d_commit_write = self.l1d.commit_write
+        self._l1d_contains = self.l1d.contains
+        #: The commit filter's contract is a *pure* function of the 2-bit
+        #: hit level (repro.core.suf), so its four possible decisions are
+        #: memoized lazily instead of re-deriving one per committed load.
+        self._filter_memo = {}
+        #: Alias of the GM's pending-fill heap (identity is stable: the
+        #: GM clears it in place).  Callers peek it to skip apply_until
+        #: calls when no pending fill is due yet -- the common case.
+        self._gm_heap = self.gm._pending_heap if secure else None
         #: Optional :class:`repro.obs.events.EventTrace` for commit-path
         #: (GM/SUF) events; attached via :meth:`attach_events`.
         self.events = None
@@ -93,15 +115,17 @@ class MemoryHierarchy:
         """Execute one load's data access at its (speculative) access time."""
         count_useful = not wrong_path
         if not self.secure:
-            completion, served = self.l1d.access(
-                block, time, REQ_LOAD, count_useful=count_useful)
+            completion, served = self._l1d_access(
+                block, time, REQ_LOAD, True, True, count_useful)
             return LoadResult(completion, served, False, completion - time)
         return self._speculative_load(block, time, timestamp, count_useful)
 
     def _speculative_load(self, block: int, time: int, timestamp: int,
                           count_useful: bool) -> LoadResult:
         gm = self.gm
-        gm.apply_until(time)
+        heap = self._gm_heap
+        if heap and heap[0][0] <= time:
+            gm.apply_until(time)
         gm_line = gm.lookup(block)
         if gm_line is not None:
             # GM hit (possibly still in flight).  The L1D is probed in
@@ -111,15 +135,13 @@ class MemoryHierarchy:
             # than an L1D hit.
             self.gm_stats.gm_hits += 1
             self.l1d.probe(block, time, REQ_LOAD)
-            latency = max(gm.latency, self.params.l1d.latency)
-            completion = max(time + latency, gm_line.fill_time)
+            completion = max(time + self._gm_hit_latency, gm_line.fill_time)
             return LoadResult(completion, LEVEL_L1D, True, completion - time)
 
         # GM miss: walk the hierarchy invisibly; fill only the GM.
         self.gm_stats.gm_misses += 1
-        completion, served = self.l1d.access(
-            block, time, REQ_LOAD, update=False, fill=False,
-            count_useful=count_useful)
+        completion, served = self._l1d_access(
+            block, time, REQ_LOAD, False, False, count_useful)
         fetch_latency = completion - time
         if served != LEVEL_L1D:
             # L1D-provided data takes no GM entry: the L1D already holds the
@@ -128,7 +150,7 @@ class MemoryHierarchy:
             # invisible walk did not install anywhere -- parks in the GM
             # awaiting its on-commit write.
             gm.fill(block, completion, timestamp, fetch_latency,
-                    transient=not count_useful)
+                    not count_useful)
         return LoadResult(completion, served, False, fetch_latency)
 
     def demand_store(self, block: int, time: int) -> int:
@@ -156,14 +178,21 @@ class MemoryHierarchy:
         if not self.secure:
             return 0
         stats = self.gm_stats
-        self.gm.apply_until(time)
+        heap = self._gm_heap
+        if heap and heap[0][0] <= time:
+            self.gm.apply_until(time)
         gm_line = self.gm.take(block)
 
-        decision = self.commit_filter(hit_level) \
-            if self.commit_filter is not None else None
+        if self.commit_filter is not None:
+            decision = self._filter_memo.get(hit_level)
+            if decision is None:
+                decision = self._filter_memo[hit_level] = \
+                    self.commit_filter(hit_level)
+        else:
+            decision = None
         if decision is not None and decision.drop:
             stats.commit_drops_suf += 1
-            if self.l1d.contains(block):
+            if self._l1d_contains(block):
                 stats.suf_correct += 1
             else:
                 stats.suf_mispredict += 1
@@ -181,9 +210,8 @@ class MemoryHierarchy:
                 self._record_suf_stop(block, hit_level)
             else:
                 gm_propagate, wbb = True, True
-            self.l1d.commit_write(block, time, gm_propagate=gm_propagate,
-                                  wbb=wbb)
-            return self.params.gm.latency
+            self._l1d_commit_write(block, time, gm_propagate, wbb)
+            return self._gm_latency
 
         # The GM line was evicted before commit (or, for L1D-provided
         # data, never existed): re-fetch into the non-speculative
@@ -226,7 +254,7 @@ class MemoryHierarchy:
         prefetching throttles when the DRAM channel's low-priority queue is
         saturated (they would arrive uselessly late anyway).
         """
-        if self.dram.backlogged(time):
+        if self._dram_backlogged(time):
             if fill_level <= LEVEL_L1D:
                 self.l1d.stats.prefetches_dropped += 1
             elif fill_level == LEVEL_L2:
@@ -235,7 +263,9 @@ class MemoryHierarchy:
                 self.llc.stats.prefetches_dropped += 1
             return False
         if fill_level <= LEVEL_L1D:
-            if 2 * self.l1d.mshr_occupancy(time) >= self.params.l1d.mshrs:
+            # Inline of l1d.mshr_occupancy: count busy slots in C.
+            if 2 * sum(map(time.__lt__, self._l1d_mshr_times)) \
+                    >= self._l1d_mshrs:
                 fill_level = LEVEL_L2
             else:
                 return self.l1d.issue_prefetch(block, time)

@@ -36,7 +36,15 @@ class StatsStruct:
     int]`` tables (whose key sets are preserved across resets).  Anything
     else is a design error in the stats container and is rejected loudly
     rather than silently skipped.
+
+    Concrete containers are ``@dataclass(slots=True)``: the counters are
+    bumped on every access in the simulator's hottest loops, and slotted
+    attribute access is measurably faster (and cheaper per instance)
+    than ``__dict__``.  The empty ``__slots__`` here keeps the base from
+    re-introducing a dict.
     """
+
+    __slots__ = ()
 
     def reset(self) -> None:
         """Zero every counter (used at the end of warm-up)."""
@@ -78,7 +86,7 @@ def _request_table() -> Dict[str, int]:
     return {t: 0 for t in REQUEST_TYPES}
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats(StatsStruct):
     """Raw event counts for one cache level."""
 
@@ -145,7 +153,7 @@ class CacheStats(StatsStruct):
         return self.prefetches_useful / resolved
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats(StatsStruct):
     """Per-core execution statistics."""
 
@@ -162,7 +170,7 @@ class CoreStats(StatsStruct):
         return self.committed_instructions / self.cycles
 
 
-@dataclass
+@dataclass(slots=True)
 class GhostMinionStats(StatsStruct):
     """GhostMinion-specific event counts."""
 
@@ -186,7 +194,7 @@ class GhostMinionStats(StatsStruct):
         return self.suf_correct / decided
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats(StatsStruct):
     """DRAM channel statistics."""
 

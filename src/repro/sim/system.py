@@ -12,6 +12,39 @@ time; both streams are monotone, so draining the commit queue up to each new
 dispatch time yields a globally time-ordered event sequence -- cache, GM,
 MSHR, and DRAM contention are therefore seen in the right order by both the
 speculative and the commit paths.
+
+On-access vs on-commit.  Every load produces up to two events, and the
+training mode decides which one the prefetcher sees:
+
+* **access time** (dispatch): the load probes the hierarchy.  Non-secure
+  systems update the caches and -- in ``MODE_ON_ACCESS`` -- train the
+  prefetcher here, including on wrong-path loads (the transient-training
+  channel of Section III-B).  Secure systems instead do GhostMinion's
+  *invisible* walk: probe L1D without updating recency, fill only the GM.
+* **commit time** (retire): only committed-path loads get here.  The
+  secure hierarchy replays the load's effect onto L1D (commit write, or
+  re-fetch if the GM line was lost), and ``MODE_ON_COMMIT`` prefetchers
+  train on this stream only -- they never observe a transient load.
+
+The paper's two mechanisms hook into the commit path:
+
+* **SUF** (Section IV): at access time the serving level (GM/L1D/L2+) is
+  recorded in 2 bits in the LQ (:class:`~repro.core.suf.HitLevelQueue`);
+  at commit, :func:`~repro.core.suf.suf_decide` uses it to drop or
+  truncate the redundant commit-time hierarchy update before it spends
+  L1D ports/MSHRs.
+* **TSB** (Section V): at access time the true issue cycle and fetch
+  latency are stored in the X-LQ (:class:`~repro.core.xlq.XLQ`); at
+  commit the :class:`TrainingEvent` is reconstructed with those values,
+  so Berti's delta timing reflects *access-time* reality even though
+  training happens at commit.
+
+Performance note: :meth:`System._stepper` and :meth:`System._drain_commits`
+inline the hierarchy's per-load fast paths (speculative load, commit
+decision, X-LQ read, dTLB hit) with all per-record state in locals; the
+corresponding methods on :class:`~repro.sim.hierarchy.Hierarchy` et al.
+remain the readable reference implementations.  docs/PERFORMANCE.md has
+the inventory; tests/sim/test_golden_stats.py pins bit-identical stats.
 """
 
 from __future__ import annotations
@@ -22,7 +55,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.classification import MissClassifier
 from ..core.suf import HitLevelQueue, suf_decide
-from ..core.xlq import XLQ
+from ..core.xlq import TS_MASK, XLQ
 from ..obs import EventTrace, IntervalSampler, MetricRegistry, ObsConfig
 from ..prefetchers.base import (MODE_ON_ACCESS, MODE_ON_COMMIT, Prefetcher,
                                 TrainingEvent)
@@ -33,8 +66,19 @@ from .cpu import CoreModel
 from .delay import DelayOnMissPolicy
 from .hierarchy import MemoryHierarchy
 from .params import SystemParams, baseline
-from .stats import (CacheStats, CoreStats, DRAMStats, GhostMinionStats)
+from .stats import (CacheStats, CoreStats, DRAMStats, GhostMinionStats,
+                    REQ_COMMIT, REQ_LOAD)
 from .tlb import TLBHierarchy, TLBStats
+
+#: Sentinel "sample threshold" used when interval sampling is disabled:
+#: committed-instruction counts never reach it, so the stepper's only
+#: per-record observability cost is one integer comparison.
+_NEVER = float("inf")
+
+#: Shared "no prefetcher" commit metadata -- the consumer (on-commit
+#: training feedback) only reads it when a prefetcher exists, so one
+#: constant tuple serves every load instead of a fresh allocation each.
+_NO_PF_META = (False, False, False, False, False, False)
 
 
 @dataclass
@@ -166,6 +210,15 @@ class System:
 
         #: Queued commit actions: (retire_time, is_load, payload).
         self._commit_q: Deque[Tuple] = deque()
+        #: Load commits have work to do only in secure mode (GhostMinion
+        #: on-commit write / re-fetch) or under on-commit training; in
+        #: every other configuration the per-load queue entry would be
+        #: dead weight, so it is never enqueued.  Store commits always
+        #: enqueue (the L1D write happens at retire time), and their
+        #: drain timing is unaffected: each entry is processed at the
+        #: first dispatch past its own retire time either way.
+        self._commit_loads = secure or (
+            prefetcher is not None and train_mode == MODE_ON_COMMIT)
         self._pending_redirect = 0
         self._seq = 0
         self._warmup_cycle = 0
@@ -204,6 +257,17 @@ class System:
 
         The multi-core driver interleaves several systems' steppers by
         time; :meth:`finalize` must be called after exhaustion.
+
+        The loop is deliberately *flat*: the per-record core model
+        (dispatch / LQ / retire -- :class:`~repro.sim.cpu.CoreModel` is
+        the readable reference implementation) and the per-load pipeline
+        are inlined here with their state held in local variables.  The
+        locals are written back to ``self.core`` at every yield, sample,
+        and warm-up reset, so external readers (the multi-core driver's
+        ``current_cycle`` ordering, the interval sampler's occupancy
+        probes, :meth:`finalize`) always observe coherent state.  When
+        sampling is off, ``sample_at`` is an unreachable sentinel, making
+        the per-record observability cost one integer compare.
         """
         warmup_target = int(trace.committed_count * warmup)
         warmed = warmup_target == 0
@@ -212,60 +276,389 @@ class System:
 
         core = self.core
         stats = self.core_stats
+        # Core counters, localized like the cursors below; written back
+        # with them at every sync point.
+        n_instr = stats.committed_instructions
+        n_loads = stats.committed_loads
+        n_stores = stats.committed_stores
+        n_wrong_loads = stats.wrong_path_loads
+        n_mispredicts = stats.branch_mispredicts
         sampler = self.sampler
-        issue_latency = self.params.core.load_issue_latency
-        alu_latency = self.params.core.alu_latency
-        penalty = self.params.core.mispredict_penalty
+        commit_q = self._commit_q
+        commit_append = commit_q.append
+        drain_commits = self._drain_commits
+        delay_policy = self.delay_policy
+        core_params = self.params.core
+        issue_latency = core_params.load_issue_latency
+        alu_latency = core_params.alu_latency
+        penalty = core_params.mispredict_penalty
+        sample_at = sampler.next_at if sampler is not None else _NEVER
+        seq = self._seq
+        pending_redirect = self._pending_redirect
+
+        # Core-model state, localized (see the docstring).  The deques
+        # are shared objects, so occupancy probes stay accurate; only the
+        # scalar cursors need explicit write-back.
+        rob = core._rob
+        lq = core._lq
+        rob_append = rob.append
+        rob_popleft = rob.popleft
+        lq_append = lq.append
+        lq_popleft = lq.popleft
+        rob_entries = core._rob_entries
+        issue_width = core._issue_width
+        retire_width_m1 = core._retire_width_m1
+        lq_entries = core._lq_entries
+        dispatch_cycle = core._dispatch_cycle
+        dispatch_slot = core._dispatch_slot
+        retire_cycle = core._retire_cycle
+        retire_slot = core._retire_slot
+        load_seq = core._load_seq
+        final_retire = core.final_retire
+
+        # Load-pipeline collaborators.
+        hierarchy = self.hierarchy
+        secure = hierarchy.secure
+        l1d_access = hierarchy._l1d_access
+        l1d = hierarchy.l1d
+        if secure:
+            gm = hierarchy.gm
+            gm_lookup = gm.lookup
+            gm_apply = gm.apply_until
+            gm_fill = gm.fill
+            gm_heap = hierarchy._gm_heap
+            gm_stats = hierarchy.gm_stats
+            gm_hit_latency = hierarchy._gm_hit_latency
+            l1d_probe = l1d.probe
+        tlb = self.tlb
+        tlb_enabled = tlb._enabled
+        tlb_stats = tlb.stats
+        dtlb_sets = tlb._dtlb_sets
+        dtlb_mask = tlb._dtlb_mask
+        tlb_miss = tlb._miss
+        prefetcher = self.prefetcher
+        # Prefetch-outcome bookkeeping (late/useful detection via stats
+        # deltas) only matters when something consumes it; without a
+        # prefetcher the whole pre/post read pair is skipped and ``meta``
+        # is a shared constant.
+        track = prefetcher is not None
+        if track:
+            l1_stats = l1d.stats
+            l2_stats = hierarchy.l2.stats
+            train_l1 = prefetcher.train_level == 0
+            train = prefetcher.train
+        classifier = self.classifier
+        on_access = self.train_mode == MODE_ON_ACCESS
+        ts_feedback = self._ts_feedback
+        hit_levels = self.hit_levels
+        xlq = self.xlq
+        commit_loads = self._commit_loads
+        issue_requests = self._issue
 
         for ip, vaddr, flags in trace.records:
-            self._seq += 1
+            seq += 1
             wrong = flags & FLAG_WRONG_PATH
-            if not wrong and self._pending_redirect:
-                core.redirect(self._pending_redirect)
-                self._pending_redirect = 0
-            t_disp = core.dispatch(bool(wrong))
-            if self._commit_q and self._commit_q[0][0] <= t_disp:
-                self._drain_commits(t_disp)
+            if pending_redirect and not wrong:
+                # CoreModel.redirect, inlined.
+                if pending_redirect > dispatch_cycle:
+                    dispatch_cycle = pending_redirect
+                    dispatch_slot = 0
+                pending_redirect = 0
+            # CoreModel.dispatch, inlined.
+            if not wrong and len(rob) >= rob_entries:
+                oldest = rob_popleft()
+                if oldest > dispatch_cycle:
+                    dispatch_cycle = oldest
+                    dispatch_slot = 0
+            t_disp = dispatch_cycle
+            dispatch_slot += 1
+            if dispatch_slot >= issue_width:
+                dispatch_cycle += 1
+                dispatch_slot = 0
+            if commit_q and commit_q[0][0] <= t_disp:
+                drain_commits(t_disp)
 
             if flags & FLAG_LOAD:
-                self._execute_load(ip, vaddr >> BLOCK_SHIFT,
-                                   t_disp + issue_latency, t_disp, wrong)
+                block = vaddr >> BLOCK_SHIFT
+                issue_time = t_disp + issue_latency
+                # CoreModel.lq_allocate, inlined.
+                if len(lq) >= lq_entries:
+                    oldest = lq_popleft()
+                    if oldest > issue_time:
+                        issue_time = oldest
+                # Address translation precedes the data-cache access; TLB
+                # misses push the access later (tlb.translate_block with
+                # its dTLB-hit fast path inlined: move-to-back keeps dict
+                # insertion order == LRU recency order).
+                if tlb_enabled:
+                    page = block >> 6
+                    tlb_stats.dtlb_accesses += 1
+                    set_ = dtlb_sets[page & dtlb_mask]
+                    if page in set_:
+                        del set_[page]
+                        set_[page] = None
+                    else:
+                        issue_time += tlb_miss(page)
+                if delay_policy is not None:
+                    l1d_hit = l1d.contains(block, issue_time)
+                    if wrong and not l1d_hit:
+                        # Delay-on-miss: a wrong-path miss never clears
+                        # the branch horizon, so its request is never
+                        # sent -- squashed (CoreModel.lq_complete inlined).
+                        lq_append(issue_time + 1)
+                        load_seq += 1
+                        n_wrong_loads += 1
+                        continue
+                    issue_time = delay_policy.issue_time(issue_time,
+                                                         l1d_hit)
+                if track:
+                    merged1_pre = l1_stats.demand_merged_into_prefetch
+                    useful1_pre = l1_stats.prefetches_useful
+                    merged2_pre = l2_stats.demand_merged_into_prefetch
+                    useful2_pre = l2_stats.prefetches_useful
+
+                if secure:
+                    # hierarchy._speculative_load, inlined (the method
+                    # remains the readable reference and the public API
+                    # via demand_load); skips two call frames and the
+                    # LoadResult allocation per load.
+                    if gm_heap and gm_heap[0][0] <= issue_time:
+                        gm_apply(issue_time)
+                    gm_line = gm_lookup(block)
+                    if gm_line is not None:
+                        gm_stats.gm_hits += 1
+                        l1d_probe(block, issue_time, REQ_LOAD)
+                        completion = issue_time + gm_hit_latency
+                        fill_time = gm_line.fill_time
+                        if fill_time > completion:
+                            completion = fill_time
+                        hit_level = 0
+                        fetch_latency = completion - issue_time
+                        gm_hit = True
+                    else:
+                        gm_stats.gm_misses += 1
+                        completion, hit_level = l1d_access(
+                            block, issue_time, REQ_LOAD, False, False,
+                            wrong == 0)
+                        fetch_latency = completion - issue_time
+                        gm_hit = False
+                        if hit_level != 0:
+                            gm_fill(block, completion, seq, fetch_latency,
+                                    wrong != 0)
+                else:
+                    # Non-secure loads go straight to the L1D -- inlining
+                    # demand_load skips the wrapper call and the
+                    # LoadResult allocation on the hottest per-load path.
+                    completion, hit_level = l1d_access(
+                        block, issue_time, REQ_LOAD, True, True,
+                        wrong == 0)
+                    fetch_latency = completion - issue_time
+                    gm_hit = False
+                # CoreModel.lq_complete, inlined.
+                lq_append(completion)
+                slot = load_seq % lq_entries
+                load_seq += 1
+                miss_l1 = hit_level >= 1
+
+                if hit_levels is not None and not wrong:
+                    hit_levels.record(slot, hit_level)
+
+                if track:
+                    late_l1 = \
+                        l1_stats.demand_merged_into_prefetch > merged1_pre
+                    useful_l1 = l1_stats.prefetches_useful > useful1_pre
+                    late_l2 = \
+                        l2_stats.demand_merged_into_prefetch > merged2_pre
+                    useful_l2 = l2_stats.prefetches_useful > useful2_pre
+                    miss_l2 = hit_level >= 2
+
+                    if xlq is not None and not wrong:
+                        if miss_l1 and not gm_hit:
+                            xlq.record_miss(slot, issue_time)
+                            xlq.record_fill(slot, fetch_latency)
+                        elif useful_l1:
+                            line = l1d.lookup(block)
+                            line_latency = line.latency \
+                                if line is not None else fetch_latency
+                            xlq.record_prefetch_hit(slot, issue_time,
+                                                    line_latency)
+
+                    if classifier is not None or on_access:
+                        # Under on-commit training without a classifier,
+                        # nothing consumes an access-time event -- skip
+                        # its construction.
+                        event = TrainingEvent(
+                            ip, block, hit_level == 0, issue_time,
+                            issue_time, fetch_latency, hit_level,
+                            useful_l1 if train_l1 else useful_l2)
+
+                    if classifier is not None:
+                        # A late prefetch may be merged at either level
+                        # (L1-fill requests are demoted to the L2 under
+                        # MSHR pressure).
+                        late_any = late_l1 or late_l2
+                        if train_l1 or miss_l1:
+                            classifier.on_access(event)
+                        if train_l1 and miss_l1:
+                            classifier.classify_miss(block, issue_time,
+                                                     late_any)
+                        elif not train_l1 and miss_l2:
+                            classifier.classify_miss(block, issue_time,
+                                                     late_any)
+
+                    if on_access:
+                        if train_l1 or miss_l1:
+                            requests = train(event)
+                            if requests:
+                                issue_requests(requests, issue_time)
+                        if ts_feedback and not wrong:
+                            if train_l1:
+                                prefetcher.note_demand(miss_l1, late_l1,
+                                                       useful_l1)
+                            else:
+                                prefetcher.note_demand(miss_l2, late_l2,
+                                                       useful_l2)
+                    meta = (miss_l1, miss_l2, late_l1, late_l2,
+                            useful_l1, useful_l2)
+                else:
+                    meta = _NO_PF_META
+
                 if wrong:
-                    stats.wrong_path_loads += 1
+                    n_wrong_loads += 1
                     continue
-                stats.committed_loads += 1
+                n_loads += 1
+                if delay_policy is not None:
+                    delay_policy.note_load_completion(completion)
+                # CoreModel.retire, inlined.
+                ready = t_disp + 1
+                if completion > ready:
+                    ready = completion
+                if ready > retire_cycle:
+                    retire_cycle = ready
+                    retire_slot = 0
+                elif retire_slot < retire_width_m1:
+                    retire_slot += 1
+                else:
+                    retire_cycle += 1
+                    retire_slot = 0
+                rob_append(retire_cycle)
+                if retire_cycle > final_retire:
+                    final_retire = retire_cycle
+                if commit_loads:
+                    commit_append((retire_cycle, True,
+                                   (ip, block, hit_level, issue_time,
+                                    fetch_latency, slot, meta)))
             elif flags & FLAG_STORE:
                 if wrong:
                     continue
-                t_ret = core.retire(t_disp + alu_latency, t_disp)
-                self._commit_q.append((t_ret, False, vaddr >> BLOCK_SHIFT))
-                stats.committed_stores += 1
+                # CoreModel.retire, inlined (stores complete in the ALU
+                # pipeline; the L1D write happens at commit time).
+                ready = t_disp + 1
+                completion = t_disp + alu_latency
+                if completion > ready:
+                    ready = completion
+                if ready > retire_cycle:
+                    retire_cycle = ready
+                    retire_slot = 0
+                elif retire_slot < retire_width_m1:
+                    retire_slot += 1
+                else:
+                    retire_cycle += 1
+                    retire_slot = 0
+                rob_append(retire_cycle)
+                if retire_cycle > final_retire:
+                    final_retire = retire_cycle
+                commit_append((retire_cycle, False, vaddr >> BLOCK_SHIFT))
+                n_stores += 1
             else:
                 if wrong:
                     continue
                 completion = t_disp + alu_latency
                 if flags & FLAG_BRANCH:
-                    if self.delay_policy is not None:
-                        completion = self.delay_policy.note_branch(
-                            completion)
+                    if delay_policy is not None:
+                        completion = delay_policy.note_branch(completion)
                     if flags & FLAG_MISPREDICT:
-                        self._pending_redirect = completion + penalty
-                        stats.branch_mispredicts += 1
-                core.retire(completion, t_disp)
+                        pending_redirect = completion + penalty
+                        n_mispredicts += 1
+                # CoreModel.retire, inlined.
+                ready = t_disp + 1
+                if completion > ready:
+                    ready = completion
+                if ready > retire_cycle:
+                    retire_cycle = ready
+                    retire_slot = 0
+                elif retire_slot < retire_width_m1:
+                    retire_slot += 1
+                else:
+                    retire_cycle += 1
+                    retire_slot = 0
+                rob_append(retire_cycle)
+                if retire_cycle > final_retire:
+                    final_retire = retire_cycle
 
             committed += 1
-            stats.committed_instructions += 1
+            n_instr += 1
             if not warmed and committed >= warmup_target:
                 warmed = True
+                core._dispatch_cycle = dispatch_cycle
+                core._dispatch_slot = dispatch_slot
+                core._retire_cycle = retire_cycle
+                core._retire_slot = retire_slot
+                core._load_seq = load_seq
+                core.final_retire = final_retire
                 self._reset_measurement()
-            elif sampler is not None \
-                    and stats.committed_instructions >= sampler.next_at:
+                n_instr = stats.committed_instructions
+                n_loads = stats.committed_loads
+                n_stores = stats.committed_stores
+                n_wrong_loads = stats.wrong_path_loads
+                n_mispredicts = stats.branch_mispredicts
+                if sampler is not None:
+                    sample_at = sampler.next_at
+            elif n_instr >= sample_at:
+                stats.committed_instructions = n_instr
+                stats.committed_loads = n_loads
+                stats.committed_stores = n_stores
+                stats.wrong_path_loads = n_wrong_loads
+                stats.branch_mispredicts = n_mispredicts
+                core._dispatch_cycle = dispatch_cycle
+                core._dispatch_slot = dispatch_slot
+                core._retire_cycle = retire_cycle
+                core._retire_slot = retire_slot
+                core._load_seq = load_seq
+                core.final_retire = final_retire
                 sampler.sample(self)
+                sample_at = sampler.next_at
             if chunk:
                 since_yield += 1
                 if since_yield >= chunk:
                     since_yield = 0
+                    self._seq = seq
+                    self._pending_redirect = pending_redirect
+                    stats.committed_instructions = n_instr
+                    stats.committed_loads = n_loads
+                    stats.committed_stores = n_stores
+                    stats.wrong_path_loads = n_wrong_loads
+                    stats.branch_mispredicts = n_mispredicts
+                    core._dispatch_cycle = dispatch_cycle
+                    core._dispatch_slot = dispatch_slot
+                    core._retire_cycle = retire_cycle
+                    core._retire_slot = retire_slot
+                    core._load_seq = load_seq
+                    core.final_retire = final_retire
                     yield
+        self._seq = seq
+        self._pending_redirect = pending_redirect
+        stats.committed_instructions = n_instr
+        stats.committed_loads = n_loads
+        stats.committed_stores = n_stores
+        stats.wrong_path_loads = n_wrong_loads
+        stats.branch_mispredicts = n_mispredicts
+        core._dispatch_cycle = dispatch_cycle
+        core._dispatch_slot = dispatch_slot
+        core._retire_cycle = retire_cycle
+        core._retire_slot = retire_slot
+        core._load_seq = load_seq
+        core.final_retire = final_retire
 
     def finalize(self, trace: Trace) -> SimResult:
         """Complete the run started by :meth:`stepper`; return results."""
@@ -315,173 +708,152 @@ class System:
         return registry
 
     # ------------------------------------------------------------------
-    # loads
-    # ------------------------------------------------------------------
-
-    def _execute_load(self, ip: int, block: int, issue_time: int,
-                      dispatch_time: int, wrong: bool) -> None:
-        hierarchy = self.hierarchy
-        core = self.core
-        l1_stats = hierarchy.l1d.stats
-        l2_stats = hierarchy.l2.stats
-
-        issue_time = core.lq_allocate(issue_time)
-        # Address translation precedes the data-cache access; TLB misses
-        # push the access later.
-        issue_time += self.tlb.translate_block(block)
-        if self.delay_policy is not None:
-            l1d_hit = hierarchy.l1d.contains(block, issue_time)
-            if wrong and not l1d_hit:
-                # Delay-on-miss: a wrong-path miss never clears the branch
-                # horizon, so its request is never sent -- squashed.
-                core.lq_complete(issue_time + 1)
-                return
-            issue_time = self.delay_policy.issue_time(issue_time, l1d_hit)
-        merged1_pre = l1_stats.demand_merged_into_prefetch
-        useful1_pre = l1_stats.prefetches_useful
-        merged2_pre = l2_stats.demand_merged_into_prefetch
-        useful2_pre = l2_stats.prefetches_useful
-
-        result = hierarchy.demand_load(block, issue_time, self._seq,
-                                       wrong_path=bool(wrong))
-        slot = core.lq_complete(result.completion)
-
-        late_l1 = l1_stats.demand_merged_into_prefetch > merged1_pre
-        useful_l1 = l1_stats.prefetches_useful > useful1_pre
-        late_l2 = l2_stats.demand_merged_into_prefetch > merged2_pre
-        useful_l2 = l2_stats.prefetches_useful > useful2_pre
-        miss_l1 = result.hit_level >= 1
-        miss_l2 = result.hit_level >= 2
-
-        if self.hit_levels is not None and not wrong:
-            self.hit_levels.record(slot, result.hit_level)
-        if self.xlq is not None and not wrong:
-            if miss_l1 and not result.gm_hit:
-                self.xlq.record_miss(slot, issue_time)
-                self.xlq.record_fill(slot, result.fetch_latency)
-            elif useful_l1:
-                line = hierarchy.l1d.lookup(block)
-                line_latency = line.latency if line is not None \
-                    else result.fetch_latency
-                self.xlq.record_prefetch_hit(slot, issue_time, line_latency)
-
-        prefetcher = self.prefetcher
-        if prefetcher is not None:
-            event = TrainingEvent(
-                ip=ip, block=block, hit=result.hit_level == 0,
-                cycle=issue_time, access_cycle=issue_time,
-                fetch_latency=result.fetch_latency,
-                hit_level=result.hit_level,
-                prefetch_hit=useful_l1 if prefetcher.train_level == 0
-                else useful_l2)
-
-            classifier = self.classifier
-            if classifier is not None:
-                # A late prefetch may be merged at either level (L1-fill
-                # requests are demoted to the L2 under MSHR pressure).
-                late_any = late_l1 or late_l2
-                if prefetcher.train_level == 0 or miss_l1:
-                    classifier.on_access(event)
-                if prefetcher.train_level == 0 and miss_l1:
-                    classifier.classify_miss(block, issue_time, late_any)
-                elif prefetcher.train_level == 1 and miss_l2:
-                    classifier.classify_miss(block, issue_time, late_any)
-
-            if self.train_mode == MODE_ON_ACCESS:
-                if prefetcher.train_level == 0 or miss_l1:
-                    self._issue(prefetcher.train(event), issue_time)
-                if self._ts_feedback and not wrong:
-                    if prefetcher.train_level == 0:
-                        prefetcher.note_demand(miss_l1, late_l1, useful_l1)
-                    else:
-                        prefetcher.note_demand(miss_l2, late_l2, useful_l2)
-
-        if wrong:
-            return
-        if self.delay_policy is not None:
-            self.delay_policy.note_load_completion(result.completion)
-
-        meta = (miss_l1, miss_l2, late_l1, late_l2, useful_l1, useful_l2)
-        t_ret = core.retire(result.completion, dispatch_time)
-        self._commit_q.append(
-            (t_ret, True,
-             (ip, block, result.hit_level, issue_time,
-              result.fetch_latency, slot, meta)))
-
-    # ------------------------------------------------------------------
     # commit stage
     # ------------------------------------------------------------------
 
     def _drain_commits(self, until: Optional[int]) -> None:
         queue = self._commit_q
         hierarchy = self.hierarchy
+        demand_store = hierarchy.demand_store
+        hit_levels = self.hit_levels
+        hl_read = hit_levels.read if hit_levels is not None else None
+        prefetcher = self.prefetcher
+        # hierarchy.commit_load collaborators, hoisted: the whole commit
+        # pipeline is inlined below (commit_load remains the readable
+        # reference and the public per-load API).
+        secure = hierarchy.secure
+        events = hierarchy.events
+        if secure:
+            gm_stats = hierarchy.gm_stats
+            gm_heap = hierarchy._gm_heap
+            gm_apply = hierarchy.gm.apply_until
+            gm_take = hierarchy.gm.take
+            commit_filter = hierarchy.commit_filter
+            filter_memo = hierarchy._filter_memo
+            l1d_contains = hierarchy._l1d_contains
+            l1d_commit_write = hierarchy._l1d_commit_write
+            l1d_access = hierarchy._l1d_access
+            gm_latency = hierarchy._gm_latency
+            record_suf_stop = hierarchy._record_suf_stop
+        train_commit = prefetcher is not None \
+            and self.train_mode == MODE_ON_COMMIT
+        if train_commit:
+            train = prefetcher.train
+            train_l1 = prefetcher.train_level == 0
+            use_xlq = self.use_xlq
+            if use_xlq:
+                xlq_slots = self.xlq._slots
+                xlq_entries = self.xlq.entries
+            issue_requests = self._issue
+            ts_feedback = self._ts_feedback
         while queue and (until is None or queue[0][0] <= until):
             t_ret, is_load, payload = queue.popleft()
             if not is_load:
-                hierarchy.demand_store(payload, t_ret)
+                demand_store(payload, t_ret)
                 continue
             ip, block, hit_level, issue_time, fetch_latency, slot, meta = \
                 payload
-            recorded_level = self.hit_levels.read(slot) \
-                if self.hit_levels is not None else hit_level
-            update_latency = hierarchy.commit_load(block, t_ret,
-                                                   recorded_level)
-            prefetcher = self.prefetcher
-            if prefetcher is None or self.train_mode != MODE_ON_COMMIT:
+            recorded_level = hl_read(slot) \
+                if hl_read is not None else hit_level
+            # hierarchy.commit_load, inlined.
+            if not secure:
+                update_latency = 0
+            else:
+                if gm_heap and gm_heap[0][0] <= t_ret:
+                    gm_apply(t_ret)
+                gm_line = gm_take(block)
+                if commit_filter is not None:
+                    decision = filter_memo.get(recorded_level)
+                    if decision is None:
+                        decision = filter_memo[recorded_level] = \
+                            commit_filter(recorded_level)
+                else:
+                    decision = None
+                if decision is not None and decision.drop:
+                    gm_stats.commit_drops_suf += 1
+                    if l1d_contains(block):
+                        gm_stats.suf_correct += 1
+                    else:
+                        gm_stats.suf_mispredict += 1
+                    if events is not None:
+                        events.emit("suf_drop", t_ret, block, "SUF")
+                    update_latency = 0
+                elif gm_line is not None:
+                    # On-commit write: the line moves GM -> L1D.
+                    gm_stats.commit_writes += 1
+                    if events is not None:
+                        events.emit("gm_commit_write", t_ret, block, "GM")
+                    if decision is not None:
+                        record_suf_stop(block, recorded_level)
+                        l1d_commit_write(block, t_ret,
+                                         decision.gm_propagate,
+                                         decision.wbb)
+                    else:
+                        l1d_commit_write(block, t_ret, True, True)
+                    update_latency = gm_latency
+                else:
+                    # GM line evicted before commit (or never existed):
+                    # re-fetch into the non-speculative hierarchy.
+                    gm_stats.commit_refetches += 1
+                    if recorded_level > 0:
+                        gm_stats.gm_lost_before_commit += 1
+                    if events is not None:
+                        events.emit("gm_refetch", t_ret, block, "GM")
+                    completion, _ = l1d_access(block, t_ret, REQ_COMMIT)
+                    update_latency = completion - t_ret
+            if not train_commit:
                 continue
 
             (miss_l1, miss_l2, late_l1, late_l2,
              useful_l1, useful_l2) = meta
 
-            event = self._commit_event(
-                ip, block, hit_level, t_ret, update_latency, slot,
-                useful_l1 if prefetcher.train_level == 0 else useful_l2)
-            if event is not None:
-                if prefetcher.train_level == 0 or hit_level >= 1:
-                    self._issue(prefetcher.train(event), t_ret)
-            if self._ts_feedback:
-                if prefetcher.train_level == 0:
+            # Build the training event the commit-stage prefetcher sees.
+            # Naive on-commit training observes commit-ordered timestamps
+            # and the on-commit update latency (the misleading value of
+            # Section V-B).  With the X-LQ (TSB), the preserved access
+            # time and GM fetch latency are used instead (XLQ.read,
+            # inlined: read-and-invalidate the committing load's slot).
+            if use_xlq:
+                entry = xlq_slots[slot % xlq_entries]
+                if not entry.valid:
+                    # Regular L1D hit: no training action (Section V-C).
+                    event = None
+                else:
+                    entry.valid = False
+                    event = TrainingEvent(
+                        ip, block, hit_level == 0, t_ret,
+                        t_ret - ((t_ret - entry.ts) & TS_MASK),
+                        entry.latency, hit_level, entry.hitp)
+            else:
+                event = TrainingEvent(
+                    ip, block, hit_level == 0, t_ret, t_ret,
+                    update_latency if update_latency > 1 else 1,
+                    hit_level, useful_l1 if train_l1 else useful_l2)
+            if event is not None and (train_l1 or hit_level >= 1):
+                requests = train(event)
+                if requests:
+                    issue_requests(requests, t_ret)
+            if ts_feedback:
+                if train_l1:
                     prefetcher.note_demand(miss_l1, late_l1, useful_l1)
                 else:
                     prefetcher.note_demand(miss_l2, late_l2, useful_l2)
 
-    def _commit_event(self, ip: int, block: int, hit_level: int,
-                      commit_time: int, update_latency: int, slot: int,
-                      prefetch_hit: bool) -> Optional[TrainingEvent]:
-        """Build the training event the commit-stage prefetcher sees.
-
-        Naive on-commit training observes commit-ordered timestamps and the
-        on-commit update latency (the misleading value of Section V-B).
-        With the X-LQ (TSB), the preserved access time and GM fetch latency
-        are used instead.
-        """
-        if self.use_xlq:
-            entry = self.xlq.read(slot, commit_time)
-            if entry is None:
-                # Regular L1D hit: no training action (Section V-C).
-                return None
-            return TrainingEvent(
-                ip=ip, block=block, hit=hit_level == 0, cycle=commit_time,
-                access_cycle=entry.access_cycle,
-                fetch_latency=entry.fetch_latency, hit_level=hit_level,
-                prefetch_hit=entry.prefetch_hit)
-        return TrainingEvent(
-            ip=ip, block=block, hit=hit_level == 0, cycle=commit_time,
-            access_cycle=commit_time,
-            fetch_latency=max(update_latency, 1), hit_level=hit_level,
-            prefetch_hit=prefetch_hit)
-
     def _issue(self, requests, time: int) -> None:
-        hierarchy = self.hierarchy
+        issue_prefetch = self.hierarchy.issue_prefetch
         classifier = self.classifier
-        for request in requests:
-            if classifier is not None:
-                # Log the *trigger*, issued or not: the Fig. 6 commit-late
-                # definition asks when the prefetcher triggered the line,
-                # even if the request was redundant by then.
-                classifier.on_real_prefetch(request.block, time)
-            hierarchy.issue_prefetch(request.block, time,
-                                     request.fill_level)
+        # Requests are NamedTuples; tuple unpacking reads both fields
+        # without per-field attribute lookups.
+        if classifier is None:
+            for pf_block, fill_level in requests:
+                issue_prefetch(pf_block, time, fill_level)
+            return
+        for pf_block, fill_level in requests:
+            # Log the *trigger*, issued or not: the Fig. 6 commit-late
+            # definition asks when the prefetcher triggered the line,
+            # even if the request was redundant by then.
+            classifier.on_real_prefetch(pf_block, time)
+            issue_prefetch(pf_block, time, fill_level)
 
     # ------------------------------------------------------------------
     # measurement

@@ -57,7 +57,7 @@ class TLBParams:
     enabled: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBStats(StatsStruct):
     """Translation statistics."""
 
@@ -72,23 +72,33 @@ class TLBStats(StatsStruct):
 
 
 class _TLBLevel:
-    """A set-associative translation cache (LRU)."""
+    """A set-associative translation cache (LRU).
 
-    __slots__ = ("params", "_sets", "_set_mask", "_tick")
+    Recency is the dict's *insertion order*: a hit moves the page to the
+    back (pop + reinsert, both O(1)) and eviction takes the front
+    (``next(iter(...))``).  This is exactly equivalent to the earlier
+    per-entry tick counters -- touches here are strictly ordered and
+    ticks were unique, so ascending tick order and insertion order were
+    always the same permutation -- but replaces the O(ways) min-scan per
+    fill with O(1) operations.  (The data caches can NOT use this trick:
+    their ``last_touch`` times are not monotone; see cache.py.)
+    """
+
+    __slots__ = ("params", "_sets", "_set_mask", "_ways")
 
     def __init__(self, params: TLBLevelParams) -> None:
         self.params = params
-        self._sets: List[Dict[int, int]] = [
+        self._sets: List[Dict[int, None]] = [
             dict() for _ in range(params.sets)]
         self._set_mask = params.sets - 1
-        self._tick = 0
+        self._ways = params.ways
 
     def lookup(self, page: int) -> bool:
         """Touch-and-test; returns hit."""
-        self._tick += 1
         set_ = self._sets[page & self._set_mask]
         if page in set_:
-            set_[page] = self._tick
+            del set_[page]          # move to back: most recently used
+            set_[page] = None
             return True
         return False
 
@@ -96,11 +106,9 @@ class _TLBLevel:
         set_ = self._sets[page & self._set_mask]
         if page in set_:
             return
-        if len(set_) >= self.params.ways:
-            victim = min(set_, key=set_.get)
-            del set_[victim]
-        self._tick += 1
-        set_[page] = self._tick
+        if len(set_) >= self._ways:
+            del set_[next(iter(set_))]   # front of dict: LRU victim
+        set_[page] = None
 
     def flush(self) -> None:
         for set_ in self._sets:
@@ -115,6 +123,13 @@ class TLBHierarchy:
         self.stats = TLBStats()
         self._dtlb = _TLBLevel(self.params.dtlb)
         self._stlb = _TLBLevel(self.params.stlb)
+        # Hot-path hoists: translate runs once per load, and the dTLB-hit
+        # fast path below reads these instead of chasing params chains.
+        self._enabled = self.params.enabled
+        self._dtlb_sets = self._dtlb._sets
+        self._dtlb_mask = self._dtlb._set_mask
+        self._stlb_latency = self.params.stlb.latency
+        self._walk_latency = self.params.walk_latency
 
     def translate(self, vaddr: int) -> int:
         """Translate one access; returns the added latency in cycles.
@@ -122,24 +137,46 @@ class TLBHierarchy:
         A dTLB hit costs nothing extra (it overlaps the AGU); a dTLB miss
         pays the STLB latency; an STLB miss additionally pays the walk.
         """
-        if not self.params.enabled:
+        if not self._enabled:
             return 0
         page = vaddr >> PAGE_SHIFT
         self.stats.dtlb_accesses += 1
-        if self._dtlb.lookup(page):
+        # dTLB hit fast path, inlined (the overwhelmingly common case):
+        # move-to-back keeps dict insertion order == LRU recency order.
+        set_ = self._dtlb_sets[page & self._dtlb_mask]
+        if page in set_:
+            del set_[page]
+            set_[page] = None
             return 0
+        return self._miss(page)
+
+    def _miss(self, page: int) -> int:
+        """dTLB-miss slow path: STLB lookup, then the page-table walk."""
         self.stats.dtlb_misses += 1
         if self._stlb.lookup(page):
             self._dtlb.fill(page)
-            return self.params.stlb.latency
+            return self._stlb_latency
         self.stats.stlb_misses += 1
         self._stlb.fill(page)
         self._dtlb.fill(page)
-        return self.params.stlb.latency + self.params.walk_latency
+        return self._stlb_latency + self._walk_latency
 
     def translate_block(self, block: int) -> int:
-        """Translate a cache-block number (64-byte blocks, 4 KB pages)."""
-        return self.translate(block << 6)
+        """Translate a cache-block number (64-byte blocks, 4 KB pages).
+
+        Same fast path as :meth:`translate`, minus the round trip through
+        a byte address: ``(block << 6) >> PAGE_SHIFT == block >> 6``.
+        """
+        if not self._enabled:
+            return 0
+        page = block >> 6
+        self.stats.dtlb_accesses += 1
+        set_ = self._dtlb_sets[page & self._dtlb_mask]
+        if page in set_:
+            del set_[page]
+            set_[page] = None
+            return 0
+        return self._miss(page)
 
     def flush(self) -> None:
         """Full TLB shootdown (context/domain switch)."""

@@ -1,0 +1,97 @@
+"""Unit tests for the bench compare/threshold logic (repro.perf.compare)."""
+
+import pytest
+
+from repro.perf.compare import (CaseDelta, DEFAULT_THRESHOLD, compare_docs)
+
+
+def _doc(cases, totals=None, suite="micro", tag="t"):
+    return {
+        "schema": "repro-bench/1",
+        "tag": tag,
+        "suite": suite,
+        "python": "3",
+        "platform": "test",
+        "repeat": 1,
+        "results": [
+            {"name": name, "group": "micro", "unit": "instr/s",
+             "value": value, "wall_s": 1.0, "items": int(value),
+             "peak_rss_kb": 1}
+            for name, value in cases.items()
+        ],
+        "totals": totals or {},
+    }
+
+
+class TestThreshold:
+    def test_regression_below_floor_flagged(self):
+        report = compare_docs(_doc({"a": 100.0}), _doc({"a": 79.0}),
+                              threshold=0.20)
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["a"]
+
+    def test_exactly_at_floor_passes(self):
+        # The rule is strictly-below: current == baseline * 0.8 is ok.
+        report = compare_docs(_doc({"a": 100.0}), _doc({"a": 80.0}),
+                              threshold=0.20)
+        assert report.ok
+
+    def test_improvement_passes(self):
+        report = compare_docs(_doc({"a": 100.0}), _doc({"a": 150.0}))
+        assert report.ok
+        assert report.deltas[0].ratio == pytest.approx(1.5)
+
+    def test_zero_threshold_flags_any_drop(self):
+        report = compare_docs(_doc({"a": 100.0}), _doc({"a": 99.999}),
+                              threshold=0.0)
+        assert not report.ok
+
+    def test_threshold_bounds_enforced(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_docs(_doc({"a": 1.0}), _doc({"a": 1.0}), threshold=1.0)
+        with pytest.raises(ValueError, match="threshold"):
+            compare_docs(_doc({"a": 1.0}), _doc({"a": 1.0}), threshold=-0.1)
+
+    def test_default_threshold_is_ci_contract(self):
+        assert DEFAULT_THRESHOLD == 0.20
+
+
+class TestMatching:
+    def test_unmatched_cases_reported_but_never_fail(self):
+        report = compare_docs(_doc({"a": 100.0, "old": 50.0}),
+                              _doc({"a": 100.0, "new": 1.0}))
+        assert report.ok
+        assert report.only_baseline == ["old"]
+        assert report.only_current == ["new"]
+
+    def test_disjoint_documents_raise(self):
+        with pytest.raises(ValueError, match="no shared cases"):
+            compare_docs(_doc({"a": 1.0}), _doc({"b": 1.0}))
+
+    def test_totals_compared_under_same_rule(self):
+        base = _doc({"a": 100.0}, totals={"macro_instr_per_s": 200.0})
+        cur = _doc({"a": 100.0}, totals={"macro_instr_per_s": 100.0})
+        report = compare_docs(base, cur, threshold=0.20)
+        names = [d.name for d in report.regressions]
+        assert names == ["totals.macro_instr_per_s"]
+
+    def test_totals_present_on_one_side_ignored(self):
+        base = _doc({"a": 100.0})
+        cur = _doc({"a": 100.0}, totals={"micro_instr_per_s": 5.0})
+        report = compare_docs(base, cur)
+        assert report.ok
+        assert report.only_current == ["totals.micro_instr_per_s"]
+
+
+class TestReport:
+    def test_ratio_handles_zero_baseline(self):
+        delta = CaseDelta("x", 0.0, 10.0, regressed=False)
+        assert delta.ratio == 0.0
+
+    def test_format_table_mentions_verdicts(self):
+        report = compare_docs(_doc({"good": 100.0, "bad": 100.0}),
+                              _doc({"good": 100.0, "bad": 10.0}))
+        table = report.format_table()
+        assert "REGRESSED" in table
+        assert "ok" in table
+        assert "1 regression(s)" in table

@@ -1,0 +1,132 @@
+"""Unit tests for the bench harness (repro.perf.harness) and CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.harness import (bench_document, load_bench, format_results,
+                                peak_rss_kb, run_case, run_suite,
+                                write_bench)
+from repro.perf.suites import BenchCase, SUITES
+
+
+def _counting_case(walls):
+    """A synthetic case whose repeats take the given (fake) work amounts."""
+    calls = {"prepared": 0}
+
+    def prepare():
+        calls["prepared"] += 1
+
+        def run():
+            # Each prepared thunk does a tiny, distinct amount of work so
+            # best-of-N has something to choose between.
+            n = 10_000 * walls[min(calls["prepared"], len(walls)) - 1]
+            sum(range(n))
+            return 100, {"phase_a": 0.001}
+        return run
+    return BenchCase("synthetic", "micro", "instr/s", prepare), calls
+
+
+class TestRunCase:
+    def test_best_of_n_prepares_each_repeat(self):
+        case, calls = _counting_case([3, 1, 2])
+        result = run_case(case, repeat=3)
+        assert calls["prepared"] == 3
+        assert result.items == 100
+        assert result.value == pytest.approx(100 / result.wall_s)
+        assert result.phases == {"phase_a": 0.001}
+
+    def test_repeat_must_be_positive(self):
+        case, _ = _counting_case([1])
+        with pytest.raises(ValueError, match="repeat"):
+            run_case(case, repeat=0)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite("giga")
+
+    def test_trace_build_case_runs_for_real(self):
+        # The cheapest real pinned case end to end (no simulation).
+        result = run_case(SUITES["micro"][0], repeat=1)
+        assert result.name == "trace_build"
+        assert result.unit == "records/s"
+        assert result.items > 0
+        assert result.value > 0
+
+
+class TestDocument:
+    def _results(self):
+        case, _ = _counting_case([1])
+        return [run_case(case, repeat=1)]
+
+    def test_document_validates_and_round_trips(self, tmp_path):
+        doc = bench_document(self._results(), tag="t", suite="micro",
+                             repeat=1)
+        path = tmp_path / "BENCH_t.json"
+        write_bench(doc, str(path))
+        assert load_bench(str(path)) == doc
+        # Canonical rendering: sorted keys, trailing newline.
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.index('"results"') < text.index('"schema"')
+
+    def test_totals_pool_instr_cases_only(self):
+        case, _ = _counting_case([1])
+        results = [run_case(case, repeat=1)]
+        doc = bench_document(results, tag="t", suite="micro", repeat=1)
+        assert "micro_instr_per_s" in doc["totals"]
+        assert doc["totals"]["micro_instr_per_s"] == pytest.approx(
+            100 / results[0].wall_s, rel=1e-3)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_bench(str(path))
+
+    def test_load_rejects_invalid_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro-bench/1"}))
+        with pytest.raises(ValueError, match="missing required"):
+            load_bench(str(path))
+
+    def test_format_results_table(self):
+        table = format_results(self._results())
+        assert "synthetic" in table
+        assert "instr/s" in table
+
+    def test_peak_rss_positive_on_posix(self):
+        assert peak_rss_kb() > 0
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, value):
+        doc = bench_document(
+            [run_case(_counting_case([1])[0], repeat=1)],
+            tag=name, suite="micro", repeat=1)
+        doc["results"][0]["value"] = value
+        doc["totals"] = {}
+        path = tmp_path / f"BENCH_{name}.json"
+        write_bench(doc, str(path))
+        return str(path)
+
+    def test_input_compare_ok_and_regressed(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base", 100.0)
+        good = self._write(tmp_path, "good", 95.0)
+        bad = self._write(tmp_path, "bad", 50.0)
+        assert main(["bench", "--input", good, "--compare", base]) == 0
+        assert main(["bench", "--input", bad, "--compare", base]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_threshold_flag_controls_verdict(self, tmp_path):
+        base = self._write(tmp_path, "base2", 100.0)
+        cur = self._write(tmp_path, "cur2", 70.0)
+        assert main(["bench", "--input", cur, "--compare", base,
+                     "--threshold", "0.5"]) == 0
+
+    def test_input_without_compare_rejected(self, tmp_path):
+        base = self._write(tmp_path, "base3", 100.0)
+        with pytest.raises(SystemExit, match="--input requires"):
+            main(["bench", "--input", base])

@@ -1,0 +1,124 @@
+"""Unit tests for the BENCH_*.json schema validator (repro.perf.schema)."""
+
+import copy
+
+import pytest
+
+from repro.perf.schema import BENCH_SCHEMA, validate_bench_record
+
+VALID = {
+    "schema": BENCH_SCHEMA,
+    "tag": "pr4",
+    "suite": "micro",
+    "python": "3.11.0",
+    "platform": "linux",
+    "repeat": 3,
+    "results": [
+        {"name": "sim_micro_baseline", "group": "micro", "unit": "instr/s",
+         "value": 1234.5, "wall_s": 0.5, "items": 617, "peak_rss_kb": 1024},
+        {"name": "sweep", "group": "micro", "unit": "instr/s",
+         "value": 99.0, "wall_s": 1.0, "items": 99, "peak_rss_kb": 2048,
+         "phases": {"execute": 0.9}},
+    ],
+    "totals": {"micro_instr_per_s": 877.0},
+}
+
+
+def doc(**overrides):
+    d = copy.deepcopy(VALID)
+    d.update(overrides)
+    return d
+
+
+def test_valid_document_passes():
+    validate_bench_record(VALID)
+
+
+def test_totals_optional():
+    d = doc()
+    del d["totals"]
+    validate_bench_record(d)
+
+
+@pytest.mark.parametrize("missing", ["schema", "tag", "suite", "python",
+                                     "platform", "repeat", "results"])
+def test_missing_header_key_rejected(missing):
+    d = doc()
+    del d[missing]
+    with pytest.raises(ValueError, match=missing):
+        validate_bench_record(d)
+
+
+def test_unknown_header_key_rejected():
+    with pytest.raises(ValueError, match="unknown keys"):
+        validate_bench_record(doc(surprise=1))
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ValueError, match="unknown bench schema"):
+        validate_bench_record(doc(schema="repro-bench/999"))
+
+
+def test_empty_results_rejected():
+    with pytest.raises(ValueError, match="no results"):
+        validate_bench_record(doc(results=[]))
+
+
+def _one_result(**overrides):
+    entry = copy.deepcopy(VALID["results"][0])
+    entry.update(overrides)
+    return doc(results=[entry])
+
+
+def test_missing_result_field_rejected():
+    bad = _one_result()
+    del bad["results"][0]["value"]
+    with pytest.raises(ValueError, match="value"):
+        validate_bench_record(bad)
+
+
+def test_unknown_result_field_rejected():
+    with pytest.raises(ValueError, match="unknown keys"):
+        validate_bench_record(_one_result(color="red"))
+
+
+def test_unknown_group_rejected():
+    with pytest.raises(ValueError, match="unknown group"):
+        validate_bench_record(_one_result(group="mega"))
+
+
+def test_unknown_unit_rejected():
+    with pytest.raises(ValueError, match="unknown unit"):
+        validate_bench_record(_one_result(unit="furlongs/fortnight"))
+
+
+def test_non_positive_value_rejected():
+    with pytest.raises(ValueError, match="non-positive"):
+        validate_bench_record(_one_result(value=0))
+
+
+def test_bool_not_accepted_as_number():
+    with pytest.raises(ValueError):
+        validate_bench_record(_one_result(value=True))
+
+
+def test_duplicate_case_names_rejected():
+    d = doc()
+    d["results"][1]["name"] = d["results"][0]["name"]
+    with pytest.raises(ValueError, match="duplicate"):
+        validate_bench_record(d)
+
+
+def test_bad_phase_entry_rejected():
+    with pytest.raises(ValueError, match="phase"):
+        validate_bench_record(_one_result(phases={"execute": -1.0}))
+
+
+def test_bad_totals_entry_rejected():
+    with pytest.raises(ValueError, match="totals"):
+        validate_bench_record(doc(totals={"x": "fast"}))
+
+
+def test_non_object_rejected():
+    with pytest.raises(ValueError, match="object"):
+        validate_bench_record([1, 2, 3])

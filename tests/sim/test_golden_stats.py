@@ -1,0 +1,106 @@
+"""Golden-file regression tests: optimizations must stay bit-identical.
+
+The hot-path optimization work (PR4) is only allowed to make the
+simulator *faster*, never *different*: every stats counter must match
+what the pre-optimization simulator produced.  These tests replay three
+pinned configurations on a fixed synthetic trace and compare the full
+stats snapshot -- core, all cache levels, GhostMinion, DRAM, TLB,
+classification and extras -- against golden JSON captured before the
+optimization pass.
+
+Regenerate only when simulator *semantics* deliberately change::
+
+    PYTHONPATH=src python tests/sim/test_golden_stats.py
+
+(Any counter drift without a matching golden update is a bug.)
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "stats_golden.json"
+
+#: Pinned replay: workload / length / warm-up must match the golden header.
+GOLDEN_WORKLOAD = "605.mcf-1554B"
+GOLDEN_LOADS = 6000
+GOLDEN_WARMUP = 0.2
+
+#: Config kwargs in :func:`repro.perf.suites._system` form, one snapshot
+#: each: the unprotected baseline, a classic on-access prefetcher, and
+#: the paper's full secure stack (GhostMinion + SUF + TSB on-commit).
+CONFIGS = {
+    "baseline": {},
+    "berti_on_access": {"prefetcher": "berti"},
+    "secure_tsb_suf_oc": {"secure": True, "suf": True,
+                          "prefetcher": "tsb", "on_commit": True},
+}
+
+
+def _run_snapshot(name):
+    from repro.perf.suites import _system
+    from repro.workloads.spec import spec_trace
+
+    trace = spec_trace(GOLDEN_WORKLOAD, GOLDEN_LOADS)
+    system = _system(dict(CONFIGS[name]))
+    result = system.run(trace, warmup=GOLDEN_WARMUP)
+    return {
+        "committed": result.committed,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "core": result.core.snapshot(),
+        "l1d": result.l1d.snapshot(),
+        "l2": result.l2.snapshot(),
+        "llc": result.llc.snapshot(),
+        "gm": result.gm.snapshot() if result.gm is not None else None,
+        "dram": result.dram.snapshot(),
+        "tlb": result.tlb.snapshot() if result.tlb is not None else None,
+        "classification": result.classification,
+        "extras": result.extras,
+    }
+
+
+def _load_golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(f"golden file missing: {GOLDEN_PATH} "
+                    f"(regenerate: python {__file__})")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_header_matches_pins():
+    golden = _load_golden()
+    assert golden["workload"] == GOLDEN_WORKLOAD
+    assert golden["loads"] == GOLDEN_LOADS
+    assert golden["warmup"] == GOLDEN_WARMUP
+    assert sorted(golden["configs"]) == sorted(CONFIGS)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_stats_bit_identical_to_golden(name):
+    golden = _load_golden()["configs"][name]
+    current = _run_snapshot(name)
+    # Compare section by section so a drift names the counter, not just
+    # "dicts differ".
+    for section in sorted(golden):
+        assert current[section] == golden[section], (
+            f"{name}.{section} drifted from the pre-optimization golden "
+            f"snapshot -- optimized code must be bit-identical")
+    assert sorted(current) == sorted(golden)
+
+
+def _generate():
+    doc = {
+        "workload": GOLDEN_WORKLOAD,
+        "loads": GOLDEN_LOADS,
+        "warmup": GOLDEN_WARMUP,
+        "configs": {name: _run_snapshot(name) for name in sorted(CONFIGS)},
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _generate()
