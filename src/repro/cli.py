@@ -66,7 +66,8 @@ def _require_positive(value: int, flag: str) -> int:
     return value
 
 
-def _exec_runner(args, *, failsoft: bool = True) -> ExperimentRunner:
+def _exec_runner(args, *, failsoft: bool = True,
+                 scale=None) -> ExperimentRunner:
     """An ExperimentRunner wired to the execution layer from CLI flags."""
     from .exec.faults import FaultPlan
     try:
@@ -75,7 +76,7 @@ def _exec_runner(args, *, failsoft: bool = True) -> ExperimentRunner:
         raise SystemExit(f"REPRO_FAULTS: {exc}")
     store = None if args.no_store else args.store
     return ExperimentRunner(
-        scale=SCALES[args.scale],
+        scale=scale if scale is not None else SCALES[args.scale],
         jobs=_require_positive(args.jobs, "--jobs"),
         store=store, timeout_s=args.timeout, failsoft=failsoft,
         fault_plan=fault_plan)
@@ -283,30 +284,43 @@ def cmd_tables(args) -> int:
 
 
 def cmd_multicore(args) -> int:
-    from .sim.multicore import alone_ipcs, run_mix
-    from .workloads.mixes import generate_mixes, mix_name, workload_pool
+    from .experiments.runner import BASELINE, Config, Scale
+    from .workloads.mixes import generate_mixes, mix_name
     _require_positive(args.mixes, "--mixes")
     _require_positive(args.cores, "--cores")
     _require_positive(args.loads, "--loads")
-    pool = workload_pool(args.loads, spec_count=6, gap_count=2)
-    mixes = generate_mixes(pool, n_mixes=args.mixes, cores=args.cores,
-                           seed=args.seed)
-    cache = {}
     mode = MODE_ON_COMMIT if args.mode == "on-commit" else MODE_ON_ACCESS
-    runner = ExperimentRunner(scale=SCALES["small"])
-    factory = (lambda: runner.build_prefetcher(args.prefetcher)) \
-        if args.prefetcher != "none" else None
+    try:
+        config = Config(prefetcher=args.prefetcher, secure=args.secure,
+                        suf=args.suf, mode=mode)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    scale = Scale("multicore-cli", args.loads, 6, 2, args.mixes)
+    runner = _exec_runner(args, scale=scale)
+    mixes = generate_mixes(runner.pool(), n_mixes=args.mixes,
+                           cores=args.cores, seed=args.seed)
+    # Alone-IPC runs (weighted-speedup denominators) are single-core
+    # baseline jobs; each mix is one shardable job.  Both batches ride the
+    # pool/store, so --jobs fans them out and a re-run resumes.
+    distinct = list({t.name: t for mix in mixes for t in mix}.values())
+    runner.run_pool(BASELINE, distinct)
+    results = runner.run_mixes(config, mixes, cores=args.cores)
     print(f"{'mix':40s}{'weighted speedup':>18s}")
     total = []
-    for mix in mixes:
-        alone = alone_ipcs(mix, cache=cache)
-        result = run_mix(mix, cores=args.cores, secure=args.secure,
-                         suf=args.suf, train_mode=mode,
-                         prefetcher_factory=factory)
+    for mix, result in zip(mixes, results):
+        if result is None:
+            print(f"{mix_name(mix):40s}{'n/a':>18s}")
+            continue
+        alone = [runner.run(BASELINE, t).ipc for t in mix]
         ws = result.weighted_speedup(alone)
         total.append(ws)
         print(f"{mix_name(mix):40s}{ws:18.3f}")
-    print(f"{'average':40s}{sum(total) / len(total):18.3f}")
+    if total:
+        print(f"{'average':40s}{sum(total) / len(total):18.3f}")
+    summary = runner.failure_summary()
+    if summary:
+        print(summary, file=sys.stderr)
+        return 1
     return 0
 
 
@@ -515,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     mc_p.add_argument("--loads", type=int, default=5000)
     mc_p.add_argument("--seed", type=int, default=7)
     add_config_flags(mc_p)
+    add_exec_flags(mc_p)
 
     rep_p = sub.add_parser(
         "report", help="assemble benchmark results into markdown")

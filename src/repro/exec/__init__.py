@@ -12,13 +12,13 @@ Three pillars (see docs in each module):
 """
 
 from .faults import FaultPlan, InjectedFault
-from .pool import (Job, JobExecutor, JobFailure, JobOutcome, execute_job,
-                   failed_result)
-from .store import ResultStore, job_key, trace_fingerprint
+from .pool import (Job, JobExecutor, JobFailure, JobOutcome, MixJob,
+                   execute_job, failed_result)
+from .store import ResultStore, job_key, mix_job_key, trace_fingerprint
 
 __all__ = [
     "FaultPlan", "InjectedFault",
-    "Job", "JobExecutor", "JobFailure", "JobOutcome", "execute_job",
-    "failed_result",
-    "ResultStore", "job_key", "trace_fingerprint",
+    "Job", "JobExecutor", "JobFailure", "JobOutcome", "MixJob",
+    "execute_job", "failed_result",
+    "ResultStore", "job_key", "mix_job_key", "trace_fingerprint",
 ]

@@ -61,6 +61,29 @@ class Job:
         return f"{self.config.label()} @ {self.trace.name}"
 
 
+@dataclass(frozen=True)
+class MixJob:
+    """One multicore mix simulation, picklable for worker dispatch.
+
+    The executor treats it exactly like :class:`Job` (same store, retry,
+    timeout, and crash-isolation machinery); only :func:`execute_job`
+    dispatches on the type.  ``key`` comes from
+    :func:`repro.exec.store.mix_job_key`.
+    """
+
+    key: str
+    config: Any     # repro.experiments.runner.Config
+    traces: Any     # tuple of repro.workloads.trace.Trace, one per core
+    cores: int
+    scale: Any      # repro.experiments.runner.Scale
+    params: Any     # repro.sim.params.SystemParams
+
+    @property
+    def label(self) -> str:
+        mix = "+".join(trace.name for trace in self.traces)
+        return f"{self.config.label()} @ {mix}"
+
+
 @dataclass
 class JobOutcome:
     """What happened to one job across all its attempts."""
@@ -85,7 +108,7 @@ class JobFailure:
     error: str
 
 
-def execute_job(job: Job):
+def execute_job(job):
     """Run one job's simulation (used by workers and the serial path).
 
     Build and simulation wall-clock times travel back in the result's
@@ -97,21 +120,50 @@ def execute_job(job: Job):
     the *worker's* footprint, which is the one that matters for sizing
     ``--jobs``).
     """
+    if isinstance(job, MixJob):
+        return _execute_mix_job(job)
     from ..experiments.runner import ExperimentRunner
     t0 = time.perf_counter()
     runner = ExperimentRunner(scale=job.scale, params=job.params)
     system = runner.build_system(job.config)
     t1 = time.perf_counter()
     result = system.run(job.trace, warmup=job.scale.warmup)
-    wall_simulate = time.perf_counter() - t1
-    result.extras["wall_build_s"] = t1 - t0
-    result.extras["wall_simulate_s"] = wall_simulate
-    if wall_simulate > 0.0:
-        result.extras["instr_per_s"] = result.committed / wall_simulate
-    if resource is not None:
-        result.extras["max_rss_kb"] = float(
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    _attach_perf_extras(result.extras, t0, t1, result.committed)
     return result
+
+
+def _execute_mix_job(job: MixJob):
+    """Run one multicore mix (see :func:`execute_job` for the extras)."""
+    from ..experiments.runner import ExperimentRunner
+    from ..sim.multicore import MulticoreSystem
+    from ..sim.system import System
+    t0 = time.perf_counter()
+    runner = ExperimentRunner(scale=job.scale, params=job.params)
+    config = job.config
+
+    def factory(**kw):
+        prefetcher = runner.build_prefetcher(config.prefetcher)
+        return System(prefetcher=prefetcher, secure=config.secure,
+                      suf=config.suf, train_mode=config.mode, **kw)
+
+    mc = MulticoreSystem(cores=job.cores, params=job.params,
+                         system_factory=factory)
+    t1 = time.perf_counter()
+    result = mc.run(list(job.traces), warmup=job.scale.warmup)
+    _attach_perf_extras(result.extras, t0, t1, result.committed)
+    return result
+
+
+def _attach_perf_extras(extras: Dict[str, float], t0: float, t1: float,
+                        committed: int) -> None:
+    wall_simulate = time.perf_counter() - t1
+    extras["wall_build_s"] = t1 - t0
+    extras["wall_simulate_s"] = wall_simulate
+    if wall_simulate > 0.0:
+        extras["instr_per_s"] = committed / wall_simulate
+    if resource is not None:
+        extras["max_rss_kb"] = float(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def failed_result(config, trace_name: str, error: str):

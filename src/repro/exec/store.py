@@ -97,6 +97,27 @@ def job_key(config, trace, scale, params) -> str:
     return stable_digest(payload)
 
 
+def mix_job_key(config, traces, cores, scale, params) -> str:
+    """The store key of one multicore mix job.
+
+    Keyed on the ordered per-core trace fingerprints plus the core count,
+    so a mix result is reused iff the whole interleaved simulation would
+    be bit-identical.  The ``kind`` field keeps mix keys disjoint from
+    single-core :func:`job_key` digests.
+    """
+    from ..sim.params import params_digest
+    payload = {
+        "format": FORMAT_VERSION,
+        "kind": "mix",
+        "config": _canonical(config),
+        "traces": [trace_fingerprint(trace) for trace in traces],
+        "cores": cores,
+        "scale": _canonical(scale),
+        "params": params_digest(params),
+    }
+    return stable_digest(payload)
+
+
 # ----------------------------------------------------------------------
 # the store
 # ----------------------------------------------------------------------

@@ -1,4 +1,12 @@
-"""Multi-core experiment drivers (Fig. 15, Section VII-B)."""
+"""Multi-core experiment drivers (Fig. 15, Section VII-B).
+
+Every mix simulation routes through the runner's execution layer as an
+independent :class:`~repro.exec.pool.MixJob`: with ``jobs>1`` the sweep
+shards per-mix x per-config across worker processes, and with a result
+store an interrupted Fig. 15 sweep resumes from the completed mixes.
+The alone-IPC normalization runs are plain single-core baseline jobs and
+ride the same pool and store.
+"""
 
 from __future__ import annotations
 
@@ -6,23 +14,21 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.metrics import amean, geomean
 from ..analysis.report import format_table
-from ..exec.pool import JobFailure
-from ..prefetchers.base import MODE_ON_ACCESS, MODE_ON_COMMIT
-from ..sim.multicore import run_mix
-from ..workloads.mixes import mix_name
+from ..prefetchers.base import MODE_ON_COMMIT
 from .figures import FigureResult
-from .runner import BASELINE, ExperimentRunner
+from .runner import BASELINE, Config, ExperimentRunner
 
 #: Fig. 15's series, in the paper's legend order.
 FIG15_CONFIGS = (
-    ("no-pref/S", dict(secure=True), None),
-    ("berti-OA/NS", dict(secure=False, train_mode=MODE_ON_ACCESS), "berti"),
-    ("berti-OC/S", dict(secure=True, train_mode=MODE_ON_COMMIT), "berti"),
-    ("berti-OC/S+SUF", dict(secure=True, suf=True,
-                            train_mode=MODE_ON_COMMIT), "berti"),
-    ("tsb", dict(secure=True, train_mode=MODE_ON_COMMIT), "tsb"),
-    ("tsb+suf", dict(secure=True, suf=True,
-                     train_mode=MODE_ON_COMMIT), "tsb"),
+    ("no-pref/S", Config(secure=True)),
+    ("berti-OA/NS", Config(prefetcher="berti")),
+    ("berti-OC/S", Config(prefetcher="berti", secure=True,
+                          mode=MODE_ON_COMMIT)),
+    ("berti-OC/S+SUF", Config(prefetcher="berti", secure=True, suf=True,
+                              mode=MODE_ON_COMMIT)),
+    ("tsb", Config(prefetcher="tsb", secure=True, mode=MODE_ON_COMMIT)),
+    ("tsb+suf", Config(prefetcher="tsb", secure=True, suf=True,
+                       mode=MODE_ON_COMMIT)),
 )
 
 
@@ -37,7 +43,6 @@ def fig15(runner: ExperimentRunner, cores: int = 4,
     mixes = runner.mixes(cores=cores)
     if n_mixes is not None:
         mixes = mixes[:n_mixes]
-    warmup = runner.scale.warmup
 
     # Alone-IPC runs are plain single-core baseline simulations, so they
     # route through the runner's execution layer: store-backed, and run
@@ -48,40 +53,26 @@ def fig15(runner: ExperimentRunner, cores: int = 4,
     def alone(mix: Sequence) -> List[float]:
         return [runner.run(BASELINE, t).ipc for t in mix]
 
-    def shared_ws(mix, label: str, prefetcher: Optional[str],
-                  **kwargs) -> Optional[float]:
-        """One mix's weighted speedup; a failed mix becomes a recorded
-        failure (rendered in the failure summary) instead of aborting the
-        figure when the runner is failsoft."""
-        factory = (lambda name=prefetcher: runner.build_prefetcher(name)
-                   ) if prefetcher else None
-        try:
-            shared = run_mix(mix, cores=cores, params=runner.params,
-                             warmup=warmup, prefetcher_factory=factory,
-                             **kwargs)
-        except Exception as exc:
-            failure = JobFailure(label, mix_name(mix),
-                                 f"{type(exc).__name__}: {exc}")
-            runner.failures.append(failure)
-            if not runner.failsoft:
-                raise
-            return None
-        return shared.weighted_speedup(alone(mix))
-
-    # Normalization baseline: non-secure, no prefetching, same mix.
-    base_ws = [shared_ws(mix, "base/NS", None) for mix in mixes]
+    # Normalization baseline: non-secure, no prefetching, same mix.  In
+    # failsoft mode a permanently failed mix comes back None (recorded in
+    # runner.failures) and drops out of the figure instead of aborting it.
+    base_results = runner.run_mixes(BASELINE, mixes, cores=cores)
+    base_ws = [result.weighted_speedup(alone(mix))
+               if result is not None else None
+               for mix, result in zip(mixes, base_results)]
 
     rows: Dict[str, List[float]] = {}
     per_config_norms: Dict[str, List[float]] = {}
-    for label, kwargs, prefetcher in FIG15_CONFIGS:
+    for label, config in FIG15_CONFIGS:
+        results = runner.run_mixes(config, mixes, cores=cores)
         norms = []
-        for mix, base in zip(mixes, base_ws):
+        for mix, base, shared in zip(mixes, base_ws, results):
             if base is None:
                 continue
-            ws = shared_ws(mix, label, prefetcher, **kwargs)
-            if ws is None:
+            if shared is None:
                 norms.append(float("nan"))
                 continue
+            ws = shared.weighted_speedup(alone(mix))
             norms.append(ws / base if base else 0.0)
         clean = [n for n in norms if n == n]
         per_config_norms[label] = sorted(clean)
@@ -109,10 +100,11 @@ def smt_accuracy_check(runner: ExperimentRunner,
     to ~92% for pathological same-trace mixes).
     """
     mixes = runner.mixes(cores=2)[:n_mixes]
+    config = Config(secure=True, suf=True)
     accuracies = []
-    for mix in mixes:
-        shared = run_mix(mix, cores=2, params=runner.params,
-                         warmup=runner.scale.warmup, secure=True, suf=True)
+    for shared in runner.run_mixes(config, mixes, cores=2):
+        if shared is None:
+            continue
         for result in shared.per_core:
             if result.gm is not None:
                 accuracies.append(result.gm.suf_accuracy())

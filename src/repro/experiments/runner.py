@@ -21,14 +21,16 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..core.timely import make_timely
 from ..core.tsb import TSBPrefetcher
 from ..exec.faults import FaultPlan
-from ..exec.pool import Job, JobExecutor, JobFailure, failed_result
-from ..exec.store import ResultStore, StoreError, job_key
+from ..exec.pool import Job, JobExecutor, JobFailure, MixJob, failed_result
+from ..exec.store import ResultStore, StoreError, job_key, mix_job_key
 from ..obs import ObsConfig, PhaseProfiler
 from ..prefetchers.base import (MODE_ON_ACCESS, MODE_ON_COMMIT, Prefetcher)
 from ..prefetchers.registry import is_registered, make_prefetcher
+from ..sim.multicore import MulticoreResult
 from ..sim.params import SystemParams, baseline
 from ..sim.system import SimResult, System
-from ..workloads.mixes import generate_mixes, workload_pool
+from ..workloads.mixes import generate_mixes
+from ..workloads.prebuilt import cached_workload_pool
 from ..workloads.trace import Trace
 
 
@@ -208,6 +210,8 @@ class ExperimentRunner:
             fault_plan=self.fault_plan)
         self._pool: Optional[List[Trace]] = None
         self._results: Dict[Tuple[Config, str], SimResult] = {}
+        self._mix_results: Dict[Tuple[Config, Tuple[str, ...], int],
+                                Optional[MulticoreResult]] = {}
 
     def _open_store(self, store) -> Optional[ResultStore]:
         if store is None or isinstance(store, ResultStore):
@@ -224,12 +228,18 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def pool(self) -> List[Trace]:
-        """The combined SPEC-like + GAP-like single-core pool."""
+        """The combined SPEC-like + GAP-like single-core pool.
+
+        Traces come from the prebuilt cache: memoized in-process, and
+        persisted under ``<store>/traces`` when the runner has a result
+        store, so a resumed sweep skips trace synthesis entirely.
+        """
         if self._pool is None:
+            cache_dir = self.store.root / "traces" if self.store else None
             with self.profiler.phase("traces"):
-                self._pool = workload_pool(
+                self._pool = cached_workload_pool(
                     self.scale.n_loads, spec_count=self.scale.spec_count,
-                    gap_count=self.scale.gap_count)
+                    gap_count=self.scale.gap_count, cache_dir=cache_dir)
         return self._pool
 
     def spec_pool(self) -> List[Trace]:
@@ -360,6 +370,79 @@ class ExperimentRunner:
                 self._results[(config, outcome.job.trace.name)] = \
                     self._finish(outcome)
         return [self._results[(config, t.name)] for t in traces]
+
+    # ------------------------------------------------------------------
+    # multicore mixes
+    # ------------------------------------------------------------------
+
+    def _mix_job(self, config: Config, mix: List[Trace],
+                 cores: int) -> MixJob:
+        traces = tuple(mix)
+        return MixJob(key=mix_job_key(config, traces, cores, self.scale,
+                                      self.params),
+                      config=config, traces=traces, cores=cores,
+                      scale=self.scale, params=self.params)
+
+    def _finish_mix(self, outcome) -> Optional[MulticoreResult]:
+        """Mix-job counterpart of :meth:`_finish`.
+
+        A permanently failed mix becomes ``None`` (callers skip the mix)
+        in failsoft mode instead of a NaN ``SimResult``, since a
+        :class:`MulticoreResult` has no NaN sentinel shape.
+        """
+        if outcome.ok:
+            if not outcome.from_store:
+                extras = outcome.result.extras
+                for phase in ("build", "simulate"):
+                    seconds = extras.get(f"wall_{phase}_s")
+                    if seconds is not None:
+                        self.profiler.add(phase, seconds)
+                instr_per_s = extras.get("instr_per_s")
+                if instr_per_s:
+                    self.job_throughputs.append(instr_per_s)
+            return outcome.result
+        mix_label = "+".join(t.name for t in outcome.job.traces)
+        failure = JobFailure(outcome.job.config.label(), mix_label,
+                             outcome.error)
+        self.failures.append(failure)
+        if not self.failsoft:
+            raise ExperimentError(
+                f"{failure.config_label} on mix {mix_label} failed after "
+                f"{outcome.attempts} attempt(s): {outcome.error}")
+        return None
+
+    def run_mixes(self, config: Config,
+                  mixes: Optional[List[List[Trace]]] = None,
+                  cores: int = 4) -> List[Optional[MulticoreResult]]:
+        """Run one configuration over many multicore mixes.
+
+        Each mix is an independent shardable job: uncached mixes are
+        submitted as one batch through the execution layer, so with
+        ``jobs>1`` they run in parallel and with a result store an
+        interrupted sweep resumes from the completed mixes.  Returns
+        results aligned to the input mixes; a permanently failed mix is
+        ``None`` when the runner is failsoft.
+        """
+        if mixes is None:
+            mixes = self.mixes(cores=cores)
+        todo: Dict[Tuple[Config, Tuple[str, ...], int], MixJob] = {}
+        for mix in mixes:
+            key = (config, tuple(t.name for t in mix), cores)
+            if key not in self._mix_results and key not in todo:
+                todo[key] = self._mix_job(config, mix, cores)
+        if todo:
+            with self.profiler.phase("execute"):
+                outcomes = self._executor.run_jobs(list(todo.values()))
+            for key, outcome in zip(todo, outcomes):
+                self._mix_results[key] = self._finish_mix(outcome)
+        return [self._mix_results[(config, tuple(t.name for t in mix),
+                                   cores)]
+                for mix in mixes]
+
+    def run_mix(self, config: Config, mix: List[Trace],
+                cores: int = 4) -> Optional[MulticoreResult]:
+        """Run (or recall) one configuration on one multicore mix."""
+        return self.run_mixes(config, [mix], cores=cores)[0]
 
     def cached_runs(self) -> int:
         return len(self._results)

@@ -159,6 +159,7 @@ class BertiPrefetcher(Prefetcher):
         # Berti trains on misses and prefetched-line hits only (the
         # accesses a prefetch could have covered); plain hits take no
         # training action (Section V-C).
+        table = None
         if not event.hit or event.prefetch_hit:
             # 2. Learn timely deltas: entries whose prefetch, issued at
             # their timestamp, would have completed by the time this access
@@ -177,8 +178,10 @@ class BertiPrefetcher(Prefetcher):
             # order on-commit).
             history.append((block, event.cycle))
 
-        # Issue prefetches for the best-covered deltas.
-        table = self._deltas.get(ip)
+        # Issue prefetches for the best-covered deltas (reusing the table
+        # the learning step already looked up, when it did).
+        if table is None:
+            table = self._deltas.get(ip)
         if table is None or table.observations < self._min_observations:
             return []
         # Inline of ``table.best_deltas``'s cache hit -- the common case:

@@ -36,6 +36,7 @@ golden-stats tests pin bit-identical counters.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from typing import Dict, List, Optional, Tuple
 
 from .params import CacheParams
@@ -136,11 +137,16 @@ class _PortBucket:
 
 
 class _SlotPool:
-    """A pool of N resources tracked by next-free times.
+    """A pool of N resources tracked by next-free times, kept *sorted*.
 
-    Used for MSHRs and PQ entries.  ``acquire(t)`` returns the time at
-    which a slot is available (``>= t``) and marks it busy until
-    ``release``; occupancy can be sampled at any time.
+    Used for MSHRs and PQ entries.  Slots are interchangeable, so the
+    pool is really a multiset of next-free times: allocation removes the
+    minimum (``times[0]``) and inserts the new release time with
+    ``insort``.  Keeping the list ascending turns the three O(N) scans
+    the old flat-list version paid per allocation (``min`` + ``index`` +
+    busy-count) into one O(1) head read plus one ``bisect``; the shared
+    multi-core LLC, whose pools are four times the single-core size,
+    is the main beneficiary.
     """
 
     __slots__ = ("times",)
@@ -148,19 +154,12 @@ class _SlotPool:
     def __init__(self, size: int) -> None:
         self.times: List[int] = [0] * size
 
-    def earliest(self) -> Tuple[int, int]:
-        """Return ``(index, next_free_time)`` of the earliest-free slot."""
-        times = self.times
-        free_at = min(times)                 # C-level; first minimum
-        return times.index(free_at), free_at
-
     def occupancy(self, time: int) -> int:
-        """Number of slots busy at ``time``."""
-        # time < t  <=>  slot busy; map() keeps the count in C.
-        return sum(map(time.__lt__, self.times))
+        """Number of slots busy at ``time`` (next-free strictly later)."""
+        return len(self.times) - bisect_right(self.times, time)
 
     def full(self, time: int) -> bool:
-        return min(self.times) > time
+        return self.times[0] > time
 
 
 class CacheLevel:
@@ -188,7 +187,7 @@ class CacheLevel:
         self._mshrs = _SlotPool(params.mshrs)
         self._pq = _SlotPool(params.pq_entries)
         self._outstanding: Dict[int, _MSHREntry] = {}
-        self._pending_mshr_slot = 0
+        self._pending_mshr_time = 0
         # Hot-path hoists: immutable params read on every access, and the
         # bound port-acquire method (skips one attribute lookup + frame
         # per charge).  ``access`` is the hottest function in the whole
@@ -200,6 +199,13 @@ class CacheLevel:
         # pools mutate them in place, never rebind).
         self._mshr_times = self._mshrs.times
         self._pq_times = self._pq.times
+        # Identity-stable aliases of the per-request-type counter dicts:
+        # ``stats`` is never rebound and ``StatsStruct.reset`` zeroes the
+        # dicts in place, so one attribute hop per bump is saved on the
+        # three hottest counters.
+        self._accesses = self.stats.accesses
+        self._hits = self.stats.hits
+        self._misses = self.stats.misses
 
     # ------------------------------------------------------------------
     # basic array operations
@@ -252,8 +258,7 @@ class CacheLevel:
         (The flags are positional-friendly: keyword passing costs real time
         on the recursive descent, the hottest call chain in the simulator.)
         """
-        stats = self.stats
-        stats.accesses[rtype] += 1
+        self._accesses[rtype] += 1
         start = self._port_acquire(time)
         # ``demand`` (is this a load/store?) is only consulted on the
         # rarer paths, so it is derived lazily there; the REQ_* constants
@@ -264,7 +269,7 @@ class CacheLevel:
             ready = start + self._latency
             if line.fill_time <= ready:
                 # Plain hit.
-                stats.hits[rtype] += 1
+                self._hits[rtype] += 1
                 if update:
                     line.last_touch = time
                     line.rrpv = 0
@@ -274,7 +279,7 @@ class CacheLevel:
                         and not line.was_demand_hit \
                         and (rtype is REQ_LOAD or rtype is REQ_STORE):
                     line.was_demand_hit = True
-                    stats.prefetches_useful += 1
+                    self.stats.prefetches_useful += 1
                     if self.events is not None:
                         self.events.emit("pf_use", time, block, self.name)
                 # fill_time <= ready was just checked: ready is the max.
@@ -300,7 +305,7 @@ class CacheLevel:
         # True miss: allocate an MSHR and fetch from the next level.  The
         # update/fill flags propagate down so a GhostMinion speculative walk
         # leaves no state anywhere in the non-speculative hierarchy.
-        stats.misses[rtype] += 1
+        self._misses[rtype] += 1
         alloc = self._mshr_acquire(start)
         send = alloc + self._latency
         completion, served = self.next.access(
@@ -316,6 +321,7 @@ class CacheLevel:
             self._outstanding.pop(block, None)
 
         if rtype is REQ_LOAD:
+            stats = self.stats
             stats.load_miss_latency_sum += completion - time
             stats.load_miss_latency_count += 1
         return completion, served
@@ -328,12 +334,12 @@ class CacheLevel:
         not start a fetch and is *not* counted as a demand miss (the GM
         provided the data).
         """
-        self.stats.accesses[rtype] += 1
+        self._accesses[rtype] += 1
         self._port_acquire(time)
         line = self.sets[block & self._set_mask].get(block)
         hit = line is not None and line.fill_time <= time
         if hit:
-            self.stats.hits[rtype] += 1
+            self._hits[rtype] += 1
         return hit
 
     def _merge(self, block: int, fill_time: int, was_prefetch: bool,
@@ -341,7 +347,7 @@ class CacheLevel:
                line: Optional[Line]) -> Tuple[int, int]:
         """A request merges with an in-flight fill for the same block."""
         stats = self.stats
-        stats.misses[rtype] += 1
+        self._misses[rtype] += 1
         stats.mshr_merges += 1
         if demand and was_prefetch:
             stats.demand_merged_into_prefetch += 1
@@ -439,17 +445,17 @@ class CacheLevel:
                           gm_propagate: bool = False,
                           wbb: bool = False) -> None:
         """Accept an eviction from the level above (no read recursion)."""
-        self.stats.accesses[REQ_WRITEBACK] += 1
+        self._accesses[REQ_WRITEBACK] += 1
         self._port_acquire(time)
         line = self.sets[block & self._set_mask].get(block)
         if line is not None:
-            self.stats.hits[REQ_WRITEBACK] += 1
+            self._hits[REQ_WRITEBACK] += 1
             line.dirty = line.dirty or dirty
             line.last_touch = time
             line.gm_propagate = line.gm_propagate or gm_propagate
             line.wbb = line.wbb or wbb
             return
-        self.stats.misses[REQ_WRITEBACK] += 1
+        self._misses[REQ_WRITEBACK] += 1
         self.insert(block, time, False, dirty, gm_propagate, wbb)
 
     def commit_write(self, block: int, time: int, gm_propagate: bool = True,
@@ -458,11 +464,11 @@ class CacheLevel:
 
         Counted as a *commit request* in the traffic breakdown (Fig. 3).
         """
-        self.stats.accesses[REQ_COMMIT] += 1
+        self._accesses[REQ_COMMIT] += 1
         self._port_acquire(time)
         line = self.sets[block & self._set_mask].get(block)
         if line is not None:
-            self.stats.hits[REQ_COMMIT] += 1
+            self._hits[REQ_COMMIT] += 1
             line.last_touch = time
             line.gm_propagate = line.gm_propagate or gm_propagate
             line.wbb = line.wbb or wbb
@@ -484,23 +490,23 @@ class CacheLevel:
         if block in self.sets[block & self._set_mask] \
                 or block in self._outstanding:
             return self._drop_prefetch(block, time)
-        # Inline of _SlotPool.earliest/full; the slot index is resolved
-        # only once the request is known to issue (drops skip it).
+        # Sorted pools: both availability checks are head reads.
         pq_times = self._pq_times
-        free_at = min(pq_times)
-        if free_at > time:
+        if pq_times[0] > time:
             return self._drop_prefetch(block, time)
         # Hardware drops prefetches rather than letting them queue for an
         # MSHR ahead of demand misses (the functional MSHR model would
         # otherwise let a prefetch reserve a future slot).
-        if min(self._mshr_times) > time:
+        if self._mshr_times[0] > time:
             return self._drop_prefetch(block, time)
-        slot = pq_times.index(free_at)
         self.stats.prefetches_issued += 1
         if self.events is not None:
             self.events.emit("pf_issue", time, block, self.name)
         completion, _ = self.access(block, time, REQ_PREFETCH, True, fill)
-        pq_times[slot] = completion
+        # The access above never touches the PQ, so the head is still the
+        # slot this prefetch claimed.
+        del pq_times[0]
+        insort(pq_times, completion)
         return True
 
     def _drop_prefetch(self, block: int, time: int) -> bool:
@@ -518,15 +524,13 @@ class CacheLevel:
         return self._mshrs.occupancy(time)
 
     def _mshr_acquire(self, time: int) -> int:
-        # C-level scans instead of a Python loop: min()/list.index find
-        # the earliest-free slot (first-minimum, like the old earliest()),
-        # and sum(map(time.__lt__, ...)) counts busy slots -- the whole
-        # sample runs without interpreting a single loop body.
+        # The pool list is sorted (see _SlotPool): the earliest-free slot
+        # is the head, and the busy count is one bisect away -- no O(N)
+        # scans on the allocation path.
         stats = self.stats
         times = self._mshr_times
-        free_at = min(times)
-        slot = times.index(free_at)
-        stats.mshr_occupancy_sum += sum(map(time.__lt__, times))
+        free_at = times[0]
+        stats.mshr_occupancy_sum += len(times) - bisect_right(times, time)
         stats.mshr_occupancy_samples += 1
         if free_at > time:
             stats.mshr_full_events += 1
@@ -534,14 +538,20 @@ class CacheLevel:
             start = free_at
         else:
             start = time
-        # Reserve the slot; the true release time is set by ``_mshr_fill``.
-        times[slot] = start + 1
-        self._pending_mshr_slot = slot
+        # Reserve a slot with a placeholder release time; ``_mshr_fill``
+        # (always paired before any other same-level allocation) replaces
+        # it with the true fill time.
+        del times[0]
+        reserved = start + 1
+        insort(times, reserved)
+        self._pending_mshr_time = reserved
         return start
 
     def _mshr_fill(self, block: int, fill_time: int, is_prefetch: bool,
                    issue_time: int) -> None:
-        self._mshr_times[self._pending_mshr_slot] = fill_time
+        times = self._mshr_times
+        del times[bisect_left(times, self._pending_mshr_time)]
+        insort(times, fill_time)
         self._outstanding[block] = _MSHREntry(fill_time, is_prefetch,
                                               issue_time)
 

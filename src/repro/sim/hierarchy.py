@@ -19,6 +19,7 @@ time with the hit level the load recorded in its load-queue entry.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import NamedTuple
 
 from .cache import (CacheLevel, LEVEL_L1D, LEVEL_L2, LEVEL_LLC,
@@ -263,8 +264,11 @@ class MemoryHierarchy:
                 self.llc.stats.prefetches_dropped += 1
             return False
         if fill_level <= LEVEL_L1D:
-            # Inline of l1d.mshr_occupancy: count busy slots in C.
-            if 2 * sum(map(time.__lt__, self._l1d_mshr_times)) \
+            # Inline of l1d.mshr_occupancy: the pool list is sorted, so
+            # the busy count (next-free strictly after ``time``) is one
+            # bisect.
+            times = self._l1d_mshr_times
+            if 2 * (len(times) - bisect_right(times, time)) \
                     >= self._l1d_mshrs:
                 fill_level = LEVEL_L2
             else:

@@ -17,7 +17,7 @@ private memory system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..workloads.trace import Trace
@@ -29,10 +29,20 @@ from .system import SimResult, System
 
 @dataclass
 class MulticoreResult:
-    """Results of one multi-core mix run."""
+    """Results of one multi-core mix run.
+
+    ``extras`` carries executor-side measurements (wall times, instr/s,
+    worker peak RSS) when the mix ran as a sharded pool job, mirroring
+    ``SimResult.extras``.
+    """
 
     per_core: List[SimResult]
     mix_name: str
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> int:
+        return sum(result.committed for result in self.per_core)
 
     def ipc(self, core: int) -> float:
         return self.per_core[core].ipc
@@ -96,9 +106,18 @@ class MulticoreSystem:
         active = list(runners)
         while active:
             # Advance the core whose next instruction dispatches earliest.
-            runner = min(active, key=lambda r: r.current_time())
-            if not runner.step():
-                active.remove(runner)
+            # Manual strict-< scan instead of min(key=lambda ...): no
+            # closure allocation per step, same first-of-ties pick, and
+            # the time read skips the current_time() call frame.
+            best = active[0]
+            best_time = best.system.core.current_cycle
+            for runner in active:
+                t = runner.system.core.current_cycle
+                if t < best_time:
+                    best_time = t
+                    best = runner
+            if not best.step():
+                active.remove(best)
         results = [runner.finish() for runner in runners]
         name = "+".join(trace.name for trace in mix)
         return MulticoreResult(per_core=results, mix_name=name)

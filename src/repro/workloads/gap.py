@@ -23,7 +23,12 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+try:  # optional fast path; the stdlib loop below is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environment
+    _np = None
 
 from .synthetic import REGION_GAP, TraceBuilder
 from .trace import Trace
@@ -37,6 +42,116 @@ PROP2_BASE = 4 * REGION_GAP
 
 _ELEM = 8  # bytes per array element
 
+#: MT19937 words with this bit clear are the ones ``_randbelow`` accepts
+#: when the window is a power of two (see :func:`_np_build_graph`).
+_TOP_BIT = 0x80000000
+
+
+def _np_build_graph(vertices: int, deg_lo: int, deg_span: int,
+                    seed: int) -> Optional[Tuple[List[int], List[int]]]:
+    """Vectorized, draw-exact CSR construction (NumPy fast path).
+
+    CPython's ``Random._randbelow(n)`` for ``n == 2**m`` draws one 32-bit
+    MT19937 word per attempt, keeps the top ``m + 1`` bits, and accepts
+    iff the result is below ``2**m`` -- i.e. iff *bit 31 of the raw word
+    is clear*, independent of ``m``.  So when both draw windows
+    (``deg_span`` and ``vertices``) are powers of two, the accepted-word
+    subsequence does not depend on which window each draw targets: we can
+    pull the raw word stream in bulk (same MT19937 state, injected from
+    ``random.Random(seed)``), filter on the top bit once, and decode each
+    accepted word with the shift of whichever draw consumed it.
+
+    Returns ``None`` (caller falls back to the scalar loop) when NumPy is
+    missing, a window is not a power of two, or the trailing spot check
+    against a fresh ``random.Random(seed)`` replay disagrees.
+    """
+    if _np is None:
+        return None
+    if vertices & (vertices - 1) or deg_span & (deg_span - 1):
+        return None
+    if deg_span > 256:  # degree column is decoded through a bytes view
+        return None
+    st = random.Random(seed).getstate()[1]
+    try:
+        mt = _np.random.MT19937()
+        mt.state = {"bit_generator": "MT19937",
+                    "state": {"key": _np.asarray(st[:624],
+                                                 dtype=_np.uint32),
+                              "pos": st[624]}}
+    except (KeyError, TypeError, ValueError):  # pragma: no cover
+        return None
+    # getrandbits(m + 1) keeps the top m + 1 bits of the word.
+    shift_deg = 32 - deg_span.bit_length()
+    shift_v = 32 - vertices.bit_length()
+
+    # Accepted draws needed: one degree draw plus ``deg`` vertex draws
+    # per vertex; each accepted draw costs two raw words on average.
+    mean_deg = deg_lo + (deg_span - 1) / 2.0
+    need = int(vertices * (1.0 + mean_deg)) + vertices // 8 + 4096
+    words = mt.random_raw(max(4096, int(need * 2.1)))
+    acc = words[words < _TOP_BIT]
+    # Degree candidates as a bytes view: C-speed indexing in the walk
+    # below without materializing a Python int per accepted word.
+    deg_bytes = (acc >> shift_deg).astype(_np.uint8).tobytes()
+
+    # Sequential walk over accepted-draw positions: vertex v's degree
+    # draw sits right after vertex v-1's last neighbor draw.
+    degs: List[int] = []
+    append = degs.append
+    pos = 0
+    n_acc = len(acc)
+    for _ in range(vertices):
+        while pos >= n_acc:  # estimate ran short: top up the stream
+            more = mt.random_raw(1 << 16)
+            more_acc = more[more < _TOP_BIT]
+            acc = _np.concatenate((acc, more_acc))
+            deg_bytes += (more_acc >> shift_deg).astype(
+                _np.uint8).tobytes()
+            n_acc = len(acc)
+        d = deg_lo + deg_bytes[pos]
+        append(d)
+        pos += 1 + d
+    while pos > n_acc:  # the final vertex's neighbor draws ran short
+        more = mt.random_raw(1 << 16)
+        acc = _np.concatenate((acc, more[more < _TOP_BIT]))
+        n_acc = len(acc)
+
+    degs_arr = _np.asarray(degs, dtype=_np.int64)
+    deg_positions = _np.empty(vertices, dtype=_np.int64)
+    deg_positions[0] = 0
+    if vertices > 1:
+        _np.cumsum(degs_arr[:-1] + 1, out=deg_positions[1:])
+    mask = _np.ones(pos, dtype=bool)
+    mask[deg_positions] = False
+    nbr = (acc[:pos][mask] >> shift_v).astype(_np.int64)
+
+    # Per-vertex ascending neighbor sort, all rows at once: tag each
+    # value with its row id in the high bits and sort the tagged column.
+    vbits = (vertices - 1).bit_length()
+    combined = (_np.repeat(_np.arange(vertices, dtype=_np.int64),
+                           degs_arr) << vbits) | nbr
+    combined.sort()
+    neighbors = (combined & ((1 << vbits) - 1)).tolist()
+    offs = _np.zeros(vertices + 1, dtype=_np.int64)
+    _np.cumsum(degs_arr, out=offs[1:])
+    offsets = offs.tolist()
+
+    # Spot check: replay the first few vertices on the scalar generator
+    # and require byte-for-byte agreement, so any emulation drift (NumPy
+    # MT19937 changes, PyPy, ...) falls back instead of diverging.
+    rng = random.Random(seed)
+    randbelow = getattr(rng, "_randbelow", None)
+    if randbelow is None:  # pragma: no cover - non-CPython
+        return None
+    for v in range(min(4, vertices)):
+        d = deg_lo + randbelow(deg_span)
+        if d != degs[v]:  # pragma: no cover - fallback guard
+            return None
+        row = sorted(randbelow(vertices) for _ in range(d))
+        if row != neighbors[offsets[v]:offsets[v + 1]]:
+            return None  # pragma: no cover - fallback guard
+    return offsets, neighbors
+
 
 def build_graph(vertices: int = 65536, degree: int = 16,
                 seed: int = 42) -> Tuple[List[int], List[int]]:
@@ -45,13 +160,32 @@ def build_graph(vertices: int = 65536, degree: int = 16,
     cached = _GRAPH_CACHE.get(key)
     if cached is not None:
         return cached
+    deg_lo = max(1, degree // 2)
+    deg_span = degree + degree // 2 - deg_lo
+    if deg_span <= 0 or vertices <= 0:
+        raise ValueError(f"empty range for degree={degree} "
+                         f"vertices={vertices}")
+    graph = _np_build_graph(vertices, deg_lo, deg_span, seed)
+    if graph is not None:
+        _GRAPH_CACHE[key] = graph
+        return graph
     rng = random.Random(seed)
     offsets = [0] * (vertices + 1)
     neighbors: List[int] = []
+    extend = neighbors.extend
+    # randrange(a, b) reduces to a + _randbelow(b - a); calling the
+    # accepted-values core directly skips the argument re-validation on
+    # the ~vertices * (degree + 1) draws and keeps the exact draw
+    # sequence (same generator, same rejection sampling).
+    randbelow = getattr(rng, "_randbelow", None)
+    if randbelow is None:  # non-CPython fallback
+        randrange = rng.randrange
+
+        def randbelow(n, _randrange=randrange):
+            return _randrange(n)
     for v in range(vertices):
-        deg = rng.randrange(max(1, degree // 2), degree + degree // 2)
-        row = sorted(rng.randrange(vertices) for _ in range(deg))
-        neighbors.extend(row)
+        deg = deg_lo + randbelow(deg_span)
+        extend(sorted(randbelow(vertices) for _ in range(deg)))
         offsets[v + 1] = len(neighbors)
     graph = (offsets, neighbors)
     _GRAPH_CACHE[key] = graph
@@ -223,13 +357,37 @@ GAP_KERNELS = {
 }
 
 
+def gap_trace(kernel: str, n_loads: int = 30000, *, vertices: int = 65536,
+              seed: int = 42) -> Trace:
+    """Build one kernel of the pool :func:`gap_traces` would build.
+
+    ``seed`` is the *pool* seed: the kernel's index in sorted name order
+    is applied as the per-kernel offset, exactly as in the pool builder,
+    so ``gap_trace(k, ...)`` equals the pool's ``k`` entry record for
+    record.  This is the unit the prebuilt-trace cache keys on.
+    """
+    kernels = sorted(GAP_KERNELS)
+    try:
+        index = kernels.index(kernel)
+    except ValueError:
+        raise ValueError(f"unknown GAP kernel {kernel!r}; "
+                         f"known: {kernels}") from None
+    kwargs = {"n_loads": n_loads, "seed": seed + index}
+    if kernel != "tc":
+        kwargs["vertices"] = vertices
+    return GAP_KERNELS[kernel](f"{kernel}-{seed}B", **kwargs)
+
+
 def gap_traces(n_loads: int = 30000, *, vertices: int = 65536,
-               seed: int = 42) -> List[Trace]:
-    """The GAP-like trace pool."""
-    traces = []
-    for i, (kernel, build) in enumerate(sorted(GAP_KERNELS.items())):
-        kwargs = {"n_loads": n_loads, "seed": seed + i}
-        if kernel != "tc":
-            kwargs["vertices"] = vertices
-        traces.append(build(f"{kernel}-{seed}B", **kwargs))
-    return traces
+               seed: int = 42, count: int = 0) -> List[Trace]:
+    """The GAP-like trace pool (first ``count`` kernels, 0 = all).
+
+    Kernel ``i`` always uses ``seed + i`` over the sorted kernel names, so
+    a truncated pool is a prefix of the full one -- small sweep scales
+    skip building (and graph-constructing) the kernels they never use.
+    """
+    kernels = sorted(GAP_KERNELS)
+    if count:
+        kernels = kernels[:count]
+    return [gap_trace(kernel, n_loads, vertices=vertices, seed=seed)
+            for kernel in kernels]

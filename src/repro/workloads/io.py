@@ -3,15 +3,20 @@
 Traces regenerate deterministically from their seeds, so serialization
 mainly serves (a) interchange with other tools, (b) archiving the exact
 workloads behind a set of published numbers, and (c) skipping generation
-cost for the large graph workloads.
+cost for the large graph workloads (the prebuilt-trace cache in
+``repro.workloads.prebuilt`` stores ``.rtrace`` files).
 
 Format (``.rtrace``, gzip-compressed):
 
 * 16-byte header: magic ``b"RPRT"``, version (u16), flags (u16),
   record count (u64);
 * a UTF-8 name block (u16 length + bytes) and suite block (same);
-* records as fixed 13-byte little-endian triples: ip (u48), vaddr (i64,
-  -1 for non-memory), flags (u8).
+* version 1: records as fixed 13-byte little-endian triples: ip (i64),
+  vaddr (i64, -1 for non-memory), flags (u8);
+* version 2 (current writer): the same data *columnar* -- all ips
+  (i64 little-endian), then all vaddrs (i64), then all flags (u8).
+  Columns load straight into a lazy :class:`Trace` without a per-record
+  unpack loop, and compress slightly better.
 
 The format is versioned; readers reject unknown versions rather than
 guessing.
@@ -21,16 +26,39 @@ from __future__ import annotations
 
 import gzip
 import struct
+import sys
+from array import array
 from pathlib import Path
 from typing import Union
 
 from .trace import Trace
 
 MAGIC = b"RPRT"
-VERSION = 1
+VERSION = 2
 
 _HEADER = struct.Struct("<4sHHQ")
-_RECORD = struct.Struct("<qqB")  # generous fixed width, compresses well
+_RECORD = struct.Struct("<qqB")  # version-1 row encoding
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _native_q(payload: bytes) -> array:
+    """Little-endian i64 bytes -> native ``array('q')``."""
+    column = array("q")
+    column.frombytes(payload)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        column.byteswap()
+    return column
+
+
+def _le_bytes(column: array) -> bytes:
+    """Native int sequence -> little-endian i64 bytes."""
+    if not isinstance(column, array) or column.typecode != "q":
+        column = array("q", column)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        column = array("q", column)
+        column.byteswap()
+    return column.tobytes()
 
 
 class TraceFormatError(ValueError):
@@ -38,23 +66,31 @@ class TraceFormatError(ValueError):
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
-    """Write ``trace`` to ``path`` (gzip-compressed binary)."""
+    """Write ``trace`` to ``path`` (gzip-compressed binary, version 2)."""
     path = Path(path)
     name_bytes = trace.name.encode("utf-8")
     suite_bytes = trace.suite.encode("utf-8")
+    cols = trace._cols
+    if cols is None:
+        records = trace.records
+        ips = array("q", [r[0] for r in records])
+        vaddrs = array("q", [r[1] for r in records])
+        flags = bytes(r[2] for r in records)
+    else:
+        ips, vaddrs, flags = cols
     with gzip.open(path, "wb") as handle:
-        handle.write(_HEADER.pack(MAGIC, VERSION, 0, len(trace.records)))
+        handle.write(_HEADER.pack(MAGIC, VERSION, 0, len(trace)))
         handle.write(struct.pack("<H", len(name_bytes)))
         handle.write(name_bytes)
         handle.write(struct.pack("<H", len(suite_bytes)))
         handle.write(suite_bytes)
-        pack = _RECORD.pack
-        for ip, vaddr, flags in trace.records:
-            handle.write(pack(ip, vaddr, flags))
+        handle.write(_le_bytes(ips))
+        handle.write(_le_bytes(vaddrs))
+        handle.write(bytes(flags))
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace` (version 1 or 2)."""
     path = Path(path)
     with gzip.open(path, "rb") as handle:
         header = handle.read(_HEADER.size)
@@ -63,20 +99,31 @@ def load_trace(path: Union[str, Path]) -> Trace:
         magic, version, _flags, count = _HEADER.unpack(header)
         if magic != MAGIC:
             raise TraceFormatError(f"{path}: not a repro trace file")
-        if version != VERSION:
+        if version not in (1, 2):
             raise TraceFormatError(
                 f"{path}: unsupported version {version} "
-                f"(reader supports {VERSION})")
+                f"(reader supports <= {VERSION})")
         (name_len,) = struct.unpack("<H", handle.read(2))
         name = handle.read(name_len).decode("utf-8")
         (suite_len,) = struct.unpack("<H", handle.read(2))
         suite = handle.read(suite_len).decode("utf-8")
 
-        size = _RECORD.size
-        unpack = _RECORD.unpack
-        payload = handle.read(count * size)
-        if len(payload) != count * size:
-            raise TraceFormatError(f"{path}: truncated record section")
-        records = [unpack(payload[i:i + size])
-                   for i in range(0, len(payload), size)]
-    return Trace(name, records, suite=suite)
+        if version == 1:
+            size = _RECORD.size
+            unpack = _RECORD.unpack
+            payload = handle.read(count * size)
+            if len(payload) != count * size:
+                raise TraceFormatError(f"{path}: truncated record section")
+            records = [unpack(payload[i:i + size])
+                       for i in range(0, len(payload), size)]
+            return Trace(name, records, suite=suite)
+
+        ip_bytes = handle.read(count * 8)
+        vaddr_bytes = handle.read(count * 8)
+        flag_bytes = handle.read(count)
+        if (len(ip_bytes) != count * 8 or len(vaddr_bytes) != count * 8
+                or len(flag_bytes) != count):
+            raise TraceFormatError(f"{path}: truncated column section")
+    return Trace.from_columns(name, _native_q(ip_bytes),
+                              _native_q(vaddr_bytes), flag_bytes,
+                              suite=suite)

@@ -22,9 +22,7 @@ def workload_pool(n_loads: int = 20000, *, spec_count: int = 0,
     benchmark scales stay fast.
     """
     spec = spec_traces(n_loads, count=spec_count, seed=seed)
-    gap = gap_traces(n_loads, seed=seed + 41)
-    if gap_count:
-        gap = gap[:gap_count]
+    gap = gap_traces(n_loads, seed=seed + 41, count=gap_count)
     return spec + gap
 
 

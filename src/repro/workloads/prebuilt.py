@@ -1,0 +1,137 @@
+"""Prebuilt-trace cache: build each workload trace once, not once per job.
+
+A sharded sweep runs the same workload pool in every job (and, with a
+persistent result store, across interrupted and resumed sweeps).  Trace
+generation is deterministic, so the pool is pure function of
+``(generator, n_loads, seed, params)`` -- this module memoizes it at two
+levels:
+
+* a **process-wide memo** so repeated pools within one process (the
+  parent sweep loop, a worker executing several jobs) are built once;
+* an optional **disk cache** of ``.rtrace`` files (columnar v2, see
+  :mod:`repro.workloads.io`) under ``<result-store-root>/traces/``, so
+  resumed sweeps and fresh worker processes load instead of rebuild --
+  the expensive GAP graph construction is skipped entirely on a hit.
+
+Keys include :data:`CACHE_VERSION`; bump it whenever generator output
+changes so stale files are ignored (they are content-addressed, so old
+versions simply stop being referenced).  ``rm -rf <store>/traces`` is
+always a safe manual invalidation.
+
+Corrupt or torn cache files are never trusted: a failed load falls back
+to rebuilding and rewriting.  Writes are atomic (temp file +
+``os.replace``), so concurrent workers racing to fill the same entry
+both succeed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .gap import GAP_KERNELS, gap_trace
+from .io import TraceFormatError, load_trace, save_trace
+from .spec import SPEC_WORKLOADS, spec_trace
+from .trace import Trace
+
+#: Bump when any generator's output changes (invalidates disk entries).
+CACHE_VERSION = 1
+
+_MEMO: Dict[Tuple, Trace] = {}
+
+
+def clear_memo() -> None:
+    """Drop the process-wide memo (tests and cold benchmarks)."""
+    _MEMO.clear()
+
+
+def trace_cache_key(kind: str, name: str, n_loads: int, seed: int,
+                    **params) -> str:
+    """Stable digest identifying one generated trace."""
+    from repro.exec.store import stable_digest
+    return stable_digest({
+        "cache_version": CACHE_VERSION,
+        "kind": kind,
+        "name": name,
+        "n_loads": n_loads,
+        "seed": seed,
+        "params": {k: params[k] for k in sorted(params)},
+    })
+
+
+def cached_trace(kind: str, name: str, n_loads: int, seed: int,
+                 build: Callable[[], Trace], *,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 **params) -> Trace:
+    """Return ``build()``'s trace, via the memo and disk cache."""
+    memo_key = (CACHE_VERSION, kind, name, n_loads, seed,
+                tuple(sorted(params.items())))
+    trace = _MEMO.get(memo_key)
+    if trace is not None:
+        return trace
+
+    path = None
+    if cache_dir is not None:
+        digest = trace_cache_key(kind, name, n_loads, seed, **params)
+        path = Path(cache_dir) / digest[:2] / f"{digest}.rtrace"
+        if path.exists():
+            try:
+                trace = load_trace(path)
+            except (TraceFormatError, OSError, EOFError):
+                trace = None
+            if trace is not None and trace.name != name:
+                trace = None  # wrong content for this key: rebuild
+    if trace is None:
+        trace = build()
+        if path is not None:
+            _atomic_save(trace, path)
+    _MEMO[memo_key] = trace
+    return trace
+
+
+def _atomic_save(trace: Trace, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        save_trace(trace, tmp)
+        os.replace(tmp, path)
+    except OSError:
+        # A full or read-only disk must not fail the sweep; the trace is
+        # already built and the next run simply rebuilds it.
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+
+
+def cached_workload_pool(n_loads: int = 20000, *, spec_count: int = 0,
+                         gap_count: int = 0, seed: int = 1,
+                         cache_dir: Optional[Union[str, Path]] = None,
+                         ) -> List[Trace]:
+    """:func:`repro.workloads.mixes.workload_pool`, cached per trace.
+
+    Keys are per trace, not per pool, so pools with different
+    ``spec_count``/``gap_count`` truncations share their common prefix.
+    """
+    spec_names = list(SPEC_WORKLOADS)
+    if spec_count:
+        spec_names = spec_names[:spec_count]
+    pool = [
+        cached_trace("spec", name, n_loads, seed,
+                     lambda name=name: spec_trace(name, n_loads, seed),
+                     cache_dir=cache_dir)
+        for name in spec_names
+    ]
+    gap_seed = seed + 41  # matches workload_pool's gap pool seed
+    kernels = sorted(GAP_KERNELS)
+    if gap_count:
+        kernels = kernels[:gap_count]
+    pool.extend(
+        cached_trace("gap", f"{kernel}-{gap_seed}B", n_loads, gap_seed,
+                     lambda kernel=kernel: gap_trace(
+                         kernel, n_loads, seed=gap_seed),
+                     cache_dir=cache_dir, kernel=kernel)
+        for kernel in kernels
+    )
+    return pool

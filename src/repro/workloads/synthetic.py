@@ -23,14 +23,29 @@ state to hide.
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Iterable, List, Optional
 
 from .trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT, FLAG_STORE,
                     FLAG_WRONG_PATH, Record, Trace)
 
+try:  # optional bulk-generation fast path; never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the stdlib path
+    _np = None
+
 #: Byte distance between generated arrays / heaps, keeping address ranges
 #: of different data structures disjoint.
 REGION_GAP = 1 << 30
+
+#: First instruction pointer handed out by :meth:`TraceBuilder.new_ip`.
+_IP_BASE = 0x400000
+
+#: Initial wrong-path pool entry (see ``TraceBuilder._wrong_path_pool``).
+_WP_SEED_TARGET = REGION_GAP * 7
+
+#: Wrong-path pool capacity (oldest entries are evicted beyond this).
+_WP_POOL_MAX = 64
 
 
 class TraceBuilder:
@@ -57,9 +72,9 @@ class TraceBuilder:
         self.rng = random.Random(seed)
         self.records: List[Record] = []
         self._since_branch = 0
-        self._next_ip = 0x400000
+        self._next_ip = _IP_BASE
         #: Pool of wrong-path target addresses, refreshed by the patterns.
-        self._wrong_path_pool: List[int] = [REGION_GAP * 7]
+        self._wrong_path_pool: List[int] = [_WP_SEED_TARGET]
 
     def new_ip(self) -> int:
         """Allocate a fresh instruction pointer (one per static load site)."""
@@ -71,7 +86,7 @@ class TraceBuilder:
         """Register an address wrong-path bursts may touch."""
         pool = self._wrong_path_pool
         pool.append(addr)
-        if len(pool) > 64:
+        if len(pool) > _WP_POOL_MAX:
             pool.pop(0)
 
     # ------------------------------------------------------------------
@@ -124,17 +139,185 @@ class TraceBuilder:
 # pattern generators
 # ----------------------------------------------------------------------
 
+def _bulk_stream_trace(name: str, n_loads: int, *, streams: int,
+                       stride_blocks: int, elems_per_block: int,
+                       footprint_mb: int, store_every: int, seed: int,
+                       suite: str, filler: int = 2, branch_every: int = 8,
+                       mispredict_rate: float = 0.002,
+                       wrong_path_loads: int = 4) -> Trace:
+    """Columnar :func:`stream_trace`, record-for-record identical.
+
+    The builder's control skeleton is exactly periodic: every memory op
+    contributes ``1 + filler`` instruction slots, and a branch record is
+    inserted after every ``branch_every``-th slot regardless of mispredict
+    outcomes (wrong-path bursts never advance the branch counter).  That
+    makes the committed stream a pure interleave of three arithmetic
+    sequences -- memory ops, fillers, branches -- assembled here with
+    extended-slice assignments over ``array('q')`` columns.  Only the
+    per-branch mispredict draws (and the rare wrong-path bursts, whose
+    addresses depend on the wrong-path pool state mid-stream) stay
+    sequential, preserving the exact ``random.Random(seed)`` draw order of
+    the record-by-record builder.
+    """
+    footprint = footprint_mb << 20
+    epb = elems_per_block
+    bases = [i * REGION_GAP for i in range(1, streams + 1)]
+    ips = [_IP_BASE + 4 * s for s in range(streams)]
+    store_ip = _IP_BASE + 4 * streams
+    nip = _IP_BASE + 4 * (streams + 1)  # builder._next_ip after setup
+
+    # Load columns.  The j-th load of stream s touches
+    #   bases[s] + ((j // epb) * stride * 64 + (j % epb) * 8) % footprint
+    # and both terms are block-aligned enough that the modulo distributes,
+    # so per-stream offsets come from an epb-wide template swept block by
+    # block (or one closed-form NumPy expression).
+    step = stride_blocks * 64
+    load_ip = array("q", bytes(8 * n_loads))
+    load_addr = array("q", bytes(8 * n_loads))
+    if _np is not None and n_loads >= 1024:
+        i = _np.arange(n_loads, dtype=_np.int64)
+        s = i % streams
+        j = i // streams
+        off = ((j // epb) * step + (j % epb) * 8) % footprint
+        load_addr = array("q")
+        load_addr.frombytes(
+            (_np.array(bases, dtype=_np.int64)[s] + off).tobytes())
+        load_ip = array("q")
+        load_ip.frombytes(_np.array(ips, dtype=_np.int64)[s].tobytes())
+    else:
+        template = [e * 8 for e in range(epb)]
+        for s in range(streams):
+            count = len(range(s, n_loads, streams))
+            offs: List[int] = []
+            extend = offs.extend
+            base = bases[s]
+            block_off = 0
+            for _ in range((count + epb - 1) // epb):
+                start = base + block_off % footprint
+                extend([start + t for t in template])
+                block_off += step
+            del offs[count:]
+            load_addr[s::streams] = array("q", offs)
+            load_ip[s::streams] = array("q", [ips[s]]) * count
+
+    # Op columns: loads with a store (reusing the load's address) spliced
+    # in after every ``store_every``-th load, giving period se + 1.
+    if store_every:
+        se = store_every
+        n_stores = n_loads // se
+        n_ops = n_loads + n_stores
+        period = se + 1
+        op_ip = array("q", bytes(8 * n_ops))
+        op_addr = array("q", bytes(8 * n_ops))
+        op_flag = bytearray([FLAG_LOAD]) * n_ops
+        for r in range(se):
+            op_ip[r::period] = load_ip[r::se]
+            op_addr[r::period] = load_addr[r::se]
+        op_ip[se::period] = array("q", [store_ip]) * n_stores
+        op_addr[se::period] = load_addr[se - 1::se]
+        op_flag[se::period] = bytes([FLAG_STORE]) * n_stores
+    else:
+        n_ops = n_loads
+        op_ip, op_addr = load_ip, load_addr
+        op_flag = bytearray([FLAG_LOAD]) * n_ops
+
+    # Instruction slots: each op is followed by ``filler`` non-memory
+    # records.
+    unit = 1 + filler
+    n_inc = unit * n_ops
+    inc_ip = array("q", [nip]) * n_inc
+    inc_ip[::unit] = op_ip
+    inc_addr = array("q", [-1]) * n_inc
+    inc_addr[::unit] = op_addr
+    inc_flags = bytearray(n_inc)
+    inc_flags[::unit] = op_flag
+
+    # Committed stream: groups of ``branch_every`` slots + 1 branch record.
+    n_branches = n_inc // branch_every
+    total = n_inc + n_branches
+    group = branch_every + 1
+    out_ip = array("q", bytes(8 * total))
+    out_addr = array("q", bytes(8 * total))
+    out_flags = bytearray(total)
+    for r in range(branch_every):
+        out_ip[r::group] = inc_ip[r::branch_every]
+        out_addr[r::group] = inc_addr[r::branch_every]
+        out_flags[r::group] = inc_flags[r::branch_every]
+    if n_branches:
+        out_ip[branch_every::group] = array("q", [nip + 2]) * n_branches
+        out_addr[branch_every::group] = array("q", [-1]) * n_branches
+        out_flags[branch_every::group] = bytes([FLAG_BRANCH]) * n_branches
+
+    # Sequential tail: the branch rng draws, in stream order.  A branch in
+    # op u's unit fires before that op's note_wrong_path_target call, so
+    # its wrong-path pool is the seeded entry plus the stream-0 load
+    # addresses noted by ops strictly before u (a closed-form count).
+    rng = random.Random(seed)
+    random_ = rng.random
+    randrange = rng.randrange
+    noted = load_addr[0::streams]
+    wp_flags = FLAG_LOAD | FLAG_WRONG_PATH
+    wp_ip = nip + 16
+    wp: List[tuple] = []
+    for b in range(n_branches):
+        if random_() >= mispredict_rate:
+            continue
+        pos = b * group + branch_every
+        out_flags[pos] |= FLAG_MISPREDICT
+        u = (branch_every * (b + 1) - 1) // unit
+        loads_before = u - u // (store_every + 1) if store_every else u
+        c = (loads_before + streams - 1) // streams
+        if c < _WP_POOL_MAX:
+            pool = [_WP_SEED_TARGET] + list(noted[:c])
+        else:
+            pool = list(noted[c - _WP_POOL_MAX:c])
+        size = len(pool)
+        for _ in range(wrong_path_loads):
+            base = pool[randrange(size)]
+            wp.append((pos, base + randrange(256) * 64))
+    if wp:
+        # Splice each mispredict's burst right after its branch record.
+        inserted = 0
+        i = 0
+        n_wp = len(wp)
+        while i < n_wp:
+            j = i
+            pos = wp[i][0]
+            while j < n_wp and wp[j][0] == pos:
+                j += 1
+            at = pos + 1 + inserted
+            burst = j - i
+            out_ip[at:at] = array("q", [wp_ip]) * burst
+            out_addr[at:at] = array("q", [a for _, a in wp[i:j]])
+            out_flags[at:at] = bytes([wp_flags]) * burst
+            inserted += burst
+            i = j
+
+    return Trace.from_columns(name, out_ip, out_addr, bytes(out_flags),
+                              suite=suite)
+
+
 def stream_trace(name: str, n_loads: int, *, streams: int = 4,
                  stride_blocks: int = 1, elems_per_block: int = 8,
                  footprint_mb: int = 16, store_every: int = 0, seed: int = 1,
-                 suite: str = "synthetic", **builder_kw) -> Trace:
+                 suite: str = "synthetic", bulk: bool = True,
+                 **builder_kw) -> Trace:
     """Concurrent sequential/strided streams (bwaves/lbm/roms-like).
 
     Each stream reads ``elems_per_block`` 8-byte elements of a cache block
     (so most accesses hit in the L1D, like real array sweeps), then jumps
     ``stride_blocks`` blocks forward.  ``elems_per_block=1`` gives the
     one-touch-per-block behaviour of large-stride codes (cactus-like).
+
+    ``bulk=True`` (the default) generates the columns in bulk -- several
+    times faster, record-for-record identical to the ``bulk=False``
+    reference path below (the equivalence is pinned by tests).
     """
+    if bulk:
+        return _bulk_stream_trace(
+            name, n_loads, streams=streams, stride_blocks=stride_blocks,
+            elems_per_block=elems_per_block, footprint_mb=footprint_mb,
+            store_every=store_every, seed=seed, suite=suite, **builder_kw)
     builder = TraceBuilder(name, suite=suite, seed=seed, **builder_kw)
     footprint = footprint_mb << 20
     bases = [i * REGION_GAP for i in range(1, streams + 1)]

@@ -21,7 +21,7 @@ examples; the hot simulator loops index the tuples directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 #: Record flag bits.
 FLAG_LOAD = 0x01
@@ -29,6 +29,10 @@ FLAG_STORE = 0x02
 FLAG_BRANCH = 0x04
 FLAG_MISPREDICT = 0x08  # only meaningful when FLAG_BRANCH is set
 FLAG_WRONG_PATH = 0x10  # transient record: executes, never commits
+
+#: Every flag-byte value with FLAG_WRONG_PATH set; lets the columnar
+#: wrong-path count run as a handful of C-speed ``bytes.count`` scans.
+_WRONG_PATH_BYTES = tuple(v for v in range(256) if v & FLAG_WRONG_PATH)
 
 #: Cache block size used throughout the simulator (bytes).
 BLOCK_SIZE = 64
@@ -107,19 +111,69 @@ class Trace:
     ``records`` mixes committed-path and wrong-path records.  The committed
     instruction count (used for IPC and per-kilo-instruction metrics) excludes
     wrong-path records.
+
+    Bulk generators build traces from *columns* (parallel ip/vaddr/flags
+    sequences, see :meth:`from_columns`); the record tuples those callers
+    mostly never touch are materialized lazily on first ``.records`` access.
+    Columnar traces also pickle as columns, which keeps multiprocess job
+    payloads small.
     """
 
     def __init__(self, name: str, records: Sequence[Record],
                  suite: str = "synthetic") -> None:
         self.name = name
         self.suite = suite
-        self.records: List[Record] = list(records)
+        self._records: Optional[List[Record]] = list(records)
+        self._cols: Optional[Tuple[Sequence[int], Sequence[int],
+                                   Sequence[int]]] = None
         self.committed_count = sum(
-            1 for (_, _, flags) in self.records
+            1 for (_, _, flags) in self._records
             if not flags & FLAG_WRONG_PATH)
 
+    @classmethod
+    def from_columns(cls, name: str, ips: Sequence[int],
+                     vaddrs: Sequence[int], flags: Sequence[int],
+                     suite: str = "synthetic") -> "Trace":
+        """Build a trace from parallel columns without materializing tuples.
+
+        ``ips``/``vaddrs`` are typically ``array('q')`` and ``flags`` a
+        ``bytes``/``bytearray``; elements must index back as plain ints
+        (NumPy arrays would leak ``np.int64`` scalars into the hot
+        simulator loops -- convert first).
+        """
+        if not (len(ips) == len(vaddrs) == len(flags)):
+            raise ValueError("column lengths differ")
+        trace = cls.__new__(cls)
+        trace.name = name
+        trace.suite = suite
+        trace._records = None
+        trace._cols = (ips, vaddrs, flags)
+        # Only wrong-path records carry FLAG_WRONG_PATH; count them
+        # straight off the flags column.
+        if isinstance(flags, (bytes, bytearray)):
+            wrong_path = sum(flags.count(v) for v in _WRONG_PATH_BYTES)
+        else:
+            wrong_path = sum(1 for f in flags if f & FLAG_WRONG_PATH)
+        trace.committed_count = len(flags) - wrong_path
+        return trace
+
+    @property
+    def records(self) -> List[Record]:
+        records = self._records
+        if records is None:
+            records = self._records = list(zip(*self._cols))
+        return records
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if state.get("_cols") is not None:
+            state["_records"] = None  # ship columns, not tuples
+        return state
+
     def __len__(self) -> int:
-        return len(self.records)
+        if self._records is not None:
+            return len(self._records)
+        return len(self._cols[0])
 
     def __iter__(self) -> Iterator[Record]:
         return iter(self.records)

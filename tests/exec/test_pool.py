@@ -6,12 +6,13 @@ micro scale (300 loads) to stay fast.
 
 import pytest
 
-from repro.exec.faults import FaultPlan
-from repro.exec.pool import Job, JobExecutor, execute_job, failed_result
-from repro.exec.store import ResultStore, job_key
+from repro.exec.faults import ENV_VAR, FaultPlan
+from repro.exec.pool import (Job, JobExecutor, MixJob, execute_job,
+                             failed_result, resource)
+from repro.exec.store import ResultStore, job_key, mix_job_key
 from repro.experiments.runner import BASELINE, Config, Scale
 from repro.sim.params import baseline
-from repro.workloads.mixes import workload_pool
+from repro.workloads.mixes import generate_mixes, workload_pool
 
 SCALE = Scale("micro", 300, 2, 1, 2)
 
@@ -22,6 +23,17 @@ def make_jobs(config=BASELINE, n=3):
                            gap_count=SCALE.gap_count)[:n]
     return [Job(key=job_key(config, t, SCALE, params), config=config,
                 trace=t, scale=SCALE, params=params) for t in traces]
+
+
+def make_mix_jobs(config=BASELINE, n=2, cores=2):
+    params = baseline()
+    pool = workload_pool(SCALE.n_loads, spec_count=SCALE.spec_count,
+                         gap_count=SCALE.gap_count)
+    mixes = generate_mixes(pool, n_mixes=n, cores=cores, seed=7)
+    return [MixJob(key=mix_job_key(config, tuple(mix), cores, SCALE,
+                                   params),
+                   config=config, traces=tuple(mix), cores=cores,
+                   scale=SCALE, params=params) for mix in mixes]
 
 
 @pytest.fixture(scope="module")
@@ -94,6 +106,50 @@ class TestParallel:
         outcomes = ex.run_jobs(make_jobs(n=1))
         assert not outcomes[0].ok
         assert "timed out" in outcomes[0].error
+
+
+class TestPerfExtras:
+    """The per-job perf extras must survive every recovery path: they are
+    attached by the (re)executing process, so a result delivered by a
+    respawned worker carries fresh measurements, not none at all."""
+
+    def assert_perf_extras(self, outcomes):
+        for outcome in outcomes:
+            assert outcome.ok
+            extras = outcome.result.extras
+            assert extras["wall_build_s"] >= 0.0
+            assert extras["wall_simulate_s"] > 0.0
+            assert extras["instr_per_s"] > 0.0
+            if resource is not None:
+                assert extras["max_rss_kb"] > 0.0
+
+    def test_extras_present_without_faults(self):
+        self.assert_perf_extras(JobExecutor(jobs=1).run_jobs(make_jobs()))
+
+    def test_extras_survive_worker_respawn(self):
+        plan = FaultPlan(die_every=1, attempts=1)
+        ex = JobExecutor(jobs=2, backoff_s=0, fault_plan=plan)
+        outcomes = ex.run_jobs(make_jobs())
+        assert all(o.attempts == 2 for o in outcomes)
+        self.assert_perf_extras(outcomes)
+
+    def test_mix_job_extras_survive_worker_respawn(self):
+        plan = FaultPlan(die_every=1, attempts=1)
+        ex = JobExecutor(jobs=2, backoff_s=0, fault_plan=plan)
+        outcomes = ex.run_jobs(make_mix_jobs())
+        assert all(o.attempts == 2 for o in outcomes)
+        self.assert_perf_extras(outcomes)
+        for outcome in outcomes:
+            assert len(outcome.result.per_core) == 2
+
+    def test_extras_survive_env_injected_faults(self, monkeypatch):
+        # The REPRO_FAULTS path CI uses: plan parsed from the
+        # environment, not passed explicitly.
+        monkeypatch.setenv(ENV_VAR, "die:1")
+        ex = JobExecutor(jobs=2, backoff_s=0)
+        outcomes = ex.run_jobs(make_jobs(n=2))
+        assert all(o.ok and o.attempts == 2 for o in outcomes)
+        self.assert_perf_extras(outcomes)
 
 
 class TestStoreIntegration:

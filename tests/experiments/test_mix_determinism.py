@@ -1,0 +1,120 @@
+"""Mix determinism: inline vs pool-sharded multicore sweeps agree.
+
+The PR5 sharding contract: routing a mix through the exec pool as a
+:class:`MixJob` is an execution detail, never a modelling change.  These
+tests drive the same seeded mixes through the inline
+``sim.multicore.run_mix`` path and the sharded ``runner.run_mixes`` path
+(serial and with worker processes, in both job orders) and require
+identical per-core IPCs and weighted speedups everywhere.
+"""
+
+import pytest
+
+from repro.experiments.runner import (BASELINE, Config, ExperimentRunner,
+                                      Scale)
+from repro.prefetchers.base import MODE_ON_COMMIT
+from repro.sim.multicore import alone_ipcs, run_mix
+from repro.workloads.mixes import generate_mixes, mix_name
+
+SCALE = Scale("mixdet", 400, 2, 1, 2)
+CORES = 2
+SECURE = Config(prefetcher="berti", secure=True, mode=MODE_ON_COMMIT)
+
+
+def fresh_runner(jobs=1):
+    return ExperimentRunner(scale=SCALE, store=None, jobs=jobs)
+
+
+def inline_results(runner, config, mixes):
+    """The pre-sharding path: direct ``sim.multicore.run_mix`` calls
+    with the same per-core system construction a worker performs."""
+    def factory():
+        return runner.build_prefetcher(config.prefetcher)
+
+    prefetcher_factory = factory if config.prefetcher else None
+    return [
+        run_mix(mix, cores=CORES, params=runner.params,
+                warmup=SCALE.warmup, secure=config.secure,
+                suf=config.suf, train_mode=config.mode,
+                prefetcher_factory=prefetcher_factory)
+        for mix in mixes
+    ]
+
+
+def ipc_table(results):
+    return [[r.ipc(core) for core in range(CORES)] for r in results]
+
+
+class TestGenerateMixes:
+    def test_seeded_and_reproducible(self):
+        runner = fresh_runner()
+        pool = runner.pool()
+        first = generate_mixes(pool, n_mixes=3, cores=CORES, seed=7)
+        again = generate_mixes(pool, n_mixes=3, cores=CORES, seed=7)
+        assert [[t.name for t in mix] for mix in first] == \
+            [[t.name for t in mix] for mix in again]
+        other = generate_mixes(pool, n_mixes=3, cores=CORES, seed=8)
+        assert [[t.name for t in m] for m in first] != \
+            [[t.name for t in m] for m in other]
+        assert all(len(mix) == CORES for mix in first)
+        assert all(mix_name(mix) for mix in first)
+
+
+class TestInlineVsSharded:
+    @pytest.mark.parametrize("config", [BASELINE, SECURE],
+                             ids=["baseline", "secure-berti-oc"])
+    def test_serial_sharding_is_identity(self, config):
+        runner = fresh_runner()
+        mixes = runner.mixes(cores=CORES)
+        sharded = runner.run_mixes(config, mixes, cores=CORES)
+        assert ipc_table(sharded) == \
+            ipc_table(inline_results(runner, config, mixes))
+
+    def test_pool_sharding_is_identity(self):
+        runner = fresh_runner(jobs=2)
+        mixes = runner.mixes(cores=CORES)
+        sharded = runner.run_mixes(SECURE, mixes, cores=CORES)
+        assert ipc_table(sharded) == \
+            ipc_table(inline_results(runner, SECURE, mixes))
+
+    def test_job_order_does_not_matter(self):
+        forward = fresh_runner()
+        mixes = forward.mixes(cores=CORES)
+        forward_results = forward.run_mixes(SECURE, mixes, cores=CORES)
+
+        backward = fresh_runner()
+        reversed_results = backward.run_mixes(
+            SECURE, list(reversed(backward.mixes(cores=CORES))),
+            cores=CORES)
+        assert ipc_table(forward_results) == \
+            ipc_table(list(reversed(reversed_results)))
+
+    def test_weighted_speedups_match(self):
+        runner = fresh_runner()
+        mixes = runner.mixes(cores=CORES)
+        sharded = runner.run_mixes(SECURE, mixes, cores=CORES)
+
+        # Alone IPCs via the inline path; the sharded sweep's
+        # weighted_speedup over them must equal the inline sweep's.
+        def factory():
+            return runner.build_prefetcher(SECURE.prefetcher)
+
+        inline = inline_results(runner, SECURE, mixes)
+        alone_cache = {}
+        for shard_result, inline_result, mix in zip(sharded, inline,
+                                                    mixes):
+            alone = alone_ipcs(mix, params=runner.params,
+                               warmup=SCALE.warmup, cache=alone_cache,
+                               secure=SECURE.secure, suf=SECURE.suf,
+                               train_mode=SECURE.mode,
+                               prefetcher_factory=factory)
+            assert shard_result.weighted_speedup(alone) == \
+                inline_result.weighted_speedup(alone)
+            assert shard_result.mix_name == inline_result.mix_name
+
+    def test_memoized_across_calls(self):
+        runner = fresh_runner()
+        mixes = runner.mixes(cores=CORES)
+        first = runner.run_mixes(SECURE, mixes, cores=CORES)
+        again = runner.run_mixes(SECURE, mixes, cores=CORES)
+        assert all(a is b for a, b in zip(first, again))

@@ -1,0 +1,129 @@
+"""Multicore golden regression: sharded mixes must stay bit-identical.
+
+PR5 routes mix simulations through the exec pool as :class:`MixJob`\\ s
+and feeds them lazily-materialized columnar traces.  Neither change is
+allowed to alter a single stats counter: this module pins one 2-core mix
+under the paper's secure on-commit Berti configuration and compares the
+full per-core stats snapshot -- inline ``run_mix``, sharded
+``run_mixes`` (serial), and sharded across worker processes -- against
+golden JSON captured before the sharding work.
+
+Regenerate only when simulator *semantics* deliberately change::
+
+    PYTHONPATH=src python tests/sim/test_golden_multicore.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "multicore_golden.json"
+
+#: Pinned mix: two SPEC-like traces on a 2-core shared-LLC system.
+MIX = ("605.mcf-1554B", "603.bwa-2931B")
+LOADS = 6000
+WARMUP = 0.2
+CORES = 2
+
+
+def _mix_traces():
+    from repro.workloads.spec import spec_trace
+    return [spec_trace(name, LOADS) for name in MIX]
+
+
+def _snapshot(result):
+    return {
+        "mix_name": result.mix_name,
+        "committed": result.committed,
+        "per_core": [
+            {
+                "committed": r.committed,
+                "cycles": r.cycles,
+                "ipc": r.ipc,
+                "core": r.core.snapshot(),
+                "l1d": r.l1d.snapshot(),
+                "l2": r.l2.snapshot(),
+                "llc": r.llc.snapshot(),
+                "gm": r.gm.snapshot() if r.gm is not None else None,
+                "dram": r.dram.snapshot(),
+            }
+            for r in result.per_core
+        ],
+    }
+
+
+def _run_inline():
+    """The pre-sharding path: direct ``sim.multicore.run_mix``."""
+    from repro.experiments.runner import SCALES, ExperimentRunner
+    from repro.prefetchers.base import MODE_ON_COMMIT
+    from repro.sim.multicore import run_mix
+    runner = ExperimentRunner(scale=SCALES["tiny"], store=None)
+    return run_mix(
+        _mix_traces(), cores=CORES, params=runner.params, warmup=WARMUP,
+        secure=True, train_mode=MODE_ON_COMMIT,
+        prefetcher_factory=lambda: runner.build_prefetcher("berti"))
+
+
+def _run_sharded(jobs=1):
+    """The PR5 path: a MixJob through the runner's execution layer."""
+    from repro.experiments.runner import Config, SCALES, ExperimentRunner
+    from repro.prefetchers.base import MODE_ON_COMMIT
+    runner = ExperimentRunner(scale=SCALES["tiny"], jobs=jobs, store=None)
+    config = Config(prefetcher="berti", secure=True, mode=MODE_ON_COMMIT)
+    return runner.run_mix(config, _mix_traces(), cores=CORES)
+
+
+def _load_golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(f"golden file missing: {GOLDEN_PATH} "
+                    f"(regenerate: python {__file__})")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_header_matches_pins():
+    golden = _load_golden()
+    assert tuple(golden["mix"]) == MIX
+    assert golden["loads"] == LOADS
+    assert golden["warmup"] == WARMUP
+    assert golden["cores"] == CORES
+
+
+def test_inline_mix_bit_identical_to_golden():
+    golden = _load_golden()["snapshot"]
+    current = _snapshot(_run_inline())
+    for core, (got, want) in enumerate(
+            zip(current["per_core"], golden["per_core"])):
+        for section in sorted(want):
+            assert got[section] == want[section], (
+                f"core {core} section {section!r} drifted from the "
+                f"pre-sharding golden snapshot")
+    assert current == golden
+
+
+def test_sharded_mix_bit_identical_to_golden():
+    golden = _load_golden()["snapshot"]
+    assert _snapshot(_run_sharded(jobs=1)) == golden
+
+
+def test_pool_sharded_mix_bit_identical_to_golden():
+    golden = _load_golden()["snapshot"]
+    assert _snapshot(_run_sharded(jobs=2)) == golden
+
+
+def _generate():
+    doc = {
+        "mix": list(MIX),
+        "loads": LOADS,
+        "warmup": WARMUP,
+        "cores": CORES,
+        "snapshot": _snapshot(_run_inline()),
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _generate()

@@ -67,3 +67,47 @@ class TestErrorHandling:
         path.write_bytes(gzip.compress(data[:-5]))
         with pytest.raises(TraceFormatError, match="truncated"):
             load_trace(path)
+
+
+class TestColumnarFormat:
+    def test_v2_roundtrips_columnar_trace(self, tmp_path):
+        from repro.workloads.synthetic import stream_trace
+        trace = stream_trace("603.bwa-2931B", 2000, streams=6,
+                             stride_blocks=2, elems_per_block=4,
+                             footprint_mb=24, seed=3, suite="spec")
+        path = tmp_path / "t.rtrace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded._records is None  # columnar load stays lazy
+        assert loaded.records == trace.records
+        assert loaded.committed_count == trace.committed_count
+        assert loaded.name == trace.name and loaded.suite == trace.suite
+
+    def test_v1_files_still_load(self, tmp_path):
+        import gzip
+        import struct
+        from repro.workloads.io import _HEADER, _RECORD, MAGIC
+        records = [(0x400, 64, 1), (0x404, -1, 0)]
+        path = tmp_path / "v1.rtrace"
+        with gzip.open(path, "wb") as handle:
+            handle.write(_HEADER.pack(MAGIC, 1, 0, len(records)))
+            for blob in (b"old", b"spec"):
+                handle.write(struct.pack("<H", len(blob)))
+                handle.write(blob)
+            for record in records:
+                handle.write(_RECORD.pack(*record))
+        loaded = load_trace(path)
+        assert loaded.records == records
+        assert loaded.name == "old"
+
+    def test_truncated_columns_rejected(self, tmp_path):
+        import gzip
+        trace = Trace("t", [(1, 64, 1), (2, 128, 1)])
+        path = tmp_path / "t.rtrace"
+        save_trace(trace, path)
+        blob = gzip.open(path, "rb").read()
+        clipped = tmp_path / "clipped.rtrace"
+        with gzip.open(clipped, "wb") as handle:
+            handle.write(blob[:-5])
+        with pytest.raises(TraceFormatError):
+            load_trace(clipped)

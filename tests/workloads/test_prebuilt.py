@@ -1,0 +1,106 @@
+"""Prebuilt-trace cache: identity, disk hits, and corruption fallback."""
+
+import gzip
+
+import pytest
+
+from repro.workloads import gap, prebuilt
+from repro.workloads.mixes import workload_pool
+from repro.workloads.prebuilt import (cached_trace, cached_workload_pool,
+                                      clear_memo, trace_cache_key)
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+def _assert_pools_identical(a, b):
+    assert [t.name for t in a] == [t.name for t in b]
+    for ta, tb in zip(a, b):
+        assert ta.records == tb.records
+        assert ta.committed_count == tb.committed_count
+        assert ta.suite == tb.suite
+
+
+class TestCachedWorkloadPool:
+    def test_matches_workload_pool(self, tmp_path):
+        reference = workload_pool(1500, spec_count=4, gap_count=2, seed=1)
+        cached = cached_workload_pool(1500, spec_count=4, gap_count=2,
+                                      seed=1, cache_dir=tmp_path)
+        _assert_pools_identical(reference, cached)
+
+    def test_memo_returns_same_objects(self):
+        first = cached_workload_pool(800, spec_count=2, gap_count=1)
+        second = cached_workload_pool(800, spec_count=2, gap_count=1)
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_truncations_share_entries(self):
+        four = cached_workload_pool(800, spec_count=4, gap_count=1)
+        two = cached_workload_pool(800, spec_count=2, gap_count=1)
+        assert two[0] is four[0] and two[1] is four[1]
+
+    def test_disk_hit_skips_generation(self, tmp_path):
+        warm = cached_workload_pool(800, spec_count=1, gap_count=1,
+                                    cache_dir=tmp_path)
+        clear_memo()
+        gap._GRAPH_CACHE.clear()
+
+        def boom(*args, **kwargs):  # the disk hit must not regenerate
+            raise AssertionError("trace was rebuilt despite cache hit")
+
+        import repro.workloads.prebuilt as mod
+        original_spec, original_gap = mod.spec_trace, mod.gap_trace
+        mod.spec_trace, mod.gap_trace = boom, boom
+        try:
+            cold = cached_workload_pool(800, spec_count=1, gap_count=1,
+                                        cache_dir=tmp_path)
+        finally:
+            mod.spec_trace, mod.gap_trace = original_spec, original_gap
+        _assert_pools_identical(warm, cold)
+        assert not gap._GRAPH_CACHE  # no graph was constructed
+
+    def test_corrupt_file_falls_back_to_rebuild(self, tmp_path):
+        warm = cached_workload_pool(800, spec_count=1, cache_dir=tmp_path)
+        files = list(tmp_path.rglob("*.rtrace"))
+        assert files
+        files[0].write_bytes(gzip.compress(b"garbage"))
+        clear_memo()
+        rebuilt = cached_workload_pool(800, spec_count=1,
+                                       cache_dir=tmp_path)
+        _assert_pools_identical(warm, rebuilt)
+
+    def test_no_cache_dir_never_touches_disk(self, tmp_path):
+        cached_workload_pool(800, spec_count=1)
+        assert not list(tmp_path.rglob("*.rtrace"))
+
+
+class TestCachedTrace:
+    def test_key_depends_on_every_field(self):
+        base = trace_cache_key("spec", "a", 100, 1)
+        assert base != trace_cache_key("gap", "a", 100, 1)
+        assert base != trace_cache_key("spec", "b", 100, 1)
+        assert base != trace_cache_key("spec", "a", 200, 1)
+        assert base != trace_cache_key("spec", "a", 100, 2)
+        assert base != trace_cache_key("spec", "a", 100, 1, vertices=8)
+
+    def test_wrong_name_on_disk_rebuilds(self, tmp_path):
+        decoy = Trace("decoy", [(1, 64, 1)])
+        built = []
+
+        def build():
+            built.append(1)
+            return Trace("wanted", [(2, 128, 1)])
+
+        digest = trace_cache_key("spec", "wanted", 1, 1)
+        path = tmp_path / digest[:2] / f"{digest}.rtrace"
+        path.parent.mkdir(parents=True)
+        from repro.workloads.io import save_trace
+        save_trace(decoy, path)
+        trace = cached_trace("spec", "wanted", 1, 1, build,
+                             cache_dir=tmp_path)
+        assert built and trace.name == "wanted"

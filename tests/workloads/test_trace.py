@@ -88,3 +88,56 @@ class TestTrace:
     def test_from_instrs(self):
         trace = Trace.from_instrs("t", [Instr(1, 64, FLAG_LOAD)])
         assert trace.records == [(1, 64, FLAG_LOAD)]
+
+
+class TestColumnarTrace:
+    def _cols(self):
+        from array import array
+        ips = array("q", [0x400, 0x404, 0x408, 0x40c])
+        vaddrs = array("q", [64, -1, 128, 256])
+        flags = bytes([FLAG_LOAD, 0, FLAG_LOAD | FLAG_WRONG_PATH,
+                       FLAG_STORE])
+        return ips, vaddrs, flags
+
+    def test_from_columns_matches_eager(self):
+        ips, vaddrs, flags = self._cols()
+        records = list(zip(ips, vaddrs, flags))
+        lazy = Trace.from_columns("t", ips, vaddrs, flags, suite="spec")
+        eager = Trace("t", records, suite="spec")
+        assert len(lazy) == len(eager) == 4
+        assert lazy.committed_count == eager.committed_count == 3
+        assert lazy.records == eager.records
+        assert lazy.suite == "spec"
+        assert lazy.footprint_blocks() == eager.footprint_blocks()
+
+    def test_from_columns_rejects_ragged(self):
+        import pytest
+        ips, vaddrs, flags = self._cols()
+        with pytest.raises(ValueError):
+            Trace.from_columns("t", ips, vaddrs, flags[:-1])
+
+    def test_len_and_committed_do_not_materialize(self):
+        ips, vaddrs, flags = self._cols()
+        trace = Trace.from_columns("t", ips, vaddrs, flags)
+        assert len(trace) == 4
+        assert trace.committed_count == 3
+        assert trace._records is None
+        assert list(trace) == list(zip(ips, vaddrs, flags))
+
+    def test_pickle_ships_columns(self):
+        import pickle
+        ips, vaddrs, flags = self._cols()
+        trace = Trace.from_columns("t", ips, vaddrs, flags)
+        trace.records  # materialize, then confirm pickling drops tuples
+        state = trace.__getstate__()
+        assert state["_records"] is None
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.records == trace.records
+        assert clone.committed_count == trace.committed_count
+        assert clone.name == trace.name and clone.suite == trace.suite
+
+    def test_eager_trace_pickles_unchanged(self):
+        import pickle
+        trace = Trace("t", [(1, 64, FLAG_LOAD)])
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.records == trace.records
