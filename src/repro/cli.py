@@ -26,6 +26,18 @@ Commands
     regressions (the CI bench-smoke job runs this).
 ``attack``
     Mount the prefetcher covert channel under a chosen defence.
+``serve``
+    Run the crash-safe job service: a WAL-journaled, draining-on-SIGTERM
+    daemon that executes submitted simulations (docs/RESILIENCE.md).
+``submit``
+    Submit one simulation to a running service; ``--wait`` polls until
+    it is done and prints the result metrics.
+``drain``
+    Ask a running service to drain gracefully and shut down.
+
+Signals: every command exits 130 on SIGINT and 143 on SIGTERM; for
+``serve`` both trigger the graceful-drain path (in-flight jobs finish,
+the WAL is flushed) before exiting.
 
 Examples
 --------
@@ -38,12 +50,17 @@ Examples
     python -m repro bench --suite macro --tag pr4
     python -m repro bench --suite micro --compare BENCH_pr4.json
     python -m repro attack --secure --mode on-commit
+    python -m repro serve --store .repro-store --jobs 2
+    python -m repro submit bfs --loads 3000 --secure --wait
+    python -m repro drain
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import signal
 import sys
 from typing import List, Optional
 
@@ -409,6 +426,75 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def _fault_plan_from_env():
+    from .exec.faults import FaultPlan
+    try:
+        return FaultPlan.from_env()
+    except ValueError as exc:
+        raise SystemExit(f"REPRO_FAULTS: {exc}")
+
+
+def cmd_serve(args) -> int:
+    from .service import JobService, ServiceServer
+    service = JobService(
+        args.store,
+        workers=_require_positive(args.jobs, "--jobs"),
+        queue_size=args.queue_size,
+        quota=args.quota,
+        heartbeat_s=args.heartbeat,
+        backoff_s=args.backoff,
+        breaker_threshold=_require_positive(args.breaker, "--breaker"),
+        fault_plan=_fault_plan_from_env())
+    server = ServiceServer(service, host=args.host, port=args.port,
+                           drain_timeout_s=args.drain_timeout)
+    return server.run()
+
+
+def _service_client(args):
+    from .service import ServiceClient
+    if args.host is not None or args.port is not None:
+        if args.host is None or args.port is None:
+            raise SystemExit("pass both --host and --port, or neither")
+        return ServiceClient(host=args.host, port=args.port,
+                             timeout_s=args.timeout)
+    return ServiceClient(args.store, timeout_s=args.timeout)
+
+
+def cmd_submit(args) -> int:
+    from .service import ServiceUnavailable
+    client = _service_client(args)
+    spec = {"workload": args.workload, "loads": args.loads,
+            "prefetcher": args.prefetcher, "secure": args.secure,
+            "suf": args.suf, "mode": args.mode}
+    try:
+        reply = client.submit(spec, client=args.client,
+                              priority=args.priority)
+        if reply.get("status") == "rejected":
+            print(json.dumps(reply, sort_keys=True))
+            return 1
+        if args.wait:
+            reply = client.wait_for(reply["id"], timeout_s=args.wait)
+            if reply.get("status") == "done":
+                reply = client.job(reply["id"], result=True)
+    except ServiceUnavailable as exc:
+        raise SystemExit(str(exc))
+    except TimeoutError as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(reply, sort_keys=True))
+    return 0 if reply.get("status") in ("queued", "running", "done") else 1
+
+
+def cmd_drain(args) -> int:
+    from .service import ServiceUnavailable
+    client = _service_client(args)
+    try:
+        reply = client.drain()
+    except ServiceUnavailable as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(reply, sort_keys=True))
+    return 0 if reply.get("status") == "draining" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -536,6 +622,63 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--results-dir", default="benchmarks/results")
     rep_p.add_argument("--output", default=None)
 
+    srv_p = sub.add_parser(
+        "serve", help="run the crash-safe simulation job service")
+    srv_p.add_argument("--store", default=DEFAULT_STORE,
+                       help="store root (WAL + results; default: "
+                            f"{DEFAULT_STORE!r})")
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=0,
+                       help="0 = pick a free port and advertise it in "
+                            "<store>/service/endpoint.json")
+    srv_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default: 1)")
+    srv_p.add_argument("--queue-size", type=int, default=256,
+                       help="bounded queue capacity, 0 = unbounded")
+    srv_p.add_argument("--quota", type=int, default=0,
+                       help="max live jobs per client, 0 = unlimited")
+    srv_p.add_argument("--heartbeat", type=float, default=120.0,
+                       metavar="S",
+                       help="kill a worker silent for S seconds and "
+                            "retry its job (default: 120)")
+    srv_p.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                       help="base retry backoff; doubles per failure")
+    srv_p.add_argument("--breaker", type=int, default=4, metavar="N",
+                       help="quarantine a job after N failed attempts")
+    srv_p.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="S",
+                       help="max seconds to wait for in-flight jobs on "
+                            "shutdown (default: unbounded)")
+
+    def add_client_flags(p):
+        p.add_argument("--store", default=DEFAULT_STORE,
+                       help="store root of the target service "
+                            f"(default: {DEFAULT_STORE!r})")
+        p.add_argument("--host", default=None,
+                       help="explicit endpoint host (with --port)")
+        p.add_argument("--port", type=int, default=None)
+        p.add_argument("--timeout", type=float, default=30.0,
+                       help="socket timeout per request in seconds")
+
+    sbm_p = sub.add_parser(
+        "submit", help="submit one simulation to a running service")
+    sbm_p.add_argument("workload")
+    sbm_p.add_argument("--loads", type=int, default=3000)
+    sbm_p.add_argument("--client", default="cli",
+                       help="client name for quota accounting")
+    sbm_p.add_argument("--priority", type=int, default=10,
+                       help="lower runs first (default: 10)")
+    sbm_p.add_argument("--wait", type=float, default=None, metavar="S",
+                       nargs="?", const=300.0,
+                       help="poll until the job is done (at most S "
+                            "seconds, default 300) and print the result")
+    add_config_flags(sbm_p)
+    add_client_flags(sbm_p)
+
+    drn_p = sub.add_parser(
+        "drain", help="gracefully drain and stop a running service")
+    add_client_flags(drn_p)
+
     return parser
 
 
@@ -551,11 +694,31 @@ COMMANDS = {
     "attack": cmd_attack,
     "multicore": cmd_multicore,
     "report": cmd_report,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "drain": cmd_drain,
 }
+
+
+class _Terminated(Exception):
+    """Raised by the SIGTERM handler to unwind like KeyboardInterrupt."""
+
+
+def _on_sigterm(signum, frame):
+    raise _Terminated
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # SIGTERM parity with SIGINT: both unwind cleanly (finally blocks,
+    # store checkpoints) and exit with the conventional 128+signal code.
+    # ``serve`` replaces this with its own asyncio handler that drains
+    # in-flight jobs first.
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
     try:
         return COMMANDS[args.command](args)
     except BrokenPipeError:
@@ -566,6 +729,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # resumes from the last completed job.  128 + SIGINT = 130.
         print("\ninterrupted", file=sys.stderr)
         return 130
+    except _Terminated:
+        print("\nterminated", file=sys.stderr)
+        return 143
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -208,8 +208,15 @@ def _worker_main(conn) -> None:
             conn.send(("err", traceback.format_exc(limit=4)))
 
 
-class _Worker:
-    """One worker process plus its pipe and in-flight bookkeeping."""
+class WorkerHandle:
+    """One worker process plus its pipe and in-flight bookkeeping.
+
+    Shared between :class:`JobExecutor` (batch sweeps) and
+    :class:`repro.service.dispatch.Dispatcher` (the long-running job
+    service) -- both speak the same ``(job, attempt, plan)`` pipe
+    protocol to :func:`_worker_main`.  ``index`` is an opaque in-flight
+    tag: the executor stores a list index, the service a job key.
+    """
 
     def __init__(self) -> None:
         self.conn, child = Pipe(duplex=True)
@@ -348,7 +355,7 @@ class JobExecutor:
         pending: deque = deque((i, 1) for i in todo)
         ready_at: Dict[int, float] = {}
         remaining = len(todo)
-        workers = [_Worker() for _ in range(min(self.jobs, remaining))]
+        workers = [WorkerHandle() for _ in range(min(self.jobs, remaining))]
         try:
             while remaining:
                 now = time.monotonic()
@@ -376,7 +383,7 @@ class JobExecutor:
             for worker in workers:
                 worker.shutdown()
 
-    def _dispatch_ready(self, workers: List[_Worker], jobs: List[Job],
+    def _dispatch_ready(self, workers: List[WorkerHandle], jobs: List[Job],
                         pending: deque, ready_at: Dict[int, float],
                         plan: Optional[FaultPlan], now: float) -> None:
         for worker in workers:
@@ -399,7 +406,7 @@ class JobExecutor:
                 self._respawn_in_place(worker, kill=False)
                 pending.appendleft((i, attempt))
 
-    def _wait_budget(self, busy: List[_Worker], pending: deque,
+    def _wait_budget(self, busy: List[WorkerHandle], pending: deque,
                      ready_at: Dict[int, float], now: float
                      ) -> Optional[float]:
         """How long to block for worker messages: until the next job
@@ -410,7 +417,7 @@ class JobExecutor:
             return None
         return max(0.0, min(events) - now)
 
-    def _collect(self, worker: _Worker, jobs: List[Job],
+    def _collect(self, worker: WorkerHandle, jobs: List[Job],
                  outcomes: List[JobOutcome], pending: deque,
                  ready_at: Dict[int, float]) -> int:
         """Handle one readable worker; return 1 if its job finished."""
@@ -436,7 +443,7 @@ class JobExecutor:
         return self._record_failure(jobs, outcomes, pending, ready_at,
                                     i, attempt, payload.strip())
 
-    def _respawn_in_place(self, worker: _Worker, *, kill: bool) -> None:
+    def _respawn_in_place(self, worker: WorkerHandle, *, kill: bool) -> None:
         """Replace a dead/hung worker's process and pipe in its handle, so
         the executor's workers list keeps referring to a live process."""
         if kill:
@@ -446,12 +453,12 @@ class JobExecutor:
             worker.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
-        fresh = _Worker()
+        fresh = WorkerHandle()
         worker.conn = fresh.conn
         worker.process = fresh.process
         worker.idle()
 
-    def _reap_timeouts(self, workers: List[_Worker], jobs: List[Job],
+    def _reap_timeouts(self, workers: List[WorkerHandle], jobs: List[Job],
                        outcomes: List[JobOutcome], pending: deque,
                        ready_at: Dict[int, float]) -> int:
         finished = 0

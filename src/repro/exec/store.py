@@ -38,6 +38,12 @@ from .faults import FaultPlan
 #: Bump when the record layout or key derivation changes.
 FORMAT_VERSION = 1
 
+#: Set to ``1`` to fsync every record (and its directory) on write.
+#: Off by default: ``os.replace`` already guarantees a record is all-or-
+#: nothing against *process* crashes; the fsync upgrade extends that to
+#: power loss at a measurable throughput cost.
+FSYNC_ENV = "REPRO_STORE_FSYNC"
+
 _MAGIC = b"repro-store-record\n"
 
 
@@ -139,15 +145,18 @@ class ResultStore:
         write, so tests exercise the quarantine/recompute path.
     """
 
-    def __init__(self, root, fault_plan: Optional[FaultPlan] = None
-                 ) -> None:
+    def __init__(self, root, fault_plan: Optional[FaultPlan] = None, *,
+                 fsync: Optional[bool] = None) -> None:
         self.root = Path(root)
         self.fault_plan = fault_plan
+        self.fsync = fsync if fsync is not None \
+            else os.environ.get(FSYNC_ENV, "") == "1"
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.quarantined = 0
         self.injected_corruptions = 0
+        self.injected_torn_writes = 0
         self._corrupted_once: set = set()
         self._init_root()
 
@@ -246,7 +255,14 @@ class ResultStore:
     # ------------------------------------------------------------------
 
     def put(self, key: str, result: Any) -> None:
-        """Atomically persist one result record."""
+        """Atomically persist one result record.
+
+        The write goes to a same-directory temp file followed by
+        ``os.replace``, so the record is either fully present or absent
+        after a process crash.  With :data:`FSYNC_ENV` (or
+        ``fsync=True``) the payload and its directory are also fsynced,
+        extending the guarantee to power loss.
+        """
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         header = json.dumps(
             {"key": key, "len": len(payload),
@@ -260,13 +276,25 @@ class ResultStore:
             with open(tmp, "wb") as fh:
                 fh.write(blob)
                 fh.flush()
-                os.fsync(fh.fileno())
+                if self.fsync:
+                    os.fsync(fh.fileno())
             os.replace(tmp, path)
+            if self.fsync:
+                self._fsync_dir(path.parent)
         finally:
             if tmp.exists():  # pragma: no cover - write failed mid-way
                 tmp.unlink()
         self.writes += 1
         self._maybe_inject_corruption(key, path, len(blob))
+        self._maybe_inject_torn_write(key, path, len(blob))
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def _maybe_inject_corruption(self, key: str, path: Path,
                                  blob_len: int) -> None:
@@ -292,6 +320,26 @@ class ResultStore:
             fh.seek(blob_len - 1)
             fh.write(bytes([last[0] ^ 0xFF]))
 
+    def _maybe_inject_torn_write(self, key: str, path: Path,
+                                 blob_len: int) -> None:
+        """Truncate the record to half its bytes after its *first* write
+        when the fault plan selects it for ``torn`` (a lost tail, as if
+        the filesystem crashed mid-write).  The next read fails the
+        length/checksum verification, quarantines the file, and reports a
+        miss, so the caller recomputes and rewrites it clean -- the
+        ``faults-injected/`` marker keeps the rewrite untouched."""
+        plan = self.fault_plan
+        if plan is None or not plan.should_tear(key):
+            return
+        marker = self.root / "faults-injected" / f"torn-{key}"
+        if marker.exists():
+            return
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text("torn once\n")
+        self.injected_torn_writes += 1
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, blob_len // 2))
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -299,7 +347,8 @@ class ResultStore:
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "writes": self.writes, "quarantined": self.quarantined,
-                "injected_corruptions": self.injected_corruptions}
+                "injected_corruptions": self.injected_corruptions,
+                "injected_torn_writes": self.injected_torn_writes}
 
     def summary(self) -> str:
         s = self.stats()

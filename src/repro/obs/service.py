@@ -1,0 +1,115 @@
+"""Observability for the long-running job service (:mod:`repro.service`).
+
+Two pieces, both allocation-light and wall-clock-free so service tests
+stay deterministic:
+
+* :class:`ServiceMetrics` -- a fixed set of named counters covering the
+  whole job lifecycle (submission, queueing, dispatch, retry, completion,
+  recovery).  ``registry()`` exposes them through the standard
+  :class:`~repro.obs.registry.MetricRegistry` as ``service.<name>``
+  counters, so the same snapshot/describe tooling that serves the
+  simulator stats serves the service.
+* :class:`QueueDepthSeries` -- a bounded time series of queue depth and
+  in-flight count, sampled at every state transition with a monotonic
+  sequence number instead of wall clock.  Exportable as JSONL for the
+  same downstream tooling as the interval sampler.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, List
+
+from .registry import MetricRegistry
+
+__all__ = ["SERVICE_COUNTERS", "ServiceMetrics", "QueueDepthSeries"]
+
+#: Every counter the service maintains, in reporting order.
+SERVICE_COUNTERS = (
+    "submitted",            # submit requests received
+    "accepted",             # ... that entered the queue
+    "deduped",              # ... answered from the store/ledger, no work
+    "rejected_queue_full",  # ... bounced by the bounded queue
+    "rejected_quota",       # ... bounced by the per-client quota
+    "rejected_invalid",     # ... bounced by spec validation
+    "dispatched",           # jobs handed to a worker
+    "completed",            # jobs finished and journaled
+    "failed_attempts",      # attempts that errored (pre-retry)
+    "retried",              # attempts re-queued with backoff
+    "quarantined",          # jobs the circuit breaker gave up on
+    "heartbeat_kills",      # workers killed by the heartbeat watchdog
+    "recovered_requeued",   # WAL-replayed jobs put back on the queue
+    "recovered_completed",  # WAL-replayed jobs satisfied by the store
+    "wal_records",          # journal records appended this run
+    "wal_recovered_records",  # journal records replayed at startup
+    "wal_torn_tail",        # truncated trailing records dropped by replay
+)
+
+
+class ServiceMetrics:
+    """Named lifecycle counters for one service process."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {name: 0 for name in SERVICE_COUNTERS}
+
+    def bump(self, name: str, n: int = 1) -> None:
+        if name not in self.counts:
+            raise KeyError(f"unknown service counter {name!r}")
+        self.counts[name] += n
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def registry(self) -> MetricRegistry:
+        """The counters as a standard metric registry (``service.*``)."""
+        registry = MetricRegistry()
+        for name in SERVICE_COUNTERS:
+            registry.counter(f"service.{name}",
+                             lambda c=self.counts, k=name: c[k])
+        return registry
+
+
+class QueueDepthSeries:
+    """Bounded series of (seq, depth, in_flight, done) samples.
+
+    Sampled by the service at every job state transition.  The sequence
+    number is the sample ordinal (monotonic, deterministic); capacity
+    bounds memory like the event-trace ring buffer -- oldest samples are
+    dropped first and counted.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._samples: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    def sample(self, *, depth: int, in_flight: int, done: int) -> None:
+        if len(self._samples) == self.capacity:
+            self._dropped += 1
+        self._samples.append(
+            {"seq": self._seq, "depth": depth, "in_flight": in_flight,
+             "done": done})
+        self._seq += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def dropped(self) -> int:
+        return self._dropped
+
+    def rows(self) -> List[dict]:
+        return list(self._samples)
+
+    def last(self) -> dict:
+        return self._samples[-1] if self._samples else \
+            {"seq": -1, "depth": 0, "in_flight": 0, "done": 0}
+
+    def jsonl(self) -> str:
+        """Canonical JSONL export (sorted keys, one sample per line)."""
+        return "".join(json.dumps(row, sort_keys=True,
+                                  separators=(",", ":")) + "\n"
+                       for row in self._samples)

@@ -1,0 +1,37 @@
+"""Crash-safe simulation job service (``repro serve``).
+
+A long-running serving surface over the batch execution layer:
+
+* :mod:`repro.service.wal` -- append-only JSONL write-ahead journal;
+  every state transition is journaled before it is acted on, so
+  ``kill -9`` at any point loses no accepted work.
+* :mod:`repro.service.queue` -- bounded priority queue with per-client
+  quotas (backpressure at submission time).
+* :mod:`repro.service.core` -- :class:`JobService`: the ledger, WAL
+  recovery, retry with exponential backoff, and the circuit breaker
+  that quarantines repeatedly failing jobs.
+* :mod:`repro.service.dispatch` -- worker processes with a heartbeat
+  watchdog (crash isolation borrowed from :mod:`repro.exec.pool`).
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- the
+  stdlib asyncio line-JSON socket front end and its blocking client.
+
+See ``docs/RESILIENCE.md`` for the WAL format, recovery invariants,
+drain semantics, and the chaos-plan syntax used to test all of it.
+"""
+
+from .client import ServiceClient, ServiceUnavailable
+from .core import (JobRecord, JobService, STATE_DONE, STATE_QUARANTINED,
+                   STATE_QUEUED, STATE_RUNNING, build_job, normalize_spec)
+from .dispatch import Dispatcher
+from .queue import BoundedPriorityQueue, QueueFull, QuotaExceeded
+from .server import EXIT_SIGINT, EXIT_SIGTERM, ServiceServer
+from .wal import RECORD_KINDS, WalError, WriteAheadLog
+
+__all__ = [
+    "BoundedPriorityQueue", "Dispatcher", "EXIT_SIGINT", "EXIT_SIGTERM",
+    "JobRecord", "JobService", "QueueFull", "QuotaExceeded",
+    "RECORD_KINDS", "STATE_DONE", "STATE_QUARANTINED", "STATE_QUEUED",
+    "STATE_RUNNING", "ServiceClient", "ServiceServer",
+    "ServiceUnavailable", "WalError", "WriteAheadLog", "build_job",
+    "normalize_spec",
+]

@@ -1,0 +1,120 @@
+"""Blocking socket client for the job service.
+
+Resolves the endpoint from ``<root>/service/endpoint.json`` (written by
+a running :class:`~repro.service.server.ServiceServer`) or an explicit
+``host``/``port``, and speaks the one-line-JSON-per-connection protocol.
+Used by ``repro submit`` / ``repro drain`` and by the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["ServiceUnavailable", "ServiceClient"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """No service is reachable at the resolved endpoint."""
+
+
+class ServiceClient:
+    """One request per connection; every method is a round trip."""
+
+    def __init__(self, root: Union[str, Path, None] = None, *,
+                 host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 timeout_s: float = 30.0) -> None:
+        if (host is None) != (port is None):
+            raise ValueError("pass both host and port, or neither")
+        if host is None and root is None:
+            raise ValueError("pass a store root or an explicit endpoint")
+        self.root = Path(root) if root is not None else None
+        self._host = host
+        self._port = port
+        self.timeout_s = timeout_s
+
+    def endpoint(self) -> tuple:
+        """The ``(host, port)`` to dial, resolving the endpoint file."""
+        if self._host is not None:
+            return self._host, self._port
+        path = self.root / "service" / "endpoint.json"
+        try:
+            info = json.loads(path.read_text())
+            return str(info["host"]), int(info["port"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise ServiceUnavailable(
+                f"no service endpoint at {path} "
+                f"(is `repro serve` running?): {exc}") from exc
+
+    def request(self, cmd: str, **fields) -> dict:
+        """One command round trip; raises :class:`ServiceUnavailable`
+        if the service cannot be reached or hangs up mid-reply."""
+        host, port = self.endpoint()
+        payload = (json.dumps({"cmd": cmd, **fields}, sort_keys=True)
+                   + "\n").encode("utf-8")
+        try:
+            with socket.create_connection((host, port),
+                                          timeout=self.timeout_s) as sock:
+                sock.sendall(payload)
+                reply = bytearray()
+                while not reply.endswith(b"\n"):
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    reply.extend(chunk)
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"service at {host}:{port} unreachable: {exc}") from exc
+        if not reply:
+            raise ServiceUnavailable(
+                f"service at {host}:{port} closed the connection")
+        return json.loads(reply.decode("utf-8"))
+
+    # -- convenience wrappers ------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, spec: dict, *, client: str = "cli",
+               priority: int = 10) -> dict:
+        return self.request("submit", spec=spec, client=client,
+                            priority=priority)
+
+    def status(self) -> dict:
+        return self.request("status")
+
+    def job(self, job_id: str, *, result: bool = False) -> dict:
+        return self.request("job", id=job_id, result=result)
+
+    def drain(self) -> dict:
+        return self.request("drain")
+
+    def wait_for(self, job_id: str, *, timeout_s: float = 60.0,
+                 poll_s: float = 0.1) -> dict:
+        """Poll until the job is terminal (done/quarantined) or time out."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            info = self.job(job_id)
+            if info.get("status") in ("done", "quarantined"):
+                return info
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {info.get('status')!r} "
+                    f"after {timeout_s:.0f}s")
+            time.sleep(poll_s)
+
+    def wait_ready(self, *, timeout_s: float = 30.0,
+                   poll_s: float = 0.1) -> dict:
+        """Poll until the service answers a ping (startup barrier)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.ping()
+            except (ServiceUnavailable, json.JSONDecodeError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_s)

@@ -1,0 +1,523 @@
+"""The crash-safe job service core: ledger, recovery, drain.
+
+:class:`JobService` turns the batch execution layer (:mod:`repro.exec`)
+into a long-running serving surface.  Clients submit JSON job *specs*
+(workload + configuration); the service derives each spec's
+content-addressed store key, journals every state transition to a
+write-ahead log (:mod:`repro.service.wal`), and fans execution across
+crash-isolated worker processes (:mod:`repro.service.dispatch`).
+
+Recovery invariants (proved by ``tests/service/``):
+
+* **No lost work.**  Every accepted job is journaled before it is
+  acknowledged; a ``kill -9`` at any point leaves the WAL describing it,
+  and the next start re-enqueues everything not yet complete.
+* **No duplicated work.**  A job is marked ``complete`` only after its
+  result is durably in the store; on recovery, any journaled job whose
+  key the store already holds is completed from the store without
+  re-simulating.  Because the store is content-addressed and the
+  simulator deterministic, even a job that *was* re-run (crash between
+  execution and the complete record) converges on the bit-identical
+  record under the same key.
+* **The store is the source of truth.**  A WAL ``complete`` whose store
+  record is missing or fails verification (torn write) is *not*
+  trusted: the job is re-enqueued and the quarantined record recomputed.
+
+Failure containment: each failed attempt is journaled and retried with
+exponential backoff (``backoff_s * 2**(failures-1)``); once a job
+accumulates ``breaker_threshold`` failures -- across restarts, since
+failures are replayed from the WAL -- the circuit breaker quarantines it
+(journaled, reported, never dispatched again) instead of letting one
+poisoned input starve the pool forever.
+
+Graceful drain: :meth:`JobService.drain` stops dispatch, lets in-flight
+jobs finish (the heartbeat watchdog bounds how long a stuck worker can
+hold that up), and flushes the journal; queued jobs stay journaled and
+resume on the next start.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..exec.faults import FaultPlan
+from ..exec.pool import Job
+from ..exec.store import ResultStore, job_key
+from ..obs.service import QueueDepthSeries, ServiceMetrics
+from .dispatch import Dispatcher
+from .queue import BoundedPriorityQueue, QueueFull, QuotaExceeded
+from .wal import WriteAheadLog
+
+__all__ = ["JobService", "JobRecord", "normalize_spec", "build_job",
+           "STATE_QUEUED", "STATE_RUNNING", "STATE_DONE",
+           "STATE_QUARANTINED"]
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_QUARANTINED = "quarantined"
+
+#: Spec fields and their defaults; everything else is rejected.
+SPEC_DEFAULTS = {
+    "workload": None,          # required
+    "loads": 3000,
+    "prefetcher": "none",
+    "secure": False,
+    "suf": False,
+    "mode": "on-access",
+    "warmup": 0.2,
+}
+
+
+def normalize_spec(spec: dict) -> dict:
+    """Validate and canonicalize a job spec (defaults applied).
+
+    The canonical form is what the WAL journals, so a recovered job
+    rebuilds to the exact same content-addressed key.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"spec must be an object, got {type(spec).__name__}")
+    unknown = sorted(set(spec) - set(SPEC_DEFAULTS))
+    if unknown:
+        raise ValueError(f"unknown spec field(s): {', '.join(unknown)}")
+    out = dict(SPEC_DEFAULTS)
+    out.update(spec)
+    if not isinstance(out["workload"], str) or not out["workload"]:
+        raise ValueError("spec requires a 'workload' name")
+    if not isinstance(out["loads"], int) or out["loads"] <= 0:
+        raise ValueError("spec 'loads' must be a positive integer")
+    if out["mode"] not in ("on-access", "on-commit"):
+        raise ValueError("spec 'mode' must be 'on-access' or 'on-commit'")
+    if not isinstance(out["prefetcher"], str):
+        raise ValueError("spec 'prefetcher' must be a string")
+    out["secure"] = bool(out["secure"])
+    out["suf"] = bool(out["suf"])
+    out["warmup"] = float(out["warmup"])
+    if not 0.0 <= out["warmup"] < 1.0:
+        raise ValueError("spec 'warmup' must be in [0, 1)")
+    return out
+
+
+def build_job(spec: dict, *, params, cache_dir=None) -> Job:
+    """A picklable :class:`Job` from a canonical spec.
+
+    Deterministic: the same spec always yields the same trace records
+    and therefore the same content-addressed job key, on any host and
+    across restarts -- that determinism is what makes WAL replay and
+    store dedup sound.
+    """
+    from ..experiments.runner import Config, Scale
+    from ..workloads.gap import GAP_KERNELS, gap_trace
+    from ..workloads.prebuilt import cached_trace
+    from ..workloads.spec import SPEC_WORKLOADS, spec_trace
+
+    workload, loads = spec["workload"], spec["loads"]
+    if workload in SPEC_WORKLOADS:
+        trace = cached_trace(
+            "spec", workload, loads, 1,
+            lambda: spec_trace(workload, loads, 1), cache_dir=cache_dir)
+    else:
+        kernel = workload.split("-")[0]
+        if kernel not in GAP_KERNELS:
+            raise ValueError(f"unknown workload {spec['workload']!r}")
+        trace = cached_trace(
+            "gap", f"{kernel}-42B", loads, 42,
+            lambda: gap_trace(kernel, loads, seed=42),
+            cache_dir=cache_dir, kernel=kernel)
+    config = Config(prefetcher=spec["prefetcher"], secure=spec["secure"],
+                    suf=spec["suf"], mode=spec["mode"])
+    scale = Scale("service", loads, 0, 0, 0, warmup=spec["warmup"])
+    key = job_key(config, trace, scale, params)
+    return Job(key=key, config=config, trace=trace, scale=scale,
+               params=params)
+
+
+@dataclass
+class JobRecord:
+    """One job's ledger entry (in-memory projection of the WAL)."""
+
+    key: str
+    spec: dict
+    client: str = "anon"
+    priority: int = 10
+    state: str = STATE_QUEUED
+    attempts: int = 0
+    failures: int = 0
+    error: str = ""
+    origin: str = "submit"        # or "recovery"
+    job: Any = field(default=None, repr=False)   # built lazily on recovery
+
+    def public(self) -> dict:
+        return {"id": self.key, "status": self.state,
+                "attempts": self.attempts, "failures": self.failures,
+                "error": self.error, "client": self.client,
+                "priority": self.priority, "origin": self.origin}
+
+
+class JobService:
+    """Crash-safe simulation job service over one store root."""
+
+    def __init__(self, root: Union[str, "Path"], *,
+                 workers: int = 1,
+                 queue_size: int = 256,
+                 quota: int = 0,
+                 heartbeat_s: float = 30.0,
+                 backoff_s: float = 0.5,
+                 breaker_threshold: int = 4,
+                 fault_plan: Optional[FaultPlan] = None,
+                 params=None) -> None:
+        from ..sim.params import baseline
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        self.root = Path(root)
+        self.fault_plan = fault_plan if fault_plan is not None \
+            else FaultPlan.from_env()
+        self.params = params if params is not None else baseline()
+        self.backoff_s = backoff_s
+        self.breaker_threshold = breaker_threshold
+        self.marker_dir = self.root / "faults-injected"
+        self.store = ResultStore(self.root, fault_plan=self.fault_plan)
+        self.wal = WriteAheadLog(self.root / "service" / "wal.jsonl",
+                                 fault_plan=self.fault_plan,
+                                 marker_dir=self.marker_dir)
+        self.queue = BoundedPriorityQueue(queue_size, quota)
+        self.metrics = ServiceMetrics()
+        self.depth_series = QueueDepthSeries()
+        self.jobs: Dict[str, JobRecord] = {}
+        self.dispatcher = Dispatcher(self, workers=workers,
+                                     heartbeat_s=heartbeat_s,
+                                     fault_plan=self.fault_plan)
+        self.recovery: Dict[str, int] = {}
+        self._delayed: List[Tuple[float, str]] = []   # (ready_at, key)
+        self._lock = threading.RLock()
+        self._draining = False
+        self._running = 0
+        self._done = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> Dict[str, int]:
+        """Replay the journal, resume unfinished work, start dispatching.
+
+        Returns the recovery report (also kept as :attr:`recovery`).
+        """
+        self._warm_imports()
+        self.recovery = self._recover()
+        self.dispatcher.start()
+        return self.recovery
+
+    @staticmethod
+    def _warm_imports() -> None:
+        """Import the full simulation stack before any worker forks.
+
+        Workers are forked by the dispatcher thread while the main
+        thread keeps serving submissions; a child forked mid-first-import
+        would inherit a held import lock and deadlock the moment
+        ``execute_job`` imports the same module.  Importing everything
+        the workers need up front closes that window."""
+        from ..experiments import runner          # noqa: F401
+        from ..sim import multicore, system       # noqa: F401
+        from ..workloads import gap, prebuilt, spec   # noqa: F401
+
+    def _recover(self) -> Dict[str, int]:
+        records = self.wal.replay()
+        self.metrics.bump("wal_recovered_records", len(records))
+        self.metrics.bump("wal_torn_tail", self.wal.torn_tail_dropped)
+        # Project the journal onto per-job ledger entries, oldest first.
+        for record in records:
+            key = record["id"]
+            rec = self.jobs.get(key)
+            kind = record["kind"]
+            if kind == "submit":
+                if rec is None:
+                    self.jobs[key] = JobRecord(
+                        key=key, spec=record.get("spec") or {},
+                        client=record.get("client", "anon"),
+                        priority=record.get("priority", 10),
+                        origin="recovery")
+                continue
+            if rec is None:      # transition for an unjournaled submit
+                continue         # (corrupt line skipped): nothing to do
+            if kind == "dispatch":
+                rec.attempts = max(rec.attempts,
+                                   record.get("attempt", rec.attempts + 1))
+            elif kind == "fail":
+                rec.failures += 1
+                rec.error = record.get("error", "")
+            elif kind == "complete":
+                rec.state = STATE_DONE       # idempotent under duplicates
+            elif kind == "quarantine":
+                rec.state = STATE_QUARANTINED
+        self.wal.open()
+        report = {"replayed": len(records), "requeued": 0,
+                  "completed_from_store": 0, "already_done": 0,
+                  "quarantined": 0, "torn_tail_dropped":
+                      self.wal.torn_tail_dropped}
+        for key, rec in self.jobs.items():
+            if rec.state == STATE_QUARANTINED:
+                report["quarantined"] += 1
+                continue
+            cached = self.store.get(key)
+            if cached is not None:
+                # The store is the source of truth: journal the dedup if
+                # the complete record was lost with the crash.
+                if rec.state != STATE_DONE:
+                    self.wal.append("complete", key, origin="recovery")
+                    self.metrics.bump("recovered_completed")
+                    report["completed_from_store"] += 1
+                else:
+                    report["already_done"] += 1
+                rec.state = STATE_DONE
+                self._done += 1
+                continue
+            # Not in the store -- even if the WAL said done, the record
+            # was torn/quarantined: re-enqueue and recompute.
+            rec.state = STATE_QUEUED
+            rec.job = None
+            self.queue.requeue(key, priority=rec.priority)
+            self.metrics.bump("recovered_requeued")
+            report["requeued"] += 1
+        self._sample()
+        return report
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop dispatch, finish in-flight jobs, flush the journal.
+
+        Queued jobs stay journaled for the next start.  Returns ``True``
+        once no work is in flight (``False`` on timeout).
+        """
+        with self._lock:
+            self._draining = True
+        finished = self.dispatcher.drain(timeout_s)
+        self.wal.flush()
+        return finished
+
+    def close(self) -> None:
+        self.dispatcher.stop()
+        self.wal.close()
+
+    # ------------------------------------------------------------------
+    # submission (asyncio front end, executor threads)
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: dict, *, client: str = "anon",
+               priority: int = 10) -> dict:
+        """Accept, dedup, or reject one job spec."""
+        self.metrics.bump("submitted")
+        try:
+            spec = normalize_spec(spec)
+            job = self._build_job(spec)
+        except Exception as exc:
+            self.metrics.bump("rejected_invalid")
+            return {"status": "rejected",
+                    "error": f"{type(exc).__name__}: {exc}"}
+        key = job.key
+        with self._lock:
+            rec = self.jobs.get(key)
+            if rec is not None:
+                # Store-keyed dedup: identical configs from any number of
+                # clients cost one simulation.
+                self.metrics.bump("deduped")
+                return {"status": rec.state, "id": key, "deduped": True}
+            if self.store.get(key) is not None:
+                # Warm store: answered without any work; journal so the
+                # ledger (and future recoveries) know about the job.
+                self.wal.append("submit", key, spec=spec, client=client,
+                                priority=priority)
+                self.wal.append("complete", key, origin="store")
+                rec = JobRecord(key=key, spec=spec, client=client,
+                                priority=priority, state=STATE_DONE)
+                self.jobs[key] = rec
+                self._done += 1
+                self.metrics.bump("deduped")
+                self._sample()
+                return {"status": STATE_DONE, "id": key, "deduped": True}
+            if self._draining:
+                return {"status": "rejected", "id": key,
+                        "error": "service is draining"}
+            try:
+                self.queue.push(key, priority=priority, client=client)
+            except QueueFull as exc:
+                self.metrics.bump("rejected_queue_full")
+                return {"status": "rejected", "id": key, "error": str(exc)}
+            except QuotaExceeded as exc:
+                self.metrics.bump("rejected_quota")
+                return {"status": "rejected", "id": key, "error": str(exc)}
+            rec = JobRecord(key=key, spec=spec, client=client,
+                            priority=priority)
+            rec.job = job
+            self.jobs[key] = rec
+            self.wal.append("submit", key, spec=spec, client=client,
+                            priority=priority)
+            self.fault_plan.maybe_kill(key, "submit", self.marker_dir)
+            self.metrics.bump("accepted")
+            self._sample()
+            return {"status": STATE_QUEUED, "id": key}
+
+    def _build_job(self, spec: dict) -> Job:
+        return build_job(spec, params=self.params,
+                         cache_dir=self.store.root / "traces")
+
+    # ------------------------------------------------------------------
+    # dispatcher callbacks (dispatcher thread)
+    # ------------------------------------------------------------------
+
+    def next_job(self, now: float) -> Optional[Tuple[str, int, Any]]:
+        """The next dispatchable ``(key, attempt, job)``, or ``None``.
+
+        Moves due backoff entries back onto the queue first; journals the
+        dispatch before handing the job out.
+        """
+        with self._lock:
+            if self._draining:
+                return None
+            while self._delayed and self._delayed[0][0] <= now:
+                _, key = heapq.heappop(self._delayed)
+                self.queue.requeue(key, priority=self.jobs[key].priority)
+            while True:
+                key = self.queue.pop()
+                if key is None:
+                    return None
+                rec = self.jobs[key]
+                if rec.job is None:      # recovered: rebuild from spec
+                    try:
+                        rec.job = self._build_job(rec.spec)
+                    except Exception as exc:
+                        self._quarantine(
+                            rec, f"unbuildable spec: "
+                                 f"{type(exc).__name__}: {exc}")
+                        continue
+                rec.attempts += 1
+                rec.state = STATE_RUNNING
+                self._running += 1
+                self.wal.append("dispatch", key, attempt=rec.attempts)
+                self.metrics.bump("dispatched")
+                self.fault_plan.maybe_kill(key, "dispatch",
+                                           self.marker_dir)
+                self._sample()
+                return key, rec.attempts, rec.job
+
+    def next_delay(self, now: float) -> Optional[float]:
+        """Seconds until the earliest backoff entry is due (None: none)."""
+        with self._lock:
+            if not self._delayed:
+                return None
+            return max(0.0, self._delayed[0][0] - now)
+
+    def on_complete(self, key: str, result: Any) -> None:
+        """Persist the result, then journal the completion.
+
+        Order matters: the store write lands *before* the ``complete``
+        record, so a journaled completion always has a durable result
+        behind it (recovery re-verifies regardless).
+        """
+        with self._lock:
+            rec = self.jobs[key]
+            self.store.put(key, result)
+            self.wal.append("complete", key, origin="run")
+            self.fault_plan.maybe_kill(key, "complete", self.marker_dir)
+            rec.state = STATE_DONE
+            rec.error = ""
+            self._running -= 1
+            self._done += 1
+            self.queue.release(rec.client)
+            self.metrics.bump("completed")
+            self._sample()
+
+    def on_fail(self, key: str, error: str, *,
+                heartbeat: bool = False) -> None:
+        """Journal the failure; retry with backoff or trip the breaker."""
+        with self._lock:
+            rec = self.jobs[key]
+            rec.failures += 1
+            rec.error = error
+            self._running -= 1
+            self.metrics.bump("failed_attempts")
+            if heartbeat:
+                self.metrics.bump("heartbeat_kills")
+            self.wal.append("fail", key, attempt=rec.attempts,
+                            error=error[:500])
+            if rec.failures >= self.breaker_threshold:
+                self._quarantine(rec, error)
+            else:
+                rec.state = STATE_QUEUED
+                delay = self.backoff_s * 2 ** (rec.failures - 1)
+                heapq.heappush(self._delayed,
+                               (time.monotonic() + delay, key))
+                self.metrics.bump("retried")
+            self._sample()
+
+    def _quarantine(self, rec: JobRecord, error: str) -> None:
+        """Circuit breaker: give up on one job without poisoning the
+        pool; the WAL record keeps it out of every future recovery."""
+        self.wal.append("quarantine", rec.key, failures=rec.failures,
+                        error=error[:500])
+        rec.state = STATE_QUARANTINED
+        rec.error = error
+        self.queue.release(rec.client)
+        self.metrics.bump("quarantined")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def _sample(self) -> None:
+        self.depth_series.sample(depth=self.queue.depth(),
+                                 in_flight=self._running,
+                                 done=self._done)
+
+    def counts_by_state(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for rec in self.jobs.values():
+                counts[rec.state] = counts.get(rec.state, 0) + 1
+            return counts
+
+    def status(self) -> dict:
+        with self._lock:
+            metrics = self.metrics.snapshot()
+            metrics["wal_records"] = self.wal.records_written
+            return {
+                "pid": None,     # filled by the server front end
+                "draining": self._draining,
+                "jobs": len(self.jobs),
+                "states": self.counts_by_state(),
+                "queue_depth": self.queue.depth(),
+                "in_flight": self._running,
+                "clients": self.queue.clients(),
+                "metrics": metrics,
+                "store": self.store.stats(),
+                "wal": self.wal.stats(),
+                "recovery": dict(self.recovery),
+            }
+
+    def job_info(self, key: str, *, with_result: bool = False) -> dict:
+        with self._lock:
+            rec = self.jobs.get(key)
+            if rec is None:
+                return {"id": key, "status": "unknown"}
+            info = rec.public()
+        if with_result and info["status"] == STATE_DONE:
+            result = self.store.get(key)
+            if result is not None:
+                info["result"] = {
+                    "ipc": getattr(result, "ipc", None),
+                    "committed": getattr(result, "committed", None),
+                    "cycles": getattr(result, "cycles", None),
+                    "label": getattr(result, "label", None),
+                    "trace": getattr(result, "trace_name", None),
+                }
+        return info
+
+    def all_done(self) -> bool:
+        """Every known job terminal (done or quarantined)?"""
+        with self._lock:
+            return all(rec.state in (STATE_DONE, STATE_QUARANTINED)
+                       for rec in self.jobs.values())

@@ -1,0 +1,183 @@
+"""Worker dispatch loop with a heartbeat watchdog.
+
+The :class:`Dispatcher` thread owns a fixed set of
+:class:`~repro.exec.pool.WorkerHandle` worker *processes* (the same
+pipe protocol the batch :class:`~repro.exec.pool.JobExecutor` uses), so
+a job that segfaults, OOMs, or wedges takes down a disposable child --
+never the service.  The loop:
+
+* fills idle workers from :meth:`JobService.next_job` (which journals
+  each dispatch before handing the job over);
+* blocks on the worker pipes with a budget bounded by the nearest
+  heartbeat deadline and the nearest retry-backoff expiry;
+* collects results into :meth:`JobService.on_complete` /
+  :meth:`JobService.on_fail`;
+* **heartbeat watchdog**: a worker that has not produced its result by
+  ``heartbeat_s`` is killed and respawned, and its job goes through the
+  normal fail/retry/circuit-breaker path (``heartbeat=True`` so the
+  kill is counted separately);
+* a worker that dies on its own (broken pipe) is joined, respawned in
+  place, and only its job is retried.
+
+Drain: :meth:`drain` lets in-flight jobs finish -- bounded by the
+heartbeat, so a wedged worker cannot hold the drain hostage -- then
+shuts every worker down cleanly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from multiprocessing import connection
+from typing import List, Optional
+
+from ..exec.faults import FaultPlan
+from ..exec.pool import WorkerHandle
+
+__all__ = ["Dispatcher"]
+
+
+class Dispatcher(threading.Thread):
+    """Pulls jobs from a :class:`JobService` onto worker processes."""
+
+    def __init__(self, service, *, workers: int = 1,
+                 heartbeat_s: float = 30.0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 poll_s: float = 0.25) -> None:
+        super().__init__(name="repro-dispatcher", daemon=True)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.service = service
+        self.workers = workers
+        self.heartbeat_s = heartbeat_s
+        self.poll_s = poll_s
+        plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self.worker_plan = plan if plan.active else None
+        self._slots: List[WorkerHandle] = []
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        self._slots = [WorkerHandle() for _ in range(self.workers)]
+        try:
+            while not self._stopped.is_set():
+                now = time.monotonic()
+                self._fill(now)
+                busy = [s for s in self._slots if s.busy]
+                if not busy:
+                    if self._draining.is_set():
+                        return
+                    # Idle: sleep until the next backoff expiry (or poll).
+                    delay = self.service.next_delay(now)
+                    wait = self.poll_s if delay is None \
+                        else min(self.poll_s, delay)
+                    self._stopped.wait(wait)
+                    continue
+                ready = connection.wait([s.conn for s in busy],
+                                        timeout=self._budget(busy, now))
+                for conn in ready:
+                    slot = next(s for s in busy if s.conn is conn)
+                    self._collect(slot)
+                self._reap_stale()
+        finally:
+            for slot in self._slots:
+                slot.shutdown()
+            self._stopped.set()
+
+    def _fill(self, now: float) -> None:
+        """Hand queued jobs to idle workers."""
+        if self._draining.is_set():
+            return
+        for slot in self._slots:
+            if slot.busy:
+                continue
+            item = self.service.next_job(now)
+            if item is None:
+                return
+            key, attempt, job = item
+            try:
+                slot.dispatch(key, job, attempt, self.worker_plan,
+                              self.heartbeat_s)
+            except (BrokenPipeError, OSError):
+                # The idle worker died between jobs: respawn, retry job.
+                self._respawn(slot, kill=False)
+                self.service.on_fail(key, "worker pipe broken at dispatch")
+
+    def _budget(self, busy: List[WorkerHandle], now: float) -> float:
+        """Block until the nearest heartbeat deadline or backoff expiry,
+        capped at the poll interval so drain/stop stay responsive."""
+        events = [s.deadline for s in busy if s.deadline is not None]
+        delay = self.service.next_delay(now)
+        if delay is not None:
+            events.append(now + delay)
+        if not events:
+            return self.poll_s
+        return max(0.0, min(self.poll_s, min(events) - now))
+
+    def _collect(self, slot: WorkerHandle) -> None:
+        key, _ = slot.index, slot.attempt
+        try:
+            kind, payload = slot.conn.recv()
+        except (EOFError, OSError):
+            slot.process.join(timeout=5)
+            exitcode = slot.process.exitcode
+            self._respawn(slot, kill=False)
+            self.service.on_fail(key,
+                                 f"worker died (exit code {exitcode})")
+            return
+        slot.idle()
+        if kind == "ok":
+            self.service.on_complete(key, payload)
+        else:
+            self.service.on_fail(key, payload.strip())
+
+    def _reap_stale(self) -> None:
+        """Heartbeat watchdog: kill and respawn workers past deadline."""
+        now = time.monotonic()
+        for slot in self._slots:
+            if not slot.busy or slot.deadline is None \
+                    or now < slot.deadline:
+                continue
+            key = slot.index
+            self._respawn(slot, kill=True)
+            self.service.on_fail(
+                key, f"heartbeat timeout after {self.heartbeat_s:.1f}s "
+                     f"(worker killed)", heartbeat=True)
+
+    def _respawn(self, slot: WorkerHandle, *, kill: bool) -> None:
+        if kill:
+            slot.process.kill()
+            slot.process.join(timeout=5)
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        fresh = WorkerHandle()
+        slot.conn = fresh.conn
+        slot.process = fresh.process
+        slot.idle()
+
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Finish in-flight jobs, shut workers down, stop the thread.
+
+        Returns ``True`` if the loop exited within ``timeout_s``.  Safe
+        to call before :meth:`start` (then it is a no-op)."""
+        self._draining.set()
+        if not self.is_alive():
+            return True
+        self.join(timeout=timeout_s)
+        return not self.is_alive()
+
+    def stop(self) -> None:
+        """Hard stop: abandon in-flight work (it stays journaled)."""
+        self._draining.set()
+        self._stopped.set()
+        if self.is_alive():
+            self.join(timeout=10)
+
+    def in_flight(self) -> int:
+        return sum(1 for s in self._slots if s.busy)

@@ -1,0 +1,113 @@
+"""Bounded priority queue with per-client quotas (service backpressure).
+
+The service must shed load *at submission time*, with a clear error,
+rather than buffering unboundedly and dying of memory pressure hours
+later.  Two independent limits:
+
+* ``maxsize`` bounds the total queued entries (0 = unbounded);
+* ``quota`` bounds one client's **live** jobs -- queued plus in-flight,
+  released only when the job reaches a terminal state -- so a single
+  greedy client cannot starve the pool (0 = unlimited).
+
+Ordering is by ``priority`` (lower number first -- priority 0 is most
+urgent), FIFO within a priority.  All operations are lock-protected:
+the asyncio front end submits from executor threads while the
+dispatcher thread pops.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["QueueFull", "QuotaExceeded", "BoundedPriorityQueue"]
+
+
+class QueueFull(Exception):
+    """The bounded queue is at capacity; resubmit later."""
+
+
+class QuotaExceeded(Exception):
+    """This client already has its quota of live jobs."""
+
+
+class BoundedPriorityQueue:
+    """Thread-safe bounded priority queue keyed by job id."""
+
+    def __init__(self, maxsize: int = 0, quota: int = 0) -> None:
+        if maxsize < 0 or quota < 0:
+            raise ValueError("maxsize and quota must be >= 0")
+        self.maxsize = maxsize
+        self.quota = quota
+        self._heap: List[Tuple[int, int, str]] = []
+        self._queued = 0
+        self._seq = 0
+        self._live: Dict[str, int] = {}   # client -> queued + in-flight
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def push(self, job_id: str, *, priority: int = 10,
+             client: str = "anon") -> None:
+        """Enqueue; raises :class:`QueueFull` / :class:`QuotaExceeded`."""
+        with self._lock:
+            if self.maxsize and self._queued >= self.maxsize:
+                raise QueueFull(
+                    f"queue full ({self._queued}/{self.maxsize})")
+            if self.quota and self._live.get(client, 0) >= self.quota:
+                raise QuotaExceeded(
+                    f"client {client!r} at quota "
+                    f"({self._live[client]}/{self.quota})")
+            heapq.heappush(self._heap, (priority, self._seq, job_id))
+            self._seq += 1
+            self._queued += 1
+            self._live[client] = self._live.get(client, 0) + 1
+
+    def requeue(self, job_id: str, *, priority: int = 10) -> None:
+        """Re-enqueue a retried/recovered job, bypassing both limits.
+
+        The job already holds its quota slot (quota covers queued plus
+        in-flight), and bouncing a *retry* on a momentarily full queue
+        would turn a transient fault into a lost job.
+        """
+        with self._lock:
+            heapq.heappush(self._heap, (priority, self._seq, job_id))
+            self._seq += 1
+            self._queued += 1
+
+    def pop(self) -> Optional[str]:
+        """The most urgent queued job id, or ``None`` when idle."""
+        with self._lock:
+            if not self._heap:
+                return None
+            _, _, job_id = heapq.heappop(self._heap)
+            self._queued -= 1
+            return job_id
+
+    def release(self, client: str) -> None:
+        """Free one quota slot: the client's job reached a terminal
+        state (completed, quarantined, or was recovered as done)."""
+        with self._lock:
+            live = self._live.get(client, 0)
+            if live <= 1:
+                self._live.pop(client, None)
+            else:
+                self._live[client] = live - 1
+
+    # ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return self._queued
+
+    def live(self, client: str) -> int:
+        with self._lock:
+            return self._live.get(client, 0)
+
+    def clients(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._live)
+
+    def __len__(self) -> int:
+        return self.depth()

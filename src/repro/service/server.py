@@ -1,0 +1,194 @@
+"""Line-JSON socket front end for the job service.
+
+Stdlib only: an :mod:`asyncio` stream server speaking one JSON request
+per connection -- a single line in, a single line out::
+
+    {"cmd": "submit", "spec": {"workload": "stream", "loads": 3000}}
+    {"status": "queued", "id": "<job key>"}
+
+Commands: ``ping``, ``submit``, ``status``, ``job``, ``queue-depth``,
+``drain``.  Handlers run in the default executor so a slow store read
+never blocks the event loop; all service state is guarded by the
+service's own lock.
+
+The bound endpoint is advertised in ``<root>/service/endpoint.json``
+(host, port, pid -- written atomically), which is how
+:class:`~repro.service.client.ServiceClient` and ``repro submit`` find
+a service started with ``--port 0``.
+
+Signals: SIGTERM and SIGINT both trigger the graceful-drain path --
+stop accepting, finish in-flight jobs, flush the WAL -- and then exit
+with the conventional code for the signal (143 = 128+SIGTERM,
+130 = 128+SIGINT).  A ``drain`` request over the socket does the same
+with exit code 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["ServiceServer", "EXIT_SIGTERM", "EXIT_SIGINT"]
+
+EXIT_SIGTERM = 143   # 128 + SIGTERM(15): conventional graceful-kill code
+EXIT_SIGINT = 130    # 128 + SIGINT(2)
+
+#: Hard ceiling on one request line (a spec is small; 1 MiB is generous).
+MAX_LINE = 1 << 20
+
+
+class ServiceServer:
+    """Serve one :class:`~repro.service.core.JobService` over a socket."""
+
+    def __init__(self, service, *, host: str = "127.0.0.1",
+                 port: int = 0,
+                 drain_timeout_s: Optional[float] = None) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.drain_timeout_s = drain_timeout_s
+        self.exit_code = 0
+        self._shutdown: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                raw = await reader.readline()
+            except (ValueError, ConnectionError):
+                raw = b""
+            response = await self._respond(raw)
+            writer.write((json.dumps(response, sort_keys=True)
+                          + "\n").encode("utf-8"))
+            await writer.drain()
+        except ConnectionError:   # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    async def _respond(self, raw: bytes) -> dict:
+        if not raw or len(raw) > MAX_LINE:
+            return {"status": "error", "error": "empty or oversized request"}
+        try:
+            request = json.loads(raw.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return {"status": "error", "error": f"bad request: {exc}"}
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._dispatch, request)
+
+    def _dispatch(self, request: dict) -> dict:
+        """Execute one request (runs in an executor thread)."""
+        cmd = request.get("cmd")
+        service = self.service
+        try:
+            if cmd == "ping":
+                return {"status": "ok", "pid": os.getpid()}
+            if cmd == "submit":
+                return service.submit(
+                    request.get("spec") or {},
+                    client=str(request.get("client", "anon")),
+                    priority=int(request.get("priority", 10)))
+            if cmd == "status":
+                status = service.status()
+                status["pid"] = os.getpid()
+                status["status"] = "ok"
+                return status
+            if cmd == "job":
+                job_id = request.get("id")
+                if not isinstance(job_id, str):
+                    return {"status": "error", "error": "job needs an 'id'"}
+                return service.job_info(
+                    job_id, with_result=bool(request.get("result", False)))
+            if cmd == "queue-depth":
+                series = service.depth_series
+                return {"status": "ok", "last": series.last(),
+                        "samples": len(series),
+                        "dropped": series.dropped()}
+            if cmd == "drain":
+                # Ack first; the actual drain runs in the shutdown path
+                # after the response is flushed.
+                self._request_shutdown(0)
+                return {"status": "draining"}
+            return {"status": "error", "error": f"unknown cmd {cmd!r}"}
+        except Exception as exc:   # never let a handler kill the server
+            return {"status": "error",
+                    "error": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _request_shutdown(self, exit_code: int) -> None:
+        """Thread/signal-safe: trip the shutdown event on the loop."""
+        self.exit_code = exit_code
+        loop, event = self._loop, self._shutdown
+        if loop is not None and event is not None:
+            loop.call_soon_threadsafe(event.set)
+
+    @property
+    def endpoint_path(self) -> Path:
+        return Path(self.service.root) / "service" / "endpoint.json"
+
+    def _advertise(self, host: str, port: int) -> None:
+        path = self.endpoint_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(
+            {"host": host, "port": port, "pid": os.getpid()},
+            sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    async def serve(self) -> int:
+        """Start the service, serve until drained, return the exit code."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        for signum, code in ((signal.SIGTERM, EXIT_SIGTERM),
+                             (signal.SIGINT, EXIT_SIGINT)):
+            try:
+                self._loop.add_signal_handler(
+                    signum, self._request_shutdown, code)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass   # non-Unix loop: signals handled by the caller
+        recovery = self.service.start()
+        server = await asyncio.start_server(self._handle, self.host,
+                                            self.port,
+                                            family=socket.AF_INET)
+        host, port = server.sockets[0].getsockname()[:2]
+        self._advertise(host, port)
+        print(f"repro service on {host}:{port} (pid {os.getpid()}, "
+              f"recovered {recovery.get('requeued', 0)} queued / "
+              f"{recovery.get('completed_from_store', 0)} from store)",
+              flush=True)
+        try:
+            async with server:
+                await self._shutdown.wait()
+        finally:
+            # Graceful drain: finish in-flight, flush WAL, close workers.
+            await self._loop.run_in_executor(
+                None, self.service.drain, self.drain_timeout_s)
+            self.service.close()
+            try:
+                self.endpoint_path.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        return self.exit_code
+
+    def run(self) -> int:
+        """Blocking entry point (what ``repro serve`` calls)."""
+        return asyncio.run(self.serve())

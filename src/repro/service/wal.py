@@ -1,0 +1,234 @@
+"""Write-ahead journal for the job service.
+
+An append-only JSONL file under the store root (``<root>/service/
+wal.jsonl``).  Every job state transition is journaled *before* it is
+acted on, so a ``kill -9`` at any instruction leaves the WAL describing
+exactly what the service had promised -- a restarted service replays it
+and resumes every in-flight campaign.
+
+Record shape (one JSON object per line, sorted keys)::
+
+    {"kind": "submit",   "id": <job key>, "seq": 0, "spec": {...},
+     "client": "cli", "priority": 10}
+    {"kind": "dispatch", "id": <job key>, "seq": 1, "attempt": 1}
+    {"kind": "complete", "id": <job key>, "seq": 2, "origin": "run"}
+    {"kind": "fail",     "id": <job key>, "seq": 3, "error": "..."}
+    {"kind": "quarantine", "id": <job key>, "seq": 4, "failures": 4}
+
+``seq`` is a per-journal monotonic ordinal.  The job ``id`` is the
+content-addressed store key of the simulation, which is what makes
+replay idempotent: a ``complete`` is trusted only if the store actually
+holds a readable record for that key, and re-running a lost job writes
+the bit-identical result under the same key.
+
+Crash tolerance: every append is flushed per line (and fsynced when the
+store-level ``REPRO_STORE_FSYNC=1`` gate is on).  A crash mid-append
+leaves at most one torn trailing record; :meth:`WriteAheadLog.replay`
+drops it (counted in ``torn_tail_dropped``) and remembers the last good
+byte offset, and :meth:`WriteAheadLog.open` truncates the file back to
+that offset so new appends never glue onto a partial line.  Undecodable
+lines elsewhere in the file (disk corruption) are skipped and counted,
+never trusted.
+
+The ``wal_trunc`` fault kind (:mod:`repro.exec.faults`) simulates the
+crash-mid-append case deterministically: a selected record is written
+half-way and the process SIGKILLed, once per record id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..exec.faults import FaultPlan
+
+__all__ = ["RECORD_KINDS", "WalError", "WriteAheadLog"]
+
+#: Every journaled transition kind.
+RECORD_KINDS = ("submit", "dispatch", "complete", "fail", "quarantine")
+
+
+class WalError(RuntimeError):
+    """The journal cannot be appended to (bad record, closed log)."""
+
+
+class WriteAheadLog:
+    """Append-only JSONL journal with torn-tail-tolerant replay.
+
+    Parameters
+    ----------
+    path:
+        The journal file (parent directories are created on open).
+    fsync:
+        Fsync every append.  Defaults to the store's
+        ``REPRO_STORE_FSYNC=1`` gate.
+    fault_plan / marker_dir:
+        Optional :class:`FaultPlan` for the ``wal_trunc`` chaos kind;
+        ``marker_dir`` holds the once-only markers.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], *,
+                 fsync: Optional[bool] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 marker_dir: Union[str, os.PathLike, None] = None) -> None:
+        from ..exec.store import FSYNC_ENV
+        self.path = Path(path)
+        self.fsync = fsync if fsync is not None \
+            else os.environ.get(FSYNC_ENV, "") == "1"
+        self.fault_plan = fault_plan
+        self.marker_dir = Path(marker_dir) if marker_dir is not None \
+            else self.path.parent / "faults-injected"
+        self.records_written = 0
+        self.records_replayed = 0
+        self.torn_tail_dropped = 0
+        self.corrupt_skipped = 0
+        self._seq = 0
+        self._good_offset = 0
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+
+    def replay(self) -> List[dict]:
+        """Parse every valid record, oldest first.
+
+        A torn trailing record (no newline, or undecodable JSON on the
+        last line) is dropped and counted; undecodable lines elsewhere
+        are skipped and counted as corrupt.  Also records the last good
+        byte offset so :meth:`open` can truncate the torn tail away.
+        """
+        self.records_replayed = 0
+        self.torn_tail_dropped = 0
+        self.corrupt_skipped = 0
+        self._good_offset = 0
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        records: List[dict] = []
+        offset = 0
+        lines = blob.split(b"\n")
+        # A trailing newline yields one empty final chunk; a torn tail
+        # yields a non-empty final chunk with no newline after it.
+        for i, raw in enumerate(lines):
+            is_last = i == len(lines) - 1
+            if is_last:
+                if raw:
+                    self.torn_tail_dropped += 1
+                break
+            record = self._decode(raw)
+            if record is None:
+                if i == len(lines) - 2 and not lines[-1]:
+                    # Undecodable *final* line: a torn write that still
+                    # got its newline out.  Treat as torn tail.
+                    self.torn_tail_dropped += 1
+                    break
+                self.corrupt_skipped += 1
+                offset += len(raw) + 1
+                continue
+            offset += len(raw) + 1
+            self._good_offset = offset
+            records.append(record)
+        self.records_replayed = len(records)
+        if records:
+            self._seq = max(r["seq"] for r in records) + 1
+        return records
+
+    @staticmethod
+    def _decode(raw: bytes) -> Optional[dict]:
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) \
+                or record.get("kind") not in RECORD_KINDS \
+                or not isinstance(record.get("id"), str) \
+                or not isinstance(record.get("seq"), int):
+            return None
+        return record
+
+    # ------------------------------------------------------------------
+    # append
+    # ------------------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        return self._fh is not None
+
+    def open(self) -> None:
+        """Open for appending, truncating any torn tail first.
+
+        Call :meth:`replay` before :meth:`open`: replay computes the last
+        good byte offset the truncation rewinds to.
+        """
+        if self._fh is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            size = self.path.stat().st_size
+            if size > self._good_offset:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(self._good_offset)
+        self._fh = open(self.path, "ab")
+
+    def append(self, kind: str, job_id: str, **fields) -> dict:
+        """Journal one transition; returns the record as written.
+
+        The write is flushed before returning, so a ``kill -9``
+        immediately after an append never loses the record.
+        """
+        if self._fh is None:
+            raise WalError("journal is not open")
+        if kind not in RECORD_KINDS:
+            raise WalError(f"unknown record kind {kind!r}")
+        record = {"kind": kind, "id": job_id, "seq": self._seq, **fields}
+        self._seq += 1
+        data = (json.dumps(record, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode("utf-8")
+        self._maybe_inject_truncation(job_id, data)
+        self._fh.write(data)
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.records_written += 1
+        return record
+
+    def _maybe_inject_truncation(self, job_id: str, data: bytes) -> None:
+        """The ``wal_trunc`` chaos kind: write half the record, SIGKILL.
+
+        Once per record id (marker file), so the restarted service
+        journals the same transition cleanly and recovery converges."""
+        import signal
+        plan = self.fault_plan
+        if plan is None or not plan.should_truncate_wal(job_id):
+            return
+        marker = self.marker_dir / f"wal-trunc-{job_id}"
+        if marker.exists():
+            return
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text("torn append once\n")
+        self._fh.write(data[: max(1, len(data) // 2)])
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    def stats(self) -> dict:
+        return {"records_written": self.records_written,
+                "records_replayed": self.records_replayed,
+                "torn_tail_dropped": self.torn_tail_dropped,
+                "corrupt_skipped": self.corrupt_skipped}

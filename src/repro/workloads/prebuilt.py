@@ -18,10 +18,12 @@ changes so stale files are ignored (they are content-addressed, so old
 versions simply stop being referenced).  ``rm -rf <store>/traces`` is
 always a safe manual invalidation.
 
-Corrupt or torn cache files are never trusted: a failed load falls back
-to rebuilding and rewriting.  Writes are atomic (temp file +
-``os.replace``), so concurrent workers racing to fill the same entry
-both succeed.
+Corrupt or torn cache files are never trusted and never crash a sweep:
+*any* failure to load -- bad magic, torn tail, garbage bytes, wrong
+trace under the key -- quarantines the file (renamed to ``*.bad`` next
+to the cache entry, for post-mortems) and falls back to rebuilding and
+rewriting.  Writes are atomic (temp file + ``os.replace``), so
+concurrent workers racing to fill the same entry both succeed.
 """
 
 from __future__ import annotations
@@ -39,6 +41,10 @@ from .trace import Trace
 CACHE_VERSION = 1
 
 _MEMO: Dict[Tuple, Trace] = {}
+
+#: Bad cache files quarantined by this process (observability for tests
+#: and sweep summaries).
+quarantined_files = 0
 
 
 def clear_memo() -> None:
@@ -76,18 +82,37 @@ def cached_trace(kind: str, name: str, n_loads: int, seed: int,
         digest = trace_cache_key(kind, name, n_loads, seed, **params)
         path = Path(cache_dir) / digest[:2] / f"{digest}.rtrace"
         if path.exists():
+            # Never trust a cache entry: any load failure -- torn tail,
+            # garbage bytes, a foreign format, even an unexpected decode
+            # exception -- means quarantine + rebuild, never a crash.
             try:
                 trace = load_trace(path)
             except (TraceFormatError, OSError, EOFError):
                 trace = None
+            except Exception:   # defensive: corrupt bytes can surface
+                trace = None    # anywhere in the decoder
             if trace is not None and trace.name != name:
                 trace = None  # wrong content for this key: rebuild
+            if trace is None:
+                _quarantine(path)
     if trace is None:
         trace = build()
         if path is not None:
             _atomic_save(trace, path)
     _MEMO[memo_key] = trace
     return trace
+
+
+def _quarantine(path: Path) -> None:
+    """Move a bad cache file aside (``*.bad``) so the rebuilt entry can
+    take its place and the corpse stays inspectable."""
+    global quarantined_files
+    try:
+        os.replace(path, path.with_name(path.name + ".bad"))
+        quarantined_files += 1
+    except OSError:
+        # Racing worker already replaced/removed it: nothing to keep.
+        pass
 
 
 def _atomic_save(trace: Trace, path: Path) -> None:

@@ -146,3 +146,51 @@ class TestStableKeys:
         assert params_digest(baseline()) == params_digest(baseline())
         assert params_digest(baseline()) != \
             params_digest(baseline().scaled(2))
+
+
+class TestDurability:
+    def test_fsync_defaults_off(self, tmp_path):
+        assert ResultStore(tmp_path / "s").fsync is False
+
+    def test_fsync_env_gate(self, tmp_path, monkeypatch):
+        from repro.exec.store import FSYNC_ENV
+        monkeypatch.setenv(FSYNC_ENV, "1")
+        assert ResultStore(tmp_path / "s").fsync is True
+        monkeypatch.setenv(FSYNC_ENV, "0")
+        assert ResultStore(tmp_path / "s2").fsync is False
+
+    def test_fsync_explicit_overrides_env(self, tmp_path, monkeypatch):
+        from repro.exec.store import FSYNC_ENV
+        monkeypatch.setenv(FSYNC_ENV, "1")
+        assert ResultStore(tmp_path / "s", fsync=False).fsync is False
+        monkeypatch.delenv(FSYNC_ENV)
+        assert ResultStore(tmp_path / "s2", fsync=True).fsync is True
+
+    def test_fsync_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s", fsync=True)
+        store.put(KEY, {"v": 9})
+        assert store.get(KEY) == {"v": 9}
+
+
+class TestTornWrites:
+    def test_injected_torn_write_quarantined_then_healed(self, tmp_path):
+        plan = FaultPlan.parse("torn:1")
+        store = ResultStore(tmp_path / "s", fault_plan=plan)
+        store.put(KEY, {"v": 7})
+        assert store.injected_torn_writes == 1
+        # The torn record fails verification and is quarantined, exactly
+        # like real filesystem damage.
+        assert store.get(KEY) is None
+        assert store.quarantined == 1
+        # Recompute heals: the marker stops a second tear, even from a
+        # fresh store instance over the same directory.
+        store.put(KEY, {"v": 7})
+        fresh = ResultStore(tmp_path / "s", fault_plan=plan)
+        assert fresh.get(KEY) == {"v": 7}
+        assert fresh.injected_torn_writes == 0
+
+    def test_torn_write_counted_in_stats(self, tmp_path):
+        plan = FaultPlan.parse("torn:1")
+        store = ResultStore(tmp_path / "s", fault_plan=plan)
+        store.put(KEY, "x")
+        assert store.stats()["injected_torn_writes"] == 1

@@ -1,0 +1,82 @@
+"""Service observability: lifecycle counters and queue-depth series."""
+
+import json
+
+import pytest
+
+from repro.obs import QueueDepthSeries, SERVICE_COUNTERS, ServiceMetrics
+
+
+class TestServiceMetrics:
+    def test_all_counters_start_at_zero(self):
+        metrics = ServiceMetrics()
+        assert set(metrics.counts) == set(SERVICE_COUNTERS)
+        assert all(v == 0 for v in metrics.counts.values())
+
+    def test_bump(self):
+        metrics = ServiceMetrics()
+        metrics.bump("submitted")
+        metrics.bump("submitted")
+        metrics.bump("wal_records", 5)
+        assert metrics.counts["submitted"] == 2
+        assert metrics.counts["wal_records"] == 5
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError, match="unknown service counter"):
+            ServiceMetrics().bump("made_up")
+
+    def test_snapshot_is_a_copy(self):
+        metrics = ServiceMetrics()
+        snap = metrics.snapshot()
+        snap["submitted"] = 99
+        assert metrics.counts["submitted"] == 0
+
+    def test_registry_exposes_service_counters(self):
+        metrics = ServiceMetrics()
+        metrics.bump("completed", 3)
+        snapshot = metrics.registry().snapshot()
+        assert snapshot["service.completed"] == 3
+        assert snapshot["service.quarantined"] == 0
+        # Registry reads are live views, not copies at build time.
+        registry = metrics.registry()
+        metrics.bump("completed")
+        assert registry.snapshot()["service.completed"] == 4
+
+
+class TestQueueDepthSeries:
+    def test_samples_in_order(self):
+        series = QueueDepthSeries()
+        series.sample(depth=3, in_flight=1, done=0)
+        series.sample(depth=2, in_flight=2, done=0)
+        rows = series.rows()
+        assert [r["seq"] for r in rows] == [0, 1]
+        assert rows[1] == {"seq": 1, "depth": 2, "in_flight": 2,
+                           "done": 0}
+        assert series.last()["seq"] == 1
+
+    def test_empty_last_is_sentinel(self):
+        assert QueueDepthSeries().last() == \
+            {"seq": -1, "depth": 0, "in_flight": 0, "done": 0}
+
+    def test_capacity_bounds_memory(self):
+        series = QueueDepthSeries(capacity=4)
+        for i in range(10):
+            series.sample(depth=i, in_flight=0, done=i)
+        assert len(series) == 4
+        assert series.dropped() == 6
+        # Oldest dropped first; seq keeps counting monotonically.
+        assert [r["seq"] for r in series.rows()] == [6, 7, 8, 9]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueueDepthSeries(capacity=0)
+
+    def test_jsonl_round_trips(self):
+        series = QueueDepthSeries()
+        series.sample(depth=1, in_flight=0, done=0)
+        series.sample(depth=0, in_flight=1, done=0)
+        lines = series.jsonl().strip().split("\n")
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1]
+        # Canonical: sorted keys, compact separators.
+        assert lines[0] == \
+            '{"depth":1,"done":0,"in_flight":0,"seq":0}'

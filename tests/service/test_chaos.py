@@ -1,0 +1,329 @@
+"""Chaos harness: kill -9, torn writes, WAL truncation -- real processes.
+
+Every test here drives ``python -m repro serve`` as a subprocess, injects
+a deterministic fault via ``REPRO_FAULTS``, and proves the recovery
+invariants end-to-end: no lost work, no duplicated work, bit-identical
+stats after recovery (the simulator is deterministic, so IPC/cycles/
+committed of a recovered run must equal an uninterrupted golden run).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient, ServiceUnavailable
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+SPEC_ARGS = ["605.mcf-994B", "--loads", "200"]
+SPEC_JSON = {"workload": "605.mcf-994B", "loads": 200}
+
+
+def serve(root, *, faults=None, inherit_faults=False, extra=()):
+    """Start ``repro serve`` on ``root``; faults is a REPRO_FAULTS spec.
+
+    The ambient ``REPRO_FAULTS`` is dropped (tests pin their own plan)
+    unless ``inherit_faults`` asks for it -- the CI chaos-smoke job uses
+    that to run a service under its fleet-wide crash/torn/stall plan.
+    """
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    if not inherit_faults:
+        env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", str(root),
+         "--heartbeat", "30", "--backoff", "0.05", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def ready_client(root, proc, timeout_s=60.0):
+    """A client for ``root`` once its server answers (and is ``proc``)."""
+    client = ServiceClient(root, timeout_s=10.0)
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            if client.ping().get("pid") == proc.pid:
+                return client
+        except (ServiceUnavailable, json.JSONDecodeError):
+            pass
+        if proc.poll() is not None and proc.returncode not in (None,):
+            # Server already exited; let the caller inspect it.
+            return client
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"service never came up; output:\n{proc.stdout.read()}")
+        time.sleep(0.05)
+
+
+def stop(proc):
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+
+
+def wal_records(root, kind=None):
+    path = Path(root) / "service" / "wal.jsonl"
+    records = []
+    for raw in path.read_bytes().split(b"\n"):
+        if not raw:
+            continue
+        try:
+            rec = json.loads(raw)
+        except ValueError:
+            continue
+        if kind is None or rec.get("kind") == kind:
+            records.append(rec)
+    return records
+
+
+def result_stats(info):
+    """The deterministic stats triple used for golden comparison."""
+    result = info["result"]
+    return (result["ipc"], result["cycles"], result["committed"])
+
+
+@pytest.fixture()
+def golden(tmp_path):
+    """Uninterrupted run of SPEC_JSON: the bit-identity reference."""
+    root = tmp_path / "golden"
+    proc = serve(root)
+    try:
+        client = ready_client(root, proc)
+        reply = client.submit(SPEC_JSON)
+        done = client.wait_for(reply["id"], timeout_s=120)
+        assert done["status"] == "done"
+        return result_stats(client.job(reply["id"], result=True))
+    finally:
+        stop(proc)
+
+
+class TestKillAndRecover:
+    def test_kill_at_complete_no_duplicate_work(self, tmp_path, golden):
+        # The service SIGKILLs itself right after the result is in the
+        # store and the complete record journaled.  The restarted service
+        # must answer from the store without a second simulation.
+        root = tmp_path / "store"
+        proc = serve(root, faults="kill:1,kill_phase:complete")
+        client = ready_client(root, proc)
+        try:
+            reply = client.submit(SPEC_JSON)
+            key = reply["id"]
+            proc.wait(timeout=120)
+            assert proc.returncode == -signal.SIGKILL
+        finally:
+            stop(proc)
+
+        proc = serve(root)  # clean restart
+        try:
+            client = ready_client(root, proc)
+            info = client.wait_for(key, timeout_s=120)
+            assert info["status"] == "done"
+            # Zero duplicated work: the crashed run's dispatch is the
+            # only one ever journaled.
+            assert len(wal_records(root, "dispatch")) == 1
+            # Bit-identical stats vs the uninterrupted golden run.
+            assert result_stats(client.job(key, result=True)) == golden
+        finally:
+            stop(proc)
+
+    def test_kill_at_dispatch_requeues_and_finishes(self, tmp_path,
+                                                    golden):
+        # Killed right after journaling the dispatch, before any result:
+        # recovery must re-enqueue and the job must still finish, with
+        # stats identical to the golden run.
+        root = tmp_path / "store"
+        proc = serve(root, faults="kill:1,kill_phase:dispatch")
+        client = ready_client(root, proc)
+        try:
+            key = client.submit(SPEC_JSON)["id"]
+            proc.wait(timeout=120)
+            assert proc.returncode == -signal.SIGKILL
+        finally:
+            stop(proc)
+        assert len(wal_records(root, "complete")) == 0
+
+        proc = serve(root)
+        try:
+            client = ready_client(root, proc)
+            status = client.status()
+            assert status["recovery"]["requeued"] == 1
+            info = client.wait_for(key, timeout_s=120)
+            assert info["status"] == "done"
+            assert info["origin"] == "recovery"
+            assert result_stats(client.job(key, result=True)) == golden
+            assert len(wal_records(root, "complete")) == 1
+        finally:
+            stop(proc)
+
+    def test_kill_at_submit_loses_nothing_journaled(self, tmp_path):
+        # Killed right after journaling the submit: the client never got
+        # an ack, but the journaled job must still be recovered and run.
+        root = tmp_path / "store"
+        proc = serve(root, faults="kill:1,kill_phase:submit")
+        client = ready_client(root, proc)
+        try:
+            with pytest.raises((ServiceUnavailable, ValueError)):
+                client.submit(SPEC_JSON)   # connection dies with the server
+            proc.wait(timeout=60)
+            assert proc.returncode == -signal.SIGKILL
+        finally:
+            stop(proc)
+        submits = wal_records(root, "submit")
+        assert len(submits) == 1
+        key = submits[0]["id"]
+
+        proc = serve(root)
+        try:
+            client = ready_client(root, proc)
+            assert client.status()["recovery"]["requeued"] == 1
+            assert client.wait_for(key, timeout_s=120)["status"] == "done"
+        finally:
+            stop(proc)
+
+
+class TestTornWrites:
+    def test_wal_truncation_recovers_to_good_tail(self, tmp_path):
+        # wal_trunc:1 tears the very first journal append mid-record and
+        # SIGKILLs.  Replay must drop the torn tail, and the service must
+        # keep journaling cleanly from the last good offset.
+        root = tmp_path / "store"
+        proc = serve(root, faults="wal_trunc:1")
+        client = ready_client(root, proc)
+        try:
+            with pytest.raises((ServiceUnavailable, ValueError)):
+                client.submit(SPEC_JSON)
+            proc.wait(timeout=60)
+            assert proc.returncode == -signal.SIGKILL
+        finally:
+            stop(proc)
+        wal_path = root / "service" / "wal.jsonl"
+        assert wal_path.exists()
+
+        proc = serve(root)
+        try:
+            client = ready_client(root, proc)
+            status = client.status()
+            assert status["recovery"]["torn_tail_dropped"] == 1
+            # The torn submit was never acked, so it is correctly absent;
+            # resubmitting runs it to completion on a clean journal.
+            reply = client.submit(SPEC_JSON)
+            assert client.wait_for(reply["id"],
+                                   timeout_s=120)["status"] == "done"
+            records = wal_records(root)
+            assert [r["kind"] for r in records][:1] == ["submit"]
+        finally:
+            stop(proc)
+
+    def test_torn_store_write_self_heals_on_restart(self, tmp_path):
+        # torn:1 truncates the stored record right after the first write.
+        # The WAL says complete, but the store is the source of truth:
+        # restart must detect the torn record, quarantine it, re-run the
+        # job, and end with a readable result.
+        root = tmp_path / "store"
+        proc = serve(root, faults="torn:1")
+        client = ready_client(root, proc)
+        try:
+            key = client.submit(SPEC_JSON)["id"]
+            info = client.wait_for(key, timeout_s=120)
+            assert info["status"] == "done"   # the service believes it...
+            client.drain()
+            proc.wait(timeout=60)
+        finally:
+            stop(proc)
+
+        proc = serve(root)   # marker file stops a second tear
+        try:
+            client = ready_client(root, proc)
+            status = client.status()
+            assert status["recovery"]["requeued"] == 1
+            assert status["store"]["quarantined"] >= 1
+            info = client.wait_for(key, timeout_s=120)
+            assert info["status"] == "done"
+            assert client.job(key, result=True)["result"]["committed"] > 0
+        finally:
+            stop(proc)
+
+
+class TestGracefulDrain:
+    def test_sigterm_exits_143_and_restart_resumes(self, tmp_path):
+        root = tmp_path / "store"
+        proc = serve(root)
+        try:
+            client = ready_client(root, proc)
+            key = client.submit(SPEC_JSON)["id"]
+            assert client.wait_for(key, timeout_s=120)["status"] == "done"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 143
+        finally:
+            stop(proc)
+        # Graceful: endpoint withdrawn, journal flushed and whole.
+        assert not (root / "service" / "endpoint.json").exists()
+        assert len(wal_records(root, "complete")) == 1
+
+        proc = serve(root)
+        try:
+            client = ready_client(root, proc)
+            status = client.status()
+            assert status["recovery"]["already_done"] == 1
+            assert status["recovery"]["requeued"] == 0
+            # Resubmission dedups against the recovered ledger: no new
+            # dispatch, answered via the store/ledger.
+            reply = client.submit(SPEC_JSON)
+            assert reply["status"] == "done"
+            assert reply.get("deduped") is True
+            status = client.status()
+            assert status["metrics"]["dispatched"] == 0
+            assert len(wal_records(root, "dispatch")) == 1
+        finally:
+            stop(proc)
+
+    def test_ambient_chaos_plan_still_completes(self, tmp_path):
+        # Inherit whatever REPRO_FAULTS the environment carries (the CI
+        # chaos-smoke job sets crash+torn+stall).  Retries, quarantine-
+        # on-read, and backoff must absorb all of it: every submission
+        # still reaches a readable result.
+        root = tmp_path / "store"
+        proc = serve(root, inherit_faults=True,
+                     extra=("--breaker", "8"))
+        try:
+            client = ready_client(root, proc)
+            keys = [client.submit({"workload": "605.mcf-994B",
+                                   "loads": 200 + i})["id"]
+                    for i in range(3)]
+            for key in keys:
+                assert client.wait_for(key,
+                                       timeout_s=120)["status"] == "done"
+            client.drain()
+            proc.wait(timeout=60)
+        finally:
+            stop(proc)
+        # Torn writes may leave records needing one more self-heal pass.
+        proc = serve(root, inherit_faults=True)
+        try:
+            client = ready_client(root, proc)
+            for key in keys:
+                info = client.wait_for(key, timeout_s=120)
+                assert info["status"] == "done"
+                assert client.job(key,
+                                  result=True)["result"]["committed"] > 0
+        finally:
+            stop(proc)
+
+    def test_drain_command_exits_zero(self, tmp_path):
+        root = tmp_path / "store"
+        proc = serve(root)
+        try:
+            client = ready_client(root, proc)
+            assert client.drain()["status"] == "draining"
+            assert proc.wait(timeout=60) == 0
+        finally:
+            stop(proc)

@@ -1,0 +1,106 @@
+"""Bounded priority queue: ordering, backpressure, quotas."""
+
+import pytest
+
+from repro.service.queue import BoundedPriorityQueue, QueueFull, \
+    QuotaExceeded
+
+
+class TestOrdering:
+    def test_lower_priority_number_pops_first(self):
+        q = BoundedPriorityQueue()
+        q.push("bulk", priority=20)
+        q.push("urgent", priority=0)
+        q.push("normal", priority=10)
+        assert [q.pop(), q.pop(), q.pop()] == ["urgent", "normal", "bulk"]
+
+    def test_fifo_within_a_priority(self):
+        q = BoundedPriorityQueue()
+        for name in ("a", "b", "c"):
+            q.push(name, priority=10)
+        assert [q.pop(), q.pop(), q.pop()] == ["a", "b", "c"]
+
+    def test_pop_empty_returns_none(self):
+        assert BoundedPriorityQueue().pop() is None
+
+    def test_depth_and_len(self):
+        q = BoundedPriorityQueue()
+        q.push("a")
+        q.push("b")
+        assert q.depth() == len(q) == 2
+        q.pop()
+        assert q.depth() == 1
+
+
+class TestBackpressure:
+    def test_queue_full(self):
+        q = BoundedPriorityQueue(maxsize=2)
+        q.push("a")
+        q.push("b")
+        with pytest.raises(QueueFull, match="queue full"):
+            q.push("c")
+
+    def test_pop_frees_capacity(self):
+        q = BoundedPriorityQueue(maxsize=1)
+        q.push("a")
+        q.pop()
+        q.push("b")  # must not raise
+
+    def test_zero_maxsize_is_unbounded(self):
+        q = BoundedPriorityQueue(maxsize=0)
+        for i in range(500):
+            q.push(f"job{i}")
+        assert q.depth() == 500
+
+    def test_requeue_bypasses_maxsize(self):
+        q = BoundedPriorityQueue(maxsize=1)
+        q.push("a")
+        q.requeue("retry")  # a bounced retry would be a lost job
+        assert q.depth() == 2
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(maxsize=-1)
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(quota=-1)
+
+
+class TestQuota:
+    def test_quota_counts_live_jobs(self):
+        q = BoundedPriorityQueue(quota=2)
+        q.push("a", client="alice")
+        q.push("b", client="alice")
+        with pytest.raises(QuotaExceeded, match="alice"):
+            q.push("c", client="alice")
+        q.push("d", client="bob")  # another client is unaffected
+
+    def test_pop_does_not_release_quota(self):
+        # Quota covers queued + in-flight: popping (dispatch) alone must
+        # not open a slot.
+        q = BoundedPriorityQueue(quota=1)
+        q.push("a", client="alice")
+        q.pop()
+        with pytest.raises(QuotaExceeded):
+            q.push("b", client="alice")
+
+    def test_release_opens_a_slot(self):
+        q = BoundedPriorityQueue(quota=1)
+        q.push("a", client="alice")
+        q.pop()
+        q.release("alice")
+        q.push("b", client="alice")  # must not raise
+
+    def test_clients_snapshot(self):
+        q = BoundedPriorityQueue()
+        q.push("a", client="alice")
+        q.push("b", client="alice")
+        q.push("c", client="bob")
+        assert q.clients() == {"alice": 2, "bob": 1}
+        q.release("bob")
+        assert q.clients() == {"alice": 2}
+
+    def test_requeue_bypasses_quota(self):
+        q = BoundedPriorityQueue(quota=1)
+        q.push("a", client="alice")
+        q.requeue("a")  # retry already holds its slot
+        assert q.depth() == 2

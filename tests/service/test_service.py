@@ -1,0 +1,376 @@
+"""JobService in-process: lifecycle, dedup, retry, breaker, recovery."""
+
+import time
+
+import pytest
+
+from repro.exec.faults import FaultPlan
+from repro.service import (JobService, STATE_DONE, STATE_QUARANTINED,
+                           normalize_spec)
+from repro.service.wal import WriteAheadLog
+
+SPEC = {"workload": "605.mcf-994B", "loads": 200}
+
+
+def make_service(root, **kwargs):
+    kwargs.setdefault("fault_plan", FaultPlan())
+    kwargs.setdefault("heartbeat_s", 60.0)
+    kwargs.setdefault("backoff_s", 0.01)
+    svc = JobService(root, **kwargs)
+    svc.start()
+    return svc
+
+
+def wait_done(svc, key, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = svc.job_info(key)["status"]
+        if status in (STATE_DONE, STATE_QUARANTINED):
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"job {key[:12]} still "
+                         f"{svc.job_info(key)['status']!r}")
+
+
+@pytest.fixture()
+def root(tmp_path):
+    return tmp_path / "store"
+
+
+class TestNormalizeSpec:
+    def test_defaults_applied(self):
+        spec = normalize_spec({"workload": "bfs"})
+        assert spec["loads"] == 3000
+        assert spec["prefetcher"] == "none"
+        assert spec["mode"] == "on-access"
+        assert spec["secure"] is False
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec field"):
+            normalize_spec({"workload": "bfs", "cores": 4})
+
+    def test_workload_required(self):
+        with pytest.raises(ValueError, match="workload"):
+            normalize_spec({})
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError, match="loads"):
+            normalize_spec({"workload": "bfs", "loads": 0})
+        with pytest.raises(ValueError, match="mode"):
+            normalize_spec({"workload": "bfs", "mode": "sometimes"})
+        with pytest.raises(ValueError, match="warmup"):
+            normalize_spec({"workload": "bfs", "warmup": 1.5})
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done(self, root):
+        svc = make_service(root)
+        try:
+            reply = svc.submit(SPEC, client="t")
+            assert reply["status"] == "queued"
+            assert wait_done(svc, reply["id"]) == STATE_DONE
+            info = svc.job_info(reply["id"], with_result=True)
+            assert info["result"]["committed"] > 0
+            assert svc.store.get(reply["id"]) is not None
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_resubmit_dedups_in_ledger(self, root):
+        svc = make_service(root)
+        try:
+            first = svc.submit(SPEC)
+            wait_done(svc, first["id"])
+            again = svc.submit(SPEC)
+            assert again["deduped"] is True
+            assert again["id"] == first["id"]
+            assert svc.metrics.counts["deduped"] == 1
+            assert svc.metrics.counts["dispatched"] == 1
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_invalid_specs_rejected(self, root):
+        svc = make_service(root)
+        try:
+            assert svc.submit({"workload": "no-such"})["status"] \
+                == "rejected"
+            assert svc.submit({"workload": "bfs", "loads": -1})["status"] \
+                == "rejected"
+            assert svc.submit("not a dict")["status"] == "rejected"
+            assert svc.metrics.counts["rejected_invalid"] == 3
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_drain_rejects_new_work_and_flushes(self, root):
+        svc = make_service(root)
+        try:
+            first = svc.submit(SPEC)
+            wait_done(svc, first["id"])
+            assert svc.drain(30) is True
+            late = svc.submit({"workload": "605.mcf-1554B", "loads": 200})
+            assert late["status"] == "rejected"
+            assert "draining" in late["error"]
+        finally:
+            svc.close()
+
+    def test_status_shape(self, root):
+        svc = make_service(root)
+        try:
+            reply = svc.submit(SPEC)
+            wait_done(svc, reply["id"])
+            status = svc.status()
+            assert status["jobs"] == 1
+            assert status["states"] == {STATE_DONE: 1}
+            assert status["metrics"]["completed"] == 1
+            assert status["metrics"]["wal_records"] >= 3
+            assert status["wal"]["records_written"] >= 3
+            assert svc.depth_series.last()["done"] == 1
+        finally:
+            svc.drain(30)
+            svc.close()
+
+
+class TestRetryAndBreaker:
+    def test_failed_attempt_retries_with_backoff(self, root):
+        # crash:1,attempts:1 -- every job's first attempt crashes, the
+        # retry succeeds.
+        svc = make_service(root,
+                           fault_plan=FaultPlan.parse("crash:1,attempts:1"))
+        try:
+            reply = svc.submit(SPEC)
+            assert wait_done(svc, reply["id"]) == STATE_DONE
+            info = svc.job_info(reply["id"])
+            assert info["attempts"] == 2
+            assert info["failures"] == 1
+            assert svc.metrics.counts["retried"] == 1
+            assert svc.metrics.counts["failed_attempts"] == 1
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_breaker_quarantines_permafail(self, root):
+        # Every attempt crashes: the breaker must give up at the
+        # threshold instead of retrying forever.
+        svc = make_service(
+            root, breaker_threshold=3,
+            fault_plan=FaultPlan.parse("crash:1,attempts:99"))
+        try:
+            reply = svc.submit(SPEC)
+            assert wait_done(svc, reply["id"]) == STATE_QUARANTINED
+            info = svc.job_info(reply["id"])
+            assert info["failures"] == 3
+            assert "InjectedFault" in info["error"]
+            assert svc.metrics.counts["quarantined"] == 1
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_quarantine_survives_restart(self, root):
+        svc = make_service(
+            root, breaker_threshold=2,
+            fault_plan=FaultPlan.parse("crash:1,attempts:99"))
+        key = svc.submit(SPEC)["id"]
+        wait_done(svc, key)
+        svc.drain(30)
+        svc.close()
+
+        svc = make_service(root)  # no faults this time
+        try:
+            # The quarantine record keeps the job out of recovery: it is
+            # neither requeued nor re-dispatched.
+            assert svc.recovery["quarantined"] == 1
+            assert svc.recovery["requeued"] == 0
+            assert svc.job_info(key)["status"] == STATE_QUARANTINED
+        finally:
+            svc.drain(30)
+            svc.close()
+
+
+class TestBackpressure:
+    def test_queue_full_rejection(self, root):
+        # hang:1 makes every first attempt sleep 2s inside the single
+        # worker, so job A occupies the only slot while B fills the
+        # one-slot queue -- C then hits a deterministically full queue.
+        svc = make_service(
+            root, queue_size=1, workers=1,
+            fault_plan=FaultPlan.parse("hang:1,hang_s:2.0,attempts:1"))
+        try:
+            a = svc.submit({"workload": "605.mcf-994B", "loads": 200})
+            assert a["status"] == "queued"
+            deadline = time.monotonic() + 10
+            while svc.job_info(a["id"])["status"] == "queued" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)   # wait until A occupies the worker
+            b = svc.submit({"workload": "605.mcf-994B", "loads": 201})
+            assert b["status"] == "queued"
+            c = svc.submit({"workload": "605.mcf-994B", "loads": 202})
+            assert c["status"] == "rejected"
+            assert "queue full" in c["error"]
+            assert svc.metrics.counts["rejected_queue_full"] == 1
+        finally:
+            svc.drain(60)
+            svc.close()
+
+    def test_quota_rejection(self, root):
+        svc = make_service(root, quota=1,
+                           fault_plan=FaultPlan.parse("crash:1,attempts:99"),
+                           breaker_threshold=99, backoff_s=5.0)
+        try:
+            # The first job fails its first attempt and sits in backoff,
+            # still holding alice's quota slot.
+            first = svc.submit(SPEC, client="alice")
+            assert first["status"] == "queued"
+            time.sleep(0.3)
+            second = svc.submit({"workload": "605.mcf-1554B",
+                                 "loads": 200}, client="alice")
+            assert second["status"] == "rejected"
+            assert "quota" in second["error"]
+            assert svc.metrics.counts["rejected_quota"] == 1
+        finally:
+            svc.drain(30)
+            svc.close()
+
+
+class TestRecovery:
+    def test_journaled_submit_recovers_and_runs(self, root):
+        # A journal written by a "crashed" service (submit only, never
+        # dispatched): the next start must requeue and finish the job.
+        spec = normalize_spec(SPEC)
+        from repro.service.core import build_job
+        from repro.sim.params import baseline
+        job = build_job(spec, params=baseline(),
+                        cache_dir=root / "traces")
+        wal = WriteAheadLog(root / "service" / "wal.jsonl")
+        wal.replay()
+        wal.open()
+        wal.append("submit", job.key, spec=spec, client="crashed",
+                   priority=10)
+        wal.append("dispatch", job.key, attempt=1)
+        wal.close()
+
+        svc = make_service(root)
+        try:
+            assert svc.recovery["requeued"] == 1
+            assert wait_done(svc, job.key) == STATE_DONE
+            info = svc.job_info(job.key)
+            assert info["origin"] == "recovery"
+            # The crashed run's dispatch counts: this was attempt 2.
+            assert info["attempts"] == 2
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_replay_against_store_already_holding_result(self, root):
+        # Crash after store.put but before the WAL complete record: the
+        # store is the source of truth, so recovery completes the job
+        # from the store without re-running it.
+        svc = make_service(root)
+        key = svc.submit(SPEC)["id"]
+        wait_done(svc, key)
+        svc.drain(30)
+        svc.close()
+
+        # Forge the crash: drop the complete record from the journal.
+        wal_path = root / "service" / "wal.jsonl"
+        lines = [ln for ln in wal_path.read_bytes().splitlines(
+            keepends=True) if b'"complete"' not in ln]
+        wal_path.write_bytes(b"".join(lines))
+
+        svc = make_service(root)
+        try:
+            assert svc.recovery["completed_from_store"] == 1
+            assert svc.recovery["requeued"] == 0
+            assert svc.job_info(key)["status"] == STATE_DONE
+            assert svc.metrics.counts["recovered_completed"] == 1
+            # No new dispatch happened.
+            assert svc.metrics.counts["dispatched"] == 0
+            # The recovery journaled its own complete record.
+            records = WriteAheadLog(wal_path).replay()
+            completes = [r for r in records if r["kind"] == "complete"]
+            assert completes and completes[-1]["origin"] == "recovery"
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_duplicate_completion_records_stay_idempotent(self, root):
+        svc = make_service(root)
+        key = svc.submit(SPEC)["id"]
+        wait_done(svc, key)
+        svc.drain(30)
+        svc.close()
+
+        # Append a duplicate complete record (a crash between recovery's
+        # append and its bookkeeping could produce one).
+        wal = WriteAheadLog(root / "service" / "wal.jsonl")
+        wal.replay()
+        wal.open()
+        wal.append("complete", key, origin="recovery")
+        wal.close()
+
+        svc = make_service(root)
+        try:
+            assert svc.job_info(key)["status"] == STATE_DONE
+            assert svc.recovery["already_done"] == 1
+            assert svc.recovery["requeued"] == 0
+            assert svc.status()["states"] == {STATE_DONE: 1}
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_warm_store_dedups_new_submission_after_restart(self, root):
+        svc = make_service(root)
+        key = svc.submit(SPEC)["id"]
+        wait_done(svc, key)
+        svc.drain(30)
+        svc.close()
+
+        # A fresh service over the same root, fresh WAL: the store alone
+        # must satisfy the resubmission (verified via store hit counters).
+        (root / "service" / "wal.jsonl").unlink()
+        svc = make_service(root)
+        try:
+            hits_before = svc.store.hits
+            reply = svc.submit(SPEC)
+            assert reply["status"] == STATE_DONE
+            assert reply["deduped"] is True
+            assert svc.store.hits == hits_before + 1
+            assert svc.metrics.counts["dispatched"] == 0
+        finally:
+            svc.drain(30)
+            svc.close()
+
+
+class TestHeartbeat:
+    def test_hung_worker_killed_and_job_retried(self, root):
+        # hang:1 makes the first attempt sleep 30s; a 0.5s heartbeat
+        # kills that worker, and the retry (attempt 2, past the fault's
+        # attempts window) succeeds.
+        svc = make_service(
+            root, heartbeat_s=0.5,
+            fault_plan=FaultPlan.parse("hang:1,hang_s:30,attempts:1"))
+        try:
+            reply = svc.submit(SPEC)
+            assert wait_done(svc, reply["id"], timeout_s=90) == STATE_DONE
+            assert svc.metrics.counts["heartbeat_kills"] >= 1
+            info = svc.job_info(reply["id"])
+            assert info["failures"] >= 1
+        finally:
+            svc.drain(30)
+            svc.close()
+
+    def test_stall_slows_but_does_not_kill(self, root):
+        # stall:1 sleeps 0.05s per attempt -- far under the heartbeat, so
+        # the job completes with no kills on attempt 1.
+        svc = make_service(
+            root, heartbeat_s=60.0,
+            fault_plan=FaultPlan.parse("stall:1,stall_s:0.05"))
+        try:
+            reply = svc.submit(SPEC)
+            assert wait_done(svc, reply["id"]) == STATE_DONE
+            assert svc.metrics.counts["heartbeat_kills"] == 0
+            assert svc.job_info(reply["id"])["attempts"] == 1
+        finally:
+            svc.drain(30)
+            svc.close()

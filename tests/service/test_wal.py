@@ -1,0 +1,171 @@
+"""Write-ahead log: append/replay round trips and every torn-file edge."""
+
+import json
+
+import pytest
+
+from repro.exec.faults import FaultPlan
+from repro.service.wal import RECORD_KINDS, WalError, WriteAheadLog
+
+KEY = "ab" * 32
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return tmp_path / "service" / "wal.jsonl"
+
+
+def make_wal(path, **kwargs):
+    wal = WriteAheadLog(path, **kwargs)
+    wal.replay()
+    wal.open()
+    return wal
+
+
+class TestRoundTrip:
+    def test_empty_journal_replays_to_nothing(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        assert wal.replay() == []
+        assert wal.torn_tail_dropped == 0
+        assert wal.corrupt_skipped == 0
+
+    def test_append_then_replay(self, wal_path):
+        wal = make_wal(wal_path)
+        wal.append("submit", KEY, spec={"workload": "bfs"})
+        wal.append("dispatch", KEY, attempt=1)
+        wal.append("complete", KEY, origin="run")
+        wal.close()
+
+        records = WriteAheadLog(wal_path).replay()
+        assert [r["kind"] for r in records] == \
+            ["submit", "dispatch", "complete"]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[0]["spec"] == {"workload": "bfs"}
+
+    def test_seq_continues_after_replay(self, wal_path):
+        wal = make_wal(wal_path)
+        wal.append("submit", KEY)
+        wal.close()
+        wal = make_wal(wal_path)
+        record = wal.append("dispatch", KEY, attempt=1)
+        assert record["seq"] == 1
+        wal.close()
+
+    def test_every_kind_accepted(self, wal_path):
+        wal = make_wal(wal_path)
+        for kind in RECORD_KINDS:
+            wal.append(kind, KEY)
+        wal.close()
+        assert len(WriteAheadLog(wal_path).replay()) == len(RECORD_KINDS)
+
+    def test_unknown_kind_rejected(self, wal_path):
+        wal = make_wal(wal_path)
+        with pytest.raises(WalError, match="unknown record kind"):
+            wal.append("explode", KEY)
+
+    def test_append_before_open_rejected(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        with pytest.raises(WalError, match="not open"):
+            wal.append("submit", KEY)
+
+    def test_flush_survives_abrupt_reader(self, wal_path):
+        # Every append is flushed: a reader sees the record immediately,
+        # without close() -- this is what makes kill -9 lossless.
+        wal = make_wal(wal_path)
+        wal.append("submit", KEY)
+        assert len(WriteAheadLog(wal_path).replay()) == 1
+        wal.close()
+
+
+class TestTornTail:
+    def _journal(self, wal_path, n=3):
+        wal = make_wal(wal_path)
+        for i in range(n):
+            wal.append("dispatch", KEY, attempt=i + 1)
+        wal.close()
+
+    def test_mid_record_truncation_drops_only_the_tail(self, wal_path):
+        self._journal(wal_path)
+        blob = wal_path.read_bytes()
+        wal_path.write_bytes(blob[: len(blob) - 7])  # tear the last line
+        wal = WriteAheadLog(wal_path)
+        records = wal.replay()
+        assert [r["attempt"] for r in records] == [1, 2]
+        assert wal.torn_tail_dropped == 1
+        assert wal.corrupt_skipped == 0
+
+    def test_reopen_truncates_torn_tail(self, wal_path):
+        self._journal(wal_path)
+        blob = wal_path.read_bytes()
+        wal_path.write_bytes(blob[: len(blob) - 7])
+        wal = make_wal(wal_path)
+        wal.append("complete", KEY)
+        wal.close()
+        records = WriteAheadLog(wal_path).replay()
+        # The torn record is gone; the new append follows the good tail.
+        assert [r["kind"] for r in records] == \
+            ["dispatch", "dispatch", "complete"]
+
+    def test_torn_final_line_with_newline(self, wal_path):
+        self._journal(wal_path, n=2)
+        with open(wal_path, "r+b") as fh:
+            blob = fh.read()
+            fh.seek(0)
+            fh.truncate()
+            fh.write(blob[: len(blob) - 9] + b"\n")
+        wal = WriteAheadLog(wal_path)
+        assert len(wal.replay()) == 1
+        assert wal.torn_tail_dropped == 1
+
+    def test_mid_file_corruption_skipped_not_trusted(self, wal_path):
+        self._journal(wal_path, n=3)
+        lines = wal_path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"\x00garbage not json\x00\n"
+        wal_path.write_bytes(b"".join(lines))
+        wal = WriteAheadLog(wal_path)
+        records = wal.replay()
+        assert [r["attempt"] for r in records] == [1, 3]
+        assert wal.corrupt_skipped == 1
+        assert wal.torn_tail_dropped == 0
+
+    def test_wrong_shape_record_skipped(self, wal_path):
+        self._journal(wal_path, n=1)
+        with open(wal_path, "ab") as fh:
+            fh.write(b'{"kind": "submit"}\n')          # no id/seq
+            fh.write(b'["not", "an", "object"]\n')
+            fh.write(json.dumps(
+                {"kind": "submit", "id": KEY, "seq": 5}).encode() + b"\n")
+        wal = WriteAheadLog(wal_path)
+        records = wal.replay()
+        assert len(records) == 2
+        assert wal.corrupt_skipped == 2
+
+    def test_duplicate_completion_records_replay_fine(self, wal_path):
+        # Recovery may journal a complete the crashed run also journaled:
+        # replay returns both, projection is idempotent (see service tests).
+        wal = make_wal(wal_path)
+        wal.append("complete", KEY, origin="run")
+        wal.append("complete", KEY, origin="recovery")
+        wal.close()
+        records = WriteAheadLog(wal_path).replay()
+        assert [r["origin"] for r in records] == ["run", "recovery"]
+        assert [r["seq"] for r in records] == [0, 1]
+
+
+class TestFaultInjection:
+    def test_wal_trunc_selector(self):
+        plan = FaultPlan.parse("wal_trunc:1")
+        assert plan.should_truncate_wal(KEY)
+        assert not FaultPlan.parse("").should_truncate_wal(KEY)
+
+    def test_marker_prevents_second_truncation(self, wal_path, tmp_path):
+        # With the marker pre-written (as if a first run already died
+        # here), the injection must not fire again.
+        marker_dir = tmp_path / "faults-injected"
+        marker_dir.mkdir()
+        (marker_dir / f"wal-trunc-{KEY}").write_text("torn append once\n")
+        plan = FaultPlan.parse("wal_trunc:1")
+        wal = make_wal(wal_path, fault_plan=plan, marker_dir=marker_dir)
+        wal.append("submit", KEY)
+        wal.close()
+        assert len(WriteAheadLog(wal_path).replay()) == 1

@@ -229,3 +229,60 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "Fig. 1" in out
         assert "store " not in out
+
+
+class TestSigtermParity:
+    def test_sigterm_exits_143(self, monkeypatch, capsys):
+        # SIGTERM must unwind like Ctrl-C (finally blocks run, store
+        # checkpoints survive) but exit 143 instead of 130.
+        import os
+        import signal
+        import time
+
+        def long_running(args):
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(5)   # the handler interrupts this immediately
+            return 0        # pragma: no cover
+
+        monkeypatch.setitem(cli.COMMANDS, "tables", long_running)
+        assert main(["tables"]) == 143
+        assert "terminated" in capsys.readouterr().err
+
+    def test_handler_restored_after_main(self, monkeypatch):
+        import signal
+
+        monkeypatch.setitem(cli.COMMANDS, "tables", lambda args: 0)
+        before = signal.getsignal(signal.SIGTERM)
+        assert main(["tables"]) == 0
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0
+        assert args.jobs == 1
+        assert args.queue_size == 256
+        assert args.breaker == 4
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "bfs", "--loads", "500", "--secure",
+             "--prefetcher", "berti", "--wait"])
+        assert args.workload == "bfs"
+        assert args.loads == 500
+        assert args.secure
+        assert args.wait == 300.0   # bare --wait uses the default budget
+
+    def test_submit_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_drain_client_flags(self):
+        args = build_parser().parse_args(
+            ["drain", "--host", "127.0.0.1", "--port", "9999"])
+        assert args.host == "127.0.0.1" and args.port == 9999
+
+    def test_submit_unreachable_service_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="repro serve"):
+            main(["submit", "bfs", "--store", str(tmp_path / "none")])

@@ -104,3 +104,65 @@ class TestCachedTrace:
         trace = cached_trace("spec", "wanted", 1, 1, build,
                              cache_dir=tmp_path)
         assert built and trace.name == "wanted"
+
+
+class TestQuarantine:
+    def _entry(self, tmp_path):
+        cached_workload_pool(800, spec_count=1, cache_dir=tmp_path)
+        files = list(tmp_path.rglob("*.rtrace"))
+        assert files
+        return files[0]
+
+    def test_corrupt_file_is_quarantined_not_deleted(self, tmp_path):
+        path = self._entry(tmp_path)
+        path.write_bytes(b"\x00not a trace\x00")
+        clear_memo()
+        before = prebuilt.quarantined_files
+        cached_workload_pool(800, spec_count=1, cache_dir=tmp_path)
+        assert prebuilt.quarantined_files == before + 1
+        # The corpse is kept for post-mortems; the key holds a fresh,
+        # loadable entry again.
+        assert path.with_name(path.name + ".bad").exists()
+        assert path.exists()
+
+    def test_truncated_file_rebuilds(self, tmp_path):
+        path = self._entry(tmp_path)
+        path.write_bytes(path.read_bytes()[:40])
+        clear_memo()
+        warm = cached_workload_pool(800, spec_count=1, cache_dir=tmp_path)
+        clear_memo()
+        again = cached_workload_pool(800, spec_count=1,
+                                     cache_dir=tmp_path)
+        _assert_pools_identical(warm, again)
+
+    def test_unexpected_decoder_exception_never_crashes(self, tmp_path,
+                                                        monkeypatch):
+        # Even a decoder bug surfacing as an arbitrary exception must
+        # degrade to quarantine + rebuild, not a crashed sweep.
+        path = self._entry(tmp_path)
+        clear_memo()
+
+        def explode(p):
+            raise RuntimeError("decoder bug")
+
+        monkeypatch.setattr(prebuilt, "load_trace", explode)
+        before = prebuilt.quarantined_files
+        pool = cached_workload_pool(800, spec_count=1,
+                                    cache_dir=tmp_path)
+        assert pool
+        # Every on-disk entry hit the exploding decoder and each was
+        # quarantined rather than crashing the pool build.
+        assert prebuilt.quarantined_files > before
+        assert path.with_name(path.name + ".bad").exists()
+
+    def test_wrong_name_entry_is_quarantined(self, tmp_path):
+        decoy = Trace("decoy", [(1, 64, 1)])
+        digest = trace_cache_key("spec", "wanted", 1, 1)
+        path = tmp_path / digest[:2] / f"{digest}.rtrace"
+        path.parent.mkdir(parents=True)
+        from repro.workloads.io import save_trace
+        save_trace(decoy, path)
+        cached_trace("spec", "wanted", 1, 1,
+                     lambda: Trace("wanted", [(2, 128, 1)]),
+                     cache_dir=tmp_path)
+        assert path.with_name(path.name + ".bad").exists()
