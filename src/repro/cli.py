@@ -500,6 +500,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Secure Prefetching for Secure "
                     "Cache Systems' (MICRO 2024)")
+    batch_group = parser.add_mutually_exclusive_group()
+    batch_group.add_argument(
+        "--batch", dest="batch", action="store_true", default=None,
+        help="force the batch (prescanned) simulate front-end, even "
+             "without NumPy (default: on when NumPy is importable)")
+    batch_group.add_argument(
+        "--no-batch", dest="batch", action="store_false",
+        help="force the scalar simulate front-end (escape hatch; "
+             "stats are bit-identical either way)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list available workloads")
@@ -710,6 +719,10 @@ def _on_sigterm(signum, frame):
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "batch", None) is not None:
+        # Routed through the environment so sharded/multiprocess workers
+        # (exec pool, job service) inherit the same front-end selection.
+        os.environ["REPRO_BATCH"] = "1" if args.batch else "0"
     # SIGTERM parity with SIGINT: both unwind cleanly (finally blocks,
     # store checkpoints) and exit with the conventional 128+signal code.
     # ``serve`` replaces this with its own asyncio handler that drains

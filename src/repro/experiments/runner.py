@@ -49,6 +49,15 @@ class Scale:
     mixes: int
     warmup: float = 0.2
 
+    def __post_init__(self) -> None:
+        # ``warmup == 1.0`` would leave zero measured instructions (and a
+        # warmup_target equal to committed_count that the stepper can
+        # never cross); reject it where the scale is *written*, matching
+        # the guard inside ``System.stepper``.
+        if not 0.0 <= self.warmup < 1.0:
+            raise ValueError(
+                f"warmup must satisfy 0 <= warmup < 1, got {self.warmup!r}")
+
     @property
     def ts_interval_l1(self) -> int:
         """Lateness-monitor interval scaled to the trace length (the paper

@@ -58,10 +58,14 @@ class CompareReport:
             verdict = "REGRESSED" if d.regressed else "ok"
             lines.append(f"{d.name:30s}{d.baseline:>14,.0f}"
                          f"{d.current:>14,.0f}{d.ratio:>8.3f}  {verdict}")
+        # One-sided cases fail soft: shown with "n/a" on the missing
+        # side, never counted as regressions.
         for name in self.only_baseline:
-            lines.append(f"{name:30s}  [baseline only -- not compared]")
+            lines.append(f"{name:30s}{'present':>14s}{'n/a':>14s}"
+                         f"{'n/a':>8s}  n/a (baseline only)")
         for name in self.only_current:
-            lines.append(f"{name:30s}  [new case -- no baseline]")
+            lines.append(f"{name:30s}{'n/a':>14s}{'present':>14s}"
+                         f"{'n/a':>8s}  n/a (new case)")
         state = "ok" if self.ok else \
             f"{len(self.regressions)} regression(s)"
         lines.append(f"threshold {self.threshold:.0%}: {state}")

@@ -37,8 +37,11 @@ from typing import Dict, List, Tuple
 from .base import (FILL_L1D, FILL_L2, PrefetchRequest, Prefetcher,
                    TrainingEvent)
 
-#: C-level value extractor for the weakest-delta scan in ``observe``.
-_BY_COUNT = itemgetter(1)
+#: C-level count extractor for the coverage sort in ``best_deltas``.
+_BY_COUNT = itemgetter(2)
+#: Direct tuple construction for requests: skips the NamedTuple's Python
+#: ``__new__`` frame on the per-issue path while keeping the public type.
+_tuple_new = tuple.__new__
 
 
 class _DeltaTable:
@@ -51,37 +54,71 @@ class _DeltaTable:
     between one sort per *table update* and one sort per *load*.
     """
 
-    __slots__ = ("counters", "observations", "_best", "_best_key")
+    __slots__ = ("counters", "observations", "_best", "_best_key", "_ones")
 
     def __init__(self) -> None:
         self.counters: Dict[int, int] = {}
         self.observations = 0
         self._best: List[Tuple[int, int]] = None
         self._best_key: Tuple[float, float] = None
+        #: Count-1 entries in dict (= insertion) order, or ``None`` when
+        #: stale (rebuilt lazily).  The weakest-delta replacement below is
+        #: overwhelmingly "evict the first count-1 entry, append the new
+        #: delta": count-1 entries are only ever *created* at the dict
+        #: tail (new insertions) or as the unique decay survivor, so a
+        #: deque mirrors their dict order exactly and turns the per-delta
+        #: min-scan into an O(1) popleft.  Entries promoted past count 1
+        #: go stale in place and are skipped on pop.
+        self._ones: deque = None
 
     def observe(self, timely_deltas: List[int], max_deltas: int) -> None:
         self._best = None
         self.observations += 1
         counters = self.counters
+        ones = self._ones
         for delta in timely_deltas:
             if delta in counters:
                 counters[delta] += 1
             elif len(counters) < max_deltas:
                 counters[delta] = 1
+                if ones is not None:
+                    ones.append(delta)
             else:
-                # Replace the weakest delta, decay-style.  min over items
-                # keeps the same first-minimum tie-break as min over keys
-                # with a value key function, without a get() per element.
-                weakest, weakest_count = min(counters.items(), key=_BY_COUNT)
-                if weakest_count <= 1:
+                # Replace the weakest delta, decay-style.  The victim is
+                # the *first* entry (insertion order) holding the minimal
+                # count -- the same tie-break as a keyed min over items.
+                if ones is None:
+                    ones = self._ones = deque(
+                        d for d, c in counters.items() if c == 1)
+                weakest = None
+                while ones:
+                    candidate = ones.popleft()
+                    if counters.get(candidate) == 1:
+                        weakest = candidate
+                        break
+                if weakest is not None:
+                    # Minimal count is 1 and ``weakest`` is its first
+                    # holder: evict it, append the newcomer.
                     del counters[weakest]
                     counters[delta] = 1
+                    ones.append(delta)
                 else:
-                    counters[weakest] = weakest_count - 1
+                    # No count-1 entries: scan for the true minimum.
+                    weakest_count = min(counters.values())
+                    for weakest, count in counters.items():
+                        if count == weakest_count:
+                            break
+                    weakest_count -= 1
+                    counters[weakest] = weakest_count
+                    if weakest_count == 1:
+                        # The decayed entry is now the *only* count-1
+                        # entry, so the (empty) deque stays ordered.
+                        ones.append(weakest)
         if self.observations >= 16:
             self.observations >>= 1
             self.counters = {d: c >> 1 for d, c in counters.items()
                              if c >> 1 > 0}
+            self._ones = None
 
     def best_deltas(self, l1_threshold: float,
                     l2_threshold: float) -> List[Tuple[int, int]]:
@@ -93,14 +130,20 @@ class _DeltaTable:
         if self._best is not None and self._best_key == key:
             return self._best
         result = []
-        if self.observations:
+        observations = self.observations
+        if observations:
+            # The count rides along as a third element so the sort key is
+            # a C-level itemgetter instead of a per-compare dict probe;
+            # reverse=True is stable, so ties keep insertion order exactly
+            # like the ascending sort on -count did.
             for delta, count in self.counters.items():
-                coverage = count / self.observations
+                coverage = count / observations
                 if coverage >= l1_threshold:
-                    result.append((delta, FILL_L1D))
+                    result.append((delta, FILL_L1D, count))
                 elif coverage >= l2_threshold:
-                    result.append((delta, FILL_L2))
-            result.sort(key=lambda item: -self.counters[item[0]])
+                    result.append((delta, FILL_L2, count))
+            result.sort(key=_BY_COUNT, reverse=True)
+            result = [(delta, fill) for delta, fill, _ in result]
         self._best = result
         self._best_key = key
         return result
@@ -140,21 +183,33 @@ class BertiPrefetcher(Prefetcher):
         self._history_per_ip = self.HISTORY_PER_IP
         self._max_ips = self.MAX_IPS
         self._min_observations = self.MIN_OBSERVATIONS
+        # Same-IP streaks are common in load streams; remembering the last
+        # trained IP's history (always most-recently-used, so its
+        # move-to-end is a no-op) skips the table probe on a streak.
+        self._last_ip = None
+        self._last_history = None
+        self._dt_ip = None
+        self._dt_table = None
 
     # ------------------------------------------------------------------
 
     def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
         ip = event.ip
         block = event.block
-        history_table = self._history
-        history = history_table.get(ip)
-        if history is None:
-            history = deque(maxlen=self._history_per_ip)
-            history_table[ip] = history
-            if len(history_table) > self._max_ips:
-                history_table.popitem(last=False)
+        if ip == self._last_ip:
+            history = self._last_history
         else:
-            history_table.move_to_end(ip)
+            history_table = self._history
+            history = history_table.get(ip)
+            if history is None:
+                history = deque(maxlen=self._history_per_ip)
+                history_table[ip] = history
+                if len(history_table) > self._max_ips:
+                    history_table.popitem(last=False)
+            else:
+                history_table.move_to_end(ip)
+            self._last_ip = ip
+            self._last_history = history
 
         # Berti trains on misses and prefetched-line hits only (the
         # accesses a prefetch could have covered); plain hits take no
@@ -196,12 +251,18 @@ class BertiPrefetcher(Prefetcher):
         for delta, fill in deltas:
             target = block + delta
             if target >= 0:
-                requests.append(PrefetchRequest(target, fill))
+                requests.append(_tuple_new(PrefetchRequest, (target, fill)))
                 if len(requests) >= max_issue:
                     break
         return requests
 
     def _delta_table(self, ip: int) -> _DeltaTable:
+        # The memoized IP is always the most recently observed one, so it
+        # is still resident and already at the recency tail (its
+        # move-to-end would be a no-op); evictions below can never remove
+        # it because the memo is refreshed in the same call that inserts.
+        if ip == self._dt_ip:
+            return self._dt_table
         table = self._deltas.get(ip)
         if table is None:
             table = _DeltaTable()
@@ -210,6 +271,8 @@ class BertiPrefetcher(Prefetcher):
                 self._deltas.popitem(last=False)
         else:
             self._deltas.move_to_end(ip)
+        self._dt_ip = ip
+        self._dt_table = table
         return table
 
     # ------------------------------------------------------------------
@@ -217,6 +280,10 @@ class BertiPrefetcher(Prefetcher):
     def flush(self) -> None:
         self._history.clear()
         self._deltas.clear()
+        self._last_ip = None
+        self._last_history = None
+        self._dt_ip = None
+        self._dt_table = None
 
     def storage_bits(self) -> int:
         history_bits = self.MAX_IPS * self.HISTORY_PER_IP * (42 + 16)

@@ -1,0 +1,202 @@
+"""Batch (block-at-a-time) front-end support for :meth:`System.stepper`.
+
+The scalar stepper interprets one record tuple at a time: unpack, test
+flag bits, shift the address, count the instruction, and compare against
+the warm-up / sampler / yield thresholds -- every record, every run.  All
+of that work is a pure function of the trace, so the batch front-end
+hoists it into a one-time **prescan** that classifies every record into a
+small-int code and precomputes the per-record values the simulate loop
+would otherwise derive:
+
+``codes``
+    one byte per record (``C_*`` below); the inner loop dispatches on it
+    instead of re-testing flag combinations.
+``blocks``
+    cache-block number per record (``vaddr >> BLOCK_SHIFT``), as plain
+    Python ints (NumPy scalars must never leak into the simulate loop).
+``ips``
+    instruction pointers as a plain list (indexed only for loads).
+``cum``
+    committed-record prefix counts: ``cum[j]`` is the number of
+    committed-path records among ``records[0..j]``.  The outer loop
+    binary-searches this to turn "pause after the k-th committed
+    instruction" (warm-up reset, sampler boundary, multicore yield) into
+    a record index, so the inner loop runs with **zero** per-record
+    boundary checks.
+``same_page``
+    1 where a load record touches the same 4 KB page as the immediately
+    preceding load record.  Only loads touch the dTLB and the previous
+    load always leaves its page most-recently-used, so these are
+    guaranteed dTLB hits whose move-to-back is a no-op -- the stepper
+    skips the dict probe entirely.
+
+Everything here is exact: the prescan encodes the same decisions the
+scalar loop makes, never approximations of them, and the golden suite
+(tests/sim/test_golden_stats.py, tests/sim/test_batch.py) pins the two
+paths bit-identical.
+
+NumPy is a **soft dependency**: when importable (and not blocked by the
+``REPRO_NO_NUMPY`` environment variable), the prescan runs as vector
+operations; otherwise a pure-stdlib twin produces the identical plan
+(``bytes.translate`` with precomputed 256-entry tables does the record
+classification at C speed even without NumPy).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from itertools import accumulate
+from typing import List, Sequence
+
+from ..workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
+                               FLAG_STORE, FLAG_WRONG_PATH)
+
+if os.environ.get("REPRO_NO_NUMPY"):  # forced-fallback hook (tests, CI)
+    np = None
+else:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised via poisoned subprocess
+        np = None
+
+#: True when the vectorized prescan backend is active.
+HAVE_NUMPY = np is not None
+
+# Record class codes.  Committed-path codes are < C_WRONG_LOAD so the
+# inner loop tests "committed?" with one compare; the prescan derives the
+# code with exactly the scalar loop's branch structure (FLAG_LOAD wins
+# over FLAG_STORE; FLAG_MISPREDICT only matters on branches; wrong-path
+# non-loads all behave identically -- dispatch slot + commit drain only).
+C_ALU = 0
+C_BRANCH = 1
+C_MISPREDICT = 2
+C_LOAD = 3
+C_STORE = 4
+C_WRONG_LOAD = 5
+C_WRONG_OTHER = 6
+
+
+def _code_of(flags: int) -> int:
+    if flags & FLAG_LOAD:
+        return C_WRONG_LOAD if flags & FLAG_WRONG_PATH else C_LOAD
+    if flags & FLAG_WRONG_PATH:
+        return C_WRONG_OTHER
+    if flags & FLAG_STORE:
+        return C_STORE
+    if flags & FLAG_BRANCH:
+        return C_MISPREDICT if flags & FLAG_MISPREDICT else C_BRANCH
+    return C_ALU
+
+
+#: flags byte -> class code, for ``bytes.translate`` / NumPy fancy index.
+CODE_TABLE = bytes(_code_of(f) for f in range(256))
+#: class code -> 1 if committed-path else 0 (prefix-summed into ``cum``).
+_COMMIT_TABLE = bytes(1 if c < C_WRONG_LOAD else 0 for c in range(256))
+_IS_LOAD = frozenset((C_LOAD, C_WRONG_LOAD))
+
+if HAVE_NUMPY:
+    _NP_CODE_TABLE = np.frombuffer(CODE_TABLE, dtype=np.uint8)
+
+
+class BatchPlan:
+    """Precomputed per-record columns for one trace (see module docstring)."""
+
+    __slots__ = ("n", "codes", "blocks", "ips", "cum", "same_page",
+                 "committed_total")
+
+    def __init__(self, codes: bytes, blocks: List[int], ips: Sequence[int],
+                 cum: List[int], same_page: bytes) -> None:
+        self.n = len(codes)
+        self.codes = codes
+        self.blocks = blocks
+        self.ips = ips
+        self.cum = cum
+        self.same_page = same_page
+        self.committed_total = cum[-1] if cum else 0
+
+    def index_of_committed(self, k: int) -> int:
+        """Record index of the ``k``-th (1-based) committed record."""
+        return bisect_left(self.cum, k)
+
+
+def _as_flag_bytes(flags: Sequence[int]) -> bytes:
+    if isinstance(flags, bytes):
+        return flags
+    return bytes(flags)  # bytearray, list, array('b'), ...
+
+
+def _prescan_numpy(ips, vaddrs, flags) -> BatchPlan:
+    flag_bytes = _as_flag_bytes(flags)
+    flags_np = np.frombuffer(flag_bytes, dtype=np.uint8)
+    codes_np = _NP_CODE_TABLE[flags_np]
+    try:
+        vaddrs_np = np.frombuffer(vaddrs, dtype=np.int64)
+    except (TypeError, ValueError, AttributeError):
+        vaddrs_np = np.asarray(vaddrs, dtype=np.int64)
+    blocks_np = vaddrs_np >> 6  # BLOCK_SHIFT; arithmetic shift keeps -1
+    # dTLB same-page chain over load records only (committed and wrong
+    # path -- both touch the TLB, in record order).
+    load_idx = np.flatnonzero((codes_np == C_LOAD)
+                              | (codes_np == C_WRONG_LOAD))
+    same_np = np.zeros(len(codes_np), dtype=np.uint8)
+    if len(load_idx) > 1:
+        pages = blocks_np[load_idx] >> 6  # page = block >> 6
+        same_np[load_idx[1:]] = pages[1:] == pages[:-1]
+    cum = np.cumsum(codes_np < C_WRONG_LOAD, dtype=np.int64).tolist()
+    ips_list = ips if type(ips) is list else list(ips)
+    return BatchPlan(codes_np.tobytes(), blocks_np.tolist(), ips_list,
+                     cum, same_np.tobytes())
+
+
+def _prescan_stdlib(ips, vaddrs, flags) -> BatchPlan:
+    flag_bytes = _as_flag_bytes(flags)
+    codes = flag_bytes.translate(CODE_TABLE)
+    blocks = [v >> 6 for v in vaddrs]
+    cum = list(accumulate(codes.translate(_COMMIT_TABLE)))
+    same_page = bytearray(len(codes))
+    prev_page = -1 << 70  # no real page compares equal
+    is_load = _IS_LOAD
+    for j, code in enumerate(codes):
+        if code in is_load:
+            page = blocks[j] >> 6
+            if page == prev_page:
+                same_page[j] = 1
+            else:
+                prev_page = page
+    ips_list = ips if type(ips) is list else list(ips)
+    return BatchPlan(codes, blocks, ips_list, cum, bytes(same_page))
+
+
+def prescan(trace) -> BatchPlan:
+    """Build a :class:`BatchPlan` for ``trace`` (vectorized when possible)."""
+    ips, vaddrs, flags = trace.columns()
+    if HAVE_NUMPY:
+        return _prescan_numpy(ips, vaddrs, flags)
+    return _prescan_stdlib(ips, vaddrs, flags)
+
+
+def plan_for(trace) -> BatchPlan:
+    """Cached :func:`prescan`: one plan per trace object, reused across
+    configurations and runs (the plan is derived data and is stripped
+    from pickled traces)."""
+    plan = getattr(trace, "_batch_plan", None)
+    if plan is None:
+        plan = prescan(trace)
+        try:
+            trace._batch_plan = plan
+        except AttributeError:  # exotic trace without a __dict__
+            pass
+    return plan
+
+
+def batch_default() -> bool:
+    """Resolve the batch front-end default: the ``REPRO_BATCH``
+    environment variable when set (``0``/``false``/``no``/``off`` disable,
+    anything else enables), else NumPy availability.  Worker processes
+    inherit the environment, so the CLI's ``--batch/--no-batch`` applies
+    to sharded runs too."""
+    env = os.environ.get("REPRO_BATCH")
+    if env is not None:
+        return env.strip().lower() not in ("0", "false", "no", "off", "")
+    return HAVE_NUMPY

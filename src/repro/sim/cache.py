@@ -36,7 +36,7 @@ golden-stats tests pin bit-identical counters.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_right, insort
 from typing import Dict, List, Optional, Tuple
 
 from .params import CacheParams
@@ -85,16 +85,11 @@ class Line:
         self.wbb = wbb
 
 
-class _MSHREntry:
-    """An outstanding miss (used for merging concurrent requests)."""
-
-    __slots__ = ("fill_time", "is_prefetch", "issue_time")
-
-    def __init__(self, fill_time: int, is_prefetch: bool,
-                 issue_time: int) -> None:
-        self.fill_time = fill_time
-        self.is_prefetch = is_prefetch
-        self.issue_time = issue_time
+# An outstanding miss, for merging concurrent requests.  A plain tuple
+# ``(fill_time, is_prefetch, issue_time)``: the entries are created once
+# per true miss on the hottest path in the simulator, and a tuple pack
+# beats a slotted-class constructor call there.
+_MSHREntry = Tuple[int, bool, int]
 
 
 class _PortBucket:
@@ -182,12 +177,11 @@ class CacheLevel:
         self._policy = params.replacement
         self._victim_seed = 0x9E3779B9
         self._set_mask = params.sets - 1
-        self.sets: List[Dict[int, Line]] = [dict() for _ in range(params.sets)]
+        self.sets: List[Dict[int, Line]] = [{} for _ in range(params.sets)]
         self._ports = _PortBucket(params.ports)
         self._mshrs = _SlotPool(params.mshrs)
         self._pq = _SlotPool(params.pq_entries)
         self._outstanding: Dict[int, _MSHREntry] = {}
-        self._pending_mshr_time = 0
         # Hot-path hoists: immutable params read on every access, and the
         # bound port-acquire method (skips one attribute lookup + frame
         # per charge).  ``access`` is the hottest function in the whole
@@ -195,6 +189,12 @@ class CacheLevel:
         self._latency = params.latency
         self._ways = params.ways
         self._port_acquire = self._ports.acquire
+        # Port fast-path hoists (see ``access``): with a free port at the
+        # request cycle the charge is one dict store and the start cycle
+        # is the request cycle itself; only saturated cycles take the
+        # walk-forward method call.
+        self._port_counts = self._ports.counts
+        self._port_n = params.ports
         # Identity-stable aliases of the pools' next-free-time lists (the
         # pools mutate them in place, never rebind).
         self._mshr_times = self._mshrs.times
@@ -259,7 +259,16 @@ class CacheLevel:
         on the recursive descent, the hottest call chain in the simulator.)
         """
         self._accesses[rtype] += 1
-        start = self._port_acquire(time)
+        # _PortBucket.acquire's free-port arm, inlined (the trim counter
+        # is maintained so the occasional slow-path call still prunes).
+        counts = self._port_counts
+        pc = counts.get(time, 0)
+        if pc < self._port_n:
+            counts[time] = pc + 1
+            self._ports._acquires += 1
+            start = time
+        else:
+            start = self._port_acquire(time)
         # ``demand`` (is this a load/store?) is only consulted on the
         # rarer paths, so it is derived lazily there; the REQ_* constants
         # are module-level interned strings, making ``is`` tests exact.
@@ -292,13 +301,14 @@ class CacheLevel:
 
         entry = self._outstanding.get(block)
         if entry is not None:
-            if entry.fill_time <= start:
+            entry_fill_time = entry[0]
+            if entry_fill_time <= start:
                 # Stale entry from a bypassing (fill=False) miss; the data is
                 # no longer in flight here.
                 del self._outstanding[block]
             else:
-                return self._merge(block, entry.fill_time,
-                                   entry.is_prefetch, start, rtype,
+                return self._merge(block, entry_fill_time,
+                                   entry[1], start, rtype,
                                    rtype is REQ_LOAD or rtype is REQ_STORE,
                                    count_useful, None)
 
@@ -385,9 +395,23 @@ class CacheLevel:
             existing.wbb = existing.wbb or wbb
             return
         if len(set_) >= self._ways:
-            self._evict(set_, time)
-        set_[block] = Line(time, time, prefetched, dirty, gm_propagate,
-                           wbb, latency)
+            # Recycle the evicted Line object in place of a fresh
+            # allocation: nine slot stores instead of a constructor call
+            # per conflict fill, on the hottest insert path.
+            line = self._evict(set_, time)
+            line.last_touch = time
+            line.fill_time = time
+            line.prefetched = prefetched
+            line.was_demand_hit = False
+            line.dirty = dirty
+            line.latency = latency
+            line.rrpv = 2
+            line.gm_propagate = gm_propagate
+            line.wbb = wbb
+            set_[block] = line
+        else:
+            set_[block] = Line(time, time, prefetched, dirty, gm_propagate,
+                               wbb, latency)
         if prefetched:
             self.stats.prefetch_fills += 1
         if self.events is not None:
@@ -403,11 +427,12 @@ class CacheLevel:
             # fill-time initialisation -- so an O(1) recency list would
             # pick different victims.  The TLB, whose ticks are strictly
             # monotone, gets the O(1) treatment instead (see tlb.py).
-            victim = -1
-            victim_touch = None
-            for block, line in set_.items():
+            items = iter(set_.items())
+            victim, line = next(items)
+            victim_touch = line.last_touch
+            for block, line in items:
                 touch = line.last_touch
-                if victim_touch is None or touch < victim_touch:
+                if touch < victim_touch:
                     victim_touch = touch
                     victim = block
             return victim
@@ -428,7 +453,7 @@ class CacheLevel:
         keys = list(set_)
         return keys[seed % len(keys)]
 
-    def _evict(self, set_: Dict[int, Line], time: int) -> None:
+    def _evict(self, set_: Dict[int, Line], time: int) -> Line:
         victim_block = self._select_victim(set_)
         victim = set_.pop(victim_block)
         self.stats.evictions += 1
@@ -440,6 +465,7 @@ class CacheLevel:
             self.stats.writebacks_out += 1
             self.next.receive_writeback(victim_block, time, victim.dirty,
                                         victim.wbb)
+        return victim
 
     def receive_writeback(self, block: int, time: int, dirty: bool = False,
                           gm_propagate: bool = False,
@@ -538,22 +564,18 @@ class CacheLevel:
             start = free_at
         else:
             start = time
-        # Reserve a slot with a placeholder release time; ``_mshr_fill``
-        # (always paired before any other same-level allocation) replaces
-        # it with the true fill time.
+        # The claimed slot simply stays popped until ``_mshr_fill`` inserts
+        # the true fill time: the pair always runs back-to-back at a given
+        # level (the recursion between them only descends), so nothing can
+        # observe the one-short pool and the placeholder insort + search
+        # the old scheme paid per miss is gone.
         del times[0]
-        reserved = start + 1
-        insort(times, reserved)
-        self._pending_mshr_time = reserved
         return start
 
     def _mshr_fill(self, block: int, fill_time: int, is_prefetch: bool,
                    issue_time: int) -> None:
-        times = self._mshr_times
-        del times[bisect_left(times, self._pending_mshr_time)]
-        insort(times, fill_time)
-        self._outstanding[block] = _MSHREntry(fill_time, is_prefetch,
-                                              issue_time)
+        insort(self._mshr_times, fill_time)
+        self._outstanding[block] = (fill_time, is_prefetch, issue_time)
 
     # ------------------------------------------------------------------
 

@@ -47,6 +47,26 @@ class DRAMChannel:
         self._bus_free_low = 0
         #: Furthest-scheduled low-priority completion (backpressure signal).
         self._low_horizon = 0
+        # Hot-path hoists: ``access`` and ``backlogged`` run once per
+        # DRAM-bound request / prefetch issue, so the fixed timing sums and
+        # the throttle margin are folded once here instead of re-derived
+        # from params on every call.
+        self._ctrl_latency = params.controller_latency
+        self._t_row_hit = params.t_cas
+        self._t_row_miss = params.t_rp + params.t_rcd + params.t_cas
+        self._bus_cycles = params.bus_cycles_per_line
+        self._banks = params.banks
+        #: One uncontended row-miss service (see :meth:`backlogged`).
+        self._service = (params.controller_latency + params.t_rp
+                         + params.t_rcd + params.t_cas
+                         + params.bus_cycles_per_line)
+        self._backlog_margin = params.prefetch_backlog_margin
+        #: row -> bank memo: the splitmix64 finalizer costs four 64-bit
+        #: multiplies/shifts per access, and the set of distinct rows a
+        #: workload touches is small (footprint / row size), so a dict
+        #: probe wins.  Bounded by the trace footprint; cleared never --
+        #: the mapping is pure.
+        self._bank_memo: dict = {}
 
     def low_backlog(self, time: int) -> int:
         """Cycles of low-priority bus backlog beyond the demand bus and
@@ -61,40 +81,43 @@ class DRAMChannel:
         hierarchy updates, writebacks): it queues behind both classes but
         never pushes demand requests back.
         """
-        p = self.params
         row = block // self._blocks_per_row
-        # Hashed bank indexing: plain ``row % banks`` maps GB-aligned arrays
-        # (whose rows differ only in high bits) onto one bank and serializes
-        # independent streams; real controllers XOR address bits for the
-        # same reason.  splitmix64 finalizer for good avalanche.
-        h = row & 0xFFFFFFFFFFFFFFFF
-        h ^= h >> 33
-        h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
-        h ^= h >> 33
-        bank = h % p.banks
+        bank = self._bank_memo.get(row)
+        if bank is None:
+            # Hashed bank indexing: plain ``row % banks`` maps GB-aligned
+            # arrays (whose rows differ only in high bits) onto one bank and
+            # serializes independent streams; real controllers XOR address
+            # bits for the same reason.  splitmix64 finalizer for good
+            # avalanche.
+            h = row & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 33
+            h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 33
+            bank = self._bank_memo[row] = h % self._banks
 
-        start = max(time + p.controller_latency, self._bank_free[bank])
+        stats = self.stats
+        start = max(time + self._ctrl_latency, self._bank_free[bank])
         if not demand:
             start = max(start, self._bank_free_low[bank])
         if self._open_row[bank] == row:
-            ready = start + p.t_cas
-            self.stats.row_hits += 1
+            ready = start + self._t_row_hit
+            stats.row_hits += 1
         else:
-            ready = start + p.t_rp + p.t_rcd + p.t_cas
+            ready = start + self._t_row_miss
             self._open_row[bank] = row
-            self.stats.row_misses += 1
-        self.stats.requests += 1
+            stats.row_misses += 1
+        stats.requests += 1
 
         if demand:
             # The bank is busy until its data hits the bus.
             self._bank_free[bank] = ready
             bus_start = max(ready, self._bus_free)
-            done = bus_start + p.bus_cycles_per_line
+            done = bus_start + self._bus_cycles
             self._bus_free = done
         else:
             self._bank_free_low[bank] = ready
             bus_start = max(ready, self._bus_free, self._bus_free_low)
-            done = bus_start + p.bus_cycles_per_line
+            done = bus_start + self._bus_cycles
             self._bus_free_low = done
         return done
 
@@ -109,14 +132,11 @@ class DRAMChannel:
         this backlog also bounds the worst late-prefetch penalty a demand
         can see.
         """
-        p = self.params
         if margin is None:
-            margin = p.prefetch_backlog_margin
+            margin = self._backlog_margin
         # One uncontended row-miss service: a single in-flight prefetch is
         # not backlog, however idle the channel is.
-        service = (p.controller_latency + p.t_rp + p.t_rcd + p.t_cas
-                   + p.bus_cycles_per_line)
-        reference = max(self._bus_free, time + service)
+        reference = max(self._bus_free, time + self._service)
         return self._bus_free_low - reference > margin
 
     def reset_stats(self) -> None:

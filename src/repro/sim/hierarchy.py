@@ -77,7 +77,6 @@ class MemoryHierarchy:
         #: Identity-stable alias of the L1D MSHR next-free times (the pool
         #: mutates the list in place); read by the prefetch-demotion check.
         self._l1d_mshr_times = self.l1d._mshrs.times
-        self._dram_backlogged = self.dram.backlogged
         self._gm_hit_latency = max(self.gm.latency, params.l1d.latency) \
             if secure else 0
         self._gm_latency = params.gm.latency if secure else 0
@@ -255,7 +254,14 @@ class MemoryHierarchy:
         prefetching throttles when the DRAM channel's low-priority queue is
         saturated (they would arrive uselessly late anyway).
         """
-        if self._dram_backlogged(time):
+        # Inline of dram.backlogged(time) with the default margin -- this
+        # runs once per prefetch request, mostly to say "no".
+        dram = self.dram
+        reference = time + dram._service
+        bus_free = dram._bus_free
+        if bus_free > reference:
+            reference = bus_free
+        if dram._bus_free_low - reference > dram._backlog_margin:
             if fill_level <= LEVEL_L1D:
                 self.l1d.stats.prefetches_dropped += 1
             elif fill_level == LEVEL_L2:

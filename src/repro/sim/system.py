@@ -49,25 +49,27 @@ the inventory; tests/sim/test_golden_stats.py pins bit-identical stats.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.classification import MissClassifier
 from ..core.suf import HitLevelQueue, suf_decide
-from ..core.xlq import TS_MASK, XLQ
+from ..core.xlq import LAT_MASK, TS_MASK, XLQ
 from ..obs import EventTrace, IntervalSampler, MetricRegistry, ObsConfig
 from ..prefetchers.base import (MODE_ON_ACCESS, MODE_ON_COMMIT, Prefetcher,
                                 TrainingEvent)
 from ..workloads.trace import (BLOCK_SHIFT, FLAG_BRANCH, FLAG_LOAD,
                                FLAG_MISPREDICT, FLAG_STORE, FLAG_WRONG_PATH,
                                Trace)
+from .batch import batch_default, plan_for
 from .cpu import CoreModel
 from .delay import DelayOnMissPolicy
 from .hierarchy import MemoryHierarchy
 from .params import SystemParams, baseline
 from .stats import (CacheStats, CoreStats, DRAMStats, GhostMinionStats,
-                    REQ_COMMIT, REQ_LOAD)
+                    REQ_COMMIT, REQ_LOAD, REQ_PREFETCH, REQ_STORE)
 from .tlb import TLBHierarchy, TLBStats
 
 #: Sentinel "sample threshold" used when interval sampling is disabled:
@@ -153,7 +155,8 @@ class System:
                  classify: bool = False,
                  shared_llc=None, shared_dram=None,
                  obs: Optional[ObsConfig] = None,
-                 label: Optional[str] = None) -> None:
+                 label: Optional[str] = None,
+                 batch: Optional[bool] = None) -> None:
         if params is None:
             params = baseline()
         if train_mode not in (MODE_ON_ACCESS, MODE_ON_COMMIT):
@@ -222,6 +225,15 @@ class System:
         self._pending_redirect = 0
         self._seq = 0
         self._warmup_cycle = 0
+        #: Batch front-end selection: explicit argument wins, else the
+        #: ``REPRO_BATCH`` environment variable, else NumPy availability
+        #: (see :func:`repro.sim.batch.batch_default`).  Both front-ends
+        #: produce bit-identical statistics; this only picks the faster
+        #: interpreter for the machine at hand.
+        self.batch = batch_default() if batch is None else bool(batch)
+        #: Lazily built commit-drain closure (see :meth:`_make_drainer`).
+        self._drainer = None
+        self._issuer = None
 
     def _default_label(self) -> str:
         pf = self.prefetcher.name if self.prefetcher else "no-pref"
@@ -258,6 +270,20 @@ class System:
         The multi-core driver interleaves several systems' steppers by
         time; :meth:`finalize` must be called after exhaustion.
 
+        Dispatches to the batch front-end (:meth:`_stepper_batch`) or the
+        scalar reference loop (:meth:`_stepper_scalar`) according to
+        ``self.batch``; both produce bit-identical statistics and the
+        same yield cadence, pinned by tests/sim/test_batch.py.
+        """
+        if not 0.0 <= warmup < 1.0:
+            raise ValueError(f"warmup must be in [0, 1), got {warmup!r}")
+        if self.batch:
+            return self._stepper_batch(trace, warmup, chunk)
+        return self._stepper_scalar(trace, warmup, chunk)
+
+    def _stepper_scalar(self, trace: Trace, warmup: float, chunk: int):
+        """The scalar (one record at a time) simulate loop.
+
         The loop is deliberately *flat*: the per-record core model
         (dispatch / LQ / retire -- :class:`~repro.sim.cpu.CoreModel` is
         the readable reference implementation) and the per-load pipeline
@@ -270,6 +296,10 @@ class System:
         the per-record observability cost one integer compare.
         """
         warmup_target = int(trace.committed_count * warmup)
+        if warmup_target >= trace.committed_count:
+            # Float-rounding guard: the warm-up reset must always leave at
+            # least one measured instruction on a non-empty trace.
+            warmup_target = max(trace.committed_count - 1, 0)
         warmed = warmup_target == 0
         committed = 0
         since_yield = 0
@@ -286,7 +316,9 @@ class System:
         sampler = self.sampler
         commit_q = self._commit_q
         commit_append = commit_q.append
-        drain_commits = self._drain_commits
+        drain_commits = self._drainer
+        if drain_commits is None:
+            drain_commits = self._drainer = self._make_drainer()
         delay_policy = self.delay_policy
         core_params = self.params.core
         issue_latency = core_params.load_issue_latency
@@ -660,6 +692,807 @@ class System:
         core._load_seq = load_seq
         core.final_retire = final_retire
 
+    def _stepper_batch(self, trace: Trace, warmup: float, chunk: int):
+        """Batch (block at a time) simulate loop.
+
+        A one-time prescan (:mod:`repro.sim.batch`, vectorized under
+        NumPy) classifies every record into a small-int code and
+        precomputes the pure-address work: block numbers, dTLB same-page
+        runs, and the committed-record prefix counts.  The outer loop
+        binary-searches those prefix counts to place every boundary --
+        warm-up reset, sampler interval, multicore yield -- at an exact
+        record index, so the inner loop carries **zero** per-record
+        boundary checks, flag tests, or address arithmetic; it dispatches
+        on the precomputed code and falls into the same inlined per-load
+        pipeline as the scalar loop (plus an L1D plain-hit fast path
+        whose guard, ``fill_time <= issue_time + latency``, is
+        conservative: any load it accepts would be a plain hit under any
+        port schedule, so the full ``CacheLevel.access`` only runs for
+        misses and in-flight fills).  Timing-dependent work -- cache
+        misses, DRAM, prefetcher callbacks, commit drains -- is exactly
+        the scalar code; statistics are bit-identical by construction and
+        pinned by the golden suite.
+        """
+        plan = plan_for(trace)
+        n = plan.n
+        codes = plan.codes
+        blocks = plan.blocks
+        ips = plan.ips
+        cum = plan.cum
+        same_page = plan.same_page
+        committed_total = plan.committed_total
+        index_of_committed = plan.index_of_committed
+
+        warmup_target = int(trace.committed_count * warmup)
+        if warmup_target >= trace.committed_count:
+            warmup_target = max(trace.committed_count - 1, 0)
+        warmed = warmup_target == 0
+        committed = 0
+        since_yield = 0
+
+        core = self.core
+        stats = self.core_stats
+        n_instr = stats.committed_instructions
+        n_loads = stats.committed_loads
+        n_stores = stats.committed_stores
+        n_wrong_loads = stats.wrong_path_loads
+        n_mispredicts = stats.branch_mispredicts
+        sampler = self.sampler
+        commit_q = self._commit_q
+        commit_append = commit_q.append
+        drain_commits = self._drainer
+        if drain_commits is None:
+            drain_commits = self._drainer = self._make_drainer()
+        delay_policy = self.delay_policy
+        core_params = self.params.core
+        issue_latency = core_params.load_issue_latency
+        alu_latency = core_params.alu_latency
+        penalty = core_params.mispredict_penalty
+        sample_at = sampler.next_at if sampler is not None else _NEVER
+        #: ``seq`` of record ``j`` (0-based) is ``seq_base + j + 1``; it
+        #: is only consumed by the secure GM fill, so it is computed there
+        #: instead of being incremented per record.
+        seq_base = self._seq
+        pending_redirect = self._pending_redirect
+
+        rob = core._rob
+        lq = core._lq
+        rob_append = rob.append
+        rob_popleft = rob.popleft
+        lq_append = lq.append
+        lq_popleft = lq.popleft
+        # Local occupancy counters: every committed record pops at most
+        # one ROB entry and appends exactly one (loads do the same to
+        # the LQ), so occupancy only grows while a queue is filling and
+        # then pins at capacity -- the per-record ``len()`` calls become
+        # int compares.  Nothing outside this generator touches the
+        # deques while it runs.
+        rob_len = len(rob)
+        lq_len = len(lq)
+        rob_entries = core._rob_entries
+        issue_width = core._issue_width
+        retire_width_m1 = core._retire_width_m1
+        lq_entries = core._lq_entries
+        dispatch_cycle = core._dispatch_cycle
+        dispatch_slot = core._dispatch_slot
+        retire_cycle = core._retire_cycle
+        retire_slot = core._retire_slot
+        load_seq = core._load_seq
+        final_retire = core.final_retire
+
+        hierarchy = self.hierarchy
+        secure = hierarchy.secure
+        l1d_access = hierarchy._l1d_access
+        l1d = hierarchy.l1d
+        if secure:
+            gm = hierarchy.gm
+            gm_apply = gm.apply_until
+            gm_fill = gm.fill
+            gm_heap = hierarchy._gm_heap
+            gm_stats = hierarchy.gm_stats
+            gm_hit_latency = hierarchy._gm_hit_latency
+            l1d_probe = l1d.probe
+            # GhostMinionCache.lookup (no time bound), inlined below: a
+            # resident-set probe falling back to the pending-fill dict.
+            gm_sets = gm.sets
+            gm_mask = gm._set_mask
+            gm_pending = gm._pending
+        # L1D plain-hit fast-path collaborators (see CacheLevel.access;
+        # the inline below replicates its plain-hit arm exactly and only
+        # fires when the guard proves that arm would be taken).
+        l1_sets = l1d.sets
+        l1_mask = l1d._set_mask
+        l1_latency = l1d._latency
+        l1_accesses = l1d._accesses
+        l1_hits = l1d._hits
+        l1_port_acquire = l1d._port_acquire
+        # Port-bucket fast path (see _PortBucket.acquire): with a free
+        # port at ``issue_time`` the charge is one dict store and the
+        # start cycle is ``issue_time`` itself, so the plain-hit arms
+        # below inline that case and only call ``acquire`` when the
+        # cycle is saturated (the walk-forward slow path).  The trim
+        # bookkeeping stays exact: ``_acquires`` is counted here too,
+        # and the occasional slow-path call runs the trim.
+        l1_port_bucket = l1d._ports
+        l1_port_counts = l1_port_bucket.counts
+        l1_port_n = l1_port_bucket.ports
+        l1_stats_all = l1d.stats
+        l1_level = l1d.level
+        l1d_contains = l1d.contains
+        tlb = self.tlb
+        tlb_enabled = tlb._enabled
+        tlb_stats = tlb.stats
+        dtlb_sets = tlb._dtlb_sets
+        dtlb_mask = tlb._dtlb_mask
+        tlb_miss = tlb._miss
+        prefetcher = self.prefetcher
+        track = prefetcher is not None
+        if track:
+            l1_stats = l1d.stats
+            l2_stats = hierarchy.l2.stats
+            train_l1 = prefetcher.train_level == 0
+            train = prefetcher.train
+        classifier = self.classifier
+        on_access = self.train_mode == MODE_ON_ACCESS
+        ts_feedback = self._ts_feedback
+        hit_levels = self.hit_levels
+        if hit_levels is not None:
+            # HitLevelQueue.record, inlined below: the 2-bit range check
+            # is vacuous (the sim only produces levels 0..3), leaving a
+            # modulo and a list store per committed load.
+            hl_levels = hit_levels._levels
+            hl_entries = hit_levels.lq_entries
+        xlq = self.xlq
+        if xlq is not None:
+            # XLQ.record_miss + record_fill, fused and inlined: the fill
+            # always follows its miss immediately here, so the validity
+            # re-check inside record_fill is vacuous.
+            xlq_slots = xlq._slots
+            xlq_entries = xlq.entries
+        commit_loads = self._commit_loads
+        issue_requests = self._issuer
+        if issue_requests is None:
+            issue_requests = self._issuer = self._make_issuer()
+        # Direct tuple construction for training events: skips the
+        # NamedTuple's Python ``__new__`` frame on the per-load path.
+        tuple_new = tuple.__new__
+        # Commit-queue head cache: the queue is appended in retire order
+        # and popped only by ``drain_commits`` (nothing outside this
+        # generator touches it while it runs), so the head's due time
+        # only changes on a drain or when an append undercuts it.  The
+        # per-record "any commit due?" test is then one int compare
+        # instead of a deque truth test plus an indexed peek.
+        next_commit = commit_q[0][0] if commit_q else _NEVER
+
+        i = 0
+        while i < n:
+            # Earliest boundary ahead, as a committed-record count; the
+            # prefix-count search turns it into an exclusive record index.
+            # Every candidate is strictly greater than ``committed`` (the
+            # scalar loop fires each at equality and then advances it), so
+            # the block is never empty.
+            bound = warmup_target if not warmed else None
+            if sampler is not None:
+                c_sample = committed + sample_at - n_instr
+                if bound is None or c_sample < bound:
+                    bound = c_sample
+            if chunk:
+                c_yield = committed + chunk - since_yield
+                if bound is None or c_yield < bound:
+                    bound = c_yield
+            if bound is None or bound > committed_total:
+                stop = n
+            else:
+                stop = index_of_committed(bound) + 1
+
+            for j in range(i, stop):
+                code = codes[j]
+                if code < 5:  # committed-path record
+                    if pending_redirect:
+                        # CoreModel.redirect, inlined.
+                        if pending_redirect > dispatch_cycle:
+                            dispatch_cycle = pending_redirect
+                            dispatch_slot = 0
+                        pending_redirect = 0
+                    # CoreModel.dispatch, inlined.
+                    if rob_len >= rob_entries:
+                        oldest = rob_popleft()
+                        if oldest > dispatch_cycle:
+                            dispatch_cycle = oldest
+                            dispatch_slot = 0
+                    else:
+                        rob_len += 1
+                    t_disp = dispatch_cycle
+                    dispatch_slot += 1
+                    if dispatch_slot >= issue_width:
+                        dispatch_cycle += 1
+                        dispatch_slot = 0
+                    if next_commit <= t_disp:
+                        drain_commits(t_disp)
+                        next_commit = commit_q[0][0] if commit_q else _NEVER
+
+                    if code == 3:  # C_LOAD
+                        block = blocks[j]
+                        issue_time = t_disp + issue_latency
+                        # CoreModel.lq_allocate, inlined.
+                        if lq_len >= lq_entries:
+                            oldest = lq_popleft()
+                            if oldest > issue_time:
+                                issue_time = oldest
+                        else:
+                            lq_len += 1
+                        if tlb_enabled:
+                            tlb_stats.dtlb_accesses += 1
+                            # The prescan proved same-page loads are
+                            # guaranteed dTLB hits whose move-to-back is
+                            # a no-op; only page changes probe the dTLB.
+                            if not same_page[j]:
+                                page = block >> 6
+                                set_ = dtlb_sets[page & dtlb_mask]
+                                if page in set_:
+                                    del set_[page]
+                                    set_[page] = None
+                                else:
+                                    issue_time += tlb_miss(page)
+                        if delay_policy is not None:
+                            issue_time = delay_policy.issue_time(
+                                issue_time, l1d_contains(block, issue_time))
+                        # Lateness/usefulness booleans are computed per
+                        # arm: the plain-hit fast paths below cannot
+                        # change the merge/useful counters (except the
+                        # one bump they perform themselves), so only the
+                        # full-access arms pay the four before/after
+                        # stats reads.
+                        if secure:
+                            # hierarchy._speculative_load, inlined.
+                            if gm_heap and gm_heap[0][0] <= issue_time:
+                                gm_apply(issue_time)
+                            gm_line = gm_sets[block & gm_mask].get(block)
+                            if gm_line is None:
+                                gm_line = gm_pending.get(block)
+                            if gm_line is not None:
+                                gm_stats.gm_hits += 1
+                                l1d_probe(block, issue_time, REQ_LOAD)
+                                completion = issue_time + gm_hit_latency
+                                fill_time = gm_line.fill_time
+                                if fill_time > completion:
+                                    completion = fill_time
+                                hit_level = 0
+                                fetch_latency = completion - issue_time
+                                gm_hit = True
+                                if track:
+                                    # A GM hit only probes the L1D tags:
+                                    # no merge or usefulness change.
+                                    late_l1 = late_l2 = False
+                                    useful_l1 = useful_l2 = False
+                            else:
+                                gm_stats.gm_misses += 1
+                                line = l1_sets[block & l1_mask].get(block)
+                                if line is not None and line.fill_time \
+                                        <= issue_time + l1_latency:
+                                    # Invisible-walk plain hit (update=False).
+                                    l1_accesses[REQ_LOAD] += 1
+                                    pc = l1_port_counts.get(issue_time, 0)
+                                    if pc < l1_port_n:
+                                        l1_port_counts[issue_time] = pc + 1
+                                        l1_port_bucket._acquires += 1
+                                        completion = issue_time + l1_latency
+                                    else:
+                                        completion = \
+                                            l1_port_acquire(issue_time) \
+                                            + l1_latency
+                                    l1_hits[REQ_LOAD] += 1
+                                    if line.prefetched \
+                                            and not line.was_demand_hit:
+                                        line.was_demand_hit = True
+                                        l1_stats_all.prefetches_useful += 1
+                                        if l1d.events is not None:
+                                            l1d.events.emit(
+                                                "pf_use", issue_time, block,
+                                                l1d.name)
+                                        useful_l1 = True
+                                    else:
+                                        useful_l1 = False
+                                    late_l1 = late_l2 = useful_l2 = False
+                                    hit_level = l1_level
+                                else:
+                                    if track:
+                                        merged1_pre = l1_stats \
+                                            .demand_merged_into_prefetch
+                                        useful1_pre = \
+                                            l1_stats.prefetches_useful
+                                        merged2_pre = l2_stats \
+                                            .demand_merged_into_prefetch
+                                        useful2_pre = \
+                                            l2_stats.prefetches_useful
+                                    completion, hit_level = l1d_access(
+                                        block, issue_time, REQ_LOAD, False,
+                                        False, True)
+                                    if track:
+                                        late_l1 = l1_stats \
+                                            .demand_merged_into_prefetch \
+                                            > merged1_pre
+                                        useful_l1 = \
+                                            l1_stats.prefetches_useful \
+                                            > useful1_pre
+                                        late_l2 = l2_stats \
+                                            .demand_merged_into_prefetch \
+                                            > merged2_pre
+                                        useful_l2 = \
+                                            l2_stats.prefetches_useful \
+                                            > useful2_pre
+                                fetch_latency = completion - issue_time
+                                gm_hit = False
+                                if hit_level != 0:
+                                    gm_fill(block, completion,
+                                            seq_base + j + 1, fetch_latency,
+                                            False)
+                        else:
+                            line = l1_sets[block & l1_mask].get(block)
+                            if line is not None and line.fill_time \
+                                    <= issue_time + l1_latency:
+                                # CacheLevel.access plain-hit arm, inlined.
+                                l1_accesses[REQ_LOAD] += 1
+                                pc = l1_port_counts.get(issue_time, 0)
+                                if pc < l1_port_n:
+                                    l1_port_counts[issue_time] = pc + 1
+                                    l1_port_bucket._acquires += 1
+                                    completion = issue_time + l1_latency
+                                else:
+                                    completion = \
+                                        l1_port_acquire(issue_time) \
+                                        + l1_latency
+                                l1_hits[REQ_LOAD] += 1
+                                line.last_touch = issue_time
+                                line.rrpv = 0
+                                if line.prefetched \
+                                        and not line.was_demand_hit:
+                                    line.was_demand_hit = True
+                                    l1_stats_all.prefetches_useful += 1
+                                    if l1d.events is not None:
+                                        l1d.events.emit(
+                                            "pf_use", issue_time, block,
+                                            l1d.name)
+                                    useful_l1 = True
+                                else:
+                                    useful_l1 = False
+                                late_l1 = late_l2 = useful_l2 = False
+                                hit_level = l1_level
+                            else:
+                                if track:
+                                    merged1_pre = l1_stats \
+                                        .demand_merged_into_prefetch
+                                    useful1_pre = l1_stats.prefetches_useful
+                                    merged2_pre = l2_stats \
+                                        .demand_merged_into_prefetch
+                                    useful2_pre = l2_stats.prefetches_useful
+                                completion, hit_level = l1d_access(
+                                    block, issue_time, REQ_LOAD, True, True,
+                                    True)
+                                if track:
+                                    late_l1 = l1_stats \
+                                        .demand_merged_into_prefetch \
+                                        > merged1_pre
+                                    useful_l1 = l1_stats.prefetches_useful \
+                                        > useful1_pre
+                                    late_l2 = l2_stats \
+                                        .demand_merged_into_prefetch \
+                                        > merged2_pre
+                                    useful_l2 = l2_stats.prefetches_useful \
+                                        > useful2_pre
+                            fetch_latency = completion - issue_time
+                            gm_hit = False
+                        # CoreModel.lq_complete, inlined.
+                        lq_append(completion)
+                        slot = load_seq % lq_entries
+                        load_seq += 1
+                        miss_l1 = hit_level >= 1
+
+                        if hit_levels is not None:
+                            hl_levels[slot % hl_entries] = hit_level
+
+                        if track:
+                            miss_l2 = hit_level >= 2
+
+                            if xlq is not None:
+                                if miss_l1 and not gm_hit:
+                                    entry = xlq_slots[slot % xlq_entries]
+                                    entry.valid = True
+                                    entry.hitp = False
+                                    entry.ts = issue_time & TS_MASK
+                                    entry.latency = min(fetch_latency,
+                                                        LAT_MASK)
+                                elif useful_l1:
+                                    line = l1d.lookup(block)
+                                    line_latency = line.latency \
+                                        if line is not None else fetch_latency
+                                    xlq.record_prefetch_hit(slot, issue_time,
+                                                            line_latency)
+
+                            if classifier is not None or on_access:
+                                event = tuple_new(TrainingEvent, (
+                                    ips[j], block, hit_level == 0, issue_time,
+                                    issue_time, fetch_latency, hit_level,
+                                    useful_l1 if train_l1 else useful_l2))
+
+                            if classifier is not None:
+                                late_any = late_l1 or late_l2
+                                if train_l1 or miss_l1:
+                                    classifier.on_access(event)
+                                if train_l1 and miss_l1:
+                                    classifier.classify_miss(
+                                        block, issue_time, late_any)
+                                elif not train_l1 and miss_l2:
+                                    classifier.classify_miss(
+                                        block, issue_time, late_any)
+
+                            if on_access:
+                                if train_l1 or miss_l1:
+                                    requests = train(event)
+                                    if requests:
+                                        issue_requests(requests, issue_time)
+                                if ts_feedback:
+                                    if train_l1:
+                                        prefetcher.note_demand(
+                                            miss_l1, late_l1, useful_l1)
+                                    else:
+                                        prefetcher.note_demand(
+                                            miss_l2, late_l2, useful_l2)
+                            meta = (miss_l1, miss_l2, late_l1, late_l2,
+                                    useful_l1, useful_l2)
+                        else:
+                            meta = _NO_PF_META
+
+                        n_loads += 1
+                        if delay_policy is not None:
+                            delay_policy.note_load_completion(completion)
+                        # CoreModel.retire, inlined.
+                        ready = t_disp + 1
+                        if completion > ready:
+                            ready = completion
+                        if ready > retire_cycle:
+                            retire_cycle = ready
+                            retire_slot = 0
+                        elif retire_slot < retire_width_m1:
+                            retire_slot += 1
+                        else:
+                            retire_cycle += 1
+                            retire_slot = 0
+                        rob_append(retire_cycle)
+                        if retire_cycle > final_retire:
+                            final_retire = retire_cycle
+                        if commit_loads:
+                            commit_append((retire_cycle, True,
+                                           (ips[j], block, hit_level,
+                                            issue_time, fetch_latency, slot,
+                                            meta)))
+                            if retire_cycle < next_commit:
+                                next_commit = retire_cycle
+                    elif code == 0:  # C_ALU
+                        completion = t_disp + alu_latency
+                        ready = t_disp + 1
+                        if completion > ready:
+                            ready = completion
+                        if ready > retire_cycle:
+                            retire_cycle = ready
+                            retire_slot = 0
+                        elif retire_slot < retire_width_m1:
+                            retire_slot += 1
+                        else:
+                            retire_cycle += 1
+                            retire_slot = 0
+                        rob_append(retire_cycle)
+                        if retire_cycle > final_retire:
+                            final_retire = retire_cycle
+                    elif code == 4:  # C_STORE
+                        ready = t_disp + 1
+                        completion = t_disp + alu_latency
+                        if completion > ready:
+                            ready = completion
+                        if ready > retire_cycle:
+                            retire_cycle = ready
+                            retire_slot = 0
+                        elif retire_slot < retire_width_m1:
+                            retire_slot += 1
+                        else:
+                            retire_cycle += 1
+                            retire_slot = 0
+                        rob_append(retire_cycle)
+                        if retire_cycle > final_retire:
+                            final_retire = retire_cycle
+                        commit_append((retire_cycle, False, blocks[j]))
+                        if retire_cycle < next_commit:
+                            next_commit = retire_cycle
+                        n_stores += 1
+                    else:  # C_BRANCH (1) or C_MISPREDICT (2)
+                        completion = t_disp + alu_latency
+                        if delay_policy is not None:
+                            completion = delay_policy.note_branch(completion)
+                        if code == 2:
+                            pending_redirect = completion + penalty
+                            n_mispredicts += 1
+                        ready = t_disp + 1
+                        if completion > ready:
+                            ready = completion
+                        if ready > retire_cycle:
+                            retire_cycle = ready
+                            retire_slot = 0
+                        elif retire_slot < retire_width_m1:
+                            retire_slot += 1
+                        else:
+                            retire_cycle += 1
+                            retire_slot = 0
+                        rob_append(retire_cycle)
+                        if retire_cycle > final_retire:
+                            final_retire = retire_cycle
+                else:
+                    # Wrong-path record: consumes its dispatch slot and
+                    # can trigger commit drains, but never redirects,
+                    # retires, or checks ROB backpressure.
+                    t_disp = dispatch_cycle
+                    dispatch_slot += 1
+                    if dispatch_slot >= issue_width:
+                        dispatch_cycle += 1
+                        dispatch_slot = 0
+                    if next_commit <= t_disp:
+                        drain_commits(t_disp)
+                        next_commit = commit_q[0][0] if commit_q else _NEVER
+                    if code == 5:  # C_WRONG_LOAD
+                        block = blocks[j]
+                        issue_time = t_disp + issue_latency
+                        if lq_len >= lq_entries:
+                            oldest = lq_popleft()
+                            if oldest > issue_time:
+                                issue_time = oldest
+                        else:
+                            lq_len += 1
+                        if tlb_enabled:
+                            tlb_stats.dtlb_accesses += 1
+                            if not same_page[j]:
+                                page = block >> 6
+                                set_ = dtlb_sets[page & dtlb_mask]
+                                if page in set_:
+                                    del set_[page]
+                                    set_[page] = None
+                                else:
+                                    issue_time += tlb_miss(page)
+                        if delay_policy is not None:
+                            l1d_hit = l1d_contains(block, issue_time)
+                            if not l1d_hit:
+                                # Delay-on-miss: wrong-path miss squashed.
+                                lq_append(issue_time + 1)
+                                load_seq += 1
+                                n_wrong_loads += 1
+                                continue
+                            issue_time = delay_policy.issue_time(issue_time,
+                                                                 l1d_hit)
+                        if secure:
+                            if gm_heap and gm_heap[0][0] <= issue_time:
+                                gm_apply(issue_time)
+                            gm_line = gm_sets[block & gm_mask].get(block)
+                            if gm_line is None:
+                                gm_line = gm_pending.get(block)
+                            if gm_line is not None:
+                                gm_stats.gm_hits += 1
+                                l1d_probe(block, issue_time, REQ_LOAD)
+                                completion = issue_time + gm_hit_latency
+                                fill_time = gm_line.fill_time
+                                if fill_time > completion:
+                                    completion = fill_time
+                                hit_level = 0
+                                fetch_latency = completion - issue_time
+                                gm_hit = True
+                                if track:
+                                    # A GM hit only probes the L1D tags:
+                                    # no merge or usefulness change.
+                                    late_l1 = late_l2 = False
+                                    useful_l1 = useful_l2 = False
+                            else:
+                                gm_stats.gm_misses += 1
+                                line = l1_sets[block & l1_mask].get(block)
+                                if line is not None and line.fill_time \
+                                        <= issue_time + l1_latency:
+                                    # count_useful=False: no usefulness
+                                    # marking on wrong-path hits.
+                                    l1_accesses[REQ_LOAD] += 1
+                                    pc = l1_port_counts.get(issue_time, 0)
+                                    if pc < l1_port_n:
+                                        l1_port_counts[issue_time] = pc + 1
+                                        l1_port_bucket._acquires += 1
+                                        completion = issue_time + l1_latency
+                                    else:
+                                        completion = \
+                                            l1_port_acquire(issue_time) \
+                                            + l1_latency
+                                    l1_hits[REQ_LOAD] += 1
+                                    # count_useful=False: the wrong-path
+                                    # hit can change no merge/useful
+                                    # counter at all.
+                                    late_l1 = late_l2 = False
+                                    useful_l1 = useful_l2 = False
+                                    hit_level = l1_level
+                                else:
+                                    if track:
+                                        merged1_pre = l1_stats \
+                                            .demand_merged_into_prefetch
+                                        useful1_pre = \
+                                            l1_stats.prefetches_useful
+                                        merged2_pre = l2_stats \
+                                            .demand_merged_into_prefetch
+                                        useful2_pre = \
+                                            l2_stats.prefetches_useful
+                                    completion, hit_level = l1d_access(
+                                        block, issue_time, REQ_LOAD, False,
+                                        False, False)
+                                    if track:
+                                        late_l1 = l1_stats \
+                                            .demand_merged_into_prefetch \
+                                            > merged1_pre
+                                        useful_l1 = \
+                                            l1_stats.prefetches_useful \
+                                            > useful1_pre
+                                        late_l2 = l2_stats \
+                                            .demand_merged_into_prefetch \
+                                            > merged2_pre
+                                        useful_l2 = \
+                                            l2_stats.prefetches_useful \
+                                            > useful2_pre
+                                fetch_latency = completion - issue_time
+                                gm_hit = False
+                                if hit_level != 0:
+                                    gm_fill(block, completion,
+                                            seq_base + j + 1, fetch_latency,
+                                            True)
+                        else:
+                            line = l1_sets[block & l1_mask].get(block)
+                            if line is not None and line.fill_time \
+                                    <= issue_time + l1_latency:
+                                l1_accesses[REQ_LOAD] += 1
+                                pc = l1_port_counts.get(issue_time, 0)
+                                if pc < l1_port_n:
+                                    l1_port_counts[issue_time] = pc + 1
+                                    l1_port_bucket._acquires += 1
+                                    completion = issue_time + l1_latency
+                                else:
+                                    completion = \
+                                        l1_port_acquire(issue_time) \
+                                        + l1_latency
+                                l1_hits[REQ_LOAD] += 1
+                                line.last_touch = issue_time
+                                line.rrpv = 0
+                                # count_useful=False: no merge/useful
+                                # counter can change on this arm.
+                                late_l1 = late_l2 = False
+                                useful_l1 = useful_l2 = False
+                                hit_level = l1_level
+                            else:
+                                if track:
+                                    merged1_pre = l1_stats \
+                                        .demand_merged_into_prefetch
+                                    useful1_pre = l1_stats.prefetches_useful
+                                    merged2_pre = l2_stats \
+                                        .demand_merged_into_prefetch
+                                    useful2_pre = l2_stats.prefetches_useful
+                                completion, hit_level = l1d_access(
+                                    block, issue_time, REQ_LOAD, True, True,
+                                    False)
+                                if track:
+                                    late_l1 = l1_stats \
+                                        .demand_merged_into_prefetch \
+                                        > merged1_pre
+                                    useful_l1 = l1_stats.prefetches_useful \
+                                        > useful1_pre
+                                    late_l2 = l2_stats \
+                                        .demand_merged_into_prefetch \
+                                        > merged2_pre
+                                    useful_l2 = l2_stats.prefetches_useful \
+                                        > useful2_pre
+                            fetch_latency = completion - issue_time
+                            gm_hit = False
+                        lq_append(completion)
+                        slot = load_seq % lq_entries
+                        load_seq += 1
+                        miss_l1 = hit_level >= 1
+
+                        if track:
+                            miss_l2 = hit_level >= 2
+
+                            if classifier is not None or on_access:
+                                event = tuple_new(TrainingEvent, (
+                                    ips[j], block, hit_level == 0, issue_time,
+                                    issue_time, fetch_latency, hit_level,
+                                    useful_l1 if train_l1 else useful_l2))
+
+                            if classifier is not None:
+                                late_any = late_l1 or late_l2
+                                if train_l1 or miss_l1:
+                                    classifier.on_access(event)
+                                if train_l1 and miss_l1:
+                                    classifier.classify_miss(
+                                        block, issue_time, late_any)
+                                elif not train_l1 and miss_l2:
+                                    classifier.classify_miss(
+                                        block, issue_time, late_any)
+
+                            if on_access and (train_l1 or miss_l1):
+                                # Transient training (Section III-B); no
+                                # TS lateness feedback on the wrong path.
+                                requests = train(event)
+                                if requests:
+                                    issue_requests(requests, issue_time)
+                        n_wrong_loads += 1
+                    # C_WRONG_OTHER: nothing further.
+
+            # Block accounting + the boundary actions, in the scalar
+            # loop's exact order (warm-up reset takes precedence over a
+            # coinciding sample; a coinciding yield still fires).
+            new_committed = cum[stop - 1]
+            delta = new_committed - committed
+            committed = new_committed
+            n_instr += delta
+            i = stop
+            if chunk:
+                since_yield += delta
+            if not warmed and committed >= warmup_target:
+                warmed = True
+                core._dispatch_cycle = dispatch_cycle
+                core._dispatch_slot = dispatch_slot
+                core._retire_cycle = retire_cycle
+                core._retire_slot = retire_slot
+                core._load_seq = load_seq
+                core.final_retire = final_retire
+                self._reset_measurement()
+                n_instr = stats.committed_instructions
+                n_loads = stats.committed_loads
+                n_stores = stats.committed_stores
+                n_wrong_loads = stats.wrong_path_loads
+                n_mispredicts = stats.branch_mispredicts
+                if sampler is not None:
+                    sample_at = sampler.next_at
+            elif n_instr >= sample_at:
+                stats.committed_instructions = n_instr
+                stats.committed_loads = n_loads
+                stats.committed_stores = n_stores
+                stats.wrong_path_loads = n_wrong_loads
+                stats.branch_mispredicts = n_mispredicts
+                core._dispatch_cycle = dispatch_cycle
+                core._dispatch_slot = dispatch_slot
+                core._retire_cycle = retire_cycle
+                core._retire_slot = retire_slot
+                core._load_seq = load_seq
+                core.final_retire = final_retire
+                sampler.sample(self)
+                sample_at = sampler.next_at
+            if chunk and since_yield >= chunk:
+                since_yield = 0
+                self._seq = seq_base + stop
+                self._pending_redirect = pending_redirect
+                stats.committed_instructions = n_instr
+                stats.committed_loads = n_loads
+                stats.committed_stores = n_stores
+                stats.wrong_path_loads = n_wrong_loads
+                stats.branch_mispredicts = n_mispredicts
+                core._dispatch_cycle = dispatch_cycle
+                core._dispatch_slot = dispatch_slot
+                core._retire_cycle = retire_cycle
+                core._retire_slot = retire_slot
+                core._load_seq = load_seq
+                core.final_retire = final_retire
+                yield
+        self._seq = seq_base + n
+        self._pending_redirect = pending_redirect
+        stats.committed_instructions = n_instr
+        stats.committed_loads = n_loads
+        stats.committed_stores = n_stores
+        stats.wrong_path_loads = n_wrong_loads
+        stats.branch_mispredicts = n_mispredicts
+        core._dispatch_cycle = dispatch_cycle
+        core._dispatch_slot = dispatch_slot
+        core._retire_cycle = retire_cycle
+        core._retire_slot = retire_slot
+        core._load_seq = load_seq
+        core.final_retire = final_retire
+
     def finalize(self, trace: Trace) -> SimResult:
         """Complete the run started by :meth:`stepper`; return results."""
         self._drain_commits(None)
@@ -712,11 +1545,30 @@ class System:
     # ------------------------------------------------------------------
 
     def _drain_commits(self, until: Optional[int]) -> None:
+        """Drain queued commit actions due at or before ``until``.
+
+        Delegates to the cached closure from :meth:`_make_drainer`; the
+        steppers hoist that closure directly, so the ~20-collaborator
+        preamble runs once per system instead of once per drain call.
+        """
+        drainer = self._drainer
+        if drainer is None:
+            drainer = self._drainer = self._make_drainer()
+        drainer(until)
+
+    def _make_drainer(self):
         queue = self._commit_q
         hierarchy = self.hierarchy
-        demand_store = hierarchy.demand_store
+        # hierarchy.demand_store is a one-line wrapper around the L1D
+        # access (the returned completion is unused here); calling the
+        # access directly drops a frame per committed store.
+        store_access = hierarchy.l1d.access
         hit_levels = self.hit_levels
-        hl_read = hit_levels.read if hit_levels is not None else None
+        has_hl = hit_levels is not None
+        if has_hl:
+            # HitLevelQueue.read, inlined: one modulo + list read.
+            hl_levels = hit_levels._levels
+            hl_entries = hit_levels.lq_entries
         prefetcher = self.prefetcher
         # hierarchy.commit_load collaborators, hoisted: the whole commit
         # pipeline is inlined below (commit_load remains the readable
@@ -727,7 +1579,11 @@ class System:
             gm_stats = hierarchy.gm_stats
             gm_heap = hierarchy._gm_heap
             gm_apply = hierarchy.gm.apply_until
-            gm_take = hierarchy.gm.take
+            # GhostMinionCache.take, inlined at the drain site: a
+            # resident-set pop falling back to the pending-fill dict.
+            gm_sets = hierarchy.gm.sets
+            gm_mask = hierarchy.gm._set_mask
+            gm_pending = hierarchy.gm._pending
             commit_filter = hierarchy.commit_filter
             filter_memo = hierarchy._filter_memo
             l1d_contains = hierarchy._l1d_contains
@@ -744,100 +1600,108 @@ class System:
             if use_xlq:
                 xlq_slots = self.xlq._slots
                 xlq_entries = self.xlq.entries
-            issue_requests = self._issue
+            issue_requests = self._issuer
+            if issue_requests is None:
+                issue_requests = self._issuer = self._make_issuer()
             ts_feedback = self._ts_feedback
-        while queue and (until is None or queue[0][0] <= until):
-            t_ret, is_load, payload = queue.popleft()
-            if not is_load:
-                demand_store(payload, t_ret)
-                continue
-            ip, block, hit_level, issue_time, fetch_latency, slot, meta = \
-                payload
-            recorded_level = hl_read(slot) \
-                if hl_read is not None else hit_level
-            # hierarchy.commit_load, inlined.
-            if not secure:
-                update_latency = 0
-            else:
-                if gm_heap and gm_heap[0][0] <= t_ret:
-                    gm_apply(t_ret)
-                gm_line = gm_take(block)
-                if commit_filter is not None:
-                    decision = filter_memo.get(recorded_level)
-                    if decision is None:
-                        decision = filter_memo[recorded_level] = \
-                            commit_filter(recorded_level)
-                else:
-                    decision = None
-                if decision is not None and decision.drop:
-                    gm_stats.commit_drops_suf += 1
-                    if l1d_contains(block):
-                        gm_stats.suf_correct += 1
-                    else:
-                        gm_stats.suf_mispredict += 1
-                    if events is not None:
-                        events.emit("suf_drop", t_ret, block, "SUF")
+        tuple_new = tuple.__new__
+
+        def drain(until: Optional[int]) -> None:
+            while queue and (until is None or queue[0][0] <= until):
+                t_ret, is_load, payload = queue.popleft()
+                if not is_load:
+                    store_access(payload, t_ret, REQ_STORE)
+                    continue
+                ip, block, hit_level, issue_time, fetch_latency, slot, meta = \
+                    payload
+                recorded_level = hl_levels[slot % hl_entries] \
+                    if has_hl else hit_level
+                # hierarchy.commit_load, inlined.
+                if not secure:
                     update_latency = 0
-                elif gm_line is not None:
-                    # On-commit write: the line moves GM -> L1D.
-                    gm_stats.commit_writes += 1
-                    if events is not None:
-                        events.emit("gm_commit_write", t_ret, block, "GM")
-                    if decision is not None:
-                        record_suf_stop(block, recorded_level)
-                        l1d_commit_write(block, t_ret,
-                                         decision.gm_propagate,
-                                         decision.wbb)
+                else:
+                    if gm_heap and gm_heap[0][0] <= t_ret:
+                        gm_apply(t_ret)
+                    gm_line = gm_sets[block & gm_mask].pop(block, None)
+                    if gm_line is None:
+                        gm_line = gm_pending.pop(block, None)
+                    if commit_filter is not None:
+                        decision = filter_memo.get(recorded_level)
+                        if decision is None:
+                            decision = filter_memo[recorded_level] = \
+                                commit_filter(recorded_level)
                     else:
-                        l1d_commit_write(block, t_ret, True, True)
-                    update_latency = gm_latency
-                else:
-                    # GM line evicted before commit (or never existed):
-                    # re-fetch into the non-speculative hierarchy.
-                    gm_stats.commit_refetches += 1
-                    if recorded_level > 0:
-                        gm_stats.gm_lost_before_commit += 1
-                    if events is not None:
-                        events.emit("gm_refetch", t_ret, block, "GM")
-                    completion, _ = l1d_access(block, t_ret, REQ_COMMIT)
-                    update_latency = completion - t_ret
-            if not train_commit:
-                continue
+                        decision = None
+                    if decision is not None and decision.drop:
+                        gm_stats.commit_drops_suf += 1
+                        if l1d_contains(block):
+                            gm_stats.suf_correct += 1
+                        else:
+                            gm_stats.suf_mispredict += 1
+                        if events is not None:
+                            events.emit("suf_drop", t_ret, block, "SUF")
+                        update_latency = 0
+                    elif gm_line is not None:
+                        # On-commit write: the line moves GM -> L1D.
+                        gm_stats.commit_writes += 1
+                        if events is not None:
+                            events.emit("gm_commit_write", t_ret, block, "GM")
+                        if decision is not None:
+                            record_suf_stop(block, recorded_level)
+                            l1d_commit_write(block, t_ret,
+                                             decision.gm_propagate,
+                                             decision.wbb)
+                        else:
+                            l1d_commit_write(block, t_ret, True, True)
+                        update_latency = gm_latency
+                    else:
+                        # GM line evicted before commit (or never existed):
+                        # re-fetch into the non-speculative hierarchy.
+                        gm_stats.commit_refetches += 1
+                        if recorded_level > 0:
+                            gm_stats.gm_lost_before_commit += 1
+                        if events is not None:
+                            events.emit("gm_refetch", t_ret, block, "GM")
+                        completion, _ = l1d_access(block, t_ret, REQ_COMMIT)
+                        update_latency = completion - t_ret
+                if not train_commit:
+                    continue
 
-            (miss_l1, miss_l2, late_l1, late_l2,
-             useful_l1, useful_l2) = meta
+                (miss_l1, miss_l2, late_l1, late_l2,
+                 useful_l1, useful_l2) = meta
 
-            # Build the training event the commit-stage prefetcher sees.
-            # Naive on-commit training observes commit-ordered timestamps
-            # and the on-commit update latency (the misleading value of
-            # Section V-B).  With the X-LQ (TSB), the preserved access
-            # time and GM fetch latency are used instead (XLQ.read,
-            # inlined: read-and-invalidate the committing load's slot).
-            if use_xlq:
-                entry = xlq_slots[slot % xlq_entries]
-                if not entry.valid:
-                    # Regular L1D hit: no training action (Section V-C).
-                    event = None
+                # Build the training event the commit-stage prefetcher sees.
+                # Naive on-commit training observes commit-ordered timestamps
+                # and the on-commit update latency (the misleading value of
+                # Section V-B).  With the X-LQ (TSB), the preserved access
+                # time and GM fetch latency are used instead (XLQ.read,
+                # inlined: read-and-invalidate the committing load's slot).
+                if use_xlq:
+                    entry = xlq_slots[slot % xlq_entries]
+                    if not entry.valid:
+                        # Regular L1D hit: no training action (Section V-C).
+                        event = None
+                    else:
+                        entry.valid = False
+                        event = tuple_new(TrainingEvent, (
+                            ip, block, hit_level == 0, t_ret,
+                            t_ret - ((t_ret - entry.ts) & TS_MASK),
+                            entry.latency, hit_level, entry.hitp))
                 else:
-                    entry.valid = False
-                    event = TrainingEvent(
-                        ip, block, hit_level == 0, t_ret,
-                        t_ret - ((t_ret - entry.ts) & TS_MASK),
-                        entry.latency, hit_level, entry.hitp)
-            else:
-                event = TrainingEvent(
-                    ip, block, hit_level == 0, t_ret, t_ret,
-                    update_latency if update_latency > 1 else 1,
-                    hit_level, useful_l1 if train_l1 else useful_l2)
-            if event is not None and (train_l1 or hit_level >= 1):
-                requests = train(event)
-                if requests:
-                    issue_requests(requests, t_ret)
-            if ts_feedback:
-                if train_l1:
-                    prefetcher.note_demand(miss_l1, late_l1, useful_l1)
-                else:
-                    prefetcher.note_demand(miss_l2, late_l2, useful_l2)
+                    event = tuple_new(TrainingEvent, (
+                        ip, block, hit_level == 0, t_ret, t_ret,
+                        update_latency if update_latency > 1 else 1,
+                        hit_level, useful_l1 if train_l1 else useful_l2))
+                if event is not None and (train_l1 or hit_level >= 1):
+                    requests = train(event)
+                    if requests:
+                        issue_requests(requests, t_ret)
+                if ts_feedback:
+                    if train_l1:
+                        prefetcher.note_demand(miss_l1, late_l1, useful_l1)
+                    else:
+                        prefetcher.note_demand(miss_l2, late_l2, useful_l2)
+        return drain
 
     def _issue(self, requests, time: int) -> None:
         issue_prefetch = self.hierarchy.issue_prefetch
@@ -854,6 +1718,106 @@ class System:
             # even if the request was redundant by then.
             classifier.on_real_prefetch(pf_block, time)
             issue_prefetch(pf_block, time, fill_level)
+
+    def _make_issuer(self):
+        """Fast-path twin of :meth:`_issue` (the readable reference).
+
+        The common outcome of a prefetch request is a *drop* -- line
+        already resident, already in flight, PQ or MSHR full, DRAM
+        backlogged -- which the reference path pays three call frames to
+        discover (``_issue`` -> ``MemoryHierarchy.issue_prefetch`` ->
+        ``CacheLevel.issue_prefetch`` -> ``_drop_prefetch``).  This
+        closure replicates that decision chain flat, charging the same
+        counters in the same order, and only calls into ``access`` when
+        a prefetch actually enters the memory system.  With event
+        tracing attached it defers to the reference path so emission
+        sites stay in one place.
+        """
+        hierarchy = self.hierarchy
+        slow_issue = self._issue
+        dram = hierarchy.dram
+        l1d = hierarchy.l1d
+        l2 = hierarchy.l2
+        llc = hierarchy.llc
+        l1_stats = l1d.stats
+        l2_stats = l2.stats
+        llc_stats = llc.stats
+        l1_sets = l1d.sets
+        l1_mask = l1d._set_mask
+        l1_outstanding = l1d._outstanding
+        l1_pq = l1d._pq_times
+        l1_mshr = l1d._mshr_times
+        l1_access = l1d.access
+        l2_sets = l2.sets
+        l2_mask = l2._set_mask
+        l2_outstanding = l2._outstanding
+        l2_pq = l2._pq_times
+        l2_mshr = l2._mshr_times
+        l2_access = l2.access
+        llc_issue = llc.issue_prefetch
+        mshr_limit = hierarchy._l1d_mshrs
+        classifier = self.classifier
+        on_real = classifier.on_real_prefetch \
+            if classifier is not None else None
+
+        def issue(requests, time):
+            if l1d.events is not None or l2.events is not None \
+                    or llc.events is not None:
+                slow_issue(requests, time)
+                return
+            for pf_block, fill_level in requests:
+                if on_real is not None:
+                    on_real(pf_block, time)
+                # hierarchy.issue_prefetch, inlined: the DRAM low-priority
+                # backlog throttle runs first, charging the *requested*
+                # fill level's drop counter.
+                reference = time + dram._service
+                bus_free = dram._bus_free
+                if bus_free > reference:
+                    reference = bus_free
+                if dram._bus_free_low - reference > dram._backlog_margin:
+                    if fill_level <= 0:
+                        l1_stats.prefetches_dropped += 1
+                    elif fill_level == 1:
+                        l2_stats.prefetches_dropped += 1
+                    else:
+                        llc_stats.prefetches_dropped += 1
+                    continue
+                if fill_level <= 0:
+                    # Berti's orchestration rule: demote to the L2 when
+                    # the L1D MSHRs are half occupied.
+                    if 2 * (len(l1_mshr) - bisect_right(l1_mshr, time)) \
+                            >= mshr_limit:
+                        fill_level = 1
+                    elif pf_block in l1_sets[pf_block & l1_mask] \
+                            or pf_block in l1_outstanding \
+                            or l1_pq[0] > time or l1_mshr[0] > time:
+                        # CacheLevel.issue_prefetch's drop checks, in
+                        # their exact order (resident / in flight, PQ
+                        # full, MSHRs full).
+                        l1_stats.prefetches_dropped += 1
+                        continue
+                    else:
+                        l1_stats.prefetches_issued += 1
+                        completion, _ = l1_access(
+                            pf_block, time, REQ_PREFETCH, True, True)
+                        del l1_pq[0]
+                        insort(l1_pq, completion)
+                        continue
+                if fill_level == 1:
+                    if pf_block in l2_sets[pf_block & l2_mask] \
+                            or pf_block in l2_outstanding \
+                            or l2_pq[0] > time or l2_mshr[0] > time:
+                        l2_stats.prefetches_dropped += 1
+                    else:
+                        l2_stats.prefetches_issued += 1
+                        completion, _ = l2_access(
+                            pf_block, time, REQ_PREFETCH, True, True)
+                        del l2_pq[0]
+                        insort(l2_pq, completion)
+                else:
+                    llc_issue(pf_block, time)
+        return issue
 
     # ------------------------------------------------------------------
     # measurement

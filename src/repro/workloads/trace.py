@@ -164,10 +164,30 @@ class Trace:
             records = self._records = list(zip(*self._cols))
         return records
 
+    def columns(self) -> Tuple[Sequence[int], Sequence[int], Sequence[int]]:
+        """Parallel ``(ips, vaddrs, flags)`` views of the records.
+
+        Columnar traces return the prebuilt columns without ever
+        materializing record tuples; record-built traces transpose on
+        demand (and do not cache the result -- the tuples stay the
+        canonical representation there).  The batch stepper's prescan
+        (:mod:`repro.sim.batch`) reads these, so a columnar trace can be
+        simulated end to end without ``records`` existing at all.
+        """
+        if self._cols is not None:
+            return self._cols
+        if not self._records:
+            return ((), (), ())
+        ips, vaddrs, flags = zip(*self._records)
+        return ips, vaddrs, flags
+
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         if state.get("_cols") is not None:
             state["_records"] = None  # ship columns, not tuples
+        # The batch-prescan cache is derived data; recompute on the far
+        # side rather than shipping it in job payloads.
+        state.pop("_batch_plan", None)
         return state
 
     def __len__(self) -> int:

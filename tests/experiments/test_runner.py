@@ -45,6 +45,17 @@ class TestScales:
         for scale in SCALES.values():
             assert scale.ts_interval_l2 == 4 * scale.ts_interval_l1
 
+    @pytest.mark.parametrize("warmup", [1.0, 1.5, -0.1])
+    def test_warmup_out_of_range_rejected(self, warmup):
+        # warmup == 1.0 would leave zero measured instructions; fail at
+        # the scale definition, not deep inside a sweep.
+        with pytest.raises(ValueError, match="warmup"):
+            Scale("bad", 300, 2, 1, 2, warmup=warmup)
+
+    def test_warmup_boundaries_accepted(self):
+        assert Scale("w0", 300, 2, 1, 2, warmup=0.0).warmup == 0.0
+        assert Scale("w99", 300, 2, 1, 2, warmup=0.99).warmup == 0.99
+
 
 class TestConfigs:
     def test_labels(self):

@@ -95,3 +95,20 @@ class TestReport:
         assert "REGRESSED" in table
         assert "ok" in table
         assert "1 regression(s)" in table
+
+    def test_format_table_reports_na_for_one_sided_cases(self):
+        # A case present in only one snapshot fails soft: rendered with
+        # "n/a" on the missing side, never a crash and never a regression.
+        report = compare_docs(_doc({"a": 100.0, "gone": 50.0}),
+                              _doc({"a": 100.0, "fresh": 25.0}))
+        table = report.format_table()
+        assert "n/a (baseline only)" in table
+        assert "n/a (new case)" in table
+        assert report.ok  # nonzero exit only on real regressions
+
+    def test_one_sided_case_plus_regression_still_fails(self):
+        report = compare_docs(_doc({"a": 100.0, "gone": 50.0}),
+                              _doc({"a": 10.0}))
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["a"]
+        assert "n/a (baseline only)" in report.format_table()

@@ -1,0 +1,304 @@
+"""Batch front-end tests: prescan correctness and bit-identical stats.
+
+Three layers of pinning:
+
+* **Prescan unit tests** -- the per-record codes, block numbers,
+  committed-prefix counts and same-page flags a :class:`BatchPlan`
+  carries, on hand-built traces covering every flag combination.
+* **Backend equivalence** -- the NumPy and stdlib prescans produce the
+  same plan, field for field, on a real generated trace.
+* **Golden bit-identity** -- the batch stepper (NumPy prescan *and*
+  forced-stdlib prescan) and the scalar stepper all reproduce the golden
+  stats snapshots from tests/sim/test_golden_stats.py, and a subprocess
+  with ``numpy`` import-poisoned silently selects the scalar path with
+  identical results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim import batch as batch_mod
+from repro.sim.batch import (C_ALU, C_BRANCH, C_LOAD, C_MISPREDICT,
+                             C_STORE, C_WRONG_LOAD, C_WRONG_OTHER,
+                             CODE_TABLE, HAVE_NUMPY, _prescan_stdlib,
+                             batch_default, plan_for, prescan)
+from repro.workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
+                                   FLAG_STORE, FLAG_WRONG_PATH, Trace)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "stats_golden.json"
+GOLDEN_WORKLOAD = "605.mcf-1554B"
+GOLDEN_LOADS = 6000
+GOLDEN_WARMUP = 0.2
+GOLDEN_CONFIGS = {
+    "baseline": {},
+    "berti_on_access": {"prefetcher": "berti"},
+    "secure_tsb_suf_oc": {"secure": True, "suf": True,
+                          "prefetcher": "tsb", "on_commit": True},
+}
+
+
+def _golden(name):
+    return json.loads(GOLDEN_PATH.read_text())["configs"][name]
+
+
+def _snapshot(result):
+    return {
+        "committed": result.committed,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "core": result.core.snapshot(),
+        "l1d": result.l1d.snapshot(),
+        "l2": result.l2.snapshot(),
+        "llc": result.llc.snapshot(),
+        "gm": result.gm.snapshot() if result.gm is not None else None,
+        "dram": result.dram.snapshot(),
+        "tlb": result.tlb.snapshot() if result.tlb is not None else None,
+        "classification": result.classification,
+        "extras": result.extras,
+    }
+
+
+def _run_config(name, batch):
+    from repro.perf.suites import _system
+    from repro.workloads.spec import spec_trace
+
+    trace = spec_trace(GOLDEN_WORKLOAD, GOLDEN_LOADS)
+    system = _system(dict(GOLDEN_CONFIGS[name]))
+    system.batch = batch
+    return _snapshot(system.run(trace, warmup=GOLDEN_WARMUP))
+
+
+def _assert_matches_golden(name, snapshot):
+    golden = _golden(name)
+    for section in sorted(golden):
+        assert snapshot[section] == golden[section], (
+            f"{name}.{section} drifted from the golden snapshot")
+    assert sorted(snapshot) == sorted(golden)
+
+
+# ---------------------------------------------------------------------------
+# prescan unit tests
+# ---------------------------------------------------------------------------
+
+class TestPrescanCodes:
+    RECORDS = [
+        (0x10, 0x1000, 0),                                   # ALU
+        (0x11, 0x1040, FLAG_BRANCH),                         # branch
+        (0x12, 0x1080, FLAG_BRANCH | FLAG_MISPREDICT),       # mispredict
+        (0x13, 0x2000, FLAG_LOAD),                           # load
+        (0x14, 0x2040, FLAG_STORE),                          # store
+        (0x15, 0x3000, FLAG_LOAD | FLAG_WRONG_PATH),         # wrong load
+        (0x16, 0x3040, FLAG_WRONG_PATH),                     # wrong other
+        (0x17, 0x3080, FLAG_BRANCH | FLAG_WRONG_PATH),       # wrong branch
+        (0x18, -64, FLAG_LOAD),                              # negative vaddr
+    ]
+    EXPECTED_CODES = [C_ALU, C_BRANCH, C_MISPREDICT, C_LOAD, C_STORE,
+                      C_WRONG_LOAD, C_WRONG_OTHER, C_WRONG_OTHER, C_LOAD]
+
+    def _plan(self):
+        return prescan(Trace("t", self.RECORDS))
+
+    def test_codes(self):
+        assert list(self._plan().codes) == self.EXPECTED_CODES
+
+    def test_load_wins_over_store(self):
+        # The scalar loop tests FLAG_LOAD first; a (nonsensical)
+        # load+store record must classify as a load on both backends.
+        both = FLAG_LOAD | FLAG_STORE
+        assert CODE_TABLE[both] == C_LOAD
+        assert CODE_TABLE[both | FLAG_WRONG_PATH] == C_WRONG_LOAD
+
+    def test_mispredict_requires_branch(self):
+        # A stray mispredict bit without the branch bit is not a branch.
+        assert CODE_TABLE[FLAG_MISPREDICT] == C_ALU
+
+    def test_blocks_are_arithmetic_shifts(self):
+        plan = self._plan()
+        assert plan.blocks == [v >> 6 for (_, v, _) in self.RECORDS]
+        assert plan.blocks[-1] == -1  # negative vaddr keeps its sign
+
+    def test_ips_indexable(self):
+        plan = self._plan()
+        assert plan.ips[3] == 0x13
+        assert type(plan.blocks[0]) is int  # no NumPy scalars leak out
+
+    def test_committed_prefix_counts(self):
+        plan = self._plan()
+        committed = 0
+        for j, code in enumerate(plan.codes):
+            if code < C_WRONG_LOAD:
+                committed += 1
+            assert plan.cum[j] == committed
+        assert plan.committed_total == committed
+        assert plan.committed_total == Trace("t", self.RECORDS).committed_count
+
+    def test_index_of_committed(self):
+        plan = self._plan()
+        # Record indices of the 1st..kth committed records.
+        committed_indices = [j for j, code in enumerate(plan.codes)
+                             if code < C_WRONG_LOAD]
+        for k, j in enumerate(committed_indices, start=1):
+            assert plan.index_of_committed(k) == j
+
+
+class TestPrescanSamePage:
+    def test_same_page_chain_over_loads_only(self):
+        page = 0x4000  # one 4 KB page
+        records = [
+            (1, page + 0x00, FLAG_LOAD),    # first load: new page
+            (2, page + 0x40, 0),            # ALU does not break the chain
+            (3, page + 0x80, FLAG_LOAD),    # same page as previous load
+            (4, 0x9000, FLAG_LOAD),         # different page
+            (5, 0x9040, FLAG_LOAD | FLAG_WRONG_PATH),  # wrong-path load
+            (6, 0x9080, FLAG_LOAD),         # chains across the wrong path
+        ]
+        plan = prescan(Trace("t", records))
+        assert list(plan.same_page) == [0, 0, 1, 0, 1, 1]
+
+    def test_empty_trace(self):
+        plan = prescan(Trace("empty", []))
+        assert plan.n == 0
+        assert plan.committed_total == 0
+        assert plan.cum == []
+
+
+class TestBackendEquivalence:
+    def test_stdlib_matches_numpy_on_real_trace(self):
+        if not HAVE_NUMPY:
+            pytest.skip("NumPy unavailable; only one backend to compare")
+        from repro.workloads.spec import spec_trace
+
+        trace = spec_trace(GOLDEN_WORKLOAD, 2000)
+        vec = prescan(trace)
+        lib = _prescan_stdlib(*trace.columns())
+        assert lib.codes == vec.codes
+        assert lib.blocks == vec.blocks
+        assert list(lib.ips) == list(vec.ips)
+        assert lib.cum == vec.cum
+        assert lib.same_page == vec.same_page
+        assert lib.committed_total == vec.committed_total
+
+    def test_plan_cached_per_trace(self):
+        trace = Trace("t", [(1, 64, FLAG_LOAD)])
+        assert plan_for(trace) is plan_for(trace)
+
+
+class TestBatchDefault:
+    def test_env_overrides(self, monkeypatch):
+        for value, expected in [("1", True), ("true", True), ("on", True),
+                                ("0", False), ("false", False),
+                                ("no", False), ("off", False), ("", False)]:
+            monkeypatch.setenv("REPRO_BATCH", value)
+            assert batch_default() is expected, value
+
+    def test_defaults_to_numpy_availability(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert batch_default() is HAVE_NUMPY
+
+    def test_system_batch_kwarg_wins(self):
+        from repro.sim.system import System
+        assert System(batch=True).batch is True
+        assert System(batch=False).batch is False
+
+
+# ---------------------------------------------------------------------------
+# golden bit-identity: batch on / batch off / forced-stdlib prescan
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
+def test_batch_stepper_matches_golden(name):
+    _assert_matches_golden(name, _run_config(name, batch=True))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
+def test_scalar_stepper_matches_golden(name):
+    _assert_matches_golden(name, _run_config(name, batch=False))
+
+
+def test_batch_with_stdlib_prescan_matches_golden(monkeypatch):
+    # Batch stepper fed by the pure-stdlib prescan: the fallback must be
+    # exact, not merely close.
+    monkeypatch.setattr(batch_mod, "HAVE_NUMPY", False)
+    _assert_matches_golden("baseline", _run_config("baseline", batch=True))
+
+
+def test_empty_trace_runs_on_both_paths():
+    from repro.sim.system import System
+    for batch in (True, False):
+        result = System(batch=batch).run(Trace("empty", []), warmup=0.0)
+        assert result.committed == 0
+        assert result.ipc == 0.0
+        assert result.mpki(result.l1d) == 0.0
+
+
+def test_warmup_one_rejected_on_both_paths():
+    from repro.sim.system import System
+    trace = Trace("t", [(1, 64, FLAG_LOAD)])
+    for batch in (True, False):
+        with pytest.raises(ValueError, match="warmup"):
+            System(batch=batch).run(trace, warmup=1.0)
+
+
+# ---------------------------------------------------------------------------
+# no-NumPy fallback (satellite: sys.modules poisoning in a subprocess)
+# ---------------------------------------------------------------------------
+
+_POISONED_SCRIPT = """\
+import json, sys
+sys.modules["numpy"] = None  # any 'import numpy' now raises ImportError
+from repro.sim.batch import HAVE_NUMPY, batch_default
+assert not HAVE_NUMPY, "poisoned numpy import must disable the backend"
+assert batch_default() is False
+from repro.perf.suites import _system
+from repro.workloads.spec import spec_trace
+trace = spec_trace({workload!r}, {loads})
+system = _system({config})
+assert system.batch is False, "System must silently select the scalar path"
+result = system.run(trace, warmup={warmup})
+print(json.dumps({{
+    "committed": result.committed, "cycles": result.cycles,
+    "ipc": result.ipc, "core": result.core.snapshot(),
+    "l1d": result.l1d.snapshot(), "l2": result.l2.snapshot(),
+    "llc": result.llc.snapshot(),
+    "gm": result.gm.snapshot() if result.gm is not None else None,
+    "dram": result.dram.snapshot(),
+    "tlb": result.tlb.snapshot() if result.tlb is not None else None,
+    "classification": result.classification, "extras": result.extras,
+}}))
+"""
+
+
+def test_no_numpy_subprocess_bit_identical():
+    script = _POISONED_SCRIPT.format(
+        workload=GOLDEN_WORKLOAD, loads=GOLDEN_LOADS,
+        config=dict(GOLDEN_CONFIGS["baseline"]), warmup=GOLDEN_WARMUP)
+    env = dict(os.environ)
+    env.pop("REPRO_BATCH", None)
+    env.pop("REPRO_NO_NUMPY", None)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    _assert_matches_golden("baseline", json.loads(proc.stdout))
+
+
+def test_repro_no_numpy_env_forces_fallback():
+    script = ("from repro.sim.batch import HAVE_NUMPY, batch_default\n"
+              "assert not HAVE_NUMPY\n"
+              "assert batch_default() is False\n"
+              "print('ok')\n")
+    env = dict(os.environ)
+    env.pop("REPRO_BATCH", None)
+    env["REPRO_NO_NUMPY"] = "1"
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"
