@@ -1,0 +1,163 @@
+"""Campaign plan compilation: from validated spec to store-keyed jobs.
+
+``compile_plan`` expands a :class:`~repro.campaign.spec.CampaignSpec`
+at a concrete :class:`~repro.experiments.runner.Scale` into the exact
+deduplicated set of simulations it needs -- including the non-secure
+no-prefetch baseline runs that normalized metrics consume -- without
+building a single trace.  Jobs are content-addressed through the result
+store (``job_key``/``mix_job_key``), so the plan doubles as the resume
+manifest: cells already in the store cost nothing on re-run.
+
+The dry-run text (:meth:`CampaignPlan.describe`) prints this expansion
+so ``repro campaign --dry-run`` can show the full job plan and cell
+count before anything simulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.runner import BASELINE, Config, Scale
+from .metrics import METRICS
+from .spec import (Cell, CampaignSpec, MulticoreOut, SeriesOut,
+                   StackedOut, TableOut, expand_outputs,
+                   pool_trace_names)
+
+__all__ = ["CampaignPlan", "PlanEntry", "compile_plan"]
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One deduplicated simulation group of the campaign.
+
+    ``selector`` is ``"@pool"`` (every pool trace) or one trace name;
+    ``jobs`` is the number of single-core simulations the group expands
+    into at the plan's scale.
+    """
+
+    config: Config
+    selector: str
+    jobs: int
+
+
+@dataclass
+class CampaignPlan:
+    """The compiled form of one campaign at one scale."""
+
+    spec: CampaignSpec
+    scale: Scale
+    pool_names: List[str]
+    entries: List[PlanEntry] = field(default_factory=list)
+    #: (cores, n_mixes, configs) per multicore output.
+    mix_groups: List[Tuple[int, int, List[Config]]] = \
+        field(default_factory=list)
+    cells: int = 0                    # metric cells across all outputs
+
+    @property
+    def total_jobs(self) -> int:
+        """Single-core jobs plus mix jobs (upper bound; the store may
+        already hold any of them)."""
+        single = sum(entry.jobs for entry in self.entries)
+        mixes = sum(n_mixes * (len(configs) + 1)   # +1 = mix baseline
+                    for _, n_mixes, configs in self.mix_groups)
+        return single + mixes
+
+    def describe(self) -> str:
+        """The dry-run report: expanded job plan + estimated counts."""
+        lines = [f"campaign {self.spec.name!r} @ scale "
+                 f"{self.scale.name} ({self.spec.source})"]
+        if self.spec.description:
+            lines.append(f"  {self.spec.description}")
+        lines.append(f"  pool: {len(self.pool_names)} workloads "
+                     f"({', '.join(self.pool_names)})")
+        lines.append(f"  outputs: {len(self.spec.outputs)}  "
+                     f"metric cells: {self.cells}")
+        lines.append(f"  single-core jobs ({len(self.entries)} "
+                     f"config groups):")
+        for entry in self.entries:
+            lines.append(f"    {entry.config.label():24s} x "
+                         f"{entry.selector:12s} -> {entry.jobs:3d} "
+                         f"job(s)")
+        for cores, n_mixes, configs in self.mix_groups:
+            lines.append(f"  multicore jobs: {cores}-core x "
+                         f"{n_mixes} mixes x {len(configs) + 1} "
+                         f"configs (incl. baseline) -> "
+                         f"{n_mixes * (len(configs) + 1)} job(s)")
+        lines.append(f"  total: {self.total_jobs} simulation job(s) "
+                     f"before store dedup")
+        return "\n".join(lines)
+
+
+def _cell_requirements(cell: Cell) -> List[Tuple[Config, str]]:
+    """The (config, selector) simulation groups one cell depends on."""
+    if cell.metric is None:
+        return []
+    metric = METRICS[cell.metric]
+    selector = cell.workload if metric.scope == "trace" else "@pool"
+    needs = [(cell.config, selector)]
+    if metric.needs_baseline == "pool":
+        needs.append((BASELINE, "@pool"))
+    elif metric.needs_baseline == "trace":
+        needs.append((BASELINE, selector))
+    return needs
+
+
+def compile_plan(spec: CampaignSpec,
+                 scale: Optional[Scale] = None) -> CampaignPlan:
+    """Expand ``spec`` into the deduplicated job plan at ``scale``.
+
+    Deterministic: same spec + same scale -> same entries in the same
+    order (first-reference order, pool groups absorbing any singleton
+    trace references to the same config).
+    """
+    scale = scale if scale is not None else spec.resolve_scale()
+    pool_names = pool_trace_names(scale)
+    outputs = expand_outputs(spec, pool_names)
+
+    refs: Dict[Tuple[Config, str], None] = {}   # ordered set
+    cells = 0
+    mix_groups: List[Tuple[int, int, List[Config]]] = []
+    for output in outputs:
+        if isinstance(output, MulticoreOut):
+            cells += len(output.rows) * len(output.columns)
+            n_mixes = output.n_mixes
+            if n_mixes is None:
+                n_mixes = scale.mixes
+            mix_groups.append((output.cores, n_mixes,
+                               [config for _, config in output.rows]))
+            continue
+        if isinstance(output, TableOut):
+            row_cells = [cell for kind, *rest in output.rows
+                         if kind == "cells" for cell in rest[1]]
+        elif isinstance(output, (StackedOut,)):
+            row_cells = [cell for _, cell in output.bars]
+        elif isinstance(output, SeriesOut):
+            row_cells = [cell for _, cell in output.series]
+        else:  # pragma: no cover - expand_outputs is exhaustive
+            row_cells = []
+        for cell in row_cells:
+            if cell is None or cell.metric is None:
+                continue
+            cells += 1
+            for need in _cell_requirements(cell):
+                refs.setdefault(need, None)
+
+    # Pool groups subsume per-trace references to the same config: the
+    # pool run simulates that trace anyway, so the singleton would be a
+    # duplicate job (the store would dedup it, but the plan should not
+    # count it twice).
+    pooled = {config for config, selector in refs
+              if selector == "@pool"}
+    entries = []
+    for (config, selector) in refs:
+        if selector == "@pool":
+            entries.append(PlanEntry(config, selector,
+                                     len(pool_names)))
+        elif config not in pooled:
+            entries.append(PlanEntry(config, selector, 1))
+
+    plan = CampaignPlan(spec=spec, scale=scale,
+                        pool_names=pool_names, entries=entries,
+                        mix_groups=mix_groups, cells=cells)
+    return plan

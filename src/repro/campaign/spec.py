@@ -1,0 +1,670 @@
+"""Declarative campaign specs: one format for every sweep and figure.
+
+A campaign spec is a JSON (or TOML, when :mod:`tomllib` is available)
+document describing a cross-product of configurations x workloads plus
+the derived outputs (tables, stacked bars, per-trace series, multicore
+summaries) to render from the completed results.  Specs are pure data --
+stdlib-parsed, no new dependencies -- and every committed paper figure
+under ``campaigns/`` is one.
+
+Top-level schema::
+
+    {
+      "campaign": {"name": ..., "description": ..., "scale": ...?},
+      "axes":     {"<axis>": ["value", ...], ...},
+      "outputs":  [ <table|stacked|series|matrix_table|multicore_table> ]
+    }
+
+Rows/bars/series entries may expand over an axis with ``"foreach"``
+(``"@pool"`` iterates the runner's workload pool; the substitution
+context then binds ``{trace}``).  Axis substitution binds ``{<axis>}``
+plus the derived ``{<axis>_ts}`` timely-secure name.  Cells name a
+metric from :mod:`repro.campaign.metrics`, a config for
+:meth:`repro.experiments.runner.Config.from_spec`, and (for trace-scope
+metrics) a workload; ``matrix_table`` outputs add per-cell ``exclude``
+and ``override`` rules.
+
+Everything is validated up front -- :class:`SpecError` messages name the
+offending field and spec path -- and expansion is deterministic, so the
+compiled job plan is stable across runs (the resume guarantee).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..experiments.runner import SCALES, Config, Scale
+from .metrics import METRICS
+
+__all__ = ["CampaignSpec", "SpecError", "load_spec", "parse_spec",
+           "campaigns_dir", "find_campaign_spec", "pool_trace_names",
+           "expand_outputs"]
+
+#: Default number formats per output kind (``repro.analysis.report``).
+_DEFAULT_FORMATS = {"table": "{:8.3f}", "matrix_table": "{:8.3f}",
+                    "stacked": "{:7.2f}", "series": "{:7.3f}",
+                    "multicore_table": "{:8.3f}"}
+
+_CONFIG_FIELDS = ("mode", "prefetcher", "suf", "classify",
+                  "sample_interval")
+
+_OUTPUT_KINDS = ("table", "stacked", "series", "matrix_table",
+                 "multicore_table")
+
+
+class SpecError(ValueError):
+    """A campaign spec is malformed; the message names the field."""
+
+
+# ----------------------------------------------------------------------
+# spec discovery and loading
+# ----------------------------------------------------------------------
+
+def campaigns_dir() -> Optional[Path]:
+    """The committed-specs directory (``REPRO_CAMPAIGNS`` override,
+    then ``campaigns/`` under the CWD or the source checkout root)."""
+    env = os.environ.get("REPRO_CAMPAIGNS")
+    if env:
+        path = Path(env)
+        return path if path.is_dir() else None
+    candidates = [Path.cwd() / "campaigns"]
+    candidates += [parent / "campaigns"
+                   for parent in Path(__file__).resolve().parents]
+    for candidate in candidates:
+        if candidate.is_dir():
+            return candidate
+    return None
+
+
+def find_campaign_spec(name: str) -> Optional[Path]:
+    """The committed spec file for ``name`` (e.g. ``fig1``), if any."""
+    root = campaigns_dir()
+    if root is None:
+        return None
+    for ext in (".json", ".toml"):
+        path = root / f"{name}{ext}"
+        if path.is_file():
+            return path
+    return None
+
+
+def load_spec(path: Union[str, Path]) -> "CampaignSpec":
+    """Load and fully validate one spec file (JSON or TOML)."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SpecError(f"{path}: unreadable spec ({exc})") from None
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python < 3.11
+            raise SpecError(
+                f"{path}: TOML specs need Python >= 3.11 (tomllib); "
+                f"use the JSON form instead") from None
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise SpecError(f"{path}: not valid TOML ({exc})") from None
+    else:
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError(f"{path}: not valid JSON ({exc})") from None
+    return parse_spec(data, source=str(path))
+
+
+# ----------------------------------------------------------------------
+# parsed form
+# ----------------------------------------------------------------------
+
+@dataclass
+class CampaignSpec:
+    """A validated campaign document."""
+
+    name: str
+    description: str = ""
+    scale: Optional[str] = None
+    axes: Dict[str, List[str]] = field(default_factory=dict)
+    outputs: List[dict] = field(default_factory=list)
+    source: str = "<spec>"
+
+    def resolve_scale(self, override: Optional[str] = None) -> Scale:
+        """The scale this campaign runs at: explicit override, then the
+        spec's pin, then the ``REPRO_SCALE`` environment default."""
+        from ..experiments.runner import current_scale
+        name = override if override is not None else self.scale
+        if name is None:
+            return current_scale()
+        return SCALES[name]
+
+
+# ----------------------------------------------------------------------
+# validation helpers
+# ----------------------------------------------------------------------
+
+def _fail(where: str, message: str) -> None:
+    raise SpecError(f"{where}: {message}")
+
+
+def _require(data: dict, key: str, types, where: str):
+    if key not in data:
+        _fail(where, f"missing required field {key!r}")
+    value = data[key]
+    if not isinstance(value, types):
+        _fail(where, f"field {key!r} must be "
+                     f"{getattr(types, '__name__', types)}, "
+                     f"got {type(value).__name__}")
+    return value
+
+
+def _check_keys(data: dict, allowed, where: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        _fail(where, f"unknown field(s) {unknown}; allowed: "
+                     f"{sorted(allowed)}")
+
+
+def _known_workload(name: str) -> bool:
+    from ..workloads.gap import GAP_KERNELS
+    from ..workloads.spec import SPEC_WORKLOADS
+    if name in SPEC_WORKLOADS:
+        return True
+    return any(name == kernel or name.startswith(f"{kernel}-")
+               for kernel in GAP_KERNELS)
+
+
+def pool_trace_names(scale: Scale, seed: int = 1) -> List[str]:
+    """The trace names the runner's pool will contain at ``scale``.
+
+    Mirrors :func:`repro.workloads.prebuilt.cached_workload_pool`'s
+    naming without synthesizing any trace, so plan compilation and
+    ``--dry-run`` stay trace-free.
+    """
+    from ..workloads.gap import GAP_KERNELS
+    from ..workloads.spec import SPEC_WORKLOADS
+    spec_names = list(SPEC_WORKLOADS)
+    if scale.spec_count:
+        spec_names = spec_names[:scale.spec_count]
+    kernels = sorted(GAP_KERNELS)
+    if scale.gap_count:
+        kernels = kernels[:scale.gap_count]
+    gap_seed = seed + 41  # workload_pool's GAP pool seed offset
+    return spec_names + [f"{kernel}-{gap_seed}B" for kernel in kernels]
+
+
+# ----------------------------------------------------------------------
+# template substitution
+# ----------------------------------------------------------------------
+
+def _axis_context(axis: str, value: str) -> Dict[str, str]:
+    """Substitution bindings one axis value contributes: ``{<axis>}``
+    plus the derived timely-secure name ``{<axis>_ts}`` (``berti`` ->
+    ``tsb``, otherwise ``ts-<value>``, the Fig. 13 row-label rule)."""
+    context = {axis: value}
+    if isinstance(value, str):
+        context[f"{axis}_ts"] = "tsb" if value == "berti" \
+            else f"ts-{value}"
+    return context
+
+
+def _subst(obj: Any, context: Dict[str, str]) -> Any:
+    """Template-substitute ``{name}`` placeholders through nested
+    containers (strings only; non-string leaves pass through)."""
+    if isinstance(obj, str):
+        for key, value in context.items():
+            obj = obj.replace("{" + key + "}", str(value))
+        return obj
+    if isinstance(obj, dict):
+        return {k: _subst(v, context) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_subst(v, context) for v in obj]
+    return obj
+
+
+# ----------------------------------------------------------------------
+# expanded (concrete) form
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Cell:
+    """One concrete output cell: a metric evaluation or a literal."""
+
+    metric: Optional[str] = None
+    config: Optional[Config] = None
+    workload: Optional[str] = None    # None = pool scope
+    value: Optional[float] = None     # literal cells
+    repeat: int = 1
+
+
+@dataclass
+class TableOut:
+    title: str
+    columns: List[str]
+    value_format: str
+    #: ``("cells", label, [Cell|None, ...])`` or ``("average", label)``.
+    rows: List[Tuple]
+
+
+@dataclass
+class StackedOut:
+    title: str
+    categories: List[str]
+    value_format: str
+    bars: List[Tuple[str, Cell]]
+
+
+@dataclass
+class SeriesOut:
+    title: str
+    value_format: str
+    series: List[Tuple[str, Cell]]
+
+
+@dataclass
+class MulticoreOut:
+    title: str                        # template: {cores}, {n_mixes}
+    cores: int
+    n_mixes: Optional[int]
+    columns: List[str]
+    rows: List[Tuple[str, Config]]
+
+
+ExpandedOutput = Union[TableOut, StackedOut, SeriesOut, MulticoreOut]
+
+
+def _build_config(raw: Any, where: str) -> Config:
+    if not isinstance(raw, dict):
+        _fail(where, f"'config' must be a mapping, got "
+                     f"{type(raw).__name__}")
+    _check_keys(raw, _CONFIG_FIELDS, f"{where}.config")
+    try:
+        return Config.from_spec(**raw)
+    except TypeError as exc:
+        raise SpecError(f"{where}.config: {exc}") from None
+    except ValueError as exc:
+        raise SpecError(f"{where}.config: {exc}") from None
+
+
+def _build_cell(raw: Any, context: Dict[str, str], where: str,
+                output_kind: str, expect_kind: str) -> Cell:
+    if not isinstance(raw, dict):
+        _fail(where, f"cell must be a mapping, got {type(raw).__name__}")
+    raw = _subst(raw, context)
+    repeat = raw.get("repeat", 1)
+    if not isinstance(repeat, int) or isinstance(repeat, bool) \
+            or repeat < 1:
+        _fail(where, f"'repeat' must be a positive integer, "
+                     f"got {raw.get('repeat')!r}")
+    if "value" in raw:
+        _check_keys(raw, ("value", "repeat"), where)
+        value = raw["value"]
+        if value == "nan":
+            value = float("nan")
+        if not isinstance(value, (int, float)) \
+                or isinstance(value, bool):
+            _fail(where, f"'value' must be a number or \"nan\", "
+                         f"got {raw['value']!r}")
+        return Cell(value=float(value), repeat=repeat)
+    _check_keys(raw, ("metric", "config", "workload", "repeat"), where)
+    name = _require(raw, "metric", str, where)
+    metric = METRICS.get(name)
+    if metric is None:
+        _fail(where, f"unknown metric {name!r}; known: "
+                     f"{sorted(METRICS)}")
+    if metric.kind != expect_kind:
+        _fail(where, f"metric {name!r} produces a {metric.kind!r} "
+                     f"value; a {output_kind} cell needs "
+                     f"{expect_kind!r}")
+    config = _build_config(raw.get("config", {}), where)
+    workload = raw.get("workload")
+    if metric.scope == "trace":
+        if not isinstance(workload, str) or not workload:
+            _fail(where, f"metric {name!r} evaluates one trace; give "
+                         f"'workload'")
+        if not _known_workload(workload):
+            _fail(where, f"unknown workload {workload!r}; run "
+                         f"`python -m repro workloads`")
+    elif workload is not None:
+        _fail(where, f"metric {name!r} reduces over the whole pool; "
+                     f"'workload' is not allowed")
+    return Cell(metric=name, config=config, workload=workload,
+                repeat=repeat)
+
+
+def _foreach_values(entry: dict, axes: Dict[str, List[str]],
+                    pool_names: List[str], where: str
+                    ) -> List[Dict[str, str]]:
+    """The substitution contexts one ``foreach`` entry expands into."""
+    axis = entry["foreach"]
+    if not isinstance(axis, str):
+        _fail(where, "'foreach' must be an axis name or \"@pool\"")
+    if axis == "@pool":
+        return [{"trace": name} for name in pool_names]
+    if axis not in axes:
+        _fail(where, f"'foreach' names unknown axis {axis!r}; "
+                     f"known: {sorted(axes)} (or \"@pool\")")
+    return [_axis_context(axis, value) for value in axes[axis]]
+
+
+def _expand_entries(entries: Any, axes, pool_names, where: str,
+                    nested_key: str):
+    """Expand a rows/bars/series list: each entry is either concrete or
+    a ``foreach`` over an axis, optionally holding a ``nested_key`` list
+    of per-value sub-entries.  Yields ``(context, entry, where)``."""
+    if not isinstance(entries, list) or not entries:
+        _fail(where, "must be a non-empty list")
+    for i, entry in enumerate(entries):
+        here = f"{where}[{i}]"
+        if not isinstance(entry, dict):
+            _fail(here, f"must be a mapping, got "
+                        f"{type(entry).__name__}")
+        if "foreach" in entry:
+            contexts = _foreach_values(entry, axes, pool_names, here)
+            if nested_key in entry:
+                _check_keys(entry, ("foreach", nested_key), here)
+                subs = entry[nested_key]
+                if not isinstance(subs, list) or not subs:
+                    _fail(here, f"{nested_key!r} must be a non-empty "
+                                f"list")
+                for context in contexts:
+                    for j, sub in enumerate(subs):
+                        yield context, sub, f"{here}.{nested_key}[{j}]"
+            else:
+                concrete = {k: v for k, v in entry.items()
+                            if k != "foreach"}
+                for context in contexts:
+                    yield context, concrete, here
+        else:
+            yield {}, entry, here
+
+
+# -- per-kind expansion -------------------------------------------------
+
+def _expand_table(output, axes, pool_names, where) -> TableOut:
+    _check_keys(output, ("kind", "title", "columns", "rows",
+                         "value_format"), where)
+    title = _require(output, "title", str, where)
+    columns = _require(output, "columns", list, where)
+    if not columns or not all(isinstance(c, str) for c in columns):
+        _fail(where, "'columns' must be a non-empty list of strings")
+    value_format = output.get("value_format",
+                              _DEFAULT_FORMATS["table"])
+    rows: List[Tuple] = []
+    seen = set()
+    for context, entry, here in _expand_entries(
+            output.get("rows"), axes, pool_names, f"{where}.rows",
+            nested_key="rows"):
+        if entry.get("average_of_rows"):
+            _check_keys(entry, ("label", "average_of_rows"), here)
+            label = _subst(_require(entry, "label", str, here), context)
+            rows.append(("average", label))
+            continue
+        _check_keys(entry, ("label", "cells"), here)
+        label = _subst(_require(entry, "label", str, here), context)
+        raw_cells = _require(entry, "cells", list, here)
+        cells = [_build_cell(c, context, f"{here}.cells[{j}]",
+                             "table", "scalar")
+                 for j, c in enumerate(raw_cells)]
+        width = sum(cell.repeat for cell in cells)
+        if width != len(columns):
+            _fail(here, f"row {label!r} has {width} cell(s) but the "
+                        f"table has {len(columns)} column(s)")
+        if label in seen:
+            _fail(here, f"duplicate row label {label!r}")
+        seen.add(label)
+        rows.append(("cells", label, cells))
+    if all(kind == "average" for kind, *_ in rows):
+        _fail(f"{where}.rows", "table has no data rows")
+    return TableOut(title, list(columns), value_format, rows)
+
+
+def _expand_matrix_table(output, axes, pool_names, where) -> TableOut:
+    """A cross-product table: one axis per dimension, one metric, with
+    ``exclude`` (cells rendered as ``-`` and never simulated) and
+    ``override`` (extra config fields for matching cells) rules."""
+    _check_keys(output, ("kind", "title", "metric", "rows_axis",
+                         "cols_axis", "config", "workload",
+                         "exclude", "override", "value_format"), where)
+    title = _require(output, "title", str, where)
+    rows_axis = _require(output, "rows_axis", str, where)
+    cols_axis = _require(output, "cols_axis", str, where)
+    for axis in (rows_axis, cols_axis):
+        if axis not in axes:
+            _fail(where, f"unknown axis {axis!r}; known: "
+                         f"{sorted(axes)}")
+    if rows_axis == cols_axis:
+        _fail(where, f"rows_axis and cols_axis are both {rows_axis!r}")
+    value_format = output.get("value_format",
+                              _DEFAULT_FORMATS["matrix_table"])
+    excludes = output.get("exclude", [])
+    overrides = output.get("override", [])
+    for i, rule in enumerate(excludes):
+        if not isinstance(rule, dict) or not rule \
+                or not set(rule) <= {rows_axis, cols_axis}:
+            _fail(f"{where}.exclude[{i}]",
+                  f"must be a non-empty mapping over "
+                  f"{sorted((rows_axis, cols_axis))}")
+    for i, rule in enumerate(overrides):
+        here = f"{where}.override[{i}]"
+        if not isinstance(rule, dict) \
+                or set(rule) != {"match", "set"}:
+            _fail(here, "must be {'match': {...}, 'set': {...}}")
+        if not isinstance(rule["match"], dict) \
+                or not set(rule["match"]) <= {rows_axis, cols_axis}:
+            _fail(f"{here}.match", f"must be a mapping over "
+                                   f"{sorted((rows_axis, cols_axis))}")
+        if not isinstance(rule["set"], dict) or not rule["set"]:
+            _fail(f"{here}.set", "must be a non-empty config mapping")
+        _check_keys(rule["set"], _CONFIG_FIELDS, f"{here}.set")
+
+    def matches(rule: dict, point: Dict[str, str]) -> bool:
+        return all(point.get(k) == v for k, v in rule.items())
+
+    rows: List[Tuple] = []
+    populated = 0
+    for row_value in axes[rows_axis]:
+        cells: List[Optional[Cell]] = []
+        for col_value in axes[cols_axis]:
+            point = {rows_axis: row_value, cols_axis: col_value}
+            here = (f"{where} cell ({rows_axis}={row_value}, "
+                    f"{cols_axis}={col_value})")
+            if any(matches(rule, point) for rule in excludes):
+                cells.append(None)
+                continue
+            context: Dict[str, str] = {}
+            context.update(_axis_context(rows_axis, row_value))
+            context.update(_axis_context(cols_axis, col_value))
+            cell_spec = {"metric": output["metric"],
+                         "config": dict(output.get("config", {}))}
+            if "workload" in output:
+                cell_spec["workload"] = output["workload"]
+            pinned: Dict[str, Tuple[Any, int]] = {}
+            for i, rule in enumerate(overrides):
+                if not matches(rule["match"], point):
+                    continue
+                for key, value in rule["set"].items():
+                    if key in pinned and pinned[key][0] != value:
+                        _fail(here,
+                              f"conflicting overrides: rule "
+                              f"{pinned[key][1]} sets {key}="
+                              f"{pinned[key][0]!r} but rule {i} sets "
+                              f"{key}={value!r}")
+                    pinned[key] = (value, i)
+                    cell_spec["config"][key] = value
+            cells.append(_build_cell(cell_spec, context, here,
+                                     "matrix_table", "scalar"))
+            populated += 1
+        rows.append(("cells", str(row_value), cells))
+    if not populated:
+        _fail(where, "empty cross-product: every cell is excluded")
+    return TableOut(title, [str(v) for v in axes[cols_axis]],
+                    value_format, rows)
+
+
+def _expand_stacked(output, axes, pool_names, where) -> StackedOut:
+    _check_keys(output, ("kind", "title", "categories", "bars",
+                         "value_format"), where)
+    title = _require(output, "title", str, where)
+    categories = _require(output, "categories", list, where)
+    if not categories or not all(isinstance(c, str)
+                                 for c in categories):
+        _fail(where, "'categories' must be a non-empty list of strings")
+    value_format = output.get("value_format",
+                              _DEFAULT_FORMATS["stacked"])
+    bars: List[Tuple[str, Cell]] = []
+    seen = set()
+    for context, entry, here in _expand_entries(
+            output.get("bars"), axes, pool_names, f"{where}.bars",
+            nested_key="bars"):
+        _check_keys(entry, ("label", "metric", "config", "workload"),
+                    here)
+        label = _subst(_require(entry, "label", str, here), context)
+        if label in seen:
+            _fail(here, f"duplicate bar label {label!r}")
+        seen.add(label)
+        cell = _build_cell({k: v for k, v in entry.items()
+                            if k != "label"},
+                           context, here, "stacked", "split")
+        bars.append((label, cell))
+    return StackedOut(title, list(categories), value_format, bars)
+
+
+def _expand_series(output, axes, pool_names, where) -> SeriesOut:
+    _check_keys(output, ("kind", "title", "series", "value_format"),
+                where)
+    title = _require(output, "title", str, where)
+    value_format = output.get("value_format",
+                              _DEFAULT_FORMATS["series"])
+    series: List[Tuple[str, Cell]] = []
+    seen = set()
+    for context, entry, here in _expand_entries(
+            output.get("series"), axes, pool_names, f"{where}.series",
+            nested_key="series"):
+        _check_keys(entry, ("label", "metric", "config"), here)
+        label = _subst(_require(entry, "label", str, here), context)
+        if label in seen:
+            _fail(here, f"duplicate series label {label!r}")
+        seen.add(label)
+        cell = _build_cell({k: v for k, v in entry.items()
+                            if k != "label"},
+                           context, here, "series", "series")
+        series.append((label, cell))
+    return SeriesOut(title, value_format, series)
+
+
+def _expand_multicore(output, axes, pool_names, where) -> MulticoreOut:
+    _check_keys(output, ("kind", "title", "cores", "n_mixes",
+                         "columns", "rows"), where)
+    title = _require(output, "title", str, where)
+    cores = _require(output, "cores", int, where)
+    if isinstance(cores, bool) or cores < 1:
+        _fail(where, f"'cores' must be a positive integer, got "
+                     f"{output['cores']!r}")
+    n_mixes = output.get("n_mixes")
+    if n_mixes is not None and (not isinstance(n_mixes, int)
+                                or isinstance(n_mixes, bool)
+                                or n_mixes < 1):
+        _fail(where, f"'n_mixes' must be a positive integer, got "
+                     f"{n_mixes!r}")
+    columns = output.get("columns", ["geomean", "min", "max"])
+    rows: List[Tuple[str, Config]] = []
+    for context, entry, here in _expand_entries(
+            output.get("rows"), axes, pool_names, f"{where}.rows",
+            nested_key="rows"):
+        _check_keys(entry, ("label", "config"), here)
+        label = _subst(_require(entry, "label", str, here), context)
+        config = _build_config(_subst(entry.get("config", {}),
+                                      context), here)
+        rows.append((label, config))
+    return MulticoreOut(title, cores, n_mixes, list(columns), rows)
+
+
+_EXPANDERS = {
+    "table": _expand_table,
+    "matrix_table": _expand_matrix_table,
+    "stacked": _expand_stacked,
+    "series": _expand_series,
+    "multicore_table": _expand_multicore,
+}
+
+
+def expand_outputs(spec: CampaignSpec,
+                   pool_names: List[str]) -> List[ExpandedOutput]:
+    """Expand every output of ``spec`` into concrete cells.
+
+    ``pool_names`` supplies the ``@pool`` iteration order -- the static
+    names from :func:`pool_trace_names` for plan compilation, or the
+    runner's actual pool at execution time.  Expansion is deterministic
+    in (spec, pool_names).
+    """
+    expanded = []
+    for i, output in enumerate(spec.outputs):
+        where = f"{spec.source}: outputs[{i}]"
+        kind = output.get("kind")
+        expanded.append(_EXPANDERS[kind](output, spec.axes, pool_names,
+                                         where))
+    return expanded
+
+
+# ----------------------------------------------------------------------
+# top-level parsing
+# ----------------------------------------------------------------------
+
+def parse_spec(data: Any, source: str = "<spec>") -> CampaignSpec:
+    """Validate a decoded spec document into a :class:`CampaignSpec`.
+
+    Validation is total: axes, outputs, every foreach expansion, every
+    cell's metric/config/workload -- a spec that parses will compile
+    into a plan and execute (workloads permitting at the chosen scale).
+    """
+    if not isinstance(data, dict):
+        raise SpecError(f"{source}: spec must be a mapping, got "
+                        f"{type(data).__name__}")
+    _check_keys(data, ("campaign", "axes", "outputs"), source)
+    header = _require(data, "campaign", dict, source)
+    _check_keys(header, ("name", "description", "scale"),
+                f"{source}: campaign")
+    name = _require(header, "name", str, f"{source}: campaign")
+    if not name:
+        _fail(f"{source}: campaign", "'name' must be non-empty")
+    scale = header.get("scale")
+    if scale is not None and scale not in SCALES:
+        _fail(f"{source}: campaign",
+              f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    axes = data.get("axes", {})
+    if not isinstance(axes, dict):
+        _fail(source, "'axes' must be a mapping of axis -> values")
+    for axis, values in axes.items():
+        where = f"{source}: axes.{axis}"
+        if axis == "trace" or axis.startswith("@"):
+            _fail(where, "axis name is reserved")
+        if not isinstance(values, list) or not values:
+            _fail(where, "empty axis: the cross-product would be empty")
+        if not all(isinstance(v, str) and v for v in values):
+            _fail(where, "axis values must be non-empty strings")
+        if len(set(values)) != len(values):
+            _fail(where, "duplicate axis values")
+    outputs = _require(data, "outputs", list, source)
+    if not outputs:
+        _fail(source, "'outputs' must be a non-empty list")
+    for i, output in enumerate(outputs):
+        where = f"{source}: outputs[{i}]"
+        if not isinstance(output, dict):
+            _fail(where, "output must be a mapping")
+        kind = output.get("kind")
+        if kind not in _OUTPUT_KINDS:
+            _fail(where, f"unknown output kind {kind!r}; known: "
+                         f"{sorted(_OUTPUT_KINDS)}")
+    spec = CampaignSpec(name=name,
+                        description=header.get("description", ""),
+                        scale=scale, axes=dict(axes),
+                        outputs=list(outputs), source=source)
+    # Validate the full expansion once, with the static pool names of
+    # the spec's (or default) scale standing in for the runtime pool.
+    expand_outputs(spec, pool_trace_names(spec.resolve_scale()))
+    return spec

@@ -18,6 +18,10 @@ Commands
 ``sweep``
     Run a whole set of figures through the fault-tolerant execution
     layer, with a persistent result store for resume support.
+``campaign``
+    Run one declarative campaign spec (``campaigns/<name>.json`` or any
+    spec file) through the same execution layer; ``--dry-run`` prints
+    the expanded job plan, ``--resume`` continues from the store.
 ``tables``
     Print Tables I-III and the contribution storage budget.
 ``bench``
@@ -47,6 +51,8 @@ Examples
     python -m repro compare 619.lbm-2676B --loads 10000
     python -m repro figure fig11 --scale tiny
     python -m repro sweep --scale small --jobs 4 --store .repro-store
+    python -m repro campaign fig11 --scale tiny --jobs 2
+    python -m repro campaign campaigns/matrix_demo.json --dry-run
     python -m repro bench --suite macro --tag pr4
     python -m repro bench --suite micro --compare BENCH_pr4.json
     python -m repro attack --secure --mode on-commit
@@ -59,12 +65,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import signal
 import sys
 from typing import List, Optional
 
 from .analysis.metrics import apki_breakdown, load_miss_latency, mpki
+from .exec.options import ExecOptions, default_store, exec_arguments
 from .experiments.runner import SCALES, ExperimentRunner
 from .obs import ObsConfig, events_jsonl, write_timeseries
 from .prefetchers.base import MODE_ON_ACCESS, MODE_ON_COMMIT
@@ -74,13 +80,22 @@ from .workloads.spec import SPEC_WORKLOADS, spec_trace
 from .workloads.trace import Trace
 
 #: Default result-store directory (overridable via REPRO_STORE or --store).
-DEFAULT_STORE = os.environ.get("REPRO_STORE", ".repro-store")
+DEFAULT_STORE = default_store()
 
 
 def _require_positive(value: int, flag: str) -> int:
     if value <= 0:
         raise SystemExit(f"{flag} must be a positive integer, got {value}")
     return value
+
+
+def _exec_options(args) -> ExecOptions:
+    """Resolve the shared execution flags, surfacing bad values as
+    clean CLI errors."""
+    try:
+        return ExecOptions.from_args(args)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _exec_runner(args, *, failsoft: bool = True,
@@ -91,12 +106,10 @@ def _exec_runner(args, *, failsoft: bool = True,
         fault_plan = FaultPlan.from_env()
     except ValueError as exc:
         raise SystemExit(f"REPRO_FAULTS: {exc}")
-    store = None if args.no_store else args.store
-    return ExperimentRunner(
+    options = _exec_options(args)
+    return options.make_runner(
         scale=scale if scale is not None else SCALES[args.scale],
-        jobs=_require_positive(args.jobs, "--jobs"),
-        store=store, timeout_s=args.timeout, failsoft=failsoft,
-        fault_plan=fault_plan)
+        failsoft=failsoft, fault_plan=fault_plan)
 
 
 def _build_trace(name: str, n_loads: int) -> Trace:
@@ -131,6 +144,7 @@ def cmd_workloads(args) -> int:
 
 
 def cmd_run(args) -> int:
+    _exec_options(args)  # same flag validation as every other command
     _require_positive(args.loads, "--loads")
     trace = _build_trace(args.workload, args.loads)
     interval = args.sample_interval
@@ -229,7 +243,13 @@ def cmd_compare(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    from .experiments.figures import run_figure
+    from .experiments.figures import figure_drivers, run_figure
+    drivers = figure_drivers()
+    if args.name not in drivers:
+        # Checked before any runner/store is built so a typo'd name is a
+        # one-line error, not a traceback after pool construction.
+        raise SystemExit(f"unknown figure {args.name!r}; "
+                         f"known: {sorted(drivers)}")
     runner = _exec_runner(args)
     try:
         result = run_figure(runner, args.name)
@@ -239,6 +259,63 @@ def cmd_figure(args) -> int:
     if runner.store is not None:
         print(f"\n[{runner.store.summary()}]")
     return 1 if runner.failures else 0
+
+
+def cmd_campaign(args) -> int:
+    """Run one declarative campaign spec end to end.
+
+    ``--dry-run`` prints the expanded job plan (configs x workloads,
+    estimated cell count) without building a trace or simulating;
+    ``--resume`` asserts a persistent store is in play so an interrupted
+    campaign continues from the completed cells; ``--expect-cached``
+    additionally fails if anything re-simulated.
+    """
+    from pathlib import Path
+
+    from .campaign import (SpecError, compile_plan, find_campaign_spec,
+                           load_spec, run_campaign)
+    path = Path(args.spec)
+    if not path.is_file():
+        found = find_campaign_spec(args.spec)
+        if found is None:
+            from .campaign import campaigns_dir
+            root = campaigns_dir()
+            known = sorted(p.stem for p in root.glob("*.json")) \
+                if root else []
+            raise SystemExit(
+                f"no campaign spec {args.spec!r} (not a file, and not a "
+                f"committed campaign); known: {known}")
+        path = found
+    try:
+        spec = load_spec(path)
+    except SpecError as exc:
+        raise SystemExit(str(exc))
+    scale = spec.resolve_scale(args.scale)
+    if args.dry_run:
+        print(compile_plan(spec, scale).describe())
+        return 0
+    options = _exec_options(args)
+    if args.resume and options.store is None:
+        raise SystemExit("--resume needs a persistent result store; "
+                         "drop --no-store")
+    runner = _exec_runner(args, scale=scale)
+    try:
+        result = run_campaign(spec, runner)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    print(result.text)
+    stats = runner.execution_stats()
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+    print(f"\n[campaign {spec.name}: {summary}]")
+    if runner.failures:
+        print(runner.failure_summary(), file=sys.stderr)
+        return 1
+    if args.expect_cached and stats.get("simulated", 0) > 0:
+        print(f"--expect-cached: {stats['simulated']} job(s) were "
+              "re-simulated instead of hitting the store",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_sweep(args) -> int:
@@ -344,12 +421,21 @@ def cmd_multicore(args) -> int:
 def cmd_report(args) -> int:
     """Assemble benchmarks/results/*.txt into one markdown report."""
     from pathlib import Path
+    if args.figures:
+        from .experiments.figures import figure_drivers
+        drivers = figure_drivers()
+        unknown = [n for n in args.figures if n not in drivers]
+        if unknown:
+            raise SystemExit(f"unknown figure(s) {unknown}; "
+                             f"known: {sorted(drivers)}")
     results = Path(args.results_dir)
     if not results.is_dir():
         raise SystemExit(
             f"{results}: no results directory -- run "
             "`pytest benchmarks/ --benchmark-only` first")
     files = sorted(results.glob("*.txt"))
+    if args.figures:
+        files = [p for p in files if p.stem in args.figures]
     if not files:
         raise SystemExit(f"{results}: empty -- run the benchmarks first")
     lines = ["# Reproduced tables and figures", "",
@@ -375,6 +461,7 @@ def cmd_bench(args) -> int:
     """Run the pinned perf suites; emit/compare canonical BENCH json."""
     from .perf import (bench_document, compare_docs, format_results,
                       load_bench, run_suite, write_bench)
+    _exec_options(args)  # same flag validation as every other command
     _require_positive(args.repeat, "--repeat")
     if not 0 <= args.threshold < 1:
         raise SystemExit(f"--threshold must be in [0, 1), "
@@ -511,6 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
              "stats are bit-identical either way)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # One shared parent parser (repro.exec.options) carries the
+    # execution/store/batch flags for every simulation-driving command;
+    # ExecOptions resolves them identically everywhere.
+    exec_parent = exec_arguments()
+
     sub.add_parser("workloads", help="list available workloads")
 
     def add_config_flags(p, default_pf="none"):
@@ -524,7 +616,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--mode", choices=["on-access", "on-commit"],
                        default="on-access", help="prefetcher training mode")
 
-    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p = sub.add_parser("run", help="simulate one workload",
+                           parents=[exec_parent])
     run_p.add_argument("workload")
     run_p.add_argument("--loads", type=int, default=10000)
     run_p.add_argument("--delay", action="store_true",
@@ -558,26 +651,15 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("workload")
     cmp_p.add_argument("--loads", type=int, default=10000)
 
-    def add_exec_flags(p):
-        p.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (1 = serial in-process)")
-        p.add_argument("--store", default=DEFAULT_STORE,
-                       help="persistent result-store directory "
-                            f"(default: {DEFAULT_STORE!r})")
-        p.add_argument("--no-store", action="store_true",
-                       help="disable the persistent result store")
-        p.add_argument("--timeout", type=float, default=None,
-                       help="per-job wall-clock timeout in seconds "
-                            "(requires --jobs > 1)")
-
-    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure",
+                           parents=[exec_parent])
     fig_p.add_argument("name", help="fig1, fig3, ..., fig15")
     fig_p.add_argument("--scale", choices=sorted(SCALES),
                        default="tiny")
-    add_exec_flags(fig_p)
 
     sweep_p = sub.add_parser(
-        "sweep", help="run a figure set with resume support")
+        "sweep", help="run a figure set with resume support",
+        parents=[exec_parent])
     sweep_p.add_argument("figures", nargs="*",
                          help="figure names (default: all figures)")
     sweep_p.add_argument("--scale", choices=sorted(SCALES),
@@ -585,12 +667,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--expect-cached", action="store_true",
                          help="fail if any job re-simulated instead of "
                               "hitting the store (resume verification)")
-    add_exec_flags(sweep_p)
+
+    camp_p = sub.add_parser(
+        "campaign", help="run a declarative campaign spec",
+        parents=[exec_parent])
+    camp_p.add_argument("spec",
+                        help="spec file (.json/.toml) or the name of a "
+                             "committed campaign under campaigns/")
+    camp_p.add_argument("--scale", choices=sorted(SCALES), default=None,
+                        help="override the spec's scale (default: the "
+                             "spec's pin, else the REPRO_SCALE default)")
+    camp_p.add_argument("--dry-run", action="store_true",
+                        help="print the expanded job plan and estimated "
+                             "cell count without simulating")
+    camp_p.add_argument("--resume", action="store_true",
+                        help="continue an interrupted campaign from the "
+                             "result store (requires a store; completed "
+                             "cells are never re-simulated)")
+    camp_p.add_argument("--expect-cached", action="store_true",
+                        help="fail if any job re-simulated instead of "
+                             "hitting the store (resume verification)")
 
     sub.add_parser("tables", help="print Tables I-III")
 
     bench_p = sub.add_parser(
-        "bench", help="run the pinned perf suites; emit BENCH_<tag>.json")
+        "bench", help="run the pinned perf suites; emit BENCH_<tag>.json",
+        parents=[exec_parent])
     bench_p.add_argument("--suite", choices=["micro", "macro", "all"],
                          default="micro",
                          help="which pinned suite to run (default: micro)")
@@ -618,16 +720,18 @@ def build_parser() -> argparse.ArgumentParser:
     atk_p = sub.add_parser("attack", help="mount the covert channel")
     add_config_flags(atk_p, default_pf="ip-stride")
 
-    mc_p = sub.add_parser("multicore", help="run 4-core mixes")
+    mc_p = sub.add_parser("multicore", help="run 4-core mixes",
+                          parents=[exec_parent])
     mc_p.add_argument("--mixes", type=int, default=4)
     mc_p.add_argument("--cores", type=int, default=4)
     mc_p.add_argument("--loads", type=int, default=5000)
     mc_p.add_argument("--seed", type=int, default=7)
     add_config_flags(mc_p)
-    add_exec_flags(mc_p)
 
     rep_p = sub.add_parser(
         "report", help="assemble benchmark results into markdown")
+    rep_p.add_argument("figures", nargs="*",
+                       help="only these figures (default: every result)")
     rep_p.add_argument("--results-dir", default="benchmarks/results")
     rep_p.add_argument("--output", default=None)
 
@@ -698,6 +802,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "figure": cmd_figure,
     "sweep": cmd_sweep,
+    "campaign": cmd_campaign,
     "tables": cmd_tables,
     "bench": cmd_bench,
     "attack": cmd_attack,
@@ -719,10 +824,10 @@ def _on_sigterm(signum, frame):
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "batch", None) is not None:
-        # Routed through the environment so sharded/multiprocess workers
-        # (exec pool, job service) inherit the same front-end selection.
-        os.environ["REPRO_BATCH"] = "1" if args.batch else "0"
+    # The one place the batch front-end choice reaches the environment,
+    # so sharded/multiprocess workers (exec pool, job service) inherit
+    # the same selection as the parent process.
+    ExecOptions(batch=getattr(args, "batch", None)).apply_batch_env()
     # SIGTERM parity with SIGINT: both unwind cleanly (finally blocks,
     # store checkpoints) and exit with the conventional 128+signal code.
     # ``serve`` replaces this with its own asyncio handler that drains

@@ -331,12 +331,43 @@ def figure_drivers() -> Dict[str, "object"]:
     return drivers
 
 
-def run_figure(runner: ExperimentRunner, name: str) -> FigureResult:
-    """Run one figure driver with partial-result rendering.
+def _run_spec_or_driver(runner: ExperimentRunner, name: str,
+                        driver) -> FigureResult:
+    """Prefer the committed campaign spec, falling back to ``driver``.
 
-    With a failsoft runner, cells whose simulation permanently failed
-    render as ``n/a`` and a failure summary (which cell, why) is appended
-    to the figure text instead of the figure aborting.
+    When ``campaigns/<name>.json`` exists, the figure runs through the
+    declarative engine and (unless ``REPRO_CAMPAIGN_PARITY=0``) the
+    legacy driver re-renders from the now-memoized results -- zero
+    extra simulations -- to assert the spec's output is identical.
+    """
+    import os
+
+    from ..campaign.engine import run_campaign
+    from ..campaign.spec import find_campaign_spec, load_spec
+
+    path = find_campaign_spec(name)
+    if path is None:
+        return driver(runner)
+    result = run_campaign(load_spec(path), runner)
+    if os.environ.get("REPRO_CAMPAIGN_PARITY", "1") != "0":
+        legacy = driver(runner)
+        if legacy.text != result.text:
+            raise RuntimeError(
+                f"campaign spec {path} renders differently from the "
+                f"legacy {name} driver:\n--- spec ---\n{result.text}\n"
+                f"--- driver ---\n{legacy.text}")
+    return result
+
+
+def run_figure(runner: ExperimentRunner, name: str) -> FigureResult:
+    """Run one figure with partial-result rendering.
+
+    Figures with a committed spec under ``campaigns/`` run through the
+    declarative campaign engine (with a parity assertion against the
+    imperative driver); the rest run the driver directly.  With a
+    failsoft runner, cells whose simulation permanently failed render
+    as ``n/a`` and a failure summary (which cell, why) is appended to
+    the figure text instead of the figure aborting.
     """
     drivers = figure_drivers()
     try:
@@ -345,7 +376,7 @@ def run_figure(runner: ExperimentRunner, name: str) -> FigureResult:
         raise ValueError(f"unknown figure {name!r}; "
                          f"known: {sorted(drivers)}") from None
     already_failed = len(runner.failures)
-    result = driver(runner)
+    result = _run_spec_or_driver(runner, name, driver)
     new_failures = runner.failures[already_failed:]
     if new_failures:
         result.text += "\n\n" + runner.failure_summary(new_failures)

@@ -97,6 +97,18 @@ def _valid_prefetcher_spec(spec: str) -> bool:
     return is_registered(spec)
 
 
+#: Mitigation-mode names accepted by :meth:`Config.from_spec`, mapped to
+#: (training mode, secure).  ``timely-secure`` additionally rewrites the
+#: prefetcher name to its TS variant (``berti`` -> ``tsb``, otherwise
+#: ``ts-<name>``), matching Section V-D.
+SPEC_MODES = {
+    "nonsecure": (MODE_ON_ACCESS, False),
+    "on-access-secure": (MODE_ON_ACCESS, True),
+    "on-commit-secure": (MODE_ON_COMMIT, True),
+    "timely-secure": (MODE_ON_COMMIT, True),
+}
+
+
 @dataclass(frozen=True)
 class Config:
     """One evaluated system configuration.
@@ -143,30 +155,77 @@ class Config:
             parts.append("SUF")
         return "/".join(parts)
 
+    @classmethod
+    def from_spec(cls, mode: str = "nonsecure",
+                  prefetcher: str = "none", *, suf: bool = False,
+                  classify: bool = False,
+                  sample_interval: int = 0) -> "Config":
+        """Build a configuration from declarative-spec fields.
+
+        The single constructor behind the campaign compiler and the
+        legacy helpers: ``mode`` is one of :data:`SPEC_MODES`
+        (``nonsecure`` / ``on-access-secure`` / ``on-commit-secure`` /
+        ``timely-secure``), ``prefetcher`` a baseline registry name
+        (``timely-secure`` rewrites it to the TS variant).  Validation
+        errors name the offending spec field so a bad campaign cell
+        reports *which* knob is wrong.
+        """
+        if not isinstance(mode, str) or mode not in SPEC_MODES:
+            raise ValueError(
+                f"config field 'mode': unknown mitigation mode {mode!r};"
+                f" known: {sorted(SPEC_MODES)}")
+        train_mode, secure = SPEC_MODES[mode]
+        name = "none" if prefetcher is None else prefetcher
+        if mode == "timely-secure":
+            if name == "none":
+                raise ValueError("config field 'prefetcher': "
+                                 "'timely-secure' needs a prefetcher")
+            if name == "berti":
+                name = "tsb"
+            elif name != "tsb" and not name.startswith("ts-"):
+                name = f"ts-{name}"
+        if not _valid_prefetcher_spec(name):
+            raise ValueError(f"config field 'prefetcher': unknown "
+                             f"prefetcher {prefetcher!r}")
+        if suf and not secure:
+            raise ValueError(
+                f"config field 'suf': SUF requires a secure mode, "
+                f"got mode={mode!r}")
+        try:
+            return cls(prefetcher=name, secure=secure, suf=suf,
+                       mode=train_mode, classify=classify,
+                       sample_interval=sample_interval)
+        except ValueError as exc:
+            raise ValueError(f"config spec invalid: {exc}") from None
+
 
 #: The canonical configurations the figures reference.
 BASELINE = Config()
 
 
 def nonsecure(prefetcher: str) -> Config:
-    return Config(prefetcher=prefetcher)
+    """Deprecated: use ``Config.from_spec('nonsecure', prefetcher)``."""
+    return Config.from_spec("nonsecure", prefetcher)
 
 
 def on_access_secure(prefetcher: str) -> Config:
-    return Config(prefetcher=prefetcher, secure=True, mode=MODE_ON_ACCESS)
+    """Deprecated: use ``Config.from_spec('on-access-secure', ...)``."""
+    return Config.from_spec("on-access-secure", prefetcher)
 
 
 def on_commit_secure(prefetcher: str, *, suf: bool = False,
                      classify: bool = False) -> Config:
-    return Config(prefetcher=prefetcher, secure=True, suf=suf,
-                  mode=MODE_ON_COMMIT, classify=classify)
+    """Deprecated: use ``Config.from_spec('on-commit-secure', ...)``."""
+    return Config.from_spec("on-commit-secure", prefetcher, suf=suf,
+                            classify=classify)
 
 
 def ts_config(prefetcher: str, *, suf: bool = False) -> Config:
-    """The timely-secure variant of a baseline prefetcher."""
-    name = "tsb" if prefetcher == "berti" else f"ts-{prefetcher}"
-    return Config(prefetcher=name, secure=True, suf=suf,
-                  mode=MODE_ON_COMMIT)
+    """The timely-secure variant of a baseline prefetcher.
+
+    Deprecated: use ``Config.from_spec('timely-secure', ...)``.
+    """
+    return Config.from_spec("timely-secure", prefetcher, suf=suf)
 
 
 class ExperimentRunner:
@@ -379,6 +438,27 @@ class ExperimentRunner:
                 self._results[(config, outcome.job.trace.name)] = \
                     self._finish(outcome)
         return [self._results[(config, t.name)] for t in traces]
+
+    def run_cells(self, cells) -> None:
+        """Pre-execute many ``(config, trace)`` cells as *one* batch.
+
+        Unlike :meth:`run_pool` (one configuration at a time), this
+        submits every uncached cell -- across configurations -- in a
+        single batch, so ``jobs>1`` keeps all workers busy even when the
+        per-configuration pools are small.  The campaign engine uses it
+        to execute a compiled plan up front; the per-cell results land in
+        the same memo that :meth:`run` and :meth:`run_pool` read.
+        """
+        todo: Dict[Tuple[Config, str], Job] = {}
+        for config, trace in cells:
+            key = (config, trace.name)
+            if key not in self._results and key not in todo:
+                todo[key] = self._job(config, trace)
+        if todo:
+            with self.profiler.phase("execute"):
+                outcomes = self._executor.run_jobs(list(todo.values()))
+            for key, outcome in zip(todo, outcomes):
+                self._results[key] = self._finish(outcome)
 
     # ------------------------------------------------------------------
     # multicore mixes

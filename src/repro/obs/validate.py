@@ -6,11 +6,14 @@ Usage (CI runs this against ``repro trace`` / ``--timeseries`` /
     python -m repro.obs.validate events.jsonl --kind events
     python -m repro.obs.validate ts.jsonl --kind timeseries
     python -m repro.obs.validate BENCH_pr4.json --kind bench
+    python -m repro.obs.validate campaigns/fig1.json --kind campaign
 
 ``events`` and ``timeseries`` files are JSONL (one record per line);
-``bench`` files are a single JSON document.  Exit status 0 when
-everything parses and matches the schema; 1 otherwise, with the first
-offending line reported.
+``bench`` files are a single JSON document, and ``campaign`` files are
+declarative campaign specs (validated through the full spec parser,
+including plan expansion).  Exit status 0 when everything parses and
+matches the schema; 1 otherwise, with the first offending line
+reported.
 """
 
 from __future__ import annotations
@@ -30,18 +33,32 @@ _VALIDATORS = {
     "events": validate_event,
     "timeseries": validate_timeseries_record,
     "bench": validate_bench_record,
+    "campaign": None,   # routed through the campaign spec parser
 }
 
 #: Kinds whose file is one JSON document rather than JSONL.
 _DOCUMENT_KINDS = ("bench",)
 
 
+def _validate_campaign(path: str) -> int:
+    """Full-parse one campaign spec; returns its metric-cell count."""
+    from ..campaign import SpecError, compile_plan, load_spec
+    try:
+        plan = compile_plan(load_spec(path))
+    except SpecError as exc:
+        raise ValueError(str(exc)) from None
+    return plan.cells
+
+
 def validate_file(path: str, kind: str) -> int:
     """Validate one exported file; returns the number of valid records.
 
     JSONL kinds count lines; document kinds (``bench``) count benchmark
-    result entries.  Raises ``ValueError`` naming the first bad line.
+    result entries; ``campaign`` specs count expanded metric cells.
+    Raises ``ValueError`` naming the first bad line.
     """
+    if kind == "campaign":
+        return _validate_campaign(path)
     validator = _VALIDATORS[kind]
     if kind in _DOCUMENT_KINDS:
         with open(path) as fh:
@@ -77,24 +94,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
         description="Validate exported event/time-series JSONL files")
-    parser.add_argument("path", help="JSONL file to validate")
+    parser.add_argument("paths", nargs="+", metavar="path",
+                        help="file(s) to validate")
     parser.add_argument("--kind", choices=sorted(_VALIDATORS),
                         required=True, help="which schema to apply")
     parser.add_argument("--min-records", type=int, default=1,
                         help="fail unless at least this many records "
-                             "(default: 1)")
+                             "per file (default: 1)")
     args = parser.parse_args(argv)
-    try:
-        count = validate_file(args.path, args.kind)
-    except (OSError, ValueError) as exc:
-        print(f"invalid: {exc}", file=sys.stderr)
-        return 1
-    if count < args.min_records:
-        print(f"invalid: {args.path}: {count} record(s), expected >= "
-              f"{args.min_records}", file=sys.stderr)
-        return 1
-    print(f"{args.path}: {count} valid {args.kind} record(s)")
-    return 0
+    status = 0
+    for path in args.paths:
+        try:
+            count = validate_file(path, args.kind)
+        except (OSError, ValueError) as exc:
+            print(f"invalid: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if count < args.min_records:
+            print(f"invalid: {path}: {count} record(s), expected >= "
+                  f"{args.min_records}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{path}: {count} valid {args.kind} record(s)")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,155 @@
+"""Campaign engine: driver-vs-spec parity, resume, fail-soft cells.
+
+Parity is the acceptance bar of the redesign: for every ported figure
+the spec-driven rendering must be *bit-identical* to the imperative
+driver's (same metric helpers, same float operation order).
+"""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import compile_plan, load_spec, run_campaign
+from repro.exec.faults import FaultPlan
+from repro.experiments.figures import (fig1, fig5, fig6, fig12,
+                                       run_figure, suf_statistics)
+from repro.experiments.runner import SCALES, ExperimentRunner
+
+CAMPAIGNS = Path(__file__).resolve().parents[2] / "campaigns"
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=SCALES["tiny"])
+
+
+def spec(name):
+    return load_spec(CAMPAIGNS / f"{name}.json")
+
+
+class TestParity(object):
+    def test_fig1(self, runner):
+        legacy = fig1(runner)
+        result = run_campaign(spec("fig1"), runner)
+        assert result.text == legacy.text
+        assert result.columns == legacy.columns
+        assert list(result.rows) == list(legacy.rows)
+        assert result.rows == legacy.rows
+
+    def test_fig6(self, runner):
+        legacy = fig6(runner)
+        result = run_campaign(spec("fig6"), runner)
+        assert result.text == legacy.text
+        assert result.rows == legacy.rows
+
+    def test_fig12(self, runner):
+        legacy = fig12(runner)
+        result = run_campaign(spec("fig12"), runner)
+        assert result.text == legacy.text
+        assert result.series == legacy.series
+
+    def test_fig5_multi_output(self, runner):
+        legacy = fig5(runner)
+        result = run_campaign(spec("fig5"), runner)
+        assert result.text == legacy.text
+
+    def test_suf_statistics_average_row(self, runner):
+        legacy = suf_statistics(runner)
+        result = run_campaign(spec("suf_statistics"), runner)
+        assert result.text == legacy.text
+        assert list(result.rows)[-1] == "average"
+
+    def test_run_figure_asserts_parity_itself(self, runner,
+                                              monkeypatch):
+        # run_figure routes through the spec and re-renders through the
+        # legacy driver (memoized results, zero new simulations): a
+        # RuntimeError here would mean the spec and driver diverged.
+        monkeypatch.setenv("REPRO_CAMPAIGNS", str(CAMPAIGNS))
+        before = runner.execution_stats().get("simulated", 0)
+        result = run_figure(runner, "fig1")
+        assert result.text == fig1(runner).text
+        assert runner.execution_stats().get("simulated", 0) == before
+
+
+class TestResume(object):
+    def test_rerun_recomputes_zero_cells(self, tmp_path):
+        store = str(tmp_path / "store")
+        first = ExperimentRunner(scale=SCALES["tiny"], store=store)
+        run_campaign(spec("fig12"), first)
+        assert first.execution_stats()["simulated"] > 0
+
+        again = ExperimentRunner(scale=SCALES["tiny"], store=store)
+        result = run_campaign(spec("fig12"), again)
+        stats = again.execution_stats()
+        assert stats["simulated"] == 0
+        assert stats["hits"] == compile_plan(spec("fig12"),
+                                             SCALES["tiny"]).total_jobs
+        assert result.text
+
+    def test_interrupted_campaign_resumes_from_the_store(self,
+                                                         tmp_path):
+        store = str(tmp_path / "store")
+        # Interrupt mid-campaign: crash-inject every job with no
+        # retries, so the run dies after the first batch begins but the
+        # store keeps whatever completed before the crash.
+        broken = ExperimentRunner(
+            scale=SCALES["tiny"], store=store, failsoft=False,
+            max_retries=0, fault_plan=FaultPlan(crash_every=3))
+        with pytest.raises(Exception):
+            run_campaign(spec("fig12"), broken)
+        survived = broken.execution_stats().get("writes", 0)
+        assert survived < compile_plan(spec("fig12"),
+                                       SCALES["tiny"]).total_jobs
+
+        resumed = ExperimentRunner(scale=SCALES["tiny"], store=store)
+        result = run_campaign(spec("fig12"), resumed)
+        stats = resumed.execution_stats()
+        # Only the cells lost to the interrupt are recomputed.
+        assert stats["simulated"] + survived == \
+            compile_plan(spec("fig12"), SCALES["tiny"]).total_jobs
+        assert stats["hits"] == survived
+        assert "n/a" not in result.text
+
+    def test_partial_warm_store_only_runs_the_delta(self, tmp_path):
+        store = str(tmp_path / "store")
+        subset = {
+            "campaign": {"name": "fig12-subset", "description": ""},
+            "axes": {},
+            "outputs": [{
+                "kind": "series",
+                "title": "warm",
+                "series": [
+                    {"label": "on-commit-berti",
+                     "metric": "per_trace_speedup",
+                     "config": {"mode": "on-commit-secure",
+                                "prefetcher": "berti"}},
+                ],
+            }],
+        }
+        from repro.campaign import parse_spec
+        warm = ExperimentRunner(scale=SCALES["tiny"], store=store)
+        run_campaign(parse_spec(subset), warm)
+        warmed = warm.execution_stats()["simulated"]
+        assert warmed == 12            # baseline + one config x 6
+
+        rest = ExperimentRunner(scale=SCALES["tiny"], store=store)
+        run_campaign(spec("fig12"), rest)
+        stats = rest.execution_stats()
+        assert stats["hits"] == warmed
+        assert stats["simulated"] == 12  # the two remaining configs
+
+
+class TestFailsoft(object):
+    def test_failed_cells_render_na(self, tmp_path):
+        # Every job dies permanently: the campaign still renders, with
+        # each metric cell as n/a instead of aborting.
+        runner = ExperimentRunner(
+            scale=SCALES["tiny"], store=None, failsoft=True,
+            max_retries=0, fault_plan=FaultPlan(crash_every=1,
+                                                attempts=99))
+        result = run_campaign(spec("fig12"), runner)
+        assert "n/a" in result.text
+        assert runner.failures
+        for values in result.rows.values():
+            assert all(math.isnan(v) for v in values)

@@ -1,0 +1,79 @@
+"""Plan compilation: deterministic expansion, dedup, baseline deps."""
+
+from pathlib import Path
+
+from repro.campaign import compile_plan, load_spec, pool_trace_names
+from repro.experiments.runner import (BASELINE, SCALES,
+                                      ExperimentRunner)
+
+CAMPAIGNS = Path(__file__).resolve().parents[2] / "campaigns"
+
+
+def test_pool_trace_names_match_the_real_pool():
+    scale = SCALES["tiny"]
+    runner = ExperimentRunner(scale=scale)
+    assert pool_trace_names(scale) == \
+        [trace.name for trace in runner.pool()]
+
+
+def test_plan_expansion_is_deterministic():
+    scale = SCALES["tiny"]
+    for path in sorted(CAMPAIGNS.glob("*.json")):
+        first = compile_plan(load_spec(path), scale)
+        second = compile_plan(load_spec(path), scale)
+        assert first.entries == second.entries, path
+        assert first.total_jobs == second.total_jobs
+        assert first.describe() == second.describe()
+
+
+def test_fig1_plan_shape():
+    plan = compile_plan(load_spec(CAMPAIGNS / "fig1.json"),
+                        SCALES["tiny"])
+    # 5 prefetchers x 3 regimes + no-pref-secure + baseline = 17 pool
+    # groups, every one spanning the whole 6-trace tiny pool.
+    assert len(plan.entries) == 17
+    assert all(e.selector == "@pool" and e.jobs == 6
+               for e in plan.entries)
+    assert plan.cells == 16
+    assert plan.total_jobs == 17 * 6
+    configs = [entry.config for entry in plan.entries]
+    assert BASELINE in configs               # speedup denominators
+    assert len(set(configs)) == len(configs)  # deduplicated
+
+
+def test_baseline_dependency_is_added_for_normalized_metrics():
+    plan = compile_plan(load_spec(CAMPAIGNS / "fig14.json"),
+                        SCALES["tiny"])
+    assert BASELINE in [entry.config for entry in plan.entries]
+
+
+def test_pool_group_absorbs_singleton_trace_refs():
+    # fig5 evaluates every cell on one trace only: no @pool groups, and
+    # one job per distinct config.
+    plan = compile_plan(load_spec(CAMPAIGNS / "fig5.json"),
+                        SCALES["tiny"])
+    assert all(entry.selector == "605.mcf-1554B" for entry in
+               plan.entries)
+    assert all(entry.jobs == 1 for entry in plan.entries)
+    assert plan.total_jobs == len(plan.entries) == 12
+
+
+def test_multicore_plan_counts_mix_jobs():
+    plan = compile_plan(load_spec(CAMPAIGNS / "fig15.json"),
+                        SCALES["tiny"])
+    assert plan.mix_groups == [(4, SCALES["tiny"].mixes,
+                                plan.mix_groups[0][2])]
+    assert len(plan.mix_groups[0][2]) == 6
+    # 4 mixes x (6 configs + the mix baseline) on top of the alone-IPC
+    # single-core baselines.
+    assert plan.total_jobs >= 4 * 7
+
+
+def test_describe_mentions_plan_totals():
+    plan = compile_plan(load_spec(CAMPAIGNS / "fig1.json"),
+                        SCALES["tiny"])
+    text = plan.describe()
+    assert "fig1" in text
+    assert "tiny" in text
+    assert f"total: {plan.total_jobs} simulation job(s)" in text
+    assert "metric cells: 16" in text

@@ -1,0 +1,239 @@
+"""Campaign spec parsing and validation.
+
+Every rejection path must raise :class:`SpecError` with a message that
+names the offending field (the api_redesign contract), and every
+committed spec under ``campaigns/`` must validate.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (SpecError, campaigns_dir, compile_plan,
+                            find_campaign_spec, load_spec, parse_spec)
+
+CAMPAIGNS = Path(__file__).resolve().parents[2] / "campaigns"
+
+
+def minimal_spec(**overrides):
+    data = {
+        "campaign": {"name": "t", "description": "test"},
+        "axes": {"pf": ["berti", "ipcp"]},
+        "outputs": [{
+            "kind": "table",
+            "title": "T",
+            "columns": ["a"],
+            "rows": [{
+                "foreach": "pf",
+                "label": "{pf}",
+                "cells": [{"metric": "speedup_geomean",
+                           "config": {"mode": "nonsecure",
+                                      "prefetcher": "{pf}"}}],
+            }],
+        }],
+    }
+    data.update(overrides)
+    return data
+
+
+def test_minimal_spec_parses():
+    spec = parse_spec(minimal_spec())
+    assert spec.name == "t"
+    assert spec.axes == {"pf": ["berti", "ipcp"]}
+
+
+def expect_error(data, *fragments):
+    with pytest.raises(SpecError) as excinfo:
+        parse_spec(data)
+    for fragment in fragments:
+        assert fragment in str(excinfo.value), str(excinfo.value)
+
+
+def test_unknown_prefetcher_names_the_field():
+    data = minimal_spec()
+    data["axes"]["pf"] = ["warp-drive"]
+    expect_error(data, "prefetcher", "warp-drive")
+
+
+def test_unknown_mode_names_the_field():
+    data = minimal_spec()
+    data["outputs"][0]["rows"][0]["cells"][0]["config"]["mode"] = \
+        "quantum"
+    expect_error(data, "mode", "quantum")
+
+
+def test_suf_without_secure_mode_is_rejected():
+    data = minimal_spec()
+    data["outputs"][0]["rows"][0]["cells"][0]["config"]["suf"] = True
+    expect_error(data, "suf")
+
+
+def test_unknown_workload_is_rejected():
+    data = minimal_spec()
+    cell = data["outputs"][0]["rows"][0]["cells"][0]
+    cell["metric"] = "speedup"
+    cell["workload"] = "999.nope-1B"
+    expect_error(data, "workload", "999.nope-1B")
+
+
+def test_pool_metric_refuses_workload():
+    data = minimal_spec()
+    cell = data["outputs"][0]["rows"][0]["cells"][0]
+    cell["workload"] = "605.mcf-1554B"
+    expect_error(data, "workload")
+
+
+def test_empty_axis_is_an_empty_cross_product():
+    data = minimal_spec()
+    data["axes"]["pf"] = []
+    expect_error(data, "empty axis")
+
+
+def test_unknown_metric_lists_known_names():
+    data = minimal_spec()
+    data["outputs"][0]["rows"][0]["cells"][0]["metric"] = "mystery"
+    expect_error(data, "unknown metric", "speedup_geomean")
+
+
+def test_cell_count_must_match_columns():
+    data = minimal_spec()
+    data["outputs"][0]["rows"][0]["cells"][0]["repeat"] = 2
+    expect_error(data, "column")
+
+
+def test_unknown_output_kind():
+    data = minimal_spec()
+    data["outputs"][0]["kind"] = "piechart"
+    expect_error(data, "piechart")
+
+
+def test_unknown_toplevel_key():
+    data = minimal_spec()
+    data["extras"] = {}
+    expect_error(data, "extras")
+
+
+def test_foreach_unknown_axis():
+    data = minimal_spec()
+    data["outputs"][0]["rows"][0]["foreach"] = "nope"
+    expect_error(data, "nope", "@pool")
+
+
+def test_duplicate_row_labels_rejected():
+    data = minimal_spec()
+    data["outputs"][0]["rows"][0]["label"] = "same"
+    expect_error(data, "duplicate row label")
+
+
+def matrix_spec():
+    return {
+        "campaign": {"name": "m", "description": ""},
+        "axes": {"pf": ["berti", "ipcp"],
+                 "mode": ["nonsecure", "on-commit-secure"]},
+        "outputs": [{
+            "kind": "matrix_table",
+            "title": "M",
+            "metric": "speedup_geomean",
+            "rows_axis": "pf",
+            "cols_axis": "mode",
+            "config": {"mode": "{mode}", "prefetcher": "{pf}"},
+        }],
+    }
+
+
+def test_matrix_spec_parses():
+    parse_spec(matrix_spec())
+
+
+def test_matrix_all_cells_excluded_is_empty_cross_product():
+    data = matrix_spec()
+    data["outputs"][0]["exclude"] = [{"pf": "berti"}, {"pf": "ipcp"}]
+    expect_error(data, "empty cross-product")
+
+
+def test_matrix_conflicting_overrides_rejected():
+    data = matrix_spec()
+    data["outputs"][0]["override"] = [
+        {"match": {"mode": "on-commit-secure"}, "set": {"suf": True}},
+        {"match": {"pf": "berti"}, "set": {"suf": False}},
+    ]
+    expect_error(data, "conflicting overrides", "suf")
+
+
+def test_matrix_agreeing_overrides_allowed():
+    data = matrix_spec()
+    data["outputs"][0]["override"] = [
+        {"match": {"mode": "on-commit-secure"}, "set": {"suf": True}},
+        {"match": {"pf": "berti", "mode": "on-commit-secure"},
+         "set": {"suf": True}},
+    ]
+    parse_spec(data)
+
+
+def test_parse_rejects_non_mapping():
+    with pytest.raises(SpecError):
+        parse_spec(["not", "a", "spec"])
+
+
+def test_load_spec_bad_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{nope")
+    with pytest.raises(SpecError, match="not valid JSON"):
+        load_spec(path)
+
+
+@pytest.mark.skipif(sys.version_info < (3, 11),
+                    reason="tomllib is 3.11+")
+def test_load_spec_toml(tmp_path):
+    path = tmp_path / "t.toml"
+    path.write_text("""
+[campaign]
+name = "toml-test"
+
+[axes]
+pf = ["berti"]
+
+[[outputs]]
+kind = "table"
+title = "T"
+columns = ["a"]
+
+[[outputs.rows]]
+foreach = "pf"
+label = "{pf}"
+
+[[outputs.rows.cells]]
+metric = "speedup_geomean"
+config = {mode = "nonsecure", prefetcher = "{pf}"}
+""")
+    spec = load_spec(path)
+    assert spec.name == "toml-test"
+
+
+def test_committed_specs_all_validate():
+    paths = sorted(CAMPAIGNS.glob("*.json"))
+    assert len(paths) >= 13          # 12 figures + the matrix demo
+    for path in paths:
+        spec = load_spec(path)
+        plan = compile_plan(spec)
+        assert plan.cells > 0, path
+
+
+def test_find_campaign_spec(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGNS", str(CAMPAIGNS))
+    assert campaigns_dir() == CAMPAIGNS
+    found = find_campaign_spec("fig1")
+    assert found is not None and found.name == "fig1.json"
+    assert find_campaign_spec("fig2") is None
+
+
+def test_validation_is_side_effect_free():
+    data = minimal_spec()
+    snapshot = copy.deepcopy(data)
+    parse_spec(data)
+    assert data == snapshot
+    assert json.dumps(data, sort_keys=True) == \
+        json.dumps(snapshot, sort_keys=True)
