@@ -25,7 +25,8 @@ from ..experiments.figures import FigureResult
 from ..experiments.runner import BASELINE, Config, ExperimentRunner
 from .metrics import METRICS
 from .spec import (Cell, CampaignSpec, ExpandedOutput, MulticoreOut,
-                   SeriesOut, StackedOut, TableOut, expand_outputs)
+                   SecurityMatrixOut, SeriesOut, StackedOut, TableOut,
+                   expand_outputs)
 
 __all__ = ["run_campaign"]
 
@@ -73,6 +74,12 @@ def _prefetch(runner: ExperimentRunner,
             want(cell.config, pool)
             if metric.needs_baseline == "pool":
                 want(BASELINE, pool)
+    for output in outputs:
+        if isinstance(output, SecurityMatrixOut):
+            # The matrix's IPC-cost column: every (defense, prefetcher)
+            # config over the pool, batched with everything else.
+            for _defense, _prefetcher, config in output.cost_configs:
+                want(config, pool)
     if todo:
         runner.run_cells(todo.values())
 
@@ -192,6 +199,35 @@ def _eval_multicore(runner: ExperimentRunner,
     return result
 
 
+def _eval_security_matrix(runner: ExperimentRunner,
+                          output: SecurityMatrixOut) -> FigureResult:
+    """The attack x defense x prefetcher matrix.  Leakage cells run
+    in-process through :mod:`repro.security.matrix`; the cost column's
+    pool sweeps were already prefetched, so the runner serves them from
+    its memo."""
+    from ..security.matrix import run_security_matrix
+    matrix = run_security_matrix(
+        runner, attacks=output.attacks, defenses=output.defenses,
+        prefetchers=output.prefetchers,
+        secret_bits=output.secret_bits, metric=output.metric,
+        cost=output.cost, title=output.title,
+        value_format=output.value_format)
+    columns = list(output.attacks) + (["ipc_d%"] if output.cost else [])
+    leakage = matrix.leakage(output.metric)
+    rows: Dict[str, List[float]] = {}
+    for prefetcher in output.prefetchers:
+        prefix = f"{prefetcher}/" if len(output.prefetchers) > 1 else ""
+        for defense in output.defenses:
+            values = [leakage[(prefetcher, defense, attack)]
+                      for attack in output.attacks]
+            if output.cost:
+                values.append(matrix.ipc_delta[(prefetcher, defense)])
+            rows[f"{prefix}{defense}"] = values
+    result = FigureResult("", "", columns, rows, matrix.text)
+    result.matrix = matrix
+    return result
+
+
 def run_campaign(spec: CampaignSpec,
                  runner: ExperimentRunner) -> FigureResult:
     """Execute ``spec`` against ``runner`` and render its outputs.
@@ -217,6 +253,8 @@ def run_campaign(spec: CampaignSpec,
             blocks.append(_eval_series(runner, output))
         elif isinstance(output, MulticoreOut):
             blocks.append(_eval_multicore(runner, output))
+        elif isinstance(output, SecurityMatrixOut):
+            blocks.append(_eval_security_matrix(runner, output))
 
     first = blocks[0]
     result = FigureResult(spec.name, spec.description, first.columns,
@@ -227,4 +265,6 @@ def run_campaign(spec: CampaignSpec,
             result.series = block.series
         if hasattr(block, "sorted_norms"):
             result.sorted_norms = block.sorted_norms
+        if hasattr(block, "matrix"):
+            result.matrix = block.matrix
     return result

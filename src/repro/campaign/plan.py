@@ -20,8 +20,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..experiments.runner import BASELINE, Config, Scale
 from .metrics import METRICS
-from .spec import (Cell, CampaignSpec, MulticoreOut, SeriesOut,
-                   StackedOut, TableOut, expand_outputs,
+from .spec import (Cell, CampaignSpec, MulticoreOut, SecurityMatrixOut,
+                   SeriesOut, StackedOut, TableOut, expand_outputs,
                    pool_trace_names)
 
 __all__ = ["CampaignPlan", "PlanEntry", "compile_plan"]
@@ -53,6 +53,11 @@ class CampaignPlan:
     mix_groups: List[Tuple[int, int, List[Config]]] = \
         field(default_factory=list)
     cells: int = 0                    # metric cells across all outputs
+    #: In-process attack cells (security_matrix outputs).  These are
+    #: not executor jobs -- each runs a purpose-built victim/attacker
+    #: trace inline -- so they are reported separately from
+    #: :attr:`total_jobs`.
+    attack_cells: int = 0
 
     @property
     def total_jobs(self) -> int:
@@ -73,6 +78,9 @@ class CampaignPlan:
                      f"({', '.join(self.pool_names)})")
         lines.append(f"  outputs: {len(self.spec.outputs)}  "
                      f"metric cells: {self.cells}")
+        if self.attack_cells:
+            lines.append(f"  attack cells: {self.attack_cells} "
+                         f"(in-process, not executor jobs)")
         lines.append(f"  single-core jobs ({len(self.entries)} "
                      f"config groups):")
         for entry in self.entries:
@@ -117,8 +125,20 @@ def compile_plan(spec: CampaignSpec,
 
     refs: Dict[Tuple[Config, str], None] = {}   # ordered set
     cells = 0
+    attack_cells = 0
     mix_groups: List[Tuple[int, int, List[Config]]] = []
     for output in outputs:
+        if isinstance(output, SecurityMatrixOut):
+            # Leakage cells run in-process; only the IPC-cost column
+            # (one pool sweep per defense x prefetcher, nonsecure
+            # baseline included) contributes executor jobs.
+            attack_cells += (len(output.attacks) * len(output.defenses)
+                             * len(output.prefetchers))
+            for _defense, _prefetcher, config in output.cost_configs:
+                refs.setdefault((config, "@pool"), None)
+            if output.cost:
+                cells += len(output.defenses) * len(output.prefetchers)
+            continue
         if isinstance(output, MulticoreOut):
             cells += len(output.rows) * len(output.columns)
             n_mixes = output.n_mixes
@@ -159,5 +179,6 @@ def compile_plan(spec: CampaignSpec,
 
     plan = CampaignPlan(spec=spec, scale=scale,
                         pool_names=pool_names, entries=entries,
-                        mix_groups=mix_groups, cells=cells)
+                        mix_groups=mix_groups, cells=cells,
+                        attack_cells=attack_cells)
     return plan

@@ -3,7 +3,7 @@
 A campaign spec is a JSON (or TOML, when :mod:`tomllib` is available)
 document describing a cross-product of configurations x workloads plus
 the derived outputs (tables, stacked bars, per-trace series, multicore
-summaries) to render from the completed results.  Specs are pure data --
+summaries, security matrices) to render from the completed results.  Specs are pure data --
 stdlib-parsed, no new dependencies -- and every committed paper figure
 under ``campaigns/`` is one.
 
@@ -47,13 +47,14 @@ __all__ = ["CampaignSpec", "SpecError", "load_spec", "parse_spec",
 #: Default number formats per output kind (``repro.analysis.report``).
 _DEFAULT_FORMATS = {"table": "{:8.3f}", "matrix_table": "{:8.3f}",
                     "stacked": "{:7.2f}", "series": "{:7.3f}",
-                    "multicore_table": "{:8.3f}"}
+                    "multicore_table": "{:8.3f}",
+                    "security_matrix": "{:8.3f}"}
 
 _CONFIG_FIELDS = ("mode", "prefetcher", "suf", "classify",
-                  "sample_interval")
+                  "sample_interval", "mitigation")
 
 _OUTPUT_KINDS = ("table", "stacked", "series", "matrix_table",
-                 "multicore_table")
+                 "multicore_table", "security_matrix")
 
 
 class SpecError(ValueError):
@@ -274,7 +275,27 @@ class MulticoreOut:
     rows: List[Tuple[str, Config]]
 
 
-ExpandedOutput = Union[TableOut, StackedOut, SeriesOut, MulticoreOut]
+@dataclass
+class SecurityMatrixOut:
+    """An attack x defense x prefetcher leakage matrix
+    (:mod:`repro.security.matrix`)."""
+
+    title: str
+    attacks: List[str]
+    defenses: List[str]
+    prefetchers: List[str]
+    metric: str
+    cost: bool
+    secret_bits: Optional[List[int]]
+    value_format: str
+    #: Precomputed ``(defense, prefetcher, Config)`` cost-column jobs
+    #: (empty when ``cost`` is off), so the plan compiler never imports
+    #: the security package.
+    cost_configs: List[Tuple[str, str, Config]]
+
+
+ExpandedOutput = Union[TableOut, StackedOut, SeriesOut, MulticoreOut,
+                       SecurityMatrixOut]
 
 
 def _build_config(raw: Any, where: str) -> Config:
@@ -584,12 +605,80 @@ def _expand_multicore(output, axes, pool_names, where) -> MulticoreOut:
     return MulticoreOut(title, cores, n_mixes, list(columns), rows)
 
 
+def _expand_security_matrix(output, axes, pool_names,
+                            where) -> SecurityMatrixOut:
+    """The attack x defense x prefetcher matrix.  Axes are explicit
+    name lists (no ``foreach``): every name is validated against the
+    attack/mitigation/leakage registries here, so a misspelled defense
+    fails at parse time like any other spec error."""
+    from ..security.attacks import attack_names
+    from ..security.matrix import DEFAULT_DEFENSES, matrix_cost_configs
+    from ..security.metrics import leakage_metric_names
+    _check_keys(output, ("kind", "title", "attacks", "defenses",
+                         "prefetchers", "metric", "cost",
+                         "secret_bits", "value_format"), where)
+    title = _require(output, "title", str, where)
+    known_attacks = attack_names()
+
+    def names(key: str, default: List[str], known=None) -> List[str]:
+        values = output.get(key, list(default))
+        if not isinstance(values, list) or not values \
+                or not all(isinstance(v, str) and v for v in values):
+            _fail(where, f"{key!r} must be a non-empty list of strings")
+        if len(set(values)) != len(values):
+            _fail(where, f"duplicate {key!r} values")
+        if known is not None:
+            for value in values:
+                if value not in known:
+                    _fail(where, f"unknown {key[:-1]} {value!r}; "
+                                 f"known: {sorted(known)}")
+        return list(values)
+
+    attacks = names("attacks", known_attacks, known_attacks)
+    defenses = names("defenses", list(DEFAULT_DEFENSES))
+    prefetchers = names("prefetchers", ["ip-stride"])
+    metric = output.get("metric", "bit_success_rate")
+    if metric not in leakage_metric_names():
+        _fail(where, f"unknown leakage metric {metric!r}; known: "
+                     f"{leakage_metric_names()}")
+    cost = output.get("cost", True)
+    if not isinstance(cost, bool):
+        _fail(where, f"'cost' must be a boolean, got "
+                     f"{output['cost']!r}")
+    secret_bits = output.get("secret_bits")
+    if secret_bits is not None:
+        if not isinstance(secret_bits, list) or not secret_bits \
+                or not all(isinstance(b, int)
+                           and not isinstance(b, bool)
+                           and b in (0, 1) for b in secret_bits):
+            _fail(where, "'secret_bits' must be a non-empty list of "
+                         "0/1 integers")
+    value_format = output.get("value_format",
+                              _DEFAULT_FORMATS["security_matrix"])
+    # Building every cell's config validates each (defense, prefetcher)
+    # pair through the mitigation registry and Config.from_spec -- and,
+    # when the cost column is on, hands the plan compiler its job list.
+    try:
+        from ..security.matrix import cost_config
+        for defense in defenses:
+            for prefetcher in prefetchers:
+                cost_config(defense, prefetcher)
+        cost_configs = matrix_cost_configs(defenses, prefetchers) \
+            if cost else []
+    except ValueError as exc:
+        raise SpecError(f"{where}: {exc}") from None
+    return SecurityMatrixOut(title, attacks, defenses, prefetchers,
+                             metric, cost, secret_bits, value_format,
+                             cost_configs)
+
+
 _EXPANDERS = {
     "table": _expand_table,
     "matrix_table": _expand_matrix_table,
     "stacked": _expand_stacked,
     "series": _expand_series,
     "multicore_table": _expand_multicore,
+    "security_matrix": _expand_security_matrix,
 }
 
 

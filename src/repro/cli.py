@@ -29,7 +29,12 @@ Commands
     ``BENCH_<tag>.json``; ``--compare baseline.json`` flags throughput
     regressions (the CI bench-smoke job runs this).
 ``attack``
-    Mount the prefetcher covert channel under a chosen defence.
+    Mount one attack from the library (``--attack``) under a registered
+    defense (``--mitigation``), or the legacy covert channel via the
+    ``--secure``/``--suf``/``--mode`` flags.
+``security-matrix``
+    Render the attack x defense x prefetcher matrix: per-cell leakage
+    plus each defense's geomean IPC cost (docs/SECURITY.md).
 ``serve``
     Run the crash-safe job service: a WAL-journaled, draining-on-SIGTERM
     daemon that executes submitted simulations (docs/RESILIENCE.md).
@@ -56,6 +61,8 @@ Examples
     python -m repro bench --suite macro --tag pr4
     python -m repro bench --suite micro --compare BENCH_pr4.json
     python -m repro attack --secure --mode on-commit
+    python -m repro attack --attack prime-probe --mitigation rand-llc
+    python -m repro security-matrix --scale tiny --jobs 2
     python -m repro serve --store .repro-store --jobs 2
     python -m repro submit bfs --loads 3000 --secure --wait
     python -m repro drain
@@ -497,19 +504,80 @@ def cmd_bench(args) -> int:
 
 
 def cmd_attack(args) -> int:
-    from .security.attacks import run_prefetch_covert_channel
+    """Mount one attack from the library under one defense.
+
+    ``--attack``/``--mitigation`` select registered names (the security
+    matrix's axes); the legacy ``--secure``/``--suf``/``--mode`` flags
+    still drive the original covert channel directly.
+    """
+    from .security.attacks import (run_attack,
+                                   run_prefetch_covert_channel)
     secret = [1, 0, 1, 1, 0, 0, 1, 0]
-    mode = MODE_ON_COMMIT if args.mode == "on-commit" else MODE_ON_ACCESS
-    runner = ExperimentRunner(scale=SCALES["small"])
-    prefetcher = runner.build_prefetcher(args.prefetcher) \
-        if args.prefetcher != "none" else None
-    result = run_prefetch_covert_channel(
-        secret, secure=args.secure, train_mode=mode, prefetcher=prefetcher)
+    if args.mitigation is not None or args.attack != "covert-stride":
+        if args.secure or args.suf or args.mode != "on-access":
+            raise SystemExit(
+                "--attack/--mitigation replace the legacy "
+                "--secure/--suf/--mode flags; pick one style")
+        try:
+            result = run_attack(args.attack, args.mitigation or
+                                "nonsecure", args.prefetcher, secret)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    else:
+        mode = MODE_ON_COMMIT if args.mode == "on-commit" \
+            else MODE_ON_ACCESS
+        runner = ExperimentRunner(scale=SCALES["small"])
+        prefetcher = runner.build_prefetcher(args.prefetcher) \
+            if args.prefetcher != "none" else None
+        result = run_prefetch_covert_channel(
+            secret, secure=args.secure, train_mode=mode,
+            prefetcher=prefetcher)
     bits = "".join("?" if b is None else str(b)
                    for b in result.recovered_bits)
     print(f"secret    : {''.join(map(str, secret))}")
     print(f"recovered : {bits}")
     print(f"verdict   : {'LEAKED' if result.leaked else 'channel closed'}")
+    return 0
+
+
+def _csv_names(value: Optional[str]) -> Optional[List[str]]:
+    """Split a comma-separated CLI list (``None``/empty -> ``None``)."""
+    if not value:
+        return None
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def cmd_security_matrix(args) -> int:
+    """Render the attack x defense x prefetcher security matrix.
+
+    Leakage cells run in-process; the IPC-cost column routes each
+    defense's pool sweep through the execution layer, so ``--jobs`` and
+    ``--store`` behave exactly as they do for ``campaign``.
+    """
+    from .security.matrix import run_security_matrix
+    bits = None
+    if args.bits:
+        if not all(c in "01" for c in args.bits):
+            raise SystemExit(
+                f"--bits must be a string of 0s and 1s, got {args.bits!r}")
+        bits = [int(c) for c in args.bits]
+    runner = _exec_runner(args)
+    try:
+        matrix = run_security_matrix(
+            runner,
+            attacks=_csv_names(args.attacks),
+            defenses=_csv_names(args.defenses),
+            prefetchers=_csv_names(args.prefetchers) or ["ip-stride"],
+            secret_bits=bits, metric=args.metric,
+            cost=not args.no_cost)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(matrix.text)
+    if runner.store is not None:
+        print(f"\n[{runner.store.summary()}]")
+    if runner.failures:
+        print(runner.failure_summary(), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -718,7 +786,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="suppress per-case progress on stderr")
 
     atk_p = sub.add_parser("attack", help="mount the covert channel")
+    atk_p.add_argument("--attack", default="covert-stride",
+                       help="attack from the library (covert-stride, "
+                            "prime-probe, stride-inference, "
+                            "cross-core-probe)")
+    atk_p.add_argument("--mitigation", default=None,
+                       help="registered defense name (nonsecure, "
+                            "delay-on-miss, ghostminion, rand-llc, "
+                            "prefender, ...)")
     add_config_flags(atk_p, default_pf="ip-stride")
+
+    sm_p = sub.add_parser(
+        "security-matrix",
+        help="render the attack x defense x prefetcher matrix",
+        parents=[exec_parent])
+    sm_p.add_argument("--scale", choices=sorted(SCALES), default="tiny",
+                      help="workload-pool scale for the IPC-cost column "
+                           "(default: tiny)")
+    sm_p.add_argument("--attacks", default=None, metavar="A,B,...",
+                      help="comma-separated attack names "
+                           "(default: every registered attack)")
+    sm_p.add_argument("--defenses", default=None, metavar="D,E,...",
+                      help="comma-separated mitigation names "
+                           "(default: the committed matrix rows)")
+    sm_p.add_argument("--prefetchers", default=None, metavar="P,Q,...",
+                      help="comma-separated prefetcher names, one table "
+                           "each (default: ip-stride)")
+    sm_p.add_argument("--bits", default=None, metavar="0110...",
+                      help="secret bit-string the attacks transmit "
+                           "(default: the 8-bit library secret)")
+    sm_p.add_argument("--metric", default="bit_success_rate",
+                      help="leakage metric per cell: bit_success_rate, "
+                           "channel_capacity, or separability")
+    sm_p.add_argument("--no-cost", action="store_true",
+                      help="skip the IPC-cost column (no workload "
+                           "simulations at all)")
 
     mc_p = sub.add_parser("multicore", help="run 4-core mixes",
                           parents=[exec_parent])
@@ -806,6 +908,7 @@ COMMANDS = {
     "tables": cmd_tables,
     "bench": cmd_bench,
     "attack": cmd_attack,
+    "security-matrix": cmd_security_matrix,
     "multicore": cmd_multicore,
     "report": cmd_report,
     "serve": cmd_serve,

@@ -136,15 +136,12 @@ def _execute_mix_job(job: MixJob):
     """Run one multicore mix (see :func:`execute_job` for the extras)."""
     from ..experiments.runner import ExperimentRunner
     from ..sim.multicore import MulticoreSystem
-    from ..sim.system import System
     t0 = time.perf_counter()
     runner = ExperimentRunner(scale=job.scale, params=job.params)
     config = job.config
 
     def factory(**kw):
-        prefetcher = runner.build_prefetcher(config.prefetcher)
-        return System(prefetcher=prefetcher, secure=config.secure,
-                      suf=config.suf, train_mode=config.mode, **kw)
+        return runner.build_core_system(config, **kw)
 
     mc = MulticoreSystem(cores=job.cores, params=job.params,
                          system_factory=factory)

@@ -108,6 +108,16 @@ SPEC_MODES = {
     "timely-secure": (MODE_ON_COMMIT, True),
 }
 
+#: Mitigation *mechanisms* a config can carry on top of its mode
+#: (``Config.mitigation``).  ``none`` covers the conventional and
+#: GhostMinion systems (whose machinery rides on ``secure``/``suf``);
+#: the others select the additional defenses of
+#: :mod:`repro.security.mitigations` (kept in sync by
+#: tests/security/test_mitigations.py): ``delay`` = delay-on-miss,
+#: ``rand-llc`` = randomized-index LLC, ``prefender`` = access-
+#: obfuscation shim around the prefetcher.
+CONFIG_MITIGATIONS = ("none", "delay", "rand-llc", "prefender")
+
 
 @dataclass(frozen=True)
 class Config:
@@ -131,6 +141,10 @@ class Config:
     mode: str = MODE_ON_ACCESS
     classify: bool = False
     sample_interval: int = 0
+    #: Additional defense mechanism (:data:`CONFIG_MITIGATIONS`).  The
+    #: default keeps every pre-existing config -- labels, store keys,
+    #: golden pins -- exactly as it was.
+    mitigation: str = "none"
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_ON_ACCESS, MODE_ON_COMMIT):
@@ -146,6 +160,12 @@ class Config:
                 or self.sample_interval < 0:
             raise ValueError(f"sample_interval must be a non-negative "
                              f"integer, got {self.sample_interval!r}")
+        if self.mitigation not in CONFIG_MITIGATIONS:
+            raise ValueError(f"unknown mitigation {self.mitigation!r}; "
+                             f"known: {list(CONFIG_MITIGATIONS)}")
+        if self.mitigation == "delay" and self.secure:
+            raise ValueError("pick one mitigation: GhostMinion (secure) "
+                             "or delay-on-miss")
 
     def label(self) -> str:
         parts = [self.prefetcher,
@@ -153,13 +173,16 @@ class Config:
                  "S" if self.secure else "NS"]
         if self.suf:
             parts.append("SUF")
+        if self.mitigation != "none":
+            parts.append(self.mitigation)
         return "/".join(parts)
 
     @classmethod
     def from_spec(cls, mode: str = "nonsecure",
                   prefetcher: str = "none", *, suf: bool = False,
                   classify: bool = False,
-                  sample_interval: int = 0) -> "Config":
+                  sample_interval: int = 0,
+                  mitigation: str = "none") -> "Config":
         """Build a configuration from declarative-spec fields.
 
         The single constructor behind the campaign compiler and the
@@ -191,10 +214,20 @@ class Config:
             raise ValueError(
                 f"config field 'suf': SUF requires a secure mode, "
                 f"got mode={mode!r}")
+        if not isinstance(mitigation, str) \
+                or mitigation not in CONFIG_MITIGATIONS:
+            raise ValueError(
+                f"config field 'mitigation': unknown mechanism "
+                f"{mitigation!r}; known: {list(CONFIG_MITIGATIONS)}")
+        if mitigation == "delay" and secure:
+            raise ValueError(
+                f"config field 'mitigation': delay-on-miss excludes the "
+                f"secure modes, got mode={mode!r}")
         try:
             return cls(prefetcher=name, secure=secure, suf=suf,
                        mode=train_mode, classify=classify,
-                       sample_interval=sample_interval)
+                       sample_interval=sample_interval,
+                       mitigation=mitigation)
         except ValueError as exc:
             raise ValueError(f"config spec invalid: {exc}") from None
 
@@ -343,8 +376,31 @@ class ExperimentRunner:
             return make_timely(inner, interval_misses=interval)
         return make_prefetcher(name)
 
+    def _mitigation_knobs(self, config: Config) -> Tuple:
+        """Resolve ``config.mitigation`` into constructor-level knobs.
+
+        Returns ``(params, delay, llc_scramble, wrap)`` where ``wrap``
+        transforms the prefetcher instance (the PREFENDER shim).  The
+        security module is imported lazily: configs without a mitigation
+        -- every pre-existing sweep -- never touch it.
+        """
+        if config.mitigation == "none":
+            return self.params, False, 0, None
+        from ..security.mitigations import (SCRAMBLE_SEED,
+                                            randomized_llc_params)
+        if config.mitigation == "delay":
+            return self.params, True, 0, None
+        if config.mitigation == "rand-llc":
+            return (randomized_llc_params(self.params), False,
+                    SCRAMBLE_SEED, None)
+        from ..security.prefender import AccessObfuscationShim
+        return self.params, False, 0, AccessObfuscationShim
+
     def build_system(self, config: Config) -> System:
         prefetcher = self.build_prefetcher(config.prefetcher)
+        params, delay, llc_scramble, wrap = self._mitigation_knobs(config)
+        if wrap is not None and prefetcher is not None:
+            prefetcher = wrap(prefetcher)
         shadow = None
         if config.classify and prefetcher is not None:
             shadow_name = config.prefetcher
@@ -355,11 +411,30 @@ class ExperimentRunner:
             shadow = make_prefetcher(shadow_name)
         obs = ObsConfig(sample_interval=config.sample_interval) \
             if config.sample_interval else None
-        return System(params=self.params, secure=config.secure,
-                      suf=config.suf, prefetcher=prefetcher,
+        return System(params=params, secure=config.secure,
+                      suf=config.suf, delay_mitigation=delay,
+                      prefetcher=prefetcher,
                       train_mode=config.mode, shadow=shadow,
-                      classify=config.classify, obs=obs,
+                      classify=config.classify,
+                      llc_scramble=llc_scramble, obs=obs,
                       label=config.label())
+
+    def build_core_system(self, config: Config, **kw) -> System:
+        """Build one *core* of a multicore system for ``config``.
+
+        ``kw`` carries the shared LLC/DRAM (and params) from
+        :class:`~repro.sim.multicore.MulticoreSystem`; the config's
+        mitigation knobs are applied per core, so e.g. every core's
+        hierarchy wraps the shared LLC with the same scramble key.
+        """
+        prefetcher = self.build_prefetcher(config.prefetcher)
+        _, delay, llc_scramble, wrap = self._mitigation_knobs(config)
+        if wrap is not None and prefetcher is not None:
+            prefetcher = wrap(prefetcher)
+        return System(secure=config.secure, suf=config.suf,
+                      delay_mitigation=delay, prefetcher=prefetcher,
+                      train_mode=config.mode,
+                      llc_scramble=llc_scramble, **kw)
 
     # ------------------------------------------------------------------
     # execution

@@ -1,11 +1,47 @@
-"""Security validation: transient-execution attacks against the prefetcher."""
+"""Security validation: attacks, mitigations, and leakage metrics.
 
-from .attacks import (AttackResult, run_prefetch_covert_channel,
+The package splits along the attacker/defender line:
+
+* :mod:`~repro.security.attacks` -- the attack library (covert-stride,
+  prime+probe, stride-inference, cross-core-probe) and
+  :func:`run_attack`, the single entry point the matrix drives.
+* :mod:`~repro.security.channels` -- the timing-channel primitives
+  (probe loads, the derived hit/miss latency threshold).
+* :mod:`~repro.security.mitigations` -- the pluggable defense registry
+  (GhostMinion, delay-on-miss, randomized-index LLC, the PREFENDER-style
+  access-obfuscation shim) mirroring the prefetcher registry.
+* :mod:`~repro.security.metrics` -- leakage metrics over attack results,
+  exposed as ``repro.obs`` gauges.
+* :mod:`~repro.security.matrix` -- the attack x defense x prefetcher
+  matrix harness behind ``repro security-matrix`` and the
+  ``security_matrix`` campaign output kind.
+
+See docs/SECURITY.md for the threat model and attack taxonomy.
+"""
+
+from .attacks import (ATTACKS, AttackResult, AttackSpec, attack_names,
+                      run_attack, run_prefetch_covert_channel,
                       transient_blocks_in_caches)
-from .channels import HIT_THRESHOLD, is_cached, probe_blocks, probe_latency
+from .channels import (HIT_THRESHOLD, hit_threshold, is_cached,
+                       probe_blocks, probe_latency)
+from .metrics import (LEAKAGE_METRICS, LeakageMetric, bit_success_rate,
+                      channel_capacity, leakage_metric_names,
+                      leakage_registry, leakage_value, separability)
+from .mitigations import (MITIGATION_MECHANISMS, PAPER_MITIGATIONS,
+                          Mitigation, build_attack_system, describe,
+                          is_registered, make_mitigation,
+                          mitigation_names, register, unregister)
 
 __all__ = [
-    "AttackResult", "run_prefetch_covert_channel",
+    "ATTACKS", "AttackResult", "AttackSpec", "attack_names",
+    "run_attack", "run_prefetch_covert_channel",
     "transient_blocks_in_caches",
-    "HIT_THRESHOLD", "is_cached", "probe_blocks", "probe_latency",
+    "HIT_THRESHOLD", "hit_threshold", "is_cached", "probe_blocks",
+    "probe_latency",
+    "LEAKAGE_METRICS", "LeakageMetric", "bit_success_rate",
+    "channel_capacity", "leakage_metric_names", "leakage_registry",
+    "leakage_value", "separability",
+    "MITIGATION_MECHANISMS", "PAPER_MITIGATIONS", "Mitigation",
+    "build_attack_system", "describe", "is_registered",
+    "make_mitigation", "mitigation_names", "register", "unregister",
 ]

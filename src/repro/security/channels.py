@@ -1,19 +1,53 @@
 """Timing-channel measurement helpers (attacker-side primitives).
 
-An attacker distinguishes cached from uncached lines by load latency.  These
-helpers issue *architectural* (committed) probe loads straight into a
-system's hierarchy and classify the observed latency.
+An attacker distinguishes cached from uncached lines by load latency.
+These helpers issue *architectural* (committed) probe loads straight
+into a system's hierarchy and classify the observed latency.
+
+The classification threshold is **derived from the active
+:class:`~repro.sim.params.SystemParams`**, not hard-coded: the worst
+on-chip hit is an LLC hit, whose completion is roughly the sum of the
+three cache latencies (the L1D and L2 misses each spend their own
+latency forwarding the request down), while the cheapest memory fetch
+adds at least the DRAM column access plus controller and bus time on
+top of that walk.  :func:`hit_threshold` places the cut halfway into
+that gap, so probes keep classifying correctly when experiments sweep
+cache or DRAM latencies.  :data:`HIT_THRESHOLD` is the value for the
+Table II baseline (~87 cycles: LLC hits land near 55, DRAM above 120)
+and remains exported for callers that probe baseline-parameterized
+systems.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from ..sim.params import SystemParams
 from ..sim.system import System
 
-#: Latency (cycles) separating cache hits from memory fetches.  An LLC hit
-#: costs ~55 cycles in the Table II hierarchy; DRAM is well above 150.
-HIT_THRESHOLD = 100
+
+def hit_threshold(params: Optional[SystemParams] = None) -> int:
+    """Latency cut separating cache hits from memory fetches.
+
+    Derived from ``params`` (the Table II baseline when ``None``): the
+    slowest hit path -- L1D miss, L2 miss, LLC hit -- costs about the sum
+    of the three cache latencies; the fastest memory fetch pays at least
+    the DRAM CAS + controller + bus beyond it.  The threshold sits half
+    the minimum DRAM surcharge above the on-chip ceiling.
+    """
+    if params is None:
+        params = SystemParams()
+    cache_hit = (params.l1d.latency + params.l2.latency +
+                 params.llc.latency)
+    dram_extra = (params.dram.t_cas + params.dram.controller_latency +
+                  params.dram.bus_cycles_per_line)
+    return cache_hit + max(1, dram_extra // 2)
+
+
+#: Threshold for the default (Table II) hierarchy; prefer
+#: ``hit_threshold(system.params)`` when the system under probe may
+#: carry swept latencies.
+HIT_THRESHOLD = hit_threshold()
 
 
 def probe_latency(system: System, block: int, time: int) -> int:

@@ -1,0 +1,168 @@
+"""The attack x defense x prefetcher security matrix harness.
+
+This is the shared engine behind ``repro security-matrix`` and the
+``security_matrix`` campaign output kind: it mounts every registered (or
+requested) attack against every requested defense, per prefetcher, and
+renders one table per prefetcher with
+
+* one **row per defense** (a registered mitigation name);
+* one **column per attack**, holding the chosen leakage metric
+  (:mod:`repro.security.metrics`; 1.0 ``bit_success_rate`` = the secret
+  leaks perfectly, 0.0 = the channel is closed);
+* a final ``ipc_d%`` column: the defense's performance cost, measured as
+  the geometric-mean IPC delta over the runner's workload pool relative
+  to the ``nonsecure`` row of the same prefetcher (negative = slower).
+
+Leakage cells are **in-process**: each attack is a deterministic pure
+function of (attack, defense, prefetcher), milliseconds of simulated
+victim/attacker trace, so they neither need nor use the executor pool --
+results are byte-identical at any ``--jobs`` level.  Only the *cost*
+column simulates real workloads, and those cells route through the
+runner's executor/store like every other campaign cell (parallel,
+resumable, cached).
+
+See docs/SECURITY.md for the threat model and how to read the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import geomean
+from ..analysis.report import format_table
+from ..experiments.runner import Config, ExperimentRunner
+from .attacks import (ATTACKS, AttackResult, DEFAULT_SECRET, attack_names,
+                      run_attack)
+from .metrics import leakage_value
+from .mitigations import make_mitigation
+
+__all__ = ["MatrixResult", "DEFAULT_DEFENSES", "cost_config",
+           "matrix_cost_configs", "run_security_matrix"]
+
+#: Default defense rows, in presentation order (the registered set at
+#: the time of writing; campaign specs pin their own explicit list).
+DEFAULT_DEFENSES = ("nonsecure", "delay-on-miss", "ghostminion",
+                    "rand-llc", "prefender")
+
+#: Column label of the performance-cost column.
+COST_COLUMN = "ipc_d%"
+
+
+@dataclass
+class MatrixResult:
+    """Everything one matrix run produced."""
+
+    #: Rendered tables (one per prefetcher), joined by blank lines.
+    text: str
+    #: ``(prefetcher, defense, attack) -> AttackResult``.
+    results: Dict[Tuple[str, str, str], AttackResult]
+    #: ``(prefetcher, defense) -> geomean IPC delta %`` (empty when the
+    #: cost column was not requested).
+    ipc_delta: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def leakage(self, metric: str) -> Dict[Tuple[str, str, str], float]:
+        """Evaluate one leakage metric over every cell."""
+        return {key: leakage_value(metric, result)
+                for key, result in self.results.items()}
+
+
+def cost_config(defense: str, prefetcher: str) -> Config:
+    """The experiment :class:`Config` implementing one defense row.
+
+    Built through the mitigation's own ``config_spec`` so the campaign
+    cost cells run exactly the mechanisms the attack cells faced.
+    """
+    mitigation = make_mitigation(defense)
+    return Config.from_spec(**mitigation.config_spec(prefetcher))
+
+
+def matrix_cost_configs(defenses: Sequence[str],
+                        prefetchers: Sequence[str]
+                        ) -> List[Tuple[str, str, Config]]:
+    """Every (defense, prefetcher, config) the cost column simulates.
+
+    The ``nonsecure`` baseline per prefetcher is always included (the
+    delta needs it), deduplicated if already a requested row.
+    """
+    configs: List[Tuple[str, str, Config]] = []
+    for prefetcher in prefetchers:
+        names = list(defenses)
+        if "nonsecure" not in names:
+            names.append("nonsecure")
+        for defense in names:
+            configs.append((defense, prefetcher,
+                            cost_config(defense, prefetcher)))
+    return configs
+
+
+def _validate_axes(attacks, defenses, prefetchers) -> None:
+    for attack in attacks:
+        if attack not in ATTACKS:
+            raise ValueError(f"unknown attack {attack!r}; known: "
+                             f"{attack_names()}")
+    for defense in defenses:
+        make_mitigation(defense)   # raises naming the known set
+    del prefetchers                # validated by Config construction
+
+
+def run_security_matrix(runner: ExperimentRunner, *,
+                        attacks: Optional[Sequence[str]] = None,
+                        defenses: Optional[Sequence[str]] = None,
+                        prefetchers: Sequence[str] = ("ip-stride",),
+                        secret_bits: Optional[Sequence[int]] = None,
+                        metric: str = "bit_success_rate",
+                        cost: bool = True,
+                        title: Optional[str] = None,
+                        value_format: str = "{:8.3f}") -> MatrixResult:
+    """Run the full cross-product and render the matrix tables.
+
+    ``runner`` supplies the workload pool and executor for the cost
+    column; leakage cells run in-process (see the module docstring).
+    ``secret_bits`` defaults to the 8-bit :data:`DEFAULT_SECRET`.
+    """
+    attacks = list(attacks) if attacks is not None else attack_names()
+    defenses = list(defenses) if defenses is not None \
+        else list(DEFAULT_DEFENSES)
+    prefetchers = list(prefetchers)
+    _validate_axes(attacks, defenses, prefetchers)
+    bits = list(DEFAULT_SECRET if secret_bits is None else secret_bits)
+
+    # Cost column first: one executor batch over every (defense, pf)
+    # config x the pool, so workers stay busy; the leakage cells that
+    # follow are in-process and effectively free.
+    ipc_delta: Dict[Tuple[str, str], float] = {}
+    if cost:
+        pool = runner.pool()
+        mean_ipc: Dict[Tuple[str, str], float] = {}
+        for defense, prefetcher, config in matrix_cost_configs(
+                defenses, prefetchers):
+            results = runner.run_pool(config, pool)
+            mean_ipc[(prefetcher, defense)] = geomean(
+                r.ipc for r in results)
+        for prefetcher in prefetchers:
+            base = mean_ipc[(prefetcher, "nonsecure")]
+            for defense in defenses:
+                ipc = mean_ipc[(prefetcher, defense)]
+                ipc_delta[(prefetcher, defense)] = \
+                    (ipc / base - 1.0) * 100.0 if base > 0 \
+                    else float("nan")
+
+    results: Dict[Tuple[str, str, str], AttackResult] = {}
+    blocks: List[str] = []
+    for prefetcher in prefetchers:
+        rows: Dict[str, List[float]] = {}
+        for defense in defenses:
+            values: List[float] = []
+            for attack in attacks:
+                result = run_attack(attack, defense, prefetcher, bits)
+                results[(prefetcher, defense, attack)] = result
+                values.append(leakage_value(metric, result))
+            if cost:
+                values.append(ipc_delta[(prefetcher, defense)])
+            rows[defense] = values
+        columns = list(attacks) + ([COST_COLUMN] if cost else [])
+        table_title = title or f"Security matrix ({metric})"
+        blocks.append(format_table(f"{table_title} -- {prefetcher}",
+                                   columns, rows, value_format))
+    return MatrixResult("\n\n".join(blocks), results, ipc_delta)

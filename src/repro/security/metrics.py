@@ -1,0 +1,153 @@
+"""Leakage metrics: how much secret an :class:`AttackResult` recovered.
+
+Three views of the same attempt, each useful in a different argument:
+
+``bit_success_rate``
+    Fraction of secret bits recovered correctly.  The headline matrix
+    number: 1.0 is a working channel, ~0.0 (all erasures) is a closed
+    one.  Note an attacker guessing decided-but-random bits would score
+    ~0.5; the erasure-aware capacity below covers that case.
+``channel_capacity``
+    Estimated information per attempted bit, in bits, treating the
+    channel as a binary channel with erasures: probes that saw no
+    differential signal are erasures (capacity factor ``1 - e/n``), and
+    the decided bits form a binary symmetric channel whose capacity is
+    ``1 - H2(p_err)``.  A defense that forces either all-erasure or
+    coin-flip decisions drives this to 0.
+``separability``
+    How cleanly the probe latencies split into a hit cluster and a miss
+    cluster: ``(min(miss) - max(hit)) / (min(miss) + max(hit))`` over
+    all probes, 0 when either cluster is empty.  This is the *physical*
+    margin the attacker's timer needs; metrics above stay meaningful
+    only while this is comfortably positive.
+
+The registry (:data:`LEAKAGE_METRICS`) names each metric for campaign
+specs, and :func:`leakage_registry` exposes a set of attack results as
+``repro.obs`` gauges (``security.<attack>.<metric>``), so matrix runs
+snapshot through the same observability surface as everything else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping
+
+from ..obs.registry import MetricRegistry
+from .attacks import AttackResult
+
+__all__ = ["LeakageMetric", "LEAKAGE_METRICS", "leakage_metric_names",
+           "leakage_value", "leakage_registry", "bit_success_rate",
+           "channel_capacity", "separability"]
+
+
+def bit_success_rate(result: AttackResult) -> float:
+    """Fraction of secret bits recovered correctly."""
+    return result.success_rate
+
+
+def _h2(p: float) -> float:
+    """Binary entropy, in bits."""
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log2(p) + (1.0 - p) * math.log2(1.0 - p))
+
+
+def channel_capacity(result: AttackResult) -> float:
+    """Bits of secret per attempted bit (erasure + symmetric-error model).
+
+    ``(1 - e/n) * (1 - H2(p_err))`` where ``e`` counts undecided bits
+    and ``p_err`` is the error rate among decided bits.
+    """
+    n = len(result.sent_bits)
+    if n == 0:
+        return 0.0
+    decided = [(s, r) for s, r in zip(result.sent_bits,
+                                      result.recovered_bits)
+               if r is not None]
+    if not decided:
+        return 0.0
+    errors = sum(1 for s, r in decided if s != r)
+    p_err = errors / len(decided)
+    return (len(decided) / n) * (1.0 - _h2(p_err))
+
+
+def separability(result: AttackResult) -> float:
+    """Normalized gap between the hit and miss latency clusters.
+
+    Classifies every probe latency with the result's own threshold; the
+    metric is the relative width of the empty band between the slowest
+    hit and the fastest miss.  0 when all probes landed on one side --
+    a defense that flattens timing removes the physical signal itself.
+    """
+    hits: List[int] = []
+    misses: List[int] = []
+    for probes in result.probe_latencies:
+        for latency in probes:
+            (hits if latency < result.threshold else misses).append(latency)
+    if not hits or not misses:
+        return 0.0
+    gap = min(misses) - max(hits)
+    scale = min(misses) + max(hits)
+    if scale <= 0:
+        return 0.0
+    return max(gap, 0) / scale
+
+
+@dataclass(frozen=True)
+class LeakageMetric:
+    """One registered leakage metric."""
+
+    name: str
+    description: str
+    fn: Callable[[AttackResult], float] = field(repr=False)
+
+
+LEAKAGE_METRICS: Dict[str, LeakageMetric] = {
+    "bit_success_rate": LeakageMetric(
+        "bit_success_rate", "fraction of secret bits recovered correctly",
+        bit_success_rate),
+    "channel_capacity": LeakageMetric(
+        "channel_capacity",
+        "estimated secret bits per attempt (erasure-aware)",
+        channel_capacity),
+    "separability": LeakageMetric(
+        "separability", "normalized hit/miss latency cluster gap",
+        separability),
+}
+
+
+def leakage_metric_names() -> List[str]:
+    """All registered leakage metric names."""
+    return sorted(LEAKAGE_METRICS)
+
+
+def leakage_value(name: str, result: AttackResult) -> float:
+    """Evaluate one registered metric on one attack result."""
+    try:
+        metric = LEAKAGE_METRICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown leakage metric {name!r}; known: "
+            f"{leakage_metric_names()}") from None
+    return metric.fn(result)
+
+
+def leakage_registry(results: Mapping[str, AttackResult]) -> MetricRegistry:
+    """Expose attack results as observability gauges.
+
+    One gauge per ``(attack, metric)`` pair, named
+    ``security.<attack>.<metric>`` following the repo's metric-naming
+    convention; snapshotting the returned registry yields the full
+    leakage picture of a matrix run.
+    """
+    registry = MetricRegistry()
+    for attack in sorted(results):
+        result = results[attack]
+        for name in leakage_metric_names():
+            metric = LEAKAGE_METRICS[name]
+            registry.gauge(
+                f"security.{attack}.{name}",
+                (lambda m=metric, r=result: m.fn(r)),
+                metric.description)
+    return registry

@@ -583,6 +583,66 @@ class CacheLevel:
         self.stats.reset()
 
 
+#: 64-bit mask for the scramble finalizer below.
+_MASK64 = (1 << 64) - 1
+
+
+class ScrambledBackend:
+    """Keyed block-address permutation in front of a cache level.
+
+    Models a randomized-index cache in the Random-and-Safe / CEASER
+    family: the level behind this adapter sees a keyed bijection of the
+    physical block address, so an attacker cannot construct an eviction
+    set for a chosen victim set without knowing the key.  The mapping is
+    a splitmix64-style finalizer over ``block ^ seed`` -- bijective on
+    64-bit values, so distinct blocks never alias and the level's
+    hit/miss behaviour is exact, just relocated.
+
+    The adapter fronts only the level it wraps (here: the LLC); upper
+    levels keep physical indexing, matching the deployments described in
+    the papers (randomization at the shared outer level where conflict
+    channels are mounted).  It exposes the ``access`` /
+    ``receive_writeback`` / ``issue_prefetch`` / ``contains`` duck type
+    of :class:`CacheLevel`, translating the block argument and passing
+    everything else through positionally (hot-path convention).
+    """
+
+    __slots__ = ("level", "seed")
+
+    def __init__(self, level: "CacheLevel", seed: int) -> None:
+        if not seed:
+            raise ValueError("scramble seed must be non-zero")
+        self.level = level
+        self.seed = seed & _MASK64
+
+    def scramble(self, block: int) -> int:
+        """The keyed bijection: physical block -> scrambled block."""
+        z = (block ^ self.seed) & _MASK64
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def access(self, block: int, time: int, rtype: str,
+               update: bool = True, fill: bool = True,
+               count_useful: bool = True) -> Tuple[int, int]:
+        return self.level.access(self.scramble(block), time, rtype,
+                                 update, fill, count_useful)
+
+    def receive_writeback(self, block: int, time: int, dirty: bool = False,
+                          gm_propagate: bool = False,
+                          wbb: bool = False) -> None:
+        self.level.receive_writeback(self.scramble(block), time, dirty,
+                                     gm_propagate, wbb)
+
+    def issue_prefetch(self, block: int, time: int, *,
+                       fill: bool = True) -> bool:
+        return self.level.issue_prefetch(self.scramble(block), time,
+                                         fill=fill)
+
+    def contains(self, block: int, time: Optional[int] = None) -> bool:
+        return self.level.contains(self.scramble(block), time)
+
+
 class MemoryBackend:
     """Terminal backend adapting :class:`~repro.sim.dram.DRAMChannel`.
 

@@ -23,7 +23,7 @@ from bisect import bisect_right
 from typing import NamedTuple
 
 from .cache import (CacheLevel, LEVEL_L1D, LEVEL_L2, LEVEL_LLC,
-                    MemoryBackend)
+                    MemoryBackend, ScrambledBackend)
 from .dram import DRAMChannel
 from .ghostminion import GhostMinionCache
 from .params import SystemParams
@@ -48,7 +48,8 @@ class MemoryHierarchy:
 
     def __init__(self, params: SystemParams, *, secure: bool = False,
                  commit_filter=None, shared_llc: CacheLevel = None,
-                 shared_dram: DRAMChannel = None) -> None:
+                 shared_dram: DRAMChannel = None,
+                 llc_scramble: int = 0) -> None:
         if commit_filter is not None and not secure:
             raise ValueError("SUF only applies to a secure cache system")
         self.params = params
@@ -63,7 +64,14 @@ class MemoryHierarchy:
         backend = MemoryBackend(self.dram)
         self.llc = shared_llc if shared_llc is not None \
             else CacheLevel(params.llc, LEVEL_LLC, backend)
-        self.l2 = CacheLevel(params.l2, LEVEL_L2, self.llc)
+        #: What the L2 sees below it: the LLC itself, or -- under the
+        #: ``rand-llc`` mitigation -- a keyed index-randomization adapter
+        #: in front of it (``repro.security.mitigations``).  Sharing a
+        #: multicore LLC composes: each core's hierarchy wraps the shared
+        #: level with the same seed, so the scramble stays coherent.
+        self.llc_front = ScrambledBackend(self.llc, llc_scramble) \
+            if llc_scramble else self.llc
+        self.l2 = CacheLevel(params.l2, LEVEL_L2, self.llc_front)
         self.l1d = CacheLevel(params.l1d, LEVEL_L1D, self.l2)
 
         self.gm_stats = GhostMinionStats()
@@ -230,7 +238,7 @@ class MemoryHierarchy:
         if hit_level == LEVEL_L2:
             provider = self.l2
         elif hit_level == LEVEL_LLC:
-            provider = self.llc
+            provider = self.llc_front
         else:
             return
         stats.wb_stopped_suf += 1
@@ -281,7 +289,7 @@ class MemoryHierarchy:
                 return self.l1d.issue_prefetch(block, time)
         if fill_level == LEVEL_L2:
             return self.l2.issue_prefetch(block, time)
-        return self.llc.issue_prefetch(block, time)
+        return self.llc_front.issue_prefetch(block, time)
 
     # ------------------------------------------------------------------
 

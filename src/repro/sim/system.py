@@ -154,6 +154,7 @@ class System:
                  shadow: Optional[Prefetcher] = None,
                  classify: bool = False,
                  shared_llc=None, shared_dram=None,
+                 llc_scramble: int = 0,
                  obs: Optional[ObsConfig] = None,
                  label: Optional[str] = None,
                  batch: Optional[bool] = None) -> None:
@@ -173,11 +174,17 @@ class System:
             else None
         self.prefetcher = prefetcher
         self.train_mode = train_mode
+        #: Non-zero key enables the randomized-index LLC front
+        #: (:class:`~repro.sim.cache.ScrambledBackend`; the ``rand-llc``
+        #: mitigation).  Zero keeps the conventional hierarchy
+        #: bit-identical to every pinned configuration.
+        self.llc_scramble = llc_scramble
 
         self.hierarchy = MemoryHierarchy(
             params, secure=secure,
             commit_filter=suf_decide if suf else None,
-            shared_llc=shared_llc, shared_dram=shared_dram)
+            shared_llc=shared_llc, shared_dram=shared_dram,
+            llc_scramble=llc_scramble)
         self.core = CoreModel(params.core)
         self.core_stats = CoreStats()
         self.tlb = TLBHierarchy(params.tlb)
@@ -246,6 +253,8 @@ class System:
         parts = [pf, self.train_mode, system]
         if self.suf:
             parts.append("suf")
+        if self.llc_scramble:
+            parts.append("rand-llc")
         return "/".join(parts)
 
     # ------------------------------------------------------------------

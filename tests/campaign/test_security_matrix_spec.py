@@ -1,0 +1,133 @@
+"""The ``security_matrix`` campaign output kind: spec, plan, engine."""
+
+import copy
+
+import pytest
+
+from repro.campaign import SpecError, compile_plan, parse_spec
+from repro.campaign.spec import SecurityMatrixOut, expand_outputs, \
+    pool_trace_names
+from repro.experiments.runner import SCALES
+
+
+def matrix_spec(**output_overrides):
+    output = {
+        "kind": "security_matrix",
+        "title": "M",
+        "attacks": ["covert-stride", "prime-probe"],
+        "defenses": ["nonsecure", "ghostminion"],
+        "prefetchers": ["ip-stride"],
+        "metric": "bit_success_rate",
+        "cost": True,
+    }
+    output.update(output_overrides)
+    return {
+        "campaign": {"name": "sm", "description": "test"},
+        "axes": {},
+        "outputs": [output],
+    }
+
+
+def expand_one(data):
+    spec = parse_spec(copy.deepcopy(data))
+    scale = spec.resolve_scale()
+    return expand_outputs(spec, pool_trace_names(scale))[0]
+
+
+class TestSpecValidation:
+    def test_valid_spec_expands(self):
+        out = expand_one(matrix_spec())
+        assert isinstance(out, SecurityMatrixOut)
+        assert out.attacks == ["covert-stride", "prime-probe"]
+        assert out.defenses == ["nonsecure", "ghostminion"]
+        # The cost column always simulates the nonsecure baseline too.
+        assert [d for d, _, _ in out.cost_configs] == \
+            ["nonsecure", "ghostminion"]
+
+    def test_defaults(self):
+        data = matrix_spec()
+        for key in ("attacks", "defenses", "prefetchers", "metric",
+                    "cost"):
+            del data["outputs"][0][key]
+        out = expand_one(data)
+        assert len(out.attacks) == 4
+        assert len(out.defenses) == 5
+        assert out.prefetchers == ["ip-stride"]
+        assert out.metric == "bit_success_rate"
+        assert out.cost is True
+
+    def test_unknown_attack_names_field(self):
+        with pytest.raises(SpecError, match="unknown attack"):
+            parse_spec(matrix_spec(attacks=["rowhammer"]))
+
+    def test_unknown_defense_names_known_set(self):
+        with pytest.raises(SpecError, match="unknown mitigation"):
+            parse_spec(matrix_spec(defenses=["rowhammer"]))
+
+    def test_unknown_prefetcher_rejected(self):
+        with pytest.raises(SpecError, match="unknown"):
+            parse_spec(matrix_spec(prefetchers=["warp-drive"]))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(SpecError, match="unknown leakage metric"):
+            parse_spec(matrix_spec(metric="entropy"))
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            parse_spec(matrix_spec(
+                defenses=["nonsecure", "nonsecure"]))
+
+    def test_bad_cost_and_bits_rejected(self):
+        with pytest.raises(SpecError, match="'cost' must be a boolean"):
+            parse_spec(matrix_spec(cost="yes"))
+        with pytest.raises(SpecError, match="secret_bits"):
+            parse_spec(matrix_spec(secret_bits=[1, 2]))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            parse_spec(matrix_spec(rows=[]))
+
+    def test_cost_off_skips_cost_configs_but_still_validates(self):
+        out = expand_one(matrix_spec(cost=False))
+        assert out.cost_configs == []
+        with pytest.raises(SpecError, match="unknown mitigation"):
+            parse_spec(matrix_spec(cost=False,
+                                   defenses=["rowhammer"]))
+
+
+class TestPlan:
+    def test_plan_counts_attack_and_cost_cells(self):
+        spec = parse_spec(matrix_spec())
+        plan = compile_plan(spec, SCALES["tiny"])
+        # 2 attacks x 2 defenses x 1 prefetcher, in-process.
+        assert plan.attack_cells == 4
+        # One cost cell per (defense, prefetcher).
+        assert plan.cells == 2
+        # One pool group per distinct cost config (nonsecure is shared).
+        assert len(plan.entries) == 2
+        assert all(entry.selector == "@pool" for entry in plan.entries)
+        assert plan.total_jobs == 2 * len(plan.pool_names)
+        assert "attack cells: 4 (in-process" in plan.describe()
+
+    def test_cost_off_plans_zero_jobs(self):
+        spec = parse_spec(matrix_spec(cost=False))
+        plan = compile_plan(spec, SCALES["tiny"])
+        assert plan.total_jobs == 0
+        assert plan.cells == 0
+        assert plan.attack_cells == 4
+
+
+class TestEngine:
+    def test_run_campaign_renders_matrix(self):
+        from repro.campaign import run_campaign
+        from repro.experiments.runner import ExperimentRunner
+        spec = parse_spec(matrix_spec(cost=False))
+        runner = ExperimentRunner(SCALES["tiny"])
+        result = run_campaign(spec, runner)
+        assert "M -- ip-stride" in result.text
+        assert result.columns == ["covert-stride", "prime-probe"]
+        assert result.rows["nonsecure"] == [1.0, 1.0]
+        assert result.rows["ghostminion"] == [0.0, 0.0]
+        # The raw MatrixResult rides along for downstream consumers.
+        assert result.matrix.results[
+            ("ip-stride", "nonsecure", "covert-stride")].leaked

@@ -1,0 +1,162 @@
+"""The attack library, leakage metrics, and the security matrix."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import SCALES, ExperimentRunner
+from repro.security.attacks import ATTACKS, AttackResult, attack_names, \
+    run_attack
+from repro.security.channels import HIT_THRESHOLD, hit_threshold
+from repro.security.matrix import (DEFAULT_DEFENSES, cost_config,
+                                   matrix_cost_configs,
+                                   run_security_matrix)
+from repro.security.metrics import (channel_capacity, leakage_metric_names,
+                                    leakage_registry, leakage_value,
+                                    separability)
+from repro.sim.params import baseline
+
+#: The designed differentiation matrix: which defenses each attack
+#: defeats.  Every defense has a distinct signature, so a wiring bug in
+#: any one mechanism flips at least one cell.
+EXPECTED_LEAKS = {
+    "covert-stride": {"nonsecure", "rand-llc"},
+    "prime-probe": {"nonsecure", "prefender"},
+    "stride-inference": {"nonsecure", "delay-on-miss", "ghostminion",
+                         "rand-llc"},
+    "cross-core-probe": {"nonsecure", "rand-llc"},
+}
+
+
+class TestAttackLibrary:
+    def test_registry_covers_the_matrix(self):
+        assert attack_names() == sorted(ATTACKS)
+        assert set(EXPECTED_LEAKS) == set(ATTACKS)
+
+    def test_unknown_attack_error_lists_known(self):
+        with pytest.raises(ValueError) as err:
+            run_attack("rowhammer")
+        message = str(err.value)
+        assert "rowhammer" in message
+        for name in attack_names():
+            assert name in message
+
+    @pytest.mark.parametrize("attack", sorted(EXPECTED_LEAKS))
+    def test_attack_defense_differentiation(self, attack):
+        for defense in DEFAULT_DEFENSES:
+            result = run_attack(attack, defense)
+            if defense in EXPECTED_LEAKS[attack]:
+                assert result.leaked, (attack, defense)
+                assert result.recovered_bits == result.sent_bits
+            else:
+                assert not result.leaked, (attack, defense)
+                # Closed channels yield erasures, not wrong guesses: the
+                # probes see no differential signal at all.
+                assert all(b is None for b in result.recovered_bits), \
+                    (attack, defense)
+
+
+class TestHitThreshold:
+    def test_sits_between_llc_hit_and_dram(self):
+        params = baseline()
+        cache_hit = (params.l1d.latency + params.l2.latency
+                     + params.llc.latency)
+        dram_miss = cache_hit + params.dram.t_cas \
+            + params.dram.controller_latency \
+            + params.dram.bus_cycles_per_line
+        assert cache_hit < hit_threshold(params) < dram_miss
+
+    def test_derives_from_the_given_params(self):
+        params = baseline()
+        slow_llc = replace(params,
+                           llc=replace(params.llc, latency=200))
+        assert hit_threshold(slow_llc) == hit_threshold(params) + 165
+
+    def test_module_constant_matches_baseline(self):
+        assert HIT_THRESHOLD == hit_threshold(baseline())
+
+
+class TestLeakageMetrics:
+    def test_open_channel(self):
+        result = run_attack("covert-stride", "nonsecure")
+        assert leakage_value("bit_success_rate", result) == 1.0
+        assert leakage_value("channel_capacity", result) == 1.0
+        assert leakage_value("separability", result) > 0.0
+
+    def test_closed_channel(self):
+        result = run_attack("covert-stride", "ghostminion")
+        assert leakage_value("bit_success_rate", result) == 0.0
+        assert leakage_value("channel_capacity", result) == 0.0
+
+    def test_unknown_metric_error_lists_known(self):
+        result = AttackResult([1], [1], [(10,)])
+        with pytest.raises(ValueError) as err:
+            leakage_value("entropy", result)
+        for name in leakage_metric_names():
+            assert name in str(err.value)
+
+    def test_channel_capacity_counts_erasures(self):
+        half = AttackResult([1, 0, 1, 0], [1, 0, None, None],
+                            [(), (), (), ()])
+        assert channel_capacity(half) == pytest.approx(0.5)
+
+    def test_channel_capacity_zero_at_coin_flip(self):
+        coin = AttackResult([1, 0, 1, 0], [1, 1, 0, 0],
+                            [(), (), (), ()])
+        assert channel_capacity(coin) == pytest.approx(0.0)
+
+    def test_separability_is_the_cluster_gap(self):
+        split = AttackResult([1], [1], [(10, 200)], threshold=87)
+        assert separability(split) == pytest.approx(190 / 210)
+        one_sided = AttackResult([1], [None], [(10, 20)], threshold=87)
+        assert separability(one_sided) == 0.0
+
+    def test_leakage_registry_gauges(self):
+        results = {"covert-stride": run_attack("covert-stride",
+                                               "nonsecure")}
+        registry = leakage_registry(results)
+        snap = registry.snapshot()
+        assert snap["security.covert-stride.bit_success_rate"] == 1.0
+        assert snap["security.covert-stride.channel_capacity"] == 1.0
+        assert snap["security.covert-stride.separability"] > 0.0
+
+
+class TestMatrixHarness:
+    def test_cost_config_mirrors_the_registry(self):
+        ghost = cost_config("ghostminion", "ip-stride")
+        assert ghost.secure and ghost.mitigation == "none"
+        rand = cost_config("rand-llc", "ip-stride")
+        assert not rand.secure and rand.mitigation == "rand-llc"
+
+    def test_cost_configs_always_include_the_baseline(self):
+        configs = matrix_cost_configs(["ghostminion"], ["ip-stride"])
+        assert [defense for defense, _, _ in configs] == \
+            ["ghostminion", "nonsecure"]
+        explicit = matrix_cost_configs(["nonsecure", "prefender"],
+                                       ["ip-stride"])
+        assert [defense for defense, _, _ in explicit] == \
+            ["nonsecure", "prefender"]
+
+    def test_full_matrix_matches_expected_cells(self):
+        runner = ExperimentRunner(SCALES["tiny"])
+        matrix = run_security_matrix(runner, cost=False)
+        assert matrix.ipc_delta == {}
+        leakage = matrix.leakage("bit_success_rate")
+        assert len(leakage) == len(ATTACKS) * len(DEFAULT_DEFENSES)
+        for (_pf, defense, attack), value in leakage.items():
+            expected = 1.0 if defense in EXPECTED_LEAKS[attack] else 0.0
+            assert value == expected, (attack, defense)
+        assert "Security matrix" in matrix.text
+        for defense in DEFAULT_DEFENSES:
+            assert defense in matrix.text
+
+    def test_unknown_axes_rejected(self):
+        runner = ExperimentRunner(SCALES["tiny"])
+        with pytest.raises(ValueError, match="unknown attack"):
+            run_security_matrix(runner, attacks=["rowhammer"],
+                                cost=False)
+        with pytest.raises(ValueError, match="unknown mitigation"):
+            run_security_matrix(runner, defenses=["rowhammer"],
+                                cost=False)
+        with pytest.raises(ValueError, match="unknown leakage metric"):
+            run_security_matrix(runner, metric="entropy", cost=False)
