@@ -27,7 +27,13 @@ Commands
 ``bench``
     Run the pinned performance-benchmark suites and emit a canonical
     ``BENCH_<tag>.json``; ``--compare baseline.json`` flags throughput
-    regressions (the CI bench-smoke job runs this).
+    regressions (the CI bench-smoke job runs this); ``--profile``
+    attaches a per-case cProfile hot-spot table.
+``figcheck``
+    Render every committed campaign spec and assert each figure metric
+    stays within a stated epsilon of the pinned snapshot
+    (``campaigns/golden/figures_golden.json``); the semantic gate for
+    reviewed modeled-time changes.  ``--update`` re-pins the snapshot.
 ``attack``
     Mount one attack from the library (``--attack``) under a registered
     defense (``--mitigation``), or the legacy covert channel via the
@@ -60,6 +66,8 @@ Examples
     python -m repro campaign campaigns/matrix_demo.json --dry-run
     python -m repro bench --suite macro --tag pr4
     python -m repro bench --suite micro --compare BENCH_pr4.json
+    python -m repro bench --suite macro --profile
+    python -m repro figcheck --epsilon 0.02
     python -m repro attack --secure --mode on-commit
     python -m repro attack --attack prime-probe --mitigation rand-llc
     python -m repro security-matrix --scale tiny --jobs 2
@@ -466,8 +474,8 @@ def cmd_report(args) -> int:
 
 def cmd_bench(args) -> int:
     """Run the pinned perf suites; emit/compare canonical BENCH json."""
-    from .perf import (bench_document, compare_docs, format_results,
-                      load_bench, run_suite, write_bench)
+    from .perf import (bench_document, compare_docs, format_profiles,
+                      format_results, load_bench, run_suite, write_bench)
     _exec_options(args)  # same flag validation as every other command
     _require_positive(args.repeat, "--repeat")
     if not 0 <= args.threshold < 1:
@@ -483,8 +491,11 @@ def cmd_bench(args) -> int:
         progress = None if args.quiet \
             else (lambda line: print(line, file=sys.stderr))
         results = run_suite(args.suite, repeat=args.repeat,
-                            progress=progress)
+                            progress=progress, profile=args.profile)
         print(format_results(results))
+        if args.profile:
+            print()
+            print(format_profiles(results))
         doc = bench_document(results, tag=args.tag, suite=args.suite,
                              repeat=args.repeat)
         output = args.output if args.output else f"BENCH_{args.tag}.json"
@@ -501,6 +512,44 @@ def cmd_bench(args) -> int:
     print(f"vs {args.compare} (tag {baseline['tag']!r}):")
     print(report.format_table())
     return 0 if report.ok else 1
+
+
+def cmd_figcheck(args) -> int:
+    """Figure-level tolerance gate for reviewed semantic changes.
+
+    Renders every committed campaign spec at the snapshot's scale and
+    asserts each numeric figure cell stays within ``--epsilon`` of
+    campaigns/golden/figures_golden.json; ``--update`` re-pins the
+    snapshot (with a provenance header) instead.
+    """
+    from .campaign import figcheck
+    if args.epsilon is None:
+        args.epsilon = figcheck.EPSILON
+    if not 0 < args.epsilon < 1:
+        raise SystemExit(f"--epsilon must be in (0, 1), "
+                         f"got {args.epsilon}")
+    progress = None if args.quiet else (
+        lambda name: print(f"  rendering {name} ...", file=sys.stderr))
+    if args.update:
+        doc = figcheck.snapshot(progress=progress)
+        path = figcheck.write_snapshot(doc)
+        print(f"pinned {len(doc['figures'])} figures -> {path}")
+        return 0
+    try:
+        ok, problems = figcheck.check(epsilon=args.epsilon,
+                                      progress=progress)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    if ok:
+        reference = figcheck.load_snapshot()
+        print(f"figcheck: {len(reference['figures'])} figures within "
+              f"epsilon {args.epsilon:g} of the pinned snapshot")
+        return 0
+    print(f"figcheck: {len(problems)} figure metric(s) out of "
+          f"tolerance (epsilon {args.epsilon:g}):")
+    for line in problems:
+        print(f"  {line}")
+    return 1
 
 
 def cmd_attack(args) -> int:
@@ -784,6 +833,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "baseline)")
     bench_p.add_argument("--quiet", action="store_true",
                          help="suppress per-case progress on stderr")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="add one untimed cProfile repeat per case "
+                              "and attach/print its top hot spots")
+
+    fc_p = sub.add_parser(
+        "figcheck",
+        help="check every campaign figure against the pinned snapshot")
+    fc_p.add_argument("--epsilon", type=float, default=None,
+                      help="per-cell tolerance (default: the module's "
+                           "pinned 0.02; see campaign/figcheck.py for "
+                           "the exact rule)")
+    fc_p.add_argument("--update", action="store_true",
+                      help="re-pin campaigns/golden/figures_golden.json "
+                           "from this tree (stamps provenance)")
+    fc_p.add_argument("--quiet", action="store_true",
+                      help="suppress per-figure progress on stderr")
 
     atk_p = sub.add_parser("attack", help="mount the covert channel")
     atk_p.add_argument("--attack", default="covert-stride",
@@ -907,6 +972,7 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "tables": cmd_tables,
     "bench": cmd_bench,
+    "figcheck": cmd_figcheck,
     "attack": cmd_attack,
     "security-matrix": cmd_security_matrix,
     "multicore": cmd_multicore,

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from .compare import (CaseDelta, CompareReport, compare_docs,
                       DEFAULT_THRESHOLD)
-from .harness import (BenchResult, bench_document, format_results,
-                      load_bench, peak_rss_kb, run_case, run_suite,
-                      write_bench)
+from .harness import (BenchResult, bench_document, format_profiles,
+                      format_results, load_bench, peak_rss_kb, run_case,
+                      run_suite, write_bench)
 from .schema import (BENCH_GROUPS, BENCH_SCHEMA, BENCH_UNITS,
                      validate_bench_record)
 from .suites import SUITES, BenchCase
@@ -28,7 +28,8 @@ from .suites import SUITES, BenchCase
 __all__ = [
     "BENCH_GROUPS", "BENCH_SCHEMA", "BENCH_UNITS", "BenchCase",
     "BenchResult", "CaseDelta", "CompareReport", "DEFAULT_THRESHOLD",
-    "SUITES", "bench_document", "compare_docs", "format_results",
+    "SUITES", "bench_document", "compare_docs", "format_profiles",
+    "format_results",
     "load_bench", "peak_rss_kb", "run_case", "run_suite",
     "validate_bench_record", "write_bench",
 ]

@@ -43,6 +43,10 @@ def peak_rss_kb() -> int:
     return rss // 1024 if sys.platform == "darwin" else rss
 
 
+#: Hot-spot rows kept per case when profiling is requested.
+PROFILE_TOP_N = 15
+
+
 @dataclass
 class BenchResult:
     """Best-of-N measurement for one case."""
@@ -55,6 +59,7 @@ class BenchResult:
     items: int
     peak_rss_kb: int
     phases: Optional[Dict[str, float]] = None
+    profile: Optional[List[dict]] = None
 
     def as_record(self) -> dict:
         record = {
@@ -65,11 +70,51 @@ class BenchResult:
         if self.phases:
             record["phases"] = {k: round(v, 6)
                                 for k, v in sorted(self.phases.items())}
+        if self.profile:
+            record["profile"] = self.profile
         return record
 
 
-def run_case(case: BenchCase, repeat: int = 3) -> BenchResult:
-    """Run one case ``repeat`` times; keep the fastest repeat."""
+def _profile_case(case: BenchCase, top: int = PROFILE_TOP_N) -> List[dict]:
+    """One *extra* profiled repeat; top ``top`` functions by tottime.
+
+    Runs outside the timed repeats on purpose: tracing roughly doubles
+    the interpreter's per-call cost, so a profiled repeat must never
+    supply the wall numbers the document reports.
+    """
+    import cProfile
+    import os
+
+    thunk = case.prepare()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    thunk()
+    profiler.disable()
+    rows = []
+    for entry in profiler.getstats():
+        code = entry.code
+        if isinstance(code, str):          # built-in: '<method ...>'
+            func = code
+        else:
+            func = (f"{os.path.basename(code.co_filename)}:"
+                    f"{code.co_firstlineno}({code.co_name})")
+        rows.append({
+            "func": func,
+            "calls": int(entry.callcount),
+            "tottime": round(entry.inlinetime, 6),
+            "cumtime": round(entry.totaltime, 6),
+        })
+    rows.sort(key=lambda row: row["tottime"], reverse=True)
+    return rows[:top]
+
+
+def run_case(case: BenchCase, repeat: int = 3,
+             profile: bool = False) -> BenchResult:
+    """Run one case ``repeat`` times; keep the fastest repeat.
+
+    ``profile=True`` adds one further (untimed) repeat under cProfile
+    and attaches its top hot spots to the result.
+    """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     best: Optional[BenchResult] = None
@@ -84,12 +129,14 @@ def run_case(case: BenchCase, repeat: int = 3) -> BenchResult:
                              phases)
         if best is None or result.value > best.value:
             best = result
+    if profile:
+        best.profile = _profile_case(case)
     return best
 
 
 def run_suite(suite: str = "micro", repeat: int = 3,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> List[BenchResult]:
+              progress: Optional[Callable[[str], None]] = None,
+              profile: bool = False) -> List[BenchResult]:
     """Run every case of ``suite`` (micro / macro / all)."""
     try:
         cases = SUITES[suite]
@@ -99,8 +146,9 @@ def run_suite(suite: str = "micro", repeat: int = 3,
     results = []
     for case in cases:
         if progress is not None:
-            progress(f"bench: {case.name} (x{repeat}) ...")
-        results.append(run_case(case, repeat))
+            progress(f"bench: {case.name} (x{repeat}"
+                     f"{' + profile' if profile else ''}) ...")
+        results.append(run_case(case, repeat, profile=profile))
     return results
 
 
@@ -160,3 +208,19 @@ def format_results(results: List[BenchResult]) -> str:
                      f"{r.unit:>11s}{r.wall_s:>8.2f}s"
                      f"{r.peak_rss_kb:>9d}K")
     return "\n".join(lines)
+
+
+def format_profiles(results: List[BenchResult]) -> str:
+    """Per-case hot-spot tables (cases without a profile are skipped)."""
+    blocks = []
+    for r in results:
+        if not r.profile:
+            continue
+        lines = [f"{r.name} -- top {len(r.profile)} by tottime "
+                 f"(one untimed profiled repeat):",
+                 f"  {'tottime':>9s}{'cumtime':>9s}{'calls':>10s}  func"]
+        for row in r.profile:
+            lines.append(f"  {row['tottime']:>8.3f}s{row['cumtime']:>8.3f}s"
+                         f"{row['calls']:>10,d}  {row['func']}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

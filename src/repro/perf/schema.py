@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict
 
 __all__ = ["BENCH_SCHEMA", "BENCH_GROUPS", "BENCH_UNITS",
-           "RESULT_FIELDS", "validate_bench_record"]
+           "RESULT_FIELDS", "PROFILE_FIELDS", "validate_bench_record"]
 
 #: Schema identifier embedded in every document.
 BENCH_SCHEMA = "repro-bench/1"
@@ -37,6 +37,17 @@ RESULT_FIELDS: Dict[str, tuple] = {
     "items": (int, True),         # work items per repeat (instrs/records/jobs)
     "peak_rss_kb": (int, True),   # process high-water RSS after the case
     "phases": (dict, False),      # optional {phase: seconds} wall split
+    "profile": (list, False),     # optional cProfile top-N hot spots
+}
+
+#: Per-entry schema of the optional ``profile`` list: one row per hot
+#: function from a dedicated profiled repeat (never the timed repeats,
+#: whose wall numbers must stay tracing-free).
+PROFILE_FIELDS: Dict[str, tuple] = {
+    "func": (str, True),              # file:line(function)
+    "calls": (int, True),             # primitive call count
+    "tottime": ((int, float), True),  # seconds excluding subcalls
+    "cumtime": ((int, float), True),  # seconds including subcalls
 }
 
 _HEADER_FIELDS: Dict[str, tuple] = {
@@ -98,6 +109,14 @@ def validate_bench_record(doc: dict) -> None:
                     or not isinstance(seconds, (int, float)) or seconds < 0:
                 raise ValueError(f"{where}: bad phase entry "
                                  f"{phase!r}: {seconds!r}")
+        for j, row in enumerate(entry.get("profile", [])):
+            if not isinstance(row, dict):
+                raise ValueError(f"{where}.profile[{j}]: must be an "
+                                 f"object")
+            _check_fields(row, PROFILE_FIELDS, f"{where}.profile[{j}]")
+            if row["calls"] < 0 or row["tottime"] < 0 or row["cumtime"] < 0:
+                raise ValueError(f"{where}.profile[{j}]: negative "
+                                 f"measurement")
     totals = doc.get("totals", {})
     for key, value in totals.items():
         if not isinstance(key, str) or isinstance(value, bool) \

@@ -75,10 +75,12 @@ class _DeltaTable:
         self._best = None
         self.observations += 1
         counters = self.counters
+        counters_get = counters.get
         ones = self._ones
         for delta in timely_deltas:
-            if delta in counters:
-                counters[delta] += 1
+            count = counters_get(delta)
+            if count is not None:
+                counters[delta] = count + 1
             elif len(counters) < max_deltas:
                 counters[delta] = 1
                 if ones is not None:
@@ -132,18 +134,25 @@ class _DeltaTable:
         result = []
         observations = self.observations
         if observations:
+            # ``count / observations >= t`` is compared as
+            # ``count >= t * observations``: exhaustively verified
+            # equivalent for counts <= 256 and observations <= 64 (the
+            # table halves observations at 16, so the reachable domain is
+            # far smaller) -- this drops one float division per delta.
+            need_l1 = l1_threshold * observations
+            need_l2 = l2_threshold * observations
             # The count rides along as a third element so the sort key is
             # a C-level itemgetter instead of a per-compare dict probe;
             # reverse=True is stable, so ties keep insertion order exactly
             # like the ascending sort on -count did.
             for delta, count in self.counters.items():
-                coverage = count / observations
-                if coverage >= l1_threshold:
+                if count >= need_l1:
                     result.append((delta, FILL_L1D, count))
-                elif coverage >= l2_threshold:
+                elif count >= need_l2:
                     result.append((delta, FILL_L2, count))
-            result.sort(key=_BY_COUNT, reverse=True)
-            result = [(delta, fill) for delta, fill, _ in result]
+            if result:
+                result.sort(key=_BY_COUNT, reverse=True)
+                result = [(delta, fill) for delta, fill, _ in result]
         self._best = result
         self._best_key = key
         return result
@@ -194,8 +203,9 @@ class BertiPrefetcher(Prefetcher):
     # ------------------------------------------------------------------
 
     def train(self, event: TrainingEvent) -> List[PrefetchRequest]:
-        ip = event.ip
-        block = event.block
+        # One C-level unpack instead of seven attribute descriptor reads.
+        (ip, block, hit, cycle, access_cycle, fetch_latency, _hit_level,
+         prefetch_hit) = event
         if ip == self._last_ip:
             history = self._last_history
         else:
@@ -215,12 +225,19 @@ class BertiPrefetcher(Prefetcher):
         # accesses a prefetch could have covered); plain hits take no
         # training action (Section V-C).
         table = None
-        if not event.hit or event.prefetch_hit:
+        if not hit or prefetch_hit:
             # 2. Learn timely deltas: entries whose prefetch, issued at
             # their timestamp, would have completed by the time this access
             # needed the data.  ``access_cycle - fetch_latency`` is the
             # latest trigger time that still yields a timely prefetch.
-            window_end = event.access_cycle - event.fetch_latency
+            # History timestamps are *nearly* sorted but not monotone
+            # (the batch stepper charges ports slightly out of order),
+            # so the scan cannot early-break on the first too-late
+            # entry: cutting off out-of-order stragglers measurably
+            # shifts the learned delta sets (it flips the
+            # secure-dampens-on-access-prefetching property at test
+            # scale), which is outside the PR10 reviewed-drift budget.
+            window_end = access_cycle - fetch_latency
             timely = [block - old_block
                       for old_block, t_j in history
                       if t_j <= window_end and old_block != block]
@@ -231,12 +248,14 @@ class BertiPrefetcher(Prefetcher):
             # Record the access in the history (timestamped with the
             # training stream's own clock: access order on-access, commit
             # order on-commit).
-            history.append((block, event.cycle))
+            history.append((block, cycle))
 
         # Issue prefetches for the best-covered deltas (reusing the table
-        # the learning step already looked up, when it did).
+        # the learning step already looked up, when it did; the delta-table
+        # memo covers the same-IP streak case without a dict probe).
         if table is None:
-            table = self._deltas.get(ip)
+            table = self._dt_table if ip == self._dt_ip \
+                else self._deltas.get(ip)
         if table is None or table.observations < self._min_observations:
             return []
         # Inline of ``table.best_deltas``'s cache hit -- the common case:

@@ -20,6 +20,8 @@ hits.
 
 from __future__ import annotations
 
+from typing import List, Optional, Sequence, Tuple
+
 from .params import DRAMParams
 from .stats import DRAMStats
 
@@ -121,7 +123,84 @@ class DRAMChannel:
             self._bus_free_low = done
         return done
 
-    def backlogged(self, time: int, margin: int = None) -> bool:
+    def access_batch(self, requests: Sequence[Tuple[int, int]],
+                     demand: bool = True) -> List[int]:
+        """Serve a batch of ``(block, time)`` requests; return completions.
+
+        Produces exactly the completions of calling :meth:`access` once
+        per request in order -- the batch form exists to amortize the
+        bank-cursor bookkeeping: the per-request fixed timing sums, the
+        bank/row lists, the shared bus cursors, and the stats counters
+        are bound to locals once for the whole batch and written back
+        once at the end, instead of being re-read through ``self`` and
+        re-stored per request.  Callers batch naturally time-ordered
+        windows (a drained commit window's re-fetches, a prescanned
+        access run), which is the same arrival discipline the scalar
+        path expects.
+        """
+        bank_memo = self._bank_memo
+        bank_memo_get = bank_memo.get
+        blocks_per_row = self._blocks_per_row
+        banks = self._banks
+        ctrl = self._ctrl_latency
+        t_hit = self._t_row_hit
+        t_miss = self._t_row_miss
+        bus_cycles = self._bus_cycles
+        open_row = self._open_row
+        bank_free = self._bank_free
+        bank_free_low = self._bank_free_low
+        bus_free = self._bus_free
+        bus_free_low = self._bus_free_low
+        row_hits = row_misses = 0
+        completions = []
+        append = completions.append
+        for block, time in requests:
+            row = block // blocks_per_row
+            bank = bank_memo_get(row)
+            if bank is None:
+                h = row & 0xFFFFFFFFFFFFFFFF
+                h ^= h >> 33
+                h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+                h ^= h >> 33
+                bank = bank_memo[row] = h % banks
+            start = time + ctrl
+            free = bank_free[bank]
+            if free > start:
+                start = free
+            if not demand:
+                free = bank_free_low[bank]
+                if free > start:
+                    start = free
+            if open_row[bank] == row:
+                ready = start + t_hit
+                row_hits += 1
+            else:
+                ready = start + t_miss
+                open_row[bank] = row
+                row_misses += 1
+            if demand:
+                bank_free[bank] = ready
+                bus_start = ready if ready > bus_free else bus_free
+                bus_free = bus_start + bus_cycles
+                append(bus_free)
+            else:
+                bank_free_low[bank] = ready
+                bus_start = ready if ready > bus_free else bus_free
+                if bus_free_low > bus_start:
+                    bus_start = bus_free_low
+                bus_free_low = bus_start + bus_cycles
+                append(bus_free_low)
+        if demand:
+            self._bus_free = bus_free
+        else:
+            self._bus_free_low = bus_free_low
+        stats = self.stats
+        stats.row_hits += row_hits
+        stats.row_misses += row_misses
+        stats.requests += len(completions)
+        return completions
+
+    def backlogged(self, time: int, margin: Optional[int] = None) -> bool:
         """True when the low-priority queue is deep enough that further
         prefetches would arrive uselessly late (prefetch throttling).
 

@@ -1,0 +1,341 @@
+"""Flattened cache-hierarchy descent (one frame for the whole walk).
+
+``make_flat_descent`` builds a closure that is a *semantically identical
+twin* of the recursive ``CacheLevel.access`` chain (which stays the
+readable reference): same counters bumped in the same order, same
+port/MSHR charges, same completion arithmetic.  The win is structural --
+one Python frame for the whole descent instead of one per level plus the
+``MemoryBackend`` adapter and the ``_mshr_acquire`` helper, with every
+collaborator hoisted into closure cells once instead of re-read through
+``self`` per call.
+
+The entry level is fully specialized (individual cells, no per-level
+tuple unpack) because most calls resolve there: under GhostMinion every
+speculative load takes this path and the majority are L1D hits.  Deeper
+levels run a generic loop over per-level hoist tuples -- by then the
+call is a miss descent and the unpack is amortized by the MSHR/DRAM
+work.
+
+Only built for plain chains (no ``ScrambledBackend`` between levels, see
+``MemoryHierarchy``); with an event trace attached to any level in the
+chain the walk defers to the recursive path so emission sites stay in
+one place.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Tuple
+
+from .stats import REQ_COMMIT, REQ_LOAD, REQ_PREFETCH, REQ_STORE
+
+#: Mirror of ``cache.LEVEL_DRAM`` (imported lazily to avoid a cycle).
+_LEVEL_DRAM = 3
+
+
+def make_flat_descent(levels: Tuple, dram):
+    """Build a one-frame walk of ``levels`` terminating in ``dram``."""
+    lower = tuple(
+        (lvl.sets, lvl._set_mask, lvl._port_counts, lvl._port_n,
+         lvl._ports, lvl._port_acquire, lvl._latency, lvl._outstanding,
+         lvl._mshr_times, lvl.stats, lvl._accesses, lvl._hits,
+         lvl._misses, lvl, lvl.level)
+        for lvl in levels[1:])
+    entry = levels[0]
+    entry_access = entry.access
+    # Entry-level collaborators as individual closure cells.
+    e_sets = entry.sets
+    e_mask = entry._set_mask
+    e_counts = entry._port_counts
+    e_port_n = entry._port_n
+    e_ports = entry._ports
+    e_port_acquire = entry._port_acquire
+    e_latency = entry._latency
+    e_outstanding = entry._outstanding
+    e_mshr_times = entry._mshr_times
+    e_stats = entry.stats
+    e_accesses = entry._accesses
+    e_hits = entry._hits
+    e_misses = entry._misses
+    e_merge = entry._merge
+    e_insert = entry.insert
+    e_level = entry.level
+    watch = levels[1:]
+    dram_access = dram.access
+
+    def descend(block, time, rtype, update=True, fill=True,
+                count_useful=True):
+        if entry.events is not None:
+            return entry_access(block, time, rtype, update, fill,
+                                count_useful)
+        for lvl in watch:
+            if lvl.events is not None:
+                return entry_access(block, time, rtype, update, fill,
+                                    count_useful)
+        # ------------------------------------------------------- entry
+        e_accesses[rtype] += 1
+        # _PortBucket.acquire's free-port arm, inlined (same trim
+        # accounting as the recursive path).
+        pc = e_counts.get(time, 0)
+        if pc < e_port_n:
+            e_counts[time] = pc + 1
+            e_ports._acquires += 1
+            start = time
+        else:
+            start = e_port_acquire(time)
+        line = e_sets[block & e_mask].get(block)
+        if line is not None:
+            ready = start + e_latency
+            if line.fill_time <= ready:
+                # Plain hit: the overwhelmingly common outcome.
+                e_hits[rtype] += 1
+                if update:
+                    line.last_touch = time
+                    line.rrpv = 0
+                    if rtype is REQ_STORE:
+                        line.dirty = True
+                if line.prefetched and count_useful \
+                        and not line.was_demand_hit \
+                        and (rtype is REQ_LOAD or rtype is REQ_STORE):
+                    line.was_demand_hit = True
+                    e_stats.prefetches_useful += 1
+                return ready, e_level
+            return e_merge(block, line.fill_time, line.prefetched, start,
+                           rtype, rtype is REQ_LOAD or rtype is REQ_STORE,
+                           count_useful, line)
+        entry_o = e_outstanding.get(block)
+        if entry_o is not None:
+            entry_fill = entry_o[0]
+            if entry_fill <= start:
+                del e_outstanding[block]
+                entry_o = None
+            else:
+                return e_merge(block, entry_fill, entry_o[1], start,
+                               rtype,
+                               rtype is REQ_LOAD or rtype is REQ_STORE,
+                               count_useful, None)
+        # True miss at the entry level: claim an MSHR (_mshr_acquire,
+        # inlined) and take the generic descent below.
+        demand = rtype is REQ_LOAD or rtype is REQ_STORE
+        is_store = rtype is REQ_STORE
+        is_load = rtype is REQ_LOAD
+        is_pf = rtype is REQ_PREFETCH
+        e_misses[rtype] += 1
+        free_at = e_mshr_times[0]
+        e_stats.mshr_occupancy_sum += \
+            len(e_mshr_times) - bisect_right(e_mshr_times, start)
+        e_stats.mshr_occupancy_samples += 1
+        if free_at > start:
+            e_stats.mshr_full_events += 1
+            e_stats.mshr_full_wait_cycles += free_at - start
+            alloc = free_at
+        else:
+            alloc = start
+        del e_mshr_times[0]
+        pending = [(e_mshr_times, e_stats, e_outstanding, e_insert, time,
+                    start)]
+        t = alloc + e_latency
+        # ------------------------------------------------- lower levels
+        completion = served = None
+        for (sets, mask, counts, port_n, ports, port_acquire, latency,
+             outstanding, mshr_times, stats, accesses, hits, misses,
+             lvl_obj, lvl_num) in lower:
+            accesses[rtype] += 1
+            pc = counts.get(t, 0)
+            if pc < port_n:
+                counts[t] = pc + 1
+                ports._acquires += 1
+                start = t
+            else:
+                start = port_acquire(t)
+            line = sets[block & mask].get(block)
+            if line is not None:
+                ready = start + latency
+                if line.fill_time <= ready:
+                    hits[rtype] += 1
+                    if update:
+                        line.last_touch = t
+                        line.rrpv = 0
+                        if is_store:
+                            line.dirty = True
+                    if line.prefetched and count_useful \
+                            and not line.was_demand_hit and demand:
+                        line.was_demand_hit = True
+                        stats.prefetches_useful += 1
+                    completion = ready
+                    served = lvl_num
+                    break
+                completion, served = lvl_obj._merge(
+                    block, line.fill_time, line.prefetched, start, rtype,
+                    demand, count_useful, line)
+                break
+            entry_o = outstanding.get(block)
+            if entry_o is not None:
+                entry_fill = entry_o[0]
+                if entry_fill <= start:
+                    del outstanding[block]
+                else:
+                    completion, served = lvl_obj._merge(
+                        block, entry_fill, entry_o[1], start, rtype,
+                        demand, count_useful, None)
+                    break
+            misses[rtype] += 1
+            free_at = mshr_times[0]
+            stats.mshr_occupancy_sum += \
+                len(mshr_times) - bisect_right(mshr_times, start)
+            stats.mshr_occupancy_samples += 1
+            if free_at > start:
+                stats.mshr_full_events += 1
+                stats.mshr_full_wait_cycles += free_at - start
+                alloc = free_at
+            else:
+                alloc = start
+            del mshr_times[0]
+            pending.append((mshr_times, stats, outstanding,
+                            lvl_obj.insert, t, start))
+            t = alloc + latency
+        else:
+            completion = dram_access(block, t, demand)
+            served = _LEVEL_DRAM
+        # Unwind inner-first, exactly as the recursion returns:
+        # _mshr_fill then (with fill) insert; the fill=True case skips
+        # the transient outstanding entry _mshr_fill would add only for
+        # insert's sibling pop to remove again.
+        for (mshr_times, stats, outstanding, insert, arrival,
+             start) in reversed(pending):
+            insort(mshr_times, completion)
+            if fill:
+                insert(block, completion, is_pf, is_store,
+                       latency=completion - arrival)
+            else:
+                outstanding[block] = (completion, is_pf, start)
+            if is_load:
+                stats.load_miss_latency_sum += completion - arrival
+                stats.load_miss_latency_count += 1
+        return completion, served
+
+    return descend
+
+
+def make_refetch_batch(levels: Tuple, dram):
+    """Build a batched resolver for GhostMinion commit re-fetches.
+
+    Takes ``[(block, t_ret), ...]`` -- the re-fetches of one drained
+    commit window, in commit order -- and returns the per-block
+    completion times.  Compared to per-block :func:`make_flat_descent`
+    calls this amortizes two things:
+
+    * the level collaborators (sets, port buckets, MSHR pools, stats)
+      are bound to locals once per *window* instead of once per block;
+    * blocks that miss every cache level are resolved through a single
+      ``DRAMChannel.access_batch`` handoff at the end of the pass, so
+      the DRAM bank/bus cursor bookkeeping is amortized over the whole
+      window.
+
+    Semantics note (reviewed, pinned by the figure-tolerance check
+    rather than bit-identity): blocks that hit or merge in the cache
+    chain complete -- fills included -- immediately and in commit
+    order, exactly like the sequential walk.  DRAM-bound blocks charge
+    their port/MSHR slots in commit order during the pass, but their
+    *fills* land after the shared DRAM handoff.  A later re-fetch in
+    the same window therefore probes tags that do not yet hold an
+    earlier DRAM-bound block's fill; the sequential walk would have
+    merged with that in-flight fill.  Re-fetches to the same block
+    within one window are rare (distinct committed loads to one line),
+    the per-block latency is still computed individually from that
+    block's own descent and DRAM service, and GhostMinion's
+    timestamp-ordering invariants are untouched (the drain applies GM
+    updates before collecting the window).
+    """
+    hoists = tuple(
+        (lvl.sets, lvl._set_mask, lvl._port_counts, lvl._port_n,
+         lvl._ports, lvl._port_acquire, lvl._latency, lvl._outstanding,
+         lvl._mshr_times, lvl.stats, lvl._accesses, lvl._hits,
+         lvl._misses, lvl, lvl.level)
+        for lvl in levels)
+    entry_access = levels[0].access
+    dram_batch = dram.access_batch
+
+    def refetch_batch(pairs):
+        for lvl in levels:
+            if lvl.events is not None:
+                # Event tracing active: defer to the recursive reference
+                # walk so emission sites stay in one place.
+                return [entry_access(block, t, REQ_COMMIT)[0]
+                        for block, t in pairs]
+        results = [0] * len(pairs)
+        dram_reqs = []
+        dram_pend = []
+        for idx, (block, t) in enumerate(pairs):
+            pending = []
+            completion = None
+            for (sets, mask, counts, port_n, ports, port_acquire,
+                 latency, outstanding, mshr_times, stats, accesses,
+                 hits, misses, lvl_obj, _lvl_num) in hoists:
+                accesses[REQ_COMMIT] += 1
+                pc = counts.get(t, 0)
+                if pc < port_n:
+                    counts[t] = pc + 1
+                    ports._acquires += 1
+                    start = t
+                else:
+                    start = port_acquire(t)
+                line = sets[block & mask].get(block)
+                if line is not None:
+                    ready = start + latency
+                    if line.fill_time <= ready:
+                        hits[REQ_COMMIT] += 1
+                        line.last_touch = t
+                        line.rrpv = 0
+                        completion = ready
+                        break
+                    completion, _ = lvl_obj._merge(
+                        block, line.fill_time, line.prefetched, start,
+                        REQ_COMMIT, False, True, line)
+                    break
+                entry_o = outstanding.get(block)
+                if entry_o is not None:
+                    entry_fill = entry_o[0]
+                    if entry_fill <= start:
+                        del outstanding[block]
+                    else:
+                        completion, _ = lvl_obj._merge(
+                            block, entry_fill, entry_o[1], start,
+                            REQ_COMMIT, False, True, None)
+                        break
+                misses[REQ_COMMIT] += 1
+                free_at = mshr_times[0]
+                stats.mshr_occupancy_sum += \
+                    len(mshr_times) - bisect_right(mshr_times, start)
+                stats.mshr_occupancy_samples += 1
+                if free_at > start:
+                    stats.mshr_full_events += 1
+                    stats.mshr_full_wait_cycles += free_at - start
+                    alloc = free_at
+                else:
+                    alloc = start
+                del mshr_times[0]
+                pending.append((mshr_times, lvl_obj.insert, t))
+                t = alloc + latency
+            else:
+                # Missed every level: queue for the shared DRAM handoff.
+                dram_reqs.append((block, t))
+                dram_pend.append((idx, block, pending))
+                continue
+            for mshr_times, insert, arrival in reversed(pending):
+                insort(mshr_times, completion)
+                insert(block, completion, False, False,
+                       latency=completion - arrival)
+            results[idx] = completion
+        if dram_reqs:
+            completions = dram_batch(dram_reqs, False)
+            for (idx, block, pending), completion in zip(dram_pend,
+                                                         completions):
+                for mshr_times, insert, arrival in reversed(pending):
+                    insort(mshr_times, completion)
+                    insert(block, completion, False, False,
+                           latency=completion - arrival)
+                results[idx] = completion
+        return results
+
+    return refetch_batch

@@ -24,6 +24,7 @@ from typing import NamedTuple
 
 from .cache import (CacheLevel, LEVEL_L1D, LEVEL_L2, LEVEL_LLC,
                     MemoryBackend, ScrambledBackend)
+from .flatwalk import make_flat_descent, make_refetch_batch
 from .dram import DRAMChannel
 from .ghostminion import GhostMinionCache
 from .params import SystemParams
@@ -81,6 +82,25 @@ class MemoryHierarchy:
         # of the fixed collaborators and the constants behind a GM hit's
         # latency and the prefetch-demotion threshold.
         self._l1d_access = self.l1d.access
+        #: Batched commit re-fetch resolver (see flatwalk); ``None`` when
+        #: the chain is scrambled and the drain must re-fetch per block.
+        self._refetch_batch = None
+        if self.llc_front is self.llc:
+            # Plain chain (no index-randomization adapter): install the
+            # flattened one-frame descents.  Each is a semantically
+            # identical twin of the recursive walk (make_flat_descent);
+            # with events attached they defer to the recursive path, so
+            # tracing semantics are unchanged.  The shared-LLC case simply
+            # rebinds the LLC's descent to an equivalent closure per core.
+            self._l1d_access = make_flat_descent(
+                (self.l1d, self.l2, self.llc), self.dram)
+            self.l1d._descend = self._l1d_access
+            self.l2._descend = make_flat_descent(
+                (self.l2, self.llc), self.dram)
+            self.llc._descend = make_flat_descent((self.llc,), self.dram)
+            if secure:
+                self._refetch_batch = make_refetch_batch(
+                    (self.l1d, self.l2, self.llc), self.dram)
         self._l1d_mshrs = params.l1d.mshrs
         #: Identity-stable alias of the L1D MSHR next-free times (the pool
         #: mutates the list in place); read by the prefetch-demotion check.
@@ -163,7 +183,7 @@ class MemoryHierarchy:
 
     def demand_store(self, block: int, time: int) -> int:
         """Write one committed store into the L1D (at retire time)."""
-        completion, _ = self.l1d.access(block, time, REQ_STORE)
+        completion, _ = self._l1d_access(block, time, REQ_STORE)
         return completion
 
     # ------------------------------------------------------------------
@@ -229,7 +249,7 @@ class MemoryHierarchy:
             stats.gm_lost_before_commit += 1
         if self.events is not None:
             self.events.emit("gm_refetch", time, block, "GM")
-        completion, _ = self.l1d.access(block, time, REQ_COMMIT)
+        completion, _ = self._l1d_access(block, time, REQ_COMMIT)
         return completion - time
 
     def _record_suf_stop(self, block: int, hit_level: int) -> None:

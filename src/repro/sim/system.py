@@ -49,6 +49,8 @@ the inventory; tests/sim/test_golden_stats.py pins bit-identical stats.
 
 from __future__ import annotations
 
+import gc
+
 from bisect import bisect_right, insort
 from collections import deque
 from dataclasses import dataclass, field
@@ -267,8 +269,17 @@ class System:
         ``warmup`` is the fraction of committed instructions used to warm
         caches and predictor tables before statistics are reset.
         """
-        for _ in self.stepper(trace, warmup, chunk=0):
-            pass
+        # The replay loop churns short-lived, cycle-free objects only;
+        # pausing the cyclic collector keeps its periodic scans out of
+        # the hot loop (refcounting still frees everything promptly).
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in self.stepper(trace, warmup, chunk=0):
+                pass
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self.finalize(trace)
 
     def stepper(self, trace: Trace, warmup: float = 0.2,
@@ -1570,8 +1581,9 @@ class System:
         hierarchy = self.hierarchy
         # hierarchy.demand_store is a one-line wrapper around the L1D
         # access (the returned completion is unused here); calling the
-        # access directly drops a frame per committed store.
-        store_access = hierarchy.l1d.access
+        # access directly drops a frame per committed store.  The hoist
+        # picks up the flattened descent when the hierarchy installed one.
+        store_access = hierarchy._l1d_access
         hit_levels = self.hit_levels
         has_hl = hit_levels is not None
         if has_hl:
@@ -1600,6 +1612,20 @@ class System:
             l1d_access = hierarchy._l1d_access
             gm_latency = hierarchy._gm_latency
             record_suf_stop = hierarchy._record_suf_stop
+            refetch_batch = hierarchy._refetch_batch
+            # Naive on-commit training consumes each re-fetch completion
+            # inline (the misleading update latency of Section V-B).
+            # Batching would force its training tails behind the window,
+            # reordering prefetch issues against the next loads' GM
+            # bookkeeping -- a semantic change with nothing to show for
+            # it (windows average ~1.1 re-fetches).  That mode keeps the
+            # exact sequential per-block walk; batching applies when
+            # nothing reads the completion mid-window (no prefetcher,
+            # X-LQ training, on-access training).
+            if prefetcher is not None \
+                    and self.train_mode == MODE_ON_COMMIT \
+                    and not self.use_xlq:
+                refetch_batch = None
         train_commit = prefetcher is not None \
             and self.train_mode == MODE_ON_COMMIT
         if train_commit:
@@ -1616,6 +1642,13 @@ class System:
         tuple_new = tuple.__new__
 
         def drain(until: Optional[int]) -> None:
+            # The drained window's re-fetches, batched: GhostMinion's
+            # timestamp ordering is applied per load *before* the window
+            # is collected, so deferring the hierarchy walks to one
+            # shared pass (see flatwalk.make_refetch_batch) keeps GM
+            # semantics exact while amortizing the descent and the DRAM
+            # bank bookkeeping over the window.
+            refetch_pairs = None
             while queue and (until is None or queue[0][0] <= until):
                 t_ret, is_load, payload = queue.popleft()
                 if not is_load:
@@ -1671,8 +1704,15 @@ class System:
                             gm_stats.gm_lost_before_commit += 1
                         if events is not None:
                             events.emit("gm_refetch", t_ret, block, "GM")
-                        completion, _ = l1d_access(block, t_ret, REQ_COMMIT)
-                        update_latency = completion - t_ret
+                        if refetch_batch is None:
+                            completion, _ = l1d_access(block, t_ret,
+                                                       REQ_COMMIT)
+                            update_latency = completion - t_ret
+                        else:
+                            if refetch_pairs is None:
+                                refetch_pairs = []
+                            refetch_pairs.append((block, t_ret))
+                            update_latency = 0
                 if not train_commit:
                     continue
 
@@ -1710,6 +1750,8 @@ class System:
                         prefetcher.note_demand(miss_l1, late_l1, useful_l1)
                     else:
                         prefetcher.note_demand(miss_l2, late_l2, useful_l2)
+            if refetch_pairs is not None:
+                refetch_batch(refetch_pairs)
         return drain
 
     def _issue(self, requests, time: int) -> None:
@@ -1756,13 +1798,13 @@ class System:
         l1_outstanding = l1d._outstanding
         l1_pq = l1d._pq_times
         l1_mshr = l1d._mshr_times
-        l1_access = l1d.access
+        l1_access = l1d._descend or l1d.access
         l2_sets = l2.sets
         l2_mask = l2._set_mask
         l2_outstanding = l2._outstanding
         l2_pq = l2._pq_times
         l2_mshr = l2._mshr_times
-        l2_access = l2.access
+        l2_access = l2._descend or l2.access
         llc_issue = llc.issue_prefetch
         mshr_limit = hierarchy._l1d_mshrs
         classifier = self.classifier

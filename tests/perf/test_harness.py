@@ -5,9 +5,10 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.perf.harness import (bench_document, load_bench, format_results,
-                                peak_rss_kb, run_case, run_suite,
-                                write_bench)
+from repro.perf.harness import (PROFILE_TOP_N, bench_document,
+                                format_profiles, format_results,
+                                load_bench, peak_rss_kb, run_case,
+                                run_suite, write_bench)
 from repro.perf.suites import BenchCase, SUITES
 
 
@@ -130,3 +131,68 @@ class TestCompareCli:
         base = self._write(tmp_path, "base3", 100.0)
         with pytest.raises(SystemExit, match="--input requires"):
             main(["bench", "--input", base])
+
+
+class TestProfile:
+    def test_profile_adds_untimed_extra_repeat(self):
+        case, calls = _counting_case([2, 1])
+        result = run_case(case, repeat=2, profile=True)
+        # The profiled repeat prepares its own thunk on top of the timed
+        # ones, and its (traced, slower) wall never becomes the result.
+        assert calls["prepared"] == 3
+        assert result.profile
+        assert result.value == pytest.approx(100 / result.wall_s)
+
+    def test_profile_rows_shape_and_order(self):
+        case, _ = _counting_case([1])
+        result = run_case(case, repeat=1, profile=True)
+        rows = result.profile
+        assert len(rows) <= PROFILE_TOP_N
+        assert all(set(row) == {"func", "calls", "tottime", "cumtime"}
+                   for row in rows)
+        tottimes = [row["tottime"] for row in rows]
+        assert tottimes == sorted(tottimes, reverse=True)
+        # The synthetic case's hot spot is the sum() builtin.
+        assert any("sum" in row["func"] for row in rows)
+
+    def test_profile_off_by_default(self):
+        case, _ = _counting_case([1])
+        assert run_case(case, repeat=1).profile is None
+
+    def test_profiled_document_validates(self):
+        case, _ = _counting_case([1])
+        result = run_case(case, repeat=1, profile=True)
+        doc = bench_document([result], tag="t", suite="micro", repeat=1)
+        assert doc["results"][0]["profile"]
+
+    def test_format_profiles(self):
+        case, _ = _counting_case([1])
+        with_profile = run_case(case, repeat=1, profile=True)
+        plain = run_case(case, repeat=1)
+        text = format_profiles([plain, with_profile])
+        assert "synthetic -- top" in text
+        assert "tottime" in text
+        assert format_profiles([plain]) == ""
+
+
+class TestBenchProfileCli:
+    def test_profile_flag_plumbed_and_printed(self, tmp_path, capsys,
+                                              monkeypatch):
+        import repro.perf
+
+        seen = {}
+        case, _ = _counting_case([1])
+
+        def fake_run_suite(suite, repeat=3, progress=None, profile=False):
+            seen["profile"] = profile
+            return [run_case(case, repeat=repeat, profile=profile)]
+
+        monkeypatch.setattr(repro.perf, "run_suite", fake_run_suite)
+        out_path = tmp_path / "BENCH_p.json"
+        assert main(["bench", "--suite", "micro", "--repeat", "1",
+                     "--tag", "p", "--output", str(out_path),
+                     "--profile", "--quiet"]) == 0
+        assert seen["profile"] is True
+        assert "top" in capsys.readouterr().out  # hot-spot table printed
+        doc = load_bench(str(out_path))          # document still validates
+        assert doc["results"][0]["profile"]

@@ -122,3 +122,40 @@ def test_bad_totals_entry_rejected():
 def test_non_object_rejected():
     with pytest.raises(ValueError, match="object"):
         validate_bench_record([1, 2, 3])
+
+
+PROFILE_ROW = {"func": "system.py:42(drain)", "calls": 100,
+               "tottime": 0.5, "cumtime": 0.9}
+
+
+def test_profile_rows_accepted():
+    validate_bench_record(_one_result(profile=[dict(PROFILE_ROW)]))
+
+
+def test_profile_optional():
+    validate_bench_record(_one_result())
+
+
+@pytest.mark.parametrize("missing", ["func", "calls", "tottime", "cumtime"])
+def test_profile_missing_field_rejected(missing):
+    row = dict(PROFILE_ROW)
+    del row[missing]
+    with pytest.raises(ValueError, match=missing):
+        validate_bench_record(_one_result(profile=[row]))
+
+
+def test_profile_unknown_field_rejected():
+    with pytest.raises(ValueError, match="unknown keys"):
+        validate_bench_record(_one_result(
+            profile=[dict(PROFILE_ROW, percall=0.1)]))
+
+
+def test_profile_negative_measurement_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        validate_bench_record(_one_result(
+            profile=[dict(PROFILE_ROW, tottime=-0.1)]))
+
+
+def test_profile_non_object_row_rejected():
+    with pytest.raises(ValueError, match="object"):
+        validate_bench_record(_one_result(profile=["hot stuff"]))

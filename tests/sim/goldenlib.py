@@ -1,0 +1,68 @@
+"""Golden-snapshot regeneration helpers (shared by the golden tests).
+
+Golden files pin simulator behaviour.  Two regeneration paths exist and
+both stamp a **provenance header** into the snapshot so a reviewer can
+tell *which tree* produced the numbers being pinned:
+
+* run the owning test module directly::
+
+      PYTHONPATH=src python tests/sim/test_golden_stats.py
+
+* or ask the test run itself to regenerate before comparing::
+
+      REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sim
+
+The env-var path exists for deliberate semantic changes (e.g. the PR10
+modeled-time pass): regenerate, eyeball the diff, run the figure-level
+tolerance check (``repro figcheck``), and commit the new snapshots
+together with the change that moved them.  Regenerating to silence an
+*unintended* drift is still a bug -- the provenance header makes that
+visible in review.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.campaign.figcheck import provenance
+
+#: Set to a truthy value to regenerate goldens inside the test run.
+REGEN_ENV = "REPRO_REGEN_GOLDEN"
+
+#: Paths regenerated once per process (pytest calls the loaders many
+#: times; the snapshot is deterministic, so once is enough).
+_regenerated = set()
+
+
+def regen_requested() -> bool:
+    return os.environ.get(REGEN_ENV, "").strip().lower() in (
+        "1", "true", "on", "yes")
+
+
+def write_golden(path: Path, doc: dict, generator: str) -> None:
+    doc = dict(doc)
+    doc["provenance"] = provenance(generator)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def load_golden(path: Path, generate) -> dict:
+    """Load a golden file, regenerating first under REPRO_REGEN_GOLDEN."""
+    if regen_requested() and str(path) not in _regenerated:
+        generate()
+        _regenerated.add(str(path))
+    if not path.exists():
+        import pytest
+        pytest.fail(f"golden file missing: {path} (regenerate with "
+                    f"{REGEN_ENV}=1 or by running the owning test module)")
+    return json.loads(path.read_text())
+
+
+def assert_provenance(golden: dict) -> None:
+    """Shared assertion: every golden snapshot carries its provenance."""
+    header = golden.get("provenance")
+    assert isinstance(header, dict), \
+        "golden snapshot lacks a provenance header (regenerate it)"
+    for key in ("generator", "git_commit", "generated_at", "python"):
+        assert header.get(key), f"provenance header missing {key!r}"

@@ -30,6 +30,13 @@ from repro.sim.batch import (C_ALU, C_BRANCH, C_LOAD, C_MISPREDICT,
 from repro.workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
                                    FLAG_STORE, FLAG_WRONG_PATH, Trace)
 
+try:
+    from .goldenlib import load_golden
+    from .test_golden_stats import _generate as _regen_stats_golden
+except ImportError:  # direct script run: tests/sim is sys.path[0]
+    from goldenlib import load_golden
+    from test_golden_stats import _generate as _regen_stats_golden
+
 GOLDEN_PATH = Path(__file__).parent / "golden" / "stats_golden.json"
 GOLDEN_WORKLOAD = "605.mcf-1554B"
 GOLDEN_LOADS = 6000
@@ -43,7 +50,7 @@ GOLDEN_CONFIGS = {
 
 
 def _golden(name):
-    return json.loads(GOLDEN_PATH.read_text())["configs"][name]
+    return load_golden(GOLDEN_PATH, _regen_stats_golden)["configs"][name]
 
 
 def _snapshot(result):

@@ -195,3 +195,127 @@ class TestAdversarialArrivalOrder:
         # queue behind at the moment they were scheduled.
         assert done[1] >= done[0]
         assert done[3] >= done[2]
+
+
+class TestAccessBatch:
+    """``access_batch`` amortizes bank bookkeeping without changing it:
+    completions, stats and every cursor must be bit-identical to the
+    scalar ``access`` loop it replaces."""
+
+    #: A mixed workload: row hits, row conflicts, bank spread, and a few
+    #: decreasing-time stragglers (the adversarial-order cases above).
+    REQUESTS = ([(i << 14, i * 100) for i in range(12)]
+                + [(3 << 14, 900), (0, 850), (5 << 20, 840)]
+                + [(i << 20, 2000) for i in range(6)])
+
+    def _cursors(self, dram):
+        return (list(dram._bank_free), list(dram._bank_free_low),
+                dram._bus_free, dram._bus_free_low,
+                list(dram._open_row))
+
+    def _stats(self, dram):
+        s = dram.stats
+        return (s.requests, s.row_hits, s.row_misses)
+
+    def test_batch_matches_scalar_demand(self):
+        self._check(demand=True)
+
+    def test_batch_matches_scalar_low_priority(self):
+        self._check(demand=False)
+
+    def _check(self, demand):
+        scalar = make_channel(banks=4)
+        batch = make_channel(banks=4)
+        want = [scalar.access(block, t, demand)
+                for block, t in self.REQUESTS]
+        got = batch.access_batch(self.REQUESTS, demand)
+        assert got == want
+        assert self._cursors(batch) == self._cursors(scalar)
+        assert self._stats(batch) == self._stats(scalar)
+
+    def test_interleaving_batches_with_scalar_accesses(self):
+        # State carried across batch boundaries (and mixed with scalar
+        # calls) stays exact: split the request list arbitrarily.
+        reference = make_channel(banks=4)
+        mixed = make_channel(banks=4)
+        want = [reference.access(block, t, i % 2 == 0)
+                for i, (block, t) in enumerate(self.REQUESTS)]
+        got = []
+        i = 0
+        for size, as_batch in ((3, True), (1, False), (7, True),
+                               (2, False), (8, True)):
+            chunk = self.REQUESTS[i:i + size]
+            if as_batch:
+                # access_batch takes one priority per batch; split the
+                # chunk by the alternating priority of the reference.
+                for j, (block, t) in enumerate(chunk):
+                    got.extend(mixed.access_batch(
+                        [(block, t)], (i + j) % 2 == 0))
+            else:
+                got.extend(mixed.access(block, t, (i + j2) % 2 == 0)
+                           for j2, (block, t) in enumerate(chunk))
+            i += size
+        assert got == want
+        assert self._cursors(mixed) == self._cursors(reference)
+
+    def test_empty_batch(self):
+        dram = make_channel()
+        before = self._cursors(dram)
+        assert dram.access_batch([]) == []
+        assert self._cursors(dram) == before
+        assert dram.stats.requests == 0
+
+    def test_batched_cursors_monotone_under_reordering(self):
+        # The adversarial-order guarantee carries over to the batch
+        # form: decreasing arrival times within one batch never move a
+        # bank/bus cursor backwards.
+        dram = make_channel(banks=2)
+        prev = (list(dram._bank_free), list(dram._bank_free_low),
+                dram._bus_free, dram._bus_free_low)
+        batches = [[(0 << 14, 50_000), (1 << 14, 20_000)],
+                   [(2 << 14, 19_999), (3 << 14, 5_000), (4 << 14, 0)]]
+        for batch_no, requests in enumerate(batches):
+            dram.access_batch(requests, demand=batch_no % 2 == 0)
+            cur = (list(dram._bank_free), list(dram._bank_free_low),
+                   dram._bus_free, dram._bus_free_low)
+            for prev_bank, cur_bank in zip(prev[0], cur[0]):
+                assert cur_bank >= prev_bank
+            for prev_bank, cur_bank in zip(prev[1], cur[1]):
+                assert cur_bank >= prev_bank
+            assert cur[2] >= prev[2]
+            assert cur[3] >= prev[3]
+            prev = cur
+
+
+class TestBackloggedMargin:
+    """``backlogged(time, margin)``: the margin override must be honored
+    (and ``None`` must mean the params default, not "compare to None")."""
+
+    def test_explicit_margin_overrides_default(self):
+        dram = make_channel(banks=1)
+        for i in range(20):
+            dram.access(i << 20, time=0, demand=False)
+        backlog = dram.low_backlog(0) - dram.params.controller_latency \
+            - dram.params.t_rp - dram.params.t_rcd - dram.params.t_cas \
+            - dram.params.bus_cycles_per_line
+        assert dram.backlogged(0)  # default margin: deep queue
+        # A margin far above the backlog turns the signal off; zero (or
+        # below-backlog) margins keep it on.
+        assert not dram.backlogged(0, margin=10**9)
+        assert dram.backlogged(0, margin=0)
+        if backlog > 1:
+            assert dram.backlogged(0, margin=backlog - 1)
+
+    def test_none_margin_means_params_default(self):
+        dram = make_channel(banks=1)
+        for i in range(20):
+            dram.access(i << 20, time=0, demand=False)
+        assert dram.backlogged(0, margin=None) == dram.backlogged(
+            0, margin=dram.params.prefetch_backlog_margin)
+
+    def test_margin_annotation_is_optional(self):
+        # Regression for the `margin: int = None` type wart: the default
+        # is None, so the annotation must be Optional[int].
+        import typing
+        hints = typing.get_type_hints(DRAMChannel.backlogged)
+        assert hints["margin"] == typing.Optional[int]

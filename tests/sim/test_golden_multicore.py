@@ -11,12 +11,21 @@ golden JSON captured before the sharding work.
 Regenerate only when simulator *semantics* deliberately change::
 
     PYTHONPATH=src python tests/sim/test_golden_multicore.py
+    # or, during a test run:
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sim
+
+Regenerated snapshots carry a provenance header (see goldenlib); the
+figure-level tolerance check gates deliberate semantic drifts.
 """
 
-import json
 from pathlib import Path
 
 import pytest
+
+try:
+    from .goldenlib import assert_provenance, load_golden, write_golden
+except ImportError:  # direct script run: tests/sim is sys.path[0]
+    from goldenlib import assert_provenance, load_golden, write_golden
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "multicore_golden.json"
 
@@ -75,10 +84,7 @@ def _run_sharded(jobs=1):
 
 
 def _load_golden():
-    if not GOLDEN_PATH.exists():
-        pytest.fail(f"golden file missing: {GOLDEN_PATH} "
-                    f"(regenerate: python {__file__})")
-    return json.loads(GOLDEN_PATH.read_text())
+    return load_golden(GOLDEN_PATH, _generate)
 
 
 def test_golden_header_matches_pins():
@@ -87,6 +93,10 @@ def test_golden_header_matches_pins():
     assert golden["loads"] == LOADS
     assert golden["warmup"] == WARMUP
     assert golden["cores"] == CORES
+
+
+def test_golden_carries_provenance():
+    assert_provenance(_load_golden())
 
 
 def test_inline_mix_bit_identical_to_golden():
@@ -119,10 +129,7 @@ def _generate():
         "cores": CORES,
         "snapshot": _snapshot(_run_inline()),
     }
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(
-        json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {GOLDEN_PATH}")
+    write_golden(GOLDEN_PATH, doc, "tests/sim/test_golden_multicore.py")
 
 
 if __name__ == "__main__":

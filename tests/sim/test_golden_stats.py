@@ -1,24 +1,33 @@
 """Golden-file regression tests: optimizations must stay bit-identical.
 
-The hot-path optimization work (PR4) is only allowed to make the
-simulator *faster*, never *different*: every stats counter must match
-what the pre-optimization simulator produced.  These tests replay three
-pinned configurations on a fixed synthetic trace and compare the full
-stats snapshot -- core, all cache levels, GhostMinion, DRAM, TLB,
-classification and extras -- against golden JSON captured before the
-optimization pass.
+Hot-path optimization work is only allowed to make the simulator
+*faster*, never *accidentally different*: every stats counter must
+match the pinned snapshot.  These tests replay three pinned
+configurations on a fixed synthetic trace and compare the full stats
+snapshot -- core, all cache levels, GhostMinion, DRAM, TLB,
+classification and extras -- against golden JSON.
 
-Regenerate only when simulator *semantics* deliberately change::
+Regenerate only when simulator *semantics* deliberately change (the
+PR10 modeled-time pass is such a change; see docs/PERFORMANCE.md)::
 
     PYTHONPATH=src python tests/sim/test_golden_stats.py
+    # or, during a test run:
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sim
 
+Every regeneration stamps a provenance header (tree commit, generator,
+timestamp) into the snapshot; the figure-level tolerance check
+(``repro figcheck``) is the semantic gate for deliberate drifts.
 (Any counter drift without a matching golden update is a bug.)
 """
 
-import json
 from pathlib import Path
 
 import pytest
+
+try:
+    from .goldenlib import assert_provenance, load_golden, write_golden
+except ImportError:  # direct script run: tests/sim is sys.path[0]
+    from goldenlib import assert_provenance, load_golden, write_golden
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "stats_golden.json"
 
@@ -62,10 +71,7 @@ def _run_snapshot(name):
 
 
 def _load_golden():
-    if not GOLDEN_PATH.exists():
-        pytest.fail(f"golden file missing: {GOLDEN_PATH} "
-                    f"(regenerate: python {__file__})")
-    return json.loads(GOLDEN_PATH.read_text())
+    return load_golden(GOLDEN_PATH, _generate)
 
 
 def test_golden_header_matches_pins():
@@ -74,6 +80,10 @@ def test_golden_header_matches_pins():
     assert golden["loads"] == GOLDEN_LOADS
     assert golden["warmup"] == GOLDEN_WARMUP
     assert sorted(golden["configs"]) == sorted(CONFIGS)
+
+
+def test_golden_carries_provenance():
+    assert_provenance(_load_golden())
 
 
 @pytest.mark.parametrize("name", sorted(CONFIGS))
@@ -96,10 +106,7 @@ def _generate():
         "warmup": GOLDEN_WARMUP,
         "configs": {name: _run_snapshot(name) for name in sorted(CONFIGS)},
     }
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(
-        json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {GOLDEN_PATH}")
+    write_golden(GOLDEN_PATH, doc, "tests/sim/test_golden_stats.py")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,88 @@
+"""Unit tests for the golden-regeneration helpers (goldenlib)."""
+
+import json
+
+import pytest
+
+try:
+    from .goldenlib import (REGEN_ENV, assert_provenance, load_golden,
+                            regen_requested, write_golden)
+except ImportError:  # direct script-style runs
+    from goldenlib import (REGEN_ENV, assert_provenance, load_golden,
+                           regen_requested, write_golden)
+
+
+class TestRegenRequested:
+    @pytest.mark.parametrize("value", ["1", "true", "ON", " yes "])
+    def test_truthy(self, monkeypatch, value):
+        monkeypatch.setenv(REGEN_ENV, value)
+        assert regen_requested()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "maybe"])
+    def test_falsy(self, monkeypatch, value):
+        monkeypatch.setenv(REGEN_ENV, value)
+        assert not regen_requested()
+
+    def test_unset(self, monkeypatch):
+        monkeypatch.delenv(REGEN_ENV, raising=False)
+        assert not regen_requested()
+
+
+class TestWriteGolden:
+    def test_stamps_provenance_and_canonical_json(self, tmp_path):
+        path = tmp_path / "g.json"
+        write_golden(path, {"zeta": 1, "alpha": 2}, "unit-test")
+        text = path.read_text()
+        assert text.endswith("\n")
+        doc = json.loads(text)
+        assert doc["alpha"] == 2
+        assert_provenance(doc)
+        assert doc["provenance"]["generator"] == "unit-test"
+        # sort_keys: provenance's 'p' lands between 'alpha' and 'zeta'.
+        assert list(doc) == sorted(doc)
+
+    def test_does_not_mutate_caller_doc(self, tmp_path):
+        doc = {"x": 1}
+        write_golden(tmp_path / "g.json", doc, "unit-test")
+        assert doc == {"x": 1}
+
+
+class TestLoadGolden:
+    def test_missing_without_regen_fails(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(REGEN_ENV, raising=False)
+        with pytest.raises(pytest.fail.Exception, match=REGEN_ENV):
+            load_golden(tmp_path / "missing.json", lambda: None)
+
+    def test_regen_env_regenerates_once_per_path(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv(REGEN_ENV, "1")
+        path = tmp_path / "g.json"
+        calls = []
+
+        def generate():
+            calls.append(1)
+            write_golden(path, {"v": len(calls)}, "unit-test")
+
+        first = load_golden(path, generate)
+        second = load_golden(path, generate)
+        assert first["v"] == second["v"] == 1
+        assert len(calls) == 1
+
+    def test_existing_loaded_without_regen(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(REGEN_ENV, raising=False)
+        path = tmp_path / "g.json"
+        write_golden(path, {"v": 7}, "unit-test")
+        doc = load_golden(path, lambda: pytest.fail("must not regen"))
+        assert doc["v"] == 7
+
+
+class TestAssertProvenance:
+    def test_rejects_headerless_snapshot(self):
+        with pytest.raises(AssertionError, match="provenance"):
+            assert_provenance({"v": 1})
+
+    def test_rejects_incomplete_header(self):
+        with pytest.raises(AssertionError, match="git_commit"):
+            assert_provenance({"provenance": {"generator": "x",
+                                              "generated_at": "t",
+                                              "python": "3"}})

@@ -6,6 +6,7 @@ from repro.core.suf import suf_decide
 from repro.sim.cache import LEVEL_DRAM, LEVEL_L1D, LEVEL_L2, LEVEL_LLC
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.params import baseline
+from repro.sim.stats import REQ_COMMIT
 
 
 def make_hierarchy(secure=False, suf=False):
@@ -241,3 +242,60 @@ class TestFlush:
         assert h.l1d.stats.total_accesses() == 0
         assert h.gm_stats.gm_misses == 0
         assert h.dram.stats.requests == 0
+
+
+class TestRefetchBatchResolver:
+    """The batched re-fetch resolver itself (``_refetch_batch``).
+
+    Installed only for secure plain-chain hierarchies; for windows
+    without duplicate blocks its completions and resulting cache state
+    must be bit-identical to the sequential REQ_COMMIT descent it
+    amortizes.
+    """
+
+    def _twins(self):
+        return make_hierarchy(secure=True), make_hierarchy(secure=True)
+
+    def test_installed_only_when_secure(self):
+        assert make_hierarchy(secure=True)._refetch_batch is not None
+        assert make_hierarchy()._refetch_batch is None
+
+    def test_resident_blocks_match_sequential(self):
+        seq, bat = self._twins()
+        sets = seq.params.l1d.sets
+        blocks = [5, 9, 5 + sets, 17, 9 + 2 * sets]
+        for h in (seq, bat):
+            for b in blocks:
+                h.l1d.insert(b, 0)
+        pairs = [(b, 1000 + 40 * i) for i, b in enumerate(blocks)]
+        want = [seq._l1d_access(b, t, REQ_COMMIT)[0] for b, t in pairs]
+        assert bat._refetch_batch(pairs) == want
+        assert bat.l1d.state_signature() == seq.l1d.state_signature()
+
+    def test_dram_bound_blocks_match_sequential(self):
+        # Distinct DRAM-bound blocks: the deferred shared handoff must
+        # still give each block its individual descent + DRAM service.
+        seq, bat = self._twins()
+        pairs = [(10_000 * (i + 1), 500 + 10 * i) for i in range(6)]
+        want = [seq._l1d_access(b, t, REQ_COMMIT)[0] for b, t in pairs]
+        got = bat._refetch_batch(pairs)
+        assert got == want
+        for name in ("l1d", "l2", "llc"):
+            assert getattr(bat, name).state_signature() == \
+                getattr(seq, name).state_signature(), name
+        # Per-block latencies are individual: the bus serializes the
+        # window, so completions are strictly increasing, not one shared
+        # completion stamped on every block.
+        assert len(set(got)) == len(got)
+
+    def test_dram_bound_fills_land_in_caches(self):
+        _, bat = self._twins()
+        blocks = [10_000, 20_000, 30_000]
+        done = bat._refetch_batch([(b, 100) for b in blocks])
+        for b, completion in zip(blocks, done):
+            assert bat.l1d.contains(b)
+            assert completion > 100 + bat.params.llc.latency
+
+    def test_empty_window(self):
+        _, bat = self._twins()
+        assert bat._refetch_batch([]) == []

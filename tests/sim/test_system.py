@@ -6,6 +6,7 @@ from repro.prefetchers import (MODE_ON_ACCESS, MODE_ON_COMMIT,
                                make_prefetcher)
 from repro.prefetchers.base import Prefetcher
 from repro.sim.system import System
+from repro.workloads.synthetic import pointer_chase_trace
 from repro.workloads.trace import (FLAG_BRANCH, FLAG_LOAD, FLAG_MISPREDICT,
                                    FLAG_WRONG_PATH, Trace, alu, load, store)
 
@@ -206,3 +207,58 @@ class TestSecureSystemResult:
     def test_suf_accuracy_high_single_core(self, tiny_stream):
         result = System(secure=True, suf=True).run(tiny_stream)
         assert result.gm.suf_accuracy() > 0.9
+
+
+class TestBatchedCommitDrain:
+    """PR10 batched commit re-fetch drain.
+
+    The drain resolves a whole commit window's GhostMinion re-fetches
+    through one ``flatwalk.make_refetch_batch`` pass.  GM bookkeeping
+    (apply / take / SUF) stays per-load in commit order, so the batch
+    must (a) carry every re-fetch, (b) see its window in non-decreasing
+    retire-time order -- the order the GM applies ran in -- and (c) for
+    windows without duplicate blocks, reproduce the sequential per-block
+    walk bit-for-bit.
+    """
+
+    def _trace(self):
+        return pointer_chase_trace("drain", 3000, footprint_mb=8, seed=1)
+
+    def test_refetches_resolve_through_batch_in_commit_order(self):
+        sys_ = System(secure=True)
+        hier = sys_.hierarchy
+        batches = []
+        resolve = hier._refetch_batch
+
+        def recording(pairs):
+            batches.append(list(pairs))
+            return resolve(pairs)
+
+        hier._refetch_batch = recording
+        result = sys_.run(self._trace(), warmup=0.0)
+        assert result.gm.commit_refetches > 0
+        # Every re-fetch of the run went through the batch resolver ...
+        assert sum(len(b) for b in batches) == result.gm.commit_refetches
+        # ... and each window arrived in commit (retire-time) order: the
+        # per-load gm.apply_until calls the drain issued while collecting
+        # it were therefore monotone.
+        for window in batches:
+            times = [t_ret for _, t_ret in window]
+            assert times == sorted(times)
+
+    def test_batched_drain_matches_sequential_reference(self):
+        trace = self._trace()
+        batched = System(secure=True).run(trace, warmup=0.0)
+        reference_sys = System(secure=True)
+        # None disables the batch resolver: the drain falls back to one
+        # flat-descent REQ_COMMIT walk per block (the pre-PR10 path).
+        reference_sys.hierarchy._refetch_batch = None
+        reference = reference_sys.run(trace, warmup=0.0)
+        assert batched.committed == reference.committed
+        assert batched.ipc == reference.ipc
+        assert batched.l1d.accesses == reference.l1d.accesses
+        assert batched.l1d.hits == reference.l1d.hits
+        for field in ("gm_fills", "gm_hits", "commit_writes",
+                      "commit_refetches"):
+            assert getattr(batched.gm, field) == \
+                getattr(reference.gm, field), field
